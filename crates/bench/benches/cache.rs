@@ -1,0 +1,58 @@
+//! A1: Cache Datalog machinery — schedule construction (Lemma 4.6) and
+//! exact bounded-cache search (`⊢ₖ`) on reachability chains, plus the
+//! Lemma 4.2 cache-to-linear translation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parra_datalog::ast::{Atom, Const, GroundAtom, Program, Term};
+use parra_datalog::cache::{cache_schedule, prove_with_cache};
+use parra_datalog::linear::LinearEvaluator;
+use parra_datalog::translate::cache_to_linear;
+
+fn chain(n: u32) -> (Program, GroundAtom) {
+    let mut p = Program::new();
+    let next = p.predicate("next", 2);
+    let reach = p.predicate("reach", 1);
+    let consts: Vec<Const> = (0..n).map(|i| p.constant(&format!("v{i}"))).collect();
+    for w in consts.windows(2) {
+        p.fact(next, vec![w[0], w[1]]).unwrap();
+    }
+    p.fact(reach, vec![consts[0]]).unwrap();
+    p.rule(
+        Atom::new(reach, vec![Term::Var(1)]),
+        vec![
+            Atom::new(reach, vec![Term::Var(0)]),
+            Atom::new(next, vec![Term::Var(0), Term::Var(1)]),
+        ],
+    )
+    .unwrap();
+    (p, GroundAtom::new(reach, vec![*consts.last().unwrap()]))
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_datalog");
+    for n in [8u32, 16, 32] {
+        let (p, goal) = chain(n);
+        group.bench_with_input(BenchmarkId::new("schedule", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(cache_schedule(&p, &goal).unwrap().peak))
+        });
+    }
+    for n in [4u32, 6] {
+        let (p, goal) = chain(n);
+        group.bench_with_input(BenchmarkId::new("prove_k3_exact", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(prove_with_cache(&p, &goal, 3)))
+        });
+    }
+    for k in [2usize, 3, 4] {
+        let (p, goal) = chain(4);
+        group.bench_with_input(BenchmarkId::new("lemma42_translate_eval", k), &k, |b, &k| {
+            b.iter(|| {
+                let t = cache_to_linear(&p, &goal, k).unwrap();
+                std::hint::black_box(LinearEvaluator::new(&t.program).query(&t.goal))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! A3: the three verification engines on the same systems — the direct
+//! simplified-semantics search, the makeP Datalog path, and the bounded
+//! concrete baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parra_bench::experiments::{cas_example_system, handshake_system};
+use parra_core::verify::{Engine, Verifier, VerifierOptions};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    let systems = [
+        ("handshake_unsafe", handshake_system(false)),
+        ("handshake_safe", handshake_system(true)),
+        ("cas_example", cas_example_system()),
+    ];
+    for (name, sys) in systems {
+        let verifier = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        for engine in [
+            Engine::SimplifiedReach,
+            Engine::CacheDatalog,
+            Engine::BoundedConcrete,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.to_string(), name),
+                &engine,
+                |b, &engine| {
+                    b.iter(|| std::hint::black_box(verifier.run(engine).verdict))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! B1: verification time for every benchmark of the suite under the
+//! simplified-semantics engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parra_core::verify::{Engine, Verifier, VerifierOptions};
+
+fn bench_litmus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("litmus");
+    group.sample_size(10);
+    for bench in parra_litmus::all() {
+        let verifier =
+            Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
+        group.bench_function(bench.name, |b| {
+            b.iter(|| {
+                let r = verifier.run(Engine::SimplifiedReach);
+                std::hint::black_box(r.verdict)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_litmus);
+criterion_main!(benches);

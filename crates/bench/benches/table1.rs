@@ -1,0 +1,29 @@
+//! T1: verification time for representative systems of Table 1's
+//! decidable cells (the undecidable cells are classifier rejections and
+//! take no measurable work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parra_bench::experiments::{cas_example_system, handshake_system};
+use parra_core::verify::{Engine, Verifier, VerifierOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    let systems = [
+        ("pspace_handshake_unsafe", handshake_system(false)),
+        ("pspace_handshake_safe", handshake_system(true)),
+        ("pspace_cas_example", cas_example_system()),
+    ];
+    for (name, sys) in systems {
+        let verifier = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = verifier.run(Engine::SimplifiedReach);
+                std::hint::black_box(r.verdict)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

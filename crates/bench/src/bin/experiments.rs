@@ -1,0 +1,21 @@
+//! Prints every experiment report (the data recorded in `EXPERIMENTS.md`).
+//!
+//! Run all:      `cargo run --release -p parra-bench --bin experiments`
+//! Run one:      `cargo run --release -p parra-bench --bin experiments -- F5`
+
+use parra_bench::all_reports;
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1);
+    for (id, report) in all_reports() {
+        if let Some(f) = &filter {
+            if !id.to_lowercase().starts_with(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        println!("==============================================================");
+        println!("{id}");
+        println!("==============================================================");
+        println!("{report}");
+    }
+}

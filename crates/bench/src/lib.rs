@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! # parra-bench — the experiment harness
+//!
+//! One function per table/figure of the paper (see `DESIGN.md` §6 for the
+//! experiment index). The `experiments` binary prints them all; the
+//! Criterion benches in `benches/` time the same workloads.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

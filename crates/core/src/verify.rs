@@ -1,0 +1,712 @@
+//! The verifier facade: classification, goal transformation, engine
+//! orchestration, statistics, and the §4.3 thread-count bound.
+
+use crate::makep::{DatalogTarget, MakeP, MakePError, MakePLimits};
+use parra_datalog::cache::schedule_from_database;
+use parra_datalog::eval::Evaluator;
+use parra_program::classify::{Complexity, SystemClass};
+use parra_program::system::ParamSystem;
+use parra_program::transform;
+use parra_ra::explore::{ExploreLimits, ExploreOutcome, Explorer, Target};
+use parra_ra::Instance;
+use parra_simplified::cost::cost_of_graph;
+use parra_simplified::depgraph::DepGraph;
+use parra_simplified::reach::{ReachLimits, ReachOutcome, Reachability, SimpTarget};
+use parra_simplified::state::Budget;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which decision procedure to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The direct search on the simplified semantics (Section 3) —
+    /// the default: exact for the decidable class.
+    SimplifiedReach,
+    /// The `makeP` Datalog encoding (Section 4): enumerate guesses,
+    /// evaluate queries. Exact for the decidable class; also reports the
+    /// cache-schedule peak (Lemmas 4.4/4.6).
+    CacheDatalog,
+    /// Bounded concrete-RA exploration of instances — an
+    /// under-approximation: can prove `Unsafe`, never `Safe`.
+    BoundedConcrete,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Engine::SimplifiedReach => "simplified-reach",
+            Engine::CacheDatalog => "cache-datalog",
+            Engine::BoundedConcrete => "bounded-concrete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The verdict of a verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No instance of any size reaches an assertion violation.
+    Safe,
+    /// Some instance reaches a violation.
+    Unsafe,
+    /// The engine could not decide (bounds hit, or an inherently
+    /// incomplete engine found nothing).
+    Unknown,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Safe => "SAFE",
+            Verdict::Unsafe => "UNSAFE",
+            Verdict::Unknown => "UNKNOWN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Statistics of a run (fields are engine-dependent; unused ones are 0).
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Saturated abstract states (SimplifiedReach) or canonical concrete
+    /// states (BoundedConcrete).
+    pub states: usize,
+    /// Pre-closure worlds explored (SimplifiedReach).
+    pub worlds: usize,
+    /// Peak env-message set size (SimplifiedReach).
+    pub peak_env_msgs: usize,
+    /// makeP guesses evaluated (CacheDatalog).
+    pub guesses: usize,
+    /// Ground atoms derived in the successful (or largest) Datalog run.
+    pub datalog_atoms: usize,
+    /// Rules in the emitted Datalog program (CacheDatalog).
+    pub datalog_rules: usize,
+    /// Cache-schedule peak over intensional atoms (CacheDatalog, unsafe
+    /// runs) — the empirical Lemma 4.4 number.
+    pub cache_peak: usize,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// The result of a verification.
+#[derive(Debug, Clone)]
+pub struct VerificationResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The engine that produced it.
+    pub engine: Engine,
+    /// Run statistics.
+    pub stats: Stats,
+    /// For `Unsafe` via [`Engine::SimplifiedReach`]: the §4.3 bound on the
+    /// number of `env` threads sufficient to exhibit the bug.
+    pub env_thread_bound: Option<u64>,
+    /// For `Unsafe` via [`Engine::SimplifiedReach`]: a human-readable
+    /// witness (the dis steps between saturations).
+    pub witness_lines: Vec<String>,
+    /// Notes (approximations applied, limits hit).
+    pub notes: Vec<String>,
+}
+
+/// Options controlling verification.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifierOptions {
+    /// Unroll `dis` loops to this depth before verification (the
+    /// bounded-model-checking usage of Section 4); `None` requires `dis`
+    /// to be loop-free already.
+    pub unroll_dis: Option<usize>,
+    /// Limits for the simplified-semantics search.
+    pub reach_limits: ReachLimits,
+    /// Limits for makeP.
+    pub makep_limits: MakePLimits,
+    /// Max `env` threads and exploration limits for the concrete baseline.
+    pub concrete_max_env: usize,
+    /// Concrete exploration limits.
+    pub concrete_limits: ExploreLimits,
+}
+
+impl Default for VerifierOptions {
+    fn default() -> Self {
+        VerifierOptions {
+            unroll_dis: None,
+            reach_limits: ReachLimits::default(),
+            makep_limits: MakePLimits::default(),
+            concrete_max_env: 4,
+            concrete_limits: ExploreLimits::default(),
+        }
+    }
+}
+
+/// Errors preparing a verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifierError {
+    /// The system is outside every supported class (env uses CAS).
+    Undecidable(Complexity),
+    /// `dis` threads have loops and no unroll bound was given.
+    NeedsUnrolling,
+    /// makeP rejected the system.
+    MakeP(MakePError),
+}
+
+impl fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifierError::Undecidable(c) => write!(
+                f,
+                "system class is {c}: parameterized safety verification is not \
+                 supported (Theorem 1.1)"
+            ),
+            VerifierError::NeedsUnrolling => write!(
+                f,
+                "dis threads have loops; pass VerifierOptions::unroll_dis for \
+                 bounded model checking"
+            ),
+            VerifierError::MakeP(e) => write!(f, "makeP: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
+/// The verifier: owns the (goal-transformed) system and dispatches engines.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    original_class: SystemClass,
+    goal: transform::GoalSystem,
+    budget: Budget,
+    options: VerifierOptions,
+    notes: Vec<String>,
+}
+
+impl Verifier {
+    /// Prepares a verifier: classifies the system, unrolls `dis` loops if
+    /// requested, and applies the `assert false ↦ x# := d#` goal
+    /// transformation (Section 4.1).
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifierError`].
+    pub fn new(sys: &ParamSystem, options: VerifierOptions) -> Result<Verifier, VerifierError> {
+        let original_class = SystemClass::of(sys);
+        if !original_class.env.nocas {
+            return Err(VerifierError::Undecidable(original_class.complexity()));
+        }
+        let mut notes = Vec::new();
+        let sys = if original_class.dis.iter().all(|d| d.acyc) {
+            sys.clone()
+        } else {
+            match options.unroll_dis {
+                Some(bound) => {
+                    notes.push(format!(
+                        "dis loops unrolled to depth {bound}: Safe verdicts are \
+                         relative to the unrolling (bounded model checking)"
+                    ));
+                    transform::unroll_dis(sys, bound)
+                }
+                None => return Err(VerifierError::NeedsUnrolling),
+            }
+        };
+        let goal = transform::assert_to_goal(&sys);
+        let budget = Budget::exact(&goal.system)
+            .expect("dis is loop-free after unrolling");
+        Ok(Verifier {
+            original_class,
+            goal,
+            budget,
+            options,
+            notes,
+        })
+    }
+
+    /// The class of the original system.
+    pub fn class(&self) -> &SystemClass {
+        &self.original_class
+    }
+
+    /// The goal-transformed system the engines run on.
+    pub fn goal_system(&self) -> &ParamSystem {
+        &self.goal.system
+    }
+
+    /// The timestamp budget in use.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Runs the selected engine.
+    pub fn run(&self, engine: Engine) -> VerificationResult {
+        let start = Instant::now();
+        let mut result = match engine {
+            Engine::SimplifiedReach => self.run_simplified(),
+            Engine::CacheDatalog => self.run_datalog(),
+            Engine::BoundedConcrete => self.run_concrete(),
+        };
+        result.stats.duration = start.elapsed();
+        result.notes.extend(self.notes.iter().cloned());
+        result
+    }
+
+    fn trivially_safe(&self, engine: Engine) -> Option<VerificationResult> {
+        if self.goal.had_assert {
+            return None;
+        }
+        Some(VerificationResult {
+            verdict: Verdict::Safe,
+            engine,
+            stats: Stats::default(),
+            env_thread_bound: None,
+            witness_lines: vec![],
+            notes: vec!["program contains no assertions".into()],
+        })
+    }
+
+    fn run_simplified(&self) -> VerificationResult {
+        if let Some(r) = self.trivially_safe(Engine::SimplifiedReach) {
+            return r;
+        }
+        let sys = &self.goal.system;
+        let engine = Reachability::new(sys.clone(), self.budget.clone(), self.options.reach_limits)
+            .expect("env CAS-freedom checked in Verifier::new");
+        let target = SimpTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
+        let report = engine.run(target);
+        let mut notes = Vec::new();
+        let verdict = match report.outcome {
+            ReachOutcome::Unsafe => Verdict::Unsafe,
+            ReachOutcome::Safe => Verdict::Safe,
+            ReachOutcome::Truncated => {
+                notes.push("search limits hit; Safe could not be concluded".into());
+                Verdict::Unknown
+            }
+        };
+        let (env_thread_bound, witness_lines) = match &report.witness {
+            Some(w) => {
+                let graph = DepGraph::build(sys, &self.budget, w);
+                let bound = graph
+                    .find_message(self.goal.goal_var, self.goal.goal_val)
+                    .map(|n| cost_of_graph(&graph, n));
+                let lines = w
+                    .dis_path
+                    .iter()
+                    .map(|s| {
+                        let p = &sys.dis[s.thread];
+                        let names = parra_program::pretty::Names::for_program(&sys.vars, p);
+                        let instr = parra_program::pretty::instr_to_string(
+                            &p.cfa().edges()[s.edge].instr,
+                            names,
+                        );
+                        format!("dis{}: {}", s.thread + 1, instr)
+                    })
+                    .collect();
+                (bound, lines)
+            }
+            None => (None, Vec::new()),
+        };
+        VerificationResult {
+            verdict,
+            engine: Engine::SimplifiedReach,
+            stats: Stats {
+                states: report.states,
+                worlds: report.worlds,
+                peak_env_msgs: report.peak_env_msgs,
+                ..Stats::default()
+            },
+            env_thread_bound,
+            witness_lines,
+            notes,
+        }
+    }
+
+    fn run_datalog(&self) -> VerificationResult {
+        if let Some(r) = self.trivially_safe(Engine::CacheDatalog) {
+            return r;
+        }
+        let sys = &self.goal.system;
+        let target =
+            DatalogTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
+        let mk = match MakeP::new(sys, self.budget.clone(), self.options.makep_limits) {
+            Ok(mk) => mk,
+            Err(e) => {
+                return VerificationResult {
+                    verdict: Verdict::Unknown,
+                    engine: Engine::CacheDatalog,
+                    stats: Stats::default(),
+                    env_thread_bound: None,
+                    witness_lines: vec![],
+                    notes: vec![format!("makeP not applicable: {e}")],
+                }
+            }
+        };
+        let guesses = match mk.guesses() {
+            Ok(g) => g,
+            Err(e) => {
+                return VerificationResult {
+                    verdict: Verdict::Unknown,
+                    engine: Engine::CacheDatalog,
+                    stats: Stats::default(),
+                    env_thread_bound: None,
+                    witness_lines: vec![],
+                    notes: vec![format!("guess enumeration failed: {e}")],
+                }
+            }
+        };
+        let mut stats = Stats {
+            guesses: guesses.len(),
+            ..Stats::default()
+        };
+
+        // Guesses are independent query instances: evaluate them in
+        // parallel, stopping the fleet as soon as one derives the goal.
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        struct GuessOutcome {
+            rules: usize,
+            atoms: usize,
+            cache_peak: Option<usize>,
+        }
+        let found = std::sync::atomic::AtomicBool::new(false);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let outcomes: Vec<GuessOutcome> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| {
+                    let mk = &mk;
+                    let guesses = &guesses;
+                    let found = &found;
+                    let next = &next;
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        loop {
+                            if found.load(std::sync::atomic::Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= guesses.len() {
+                                break;
+                            }
+                            let (prog, goal) = mk.program(&guesses[i], target);
+                            let db = Evaluator::new(&prog).run_until(Some(&goal));
+                            let mut outcome = GuessOutcome {
+                                rules: prog.rules().len(),
+                                atoms: db.len(),
+                                cache_peak: None,
+                            };
+                            if db.contains(&goal) {
+                                // Lemma 4.6: read a bounded-cache schedule
+                                // off the derivation, counting intensional
+                                // atoms only.
+                                if let Some(schedule) = schedule_from_database(&db, &goal)
+                                {
+                                    let edb = MakeP::edb_predicates(&prog);
+                                    let mut cache = 0usize;
+                                    let mut peak = 0usize;
+                                    for step in &schedule.steps {
+                                        match step {
+                                            parra_datalog::cache::ScheduleStep::Add(a) => {
+                                                if !edb.contains(&a.pred) {
+                                                    cache += 1;
+                                                    peak = peak.max(cache);
+                                                }
+                                            }
+                                            parra_datalog::cache::ScheduleStep::Drop(a) => {
+                                                if !edb.contains(&a.pred) {
+                                                    cache -= 1;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    outcome.cache_peak = Some(peak);
+                                } else {
+                                    outcome.cache_peak = Some(0);
+                                }
+                                found.store(true, std::sync::atomic::Ordering::Relaxed);
+                                local.push(outcome);
+                                break;
+                            }
+                            local.push(outcome);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("guess worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+        let mut verdict = Verdict::Safe;
+        for o in &outcomes {
+            stats.datalog_rules = stats.datalog_rules.max(o.rules);
+            stats.datalog_atoms = stats.datalog_atoms.max(o.atoms);
+            if let Some(peak) = o.cache_peak {
+                stats.cache_peak = peak;
+                verdict = Verdict::Unsafe;
+            }
+        }
+        VerificationResult {
+            verdict,
+            engine: Engine::CacheDatalog,
+            stats,
+            env_thread_bound: None,
+            witness_lines: vec![],
+            notes: vec![],
+        }
+    }
+
+    fn run_concrete(&self) -> VerificationResult {
+        if let Some(r) = self.trivially_safe(Engine::BoundedConcrete) {
+            return r;
+        }
+        let sys = &self.goal.system;
+        let mut stats = Stats::default();
+        let mut exhausted_all = true;
+        for n_env in 0..=self.options.concrete_max_env {
+            let explorer = Explorer::new(
+                Instance::new(sys.clone(), n_env),
+                self.options.concrete_limits,
+            );
+            let report =
+                explorer.run(Target::MessageGenerated(self.goal.goal_var, self.goal.goal_val));
+            stats.states += report.states;
+            match report.outcome {
+                ExploreOutcome::Unsafe => {
+                    return VerificationResult {
+                        verdict: Verdict::Unsafe,
+                        engine: Engine::BoundedConcrete,
+                        stats,
+                        env_thread_bound: Some(n_env as u64),
+                        witness_lines: report
+                            .witness
+                            .unwrap_or_default()
+                            .into_iter()
+                            .map(|s| s.description)
+                            .collect(),
+                        notes: vec![format!("violation found with {n_env} env threads")],
+                    }
+                }
+                ExploreOutcome::SafeExhausted => {}
+                ExploreOutcome::SafeWithinBounds => exhausted_all = false,
+            }
+        }
+        VerificationResult {
+            verdict: Verdict::Unknown,
+            engine: Engine::BoundedConcrete,
+            stats,
+            env_thread_bound: None,
+            witness_lines: vec![],
+            notes: vec![format!(
+                "no violation up to {} env threads ({}); the engine cannot prove \
+                 parameterized safety",
+                self.options.concrete_max_env,
+                if exhausted_all {
+                    "each instance exhausted"
+                } else {
+                    "bounds hit"
+                }
+            )],
+        }
+    }
+
+    /// Concretizes an `Unsafe` verdict: searches concrete-RA instances —
+    /// up to the §4.3 thread bound of `result` (capped at `max_env`) —
+    /// for an actual interleaving reaching the goal.
+    ///
+    /// This is the executable half of Theorem 3.4's soundness direction:
+    /// an abstract bug replayed as a plain RA execution a user can read.
+    /// Returns `None` if the verdict was not `Unsafe`, or if the bounded
+    /// search cannot reproduce it within `max_env` threads and the default
+    /// exploration limits (a larger instance or deeper search is needed).
+    pub fn concretize(
+        &self,
+        result: &VerificationResult,
+        max_env: usize,
+    ) -> Option<ConcreteWitness> {
+        if result.verdict != Verdict::Unsafe {
+            return None;
+        }
+        let cap = result
+            .env_thread_bound
+            .map(|b| (b as usize).min(max_env))
+            .unwrap_or(max_env);
+        let sys = &self.goal.system;
+        for n_env in 0..=cap {
+            let explorer = Explorer::new(
+                Instance::new(sys.clone(), n_env),
+                self.options.concrete_limits,
+            );
+            let report = explorer.run(Target::MessageGenerated(
+                self.goal.goal_var,
+                self.goal.goal_val,
+            ));
+            if report.outcome == ExploreOutcome::Unsafe {
+                return Some(ConcreteWitness {
+                    n_env,
+                    steps: report
+                        .witness
+                        .unwrap_or_default()
+                        .into_iter()
+                        .map(|s| s.description)
+                        .collect(),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// A concrete-RA interleaving reproducing an abstract `Unsafe` verdict.
+#[derive(Debug, Clone)]
+pub struct ConcreteWitness {
+    /// The number of `env` threads in the exhibiting instance.
+    pub n_env: usize,
+    /// The interleaving, one rendered instruction per step.
+    pub steps: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parra_program::builder::SystemBuilder;
+
+    fn handshake(safe: bool) -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.load(r, y).assume_eq(r, 1).store(x, 1);
+        let env = env.finish();
+        let mut d = b.program("d");
+        let s = d.reg("s");
+        if !safe {
+            d.store(y, 1);
+        }
+        d.load(s, x).assume_eq(s, 1).assert_false();
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    #[test]
+    fn all_engines_on_unsafe_handshake() {
+        let sys = handshake(false);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        let r1 = v.run(Engine::SimplifiedReach);
+        assert_eq!(r1.verdict, Verdict::Unsafe);
+        assert!(!r1.witness_lines.is_empty());
+        assert!(r1.env_thread_bound.unwrap() >= 1);
+        let r2 = v.run(Engine::CacheDatalog);
+        assert_eq!(r2.verdict, Verdict::Unsafe);
+        assert!(r2.stats.guesses >= 1);
+        assert!(r2.stats.cache_peak >= 1);
+        let r3 = v.run(Engine::BoundedConcrete);
+        assert_eq!(r3.verdict, Verdict::Unsafe);
+    }
+
+    #[test]
+    fn all_engines_on_safe_handshake() {
+        let sys = handshake(true);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        assert_eq!(v.run(Engine::SimplifiedReach).verdict, Verdict::Safe);
+        assert_eq!(v.run(Engine::CacheDatalog).verdict, Verdict::Safe);
+        // The concrete engine can never prove parameterized safety.
+        assert_eq!(v.run(Engine::BoundedConcrete).verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn assert_free_system_trivially_safe() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.store(x, 1);
+        let env = env.finish();
+        let sys = b.build(env, vec![]);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        let r = v.run(Engine::SimplifiedReach);
+        assert_eq!(r.verdict, Verdict::Safe);
+        assert!(r.notes.iter().any(|n| n.contains("no assertions")));
+    }
+
+    #[test]
+    fn env_cas_rejected() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.cas(x, 0, 1).assert_false();
+        let env = env.finish();
+        let sys = b.build(env, vec![]);
+        let err = Verifier::new(&sys, VerifierOptions::default()).unwrap_err();
+        assert!(matches!(err, VerifierError::Undecidable(_)));
+    }
+
+    #[test]
+    fn looping_dis_needs_unrolling() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let env = {
+            let mut p = b.program("env");
+            p.skip();
+            p.finish()
+        };
+        let mut d = b.program("d");
+        let r = d.reg("r");
+        d.star(|p| {
+            p.load(r, x);
+        });
+        d.assert_false();
+        let d = d.finish();
+        let sys = b.build(env, vec![d]);
+        let err = Verifier::new(&sys, VerifierOptions::default()).unwrap_err();
+        assert_eq!(err, VerifierError::NeedsUnrolling);
+        // With unrolling it becomes checkable (and trivially unsafe: the
+        // assert is reachable by exiting the loop immediately).
+        let opts = VerifierOptions {
+            unroll_dis: Some(2),
+            ..Default::default()
+        };
+        let v = Verifier::new(&sys, opts).unwrap();
+        let r = v.run(Engine::SimplifiedReach);
+        assert_eq!(r.verdict, Verdict::Unsafe);
+        assert!(r.notes.iter().any(|n| n.contains("unrolled")));
+    }
+
+    #[test]
+    fn concretize_reproduces_abstract_bugs() {
+        let sys = handshake(false);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        let abstract_result = v.run(Engine::SimplifiedReach);
+        assert_eq!(abstract_result.verdict, Verdict::Unsafe);
+        let concrete = v
+            .concretize(&abstract_result, 4)
+            .expect("the bug concretizes");
+        assert!(concrete.n_env >= 1);
+        assert!(concrete
+            .steps
+            .iter()
+            .any(|s| s.contains("$goal := 1")));
+        // Safe results do not concretize.
+        let safe_sys = handshake(true);
+        let vs = Verifier::new(&safe_sys, VerifierOptions::default()).unwrap();
+        let safe = vs.run(Engine::SimplifiedReach);
+        assert!(vs.concretize(&safe, 4).is_none());
+    }
+
+    /// Engine agreement on a CAS-heavy example.
+    #[test]
+    fn engines_agree_on_cas_example() {
+        let mut b = SystemBuilder::new(3);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.store(x, 2);
+        let env = env.finish();
+        let mut d = b.program("d");
+        let r = d.reg("r");
+        d.cas(x, 0, 1).load(r, x).assume_eq(r, 2).assert_false();
+        let d = d.finish();
+        let sys = b.build(env, vec![d]);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        let r1 = v.run(Engine::SimplifiedReach);
+        let r2 = v.run(Engine::CacheDatalog);
+        assert_eq!(r1.verdict, Verdict::Unsafe);
+        assert_eq!(r2.verdict, Verdict::Unsafe);
+    }
+}

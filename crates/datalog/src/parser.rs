@@ -1,0 +1,290 @@
+//! A text syntax for Datalog programs.
+//!
+//! ```text
+//! edge(a, b).
+//! path(X, Y) :- edge(X, Y).
+//! path(X, Z) :- path(X, Y), edge(Y, Z).
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are variables; everything
+//! else (lowercase identifiers, numbers) is a constant. Line comments start
+//! with `%` (Prolog style) or `//`.
+
+use crate::ast::{Atom, GroundAtom, Program, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "datalog parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a Datalog program.
+///
+/// # Errors
+///
+/// Returns the first syntax or validation error (arity mismatch, unsafe
+/// rule).
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let mut prog = Program::new();
+    let mut pending = String::new();
+    let mut start_line = 1;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw
+            .split("//")
+            .next()
+            .unwrap_or("")
+            .split('%')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if pending.is_empty() {
+            start_line = lineno + 1;
+        }
+        // Clauses end at `.`; several may share a line.
+        for (i, piece) in line.split('.').enumerate() {
+            if i > 0 {
+                // A `.` preceded this piece: the pending clause is done.
+                let clause = pending.trim().to_owned();
+                pending.clear();
+                if !clause.is_empty() {
+                    parse_clause(&mut prog, &clause, start_line)?;
+                }
+                start_line = lineno + 1;
+            }
+            if !piece.trim().is_empty() {
+                pending.push_str(piece.trim());
+                pending.push(' ');
+            }
+        }
+    }
+    if !pending.trim().is_empty() {
+        return Err(ParseError {
+            line: start_line,
+            message: "clause not terminated by `.`".into(),
+        });
+    }
+    Ok(prog)
+}
+
+/// Parses a single ground atom, e.g. for queries: `path(a, d)`.
+///
+/// # Errors
+///
+/// Fails on syntax errors, variables, or unknown predicates.
+pub fn parse_ground_atom(prog: &mut Program, text: &str) -> Result<GroundAtom, ParseError> {
+    let mut vars = HashMap::new();
+    let atom = parse_atom(prog, text.trim(), 1, &mut vars)?;
+    if !atom.is_ground() {
+        return Err(ParseError {
+            line: 1,
+            message: format!("atom `{text}` contains variables"),
+        });
+    }
+    Ok(atom.to_ground())
+}
+
+fn parse_clause(prog: &mut Program, clause: &str, line: usize) -> Result<(), ParseError> {
+    let mut vars: HashMap<String, u32> = HashMap::new();
+    let (head_text, body_text) = match clause.split_once(":-") {
+        Some((h, b)) => (h.trim(), Some(b.trim())),
+        None => (clause.trim(), None),
+    };
+    let head = parse_atom(prog, head_text, line, &mut vars)?;
+    let body = match body_text {
+        None => Vec::new(),
+        Some(b) => split_atoms(b, line)?
+            .into_iter()
+            .map(|t| parse_atom(prog, &t, line, &mut vars))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    prog.rule(head, body).map_err(|e| ParseError {
+        line,
+        message: e.to_string(),
+    })
+}
+
+/// Splits `p(X, Y), q(Y)` at top-level commas.
+fn split_atoms(body: &str, line: usize) -> Result<Vec<String>, ParseError> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in body.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.checked_sub(1).ok_or(ParseError {
+                    line,
+                    message: "unbalanced `)`".into(),
+                })?;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if depth != 0 {
+        return Err(ParseError {
+            line,
+            message: "unbalanced `(`".into(),
+        });
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    Ok(out)
+}
+
+fn parse_atom(
+    prog: &mut Program,
+    text: &str,
+    line: usize,
+    vars: &mut HashMap<String, u32>,
+) -> Result<Atom, ParseError> {
+    let err = |message: String| ParseError { line, message };
+    let text = text.trim();
+    let (name, rest) = match text.find('(') {
+        Some(i) => (&text[..i], Some(&text[i..])),
+        None => (text, None),
+    };
+    let name = name.trim();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(err(format!("bad predicate name `{name}`")));
+    }
+    let args: Vec<String> = match rest {
+        None => Vec::new(),
+        Some(r) => {
+            let r = r.trim();
+            if !r.starts_with('(') || !r.ends_with(')') {
+                return Err(err(format!("malformed argument list in `{text}`")));
+            }
+            let inner = &r[1..r.len() - 1];
+            if inner.trim().is_empty() {
+                Vec::new()
+            } else {
+                split_atoms(inner, line)?
+            }
+        }
+    };
+    if let Some(existing) = prog.lookup_pred(name) {
+        if prog.pred_arity(existing) != args.len() {
+            return Err(err(format!(
+                "predicate `{name}` used with {} args, declared with {}",
+                args.len(),
+                prog.pred_arity(existing)
+            )));
+        }
+    }
+    let pred = prog.predicate(name, args.len());
+    let terms = args
+        .into_iter()
+        .map(|a| {
+            let a = a.trim().to_owned();
+            if a.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false) {
+                let n = vars.len() as u32;
+                Term::Var(*vars.entry(a).or_insert(n))
+            } else {
+                Term::Const(prog.constant(&a))
+            }
+        })
+        .collect();
+    Ok(Atom::new(pred, terms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::linear::is_linear;
+
+    const TC: &str = r#"
+        % transitive closure
+        edge(a, b).
+        edge(b, c).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).  // nonlinear rule
+    "#;
+
+    #[test]
+    fn parses_and_evaluates() {
+        let mut prog = parse_program(TC).unwrap();
+        assert!(!is_linear(&prog));
+        let goal = parse_ground_atom(&mut prog, "path(a, c)").unwrap();
+        assert!(Evaluator::new(&prog).query(&goal));
+        let bad = parse_ground_atom(&mut prog, "path(c, a)").unwrap();
+        assert!(!Evaluator::new(&prog).query(&bad));
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let mut prog = parse_program("go.\nwin :- go.").unwrap();
+        let goal = parse_ground_atom(&mut prog, "win").unwrap();
+        assert!(Evaluator::new(&prog).query(&goal));
+    }
+
+    #[test]
+    fn variables_are_uppercase() {
+        let prog = parse_program("q(X) :- p(X).\np(a).").unwrap();
+        let rule = &prog.rules()[0];
+        assert_eq!(rule.head.variables(), vec![0]);
+        assert!(prog.rules()[1].is_fact());
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let err = parse_program("p(a).\np(a, b).").unwrap_err();
+        assert!(err.message.contains("2 args"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unsafe_rule_reported() {
+        let err = parse_program("q(X) :- p(a).").unwrap_err();
+        assert!(err.message.contains("does not occur"));
+    }
+
+    #[test]
+    fn ground_atom_rejects_variables() {
+        let mut prog = parse_program("p(a).").unwrap();
+        let err = parse_ground_atom(&mut prog, "p(X)").unwrap_err();
+        assert!(err.message.contains("variables"));
+    }
+
+    #[test]
+    fn multiline_clauses() {
+        let prog = parse_program("path(X, Z) :-\n  path(X, Y),\n  edge(Y, Z).").unwrap();
+        assert_eq!(prog.rules().len(), 1);
+        assert_eq!(prog.rules()[0].body.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_clause_reported() {
+        let err = parse_program("p(a)").unwrap_err();
+        assert!(err.message.contains("not terminated"));
+    }
+}

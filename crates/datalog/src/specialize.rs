@@ -1,0 +1,215 @@
+//! Grounding of EDB side-conditions.
+//!
+//! The `makeP` encoding (see `parra-core`) uses small *extensional* relations
+//! (timestamp order, joins) as side-conditions in rule bodies. For engines
+//! that restrict body size — notably the Lemma 4.2 cache-to-linear
+//! translation, which supports at most two body atoms — these side
+//! conditions can be *specialized away*: every rule is instantiated with
+//! each consistent combination of EDB facts, and the EDB atoms are removed
+//! from the body.
+//!
+//! The result is equivalent for query evaluation (the EDB relations are
+//! fixed) and multiplies the rule count by at most the product of the EDB
+//! relation sizes per rule.
+
+use crate::ast::{Atom, Const, PredId, Program, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Replaces EDB body atoms by enumerating their facts.
+///
+/// `edb` lists the predicates to specialize. Their facts are taken from
+/// `prog` itself; the facts are dropped from the output program (they are
+/// no longer referenced).
+///
+/// # Panics
+///
+/// Panics if an EDB predicate appears in a rule head with a non-empty body
+/// (it would not be extensional).
+pub fn specialize_edb(prog: &Program, edb: &HashSet<PredId>) -> Program {
+    // Collect EDB facts.
+    let mut facts: HashMap<PredId, Vec<Vec<Const>>> = HashMap::new();
+    for rule in prog.rules() {
+        if rule.is_fact() && edb.contains(&rule.head.pred) {
+            facts
+                .entry(rule.head.pred)
+                .or_default()
+                .push(rule.head.to_ground().args);
+        }
+    }
+    for rule in prog.rules() {
+        if !rule.is_fact() {
+            assert!(
+                !edb.contains(&rule.head.pred),
+                "EDB predicate `{}` derived by a rule",
+                prog.pred_name(rule.head.pred)
+            );
+        }
+    }
+
+    let mut out = Program::new();
+    // Re-declare predicates to keep ids stable.
+    for p in prog.predicates() {
+        out.predicate(prog.pred_name(p), prog.pred_arity(p));
+    }
+
+    for rule in prog.rules() {
+        if rule.is_fact() && edb.contains(&rule.head.pred) {
+            continue; // dropped
+        }
+        let (edb_atoms, idb_atoms): (Vec<&Atom>, Vec<&Atom>) = rule
+            .body
+            .iter()
+            .partition(|a| edb.contains(&a.pred));
+        if edb_atoms.is_empty() {
+            out.rule(rule.head.clone(), rule.body.clone())
+                .expect("rule was valid");
+            continue;
+        }
+        // Enumerate consistent EDB instantiations.
+        let mut substs: Vec<HashMap<u32, Const>> = vec![HashMap::new()];
+        for atom in &edb_atoms {
+            let empty = Vec::new();
+            let rel = facts.get(&atom.pred).unwrap_or(&empty);
+            let mut next_substs = Vec::new();
+            for s in &substs {
+                for tuple in rel {
+                    if let Some(s2) = extend(atom, tuple, s) {
+                        next_substs.push(s2);
+                    }
+                }
+            }
+            substs = next_substs;
+            if substs.is_empty() {
+                break;
+            }
+        }
+        for s in substs {
+            let subst_atom = |a: &Atom| Atom {
+                pred: a.pred,
+                terms: a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Term::Const(*c),
+                        Term::Var(v) => match s.get(v) {
+                            Some(c) => Term::Const(*c),
+                            None => Term::Var(*v),
+                        },
+                    })
+                    .collect(),
+            };
+            let head = subst_atom(&rule.head);
+            let body: Vec<Atom> = idb_atoms.iter().map(|a| subst_atom(a)).collect();
+            out.rule(head, body)
+                .expect("specialized rule remains safe");
+        }
+    }
+    out
+}
+
+fn extend(
+    pattern: &Atom,
+    tuple: &[Const],
+    base: &HashMap<u32, Const>,
+) -> Option<HashMap<u32, Const>> {
+    if pattern.terms.len() != tuple.len() {
+        return None;
+    }
+    let mut s = base.clone();
+    for (t, c) in pattern.terms.iter().zip(tuple) {
+        match t {
+            Term::Const(k) => {
+                if k != c {
+                    return None;
+                }
+            }
+            Term::Var(v) => match s.get(v) {
+                Some(bound) if bound != c => return None,
+                Some(_) => {}
+                None => {
+                    s.insert(*v, *c);
+                }
+            },
+        }
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::GroundAtom;
+    use crate::eval::Evaluator;
+
+    /// reach over a successor relation used as an EDB side-condition.
+    #[test]
+    fn specialization_preserves_query() {
+        let mut p = Program::new();
+        let succ = p.predicate("succ", 2);
+        let reach = p.predicate("reach", 1);
+        let c: Vec<Const> = (0..4).map(|i| p.constant(&format!("n{i}"))).collect();
+        for w in c.windows(2) {
+            p.fact(succ, vec![w[0], w[1]]).unwrap();
+        }
+        p.fact(reach, vec![c[0]]).unwrap();
+        p.rule(
+            Atom::new(reach, vec![Term::Var(1)]),
+            vec![
+                Atom::new(reach, vec![Term::Var(0)]),
+                Atom::new(succ, vec![Term::Var(0), Term::Var(1)]),
+            ],
+        )
+        .unwrap();
+
+        let edb: HashSet<PredId> = [succ].into_iter().collect();
+        let sp = specialize_edb(&p, &edb);
+        // The rule is now linear (succ specialized away), 3 instances.
+        assert!(sp.rules().iter().all(|r| r.body.len() <= 1));
+        let goal = GroundAtom::new(reach, vec![c[3]]);
+        assert_eq!(
+            Evaluator::new(&p).query(&goal),
+            Evaluator::new(&sp).query(&goal)
+        );
+        assert!(Evaluator::new(&sp).query(&goal));
+        // EDB facts are gone from the specialized program.
+        assert!(sp
+            .rules()
+            .iter()
+            .all(|r| !(r.is_fact() && r.head.pred == succ)));
+    }
+
+    #[test]
+    fn unsatisfiable_edb_atom_kills_rule() {
+        let mut p = Program::new();
+        let e = p.predicate("e", 1);
+        let q = p.predicate("q", 0);
+        let r = p.predicate("r", 0);
+        let a = p.constant("a");
+        let b = p.constant("b");
+        p.fact(e, vec![a]).unwrap();
+        p.fact(r, vec![]).unwrap();
+        // q :- r, e(b): e(b) is not a fact → rule disappears.
+        p.rule(
+            Atom::new(q, vec![]),
+            vec![Atom::new(r, vec![]), Atom::new(e, vec![Term::Const(b)])],
+        )
+        .unwrap();
+        let edb: HashSet<PredId> = [e].into_iter().collect();
+        let sp = specialize_edb(&p, &edb);
+        let goal = GroundAtom::new(q, vec![]);
+        assert!(!Evaluator::new(&sp).query(&goal));
+    }
+
+    #[test]
+    #[should_panic(expected = "derived by a rule")]
+    fn derived_edb_rejected() {
+        let mut p = Program::new();
+        let e = p.predicate("e", 0);
+        let q = p.predicate("q", 0);
+        p.fact(q, vec![]).unwrap();
+        p.rule(Atom::new(e, vec![]), vec![Atom::new(q, vec![])])
+            .unwrap();
+        let edb: HashSet<PredId> = [e].into_iter().collect();
+        specialize_edb(&p, &edb);
+    }
+}

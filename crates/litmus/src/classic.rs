@@ -1,0 +1,385 @@
+//! Classic memory-model litmus tests, phrased as parameterized systems.
+//!
+//! These pin down the RA semantics itself: each test asks whether a
+//! characteristic relaxed outcome is *observable* (the assertion fires
+//! exactly when it is). Under RA the expected answers are standard:
+//!
+//! | test | relaxed outcome | RA |
+//! |---|---|---|
+//! | MP (message passing) | see flag, miss data | forbidden |
+//! | SB (store buffering) | both read 0 | **allowed** |
+//! | LB (load buffering) | both read 1 | forbidden (po ∪ rf acyclic) |
+//! | IRIW | readers disagree on order | **allowed** (no multi-copy atomicity) |
+//! | WRC (write-read causality) | break the causal chain | forbidden |
+//! | CoRR (read-read coherence) | read new then old | forbidden |
+//! | 2+2W | both vars end at the "early" write | **allowed** |
+//!
+//! Observability means "the assertion is reachable", so tests whose
+//! outcome is allowed carry [`Expected::Unsafe`].
+
+use crate::{Benchmark, Expected};
+use parra_program::builder::SystemBuilder;
+
+/// MP: the flag carries the data — a reader that sees `flag = 1` cannot
+/// read `data = 0`. Forbidden under RA.
+pub fn message_passing() -> Benchmark {
+    let mut b = SystemBuilder::new(2);
+    let data = b.var("data");
+    let flag = b.var("flag");
+    let mut env = b.program("writer");
+    env.store(data, 1).store(flag, 1);
+    let env = env.finish();
+    let mut d = b.program("reader");
+    let rf = d.reg("rf");
+    let rd = d.reg("rd");
+    d.load(rf, flag)
+        .assume_eq(rf, 1)
+        .load(rd, data)
+        .assume_eq(rd, 0)
+        .assert_false();
+    let d = d.finish();
+    Benchmark {
+        name: "mp",
+        source: "classic litmus",
+        class_note: "env(nocas, acyc) ‖ dis(acyc)",
+        expected: Expected::Safe,
+        system: b.build(env, vec![d]),
+    }
+}
+
+/// SB: two threads store then read the other variable; both reading the
+/// initial 0 is allowed under RA (no store-load fences).
+pub fn store_buffering() -> Benchmark {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let y = b.var("y");
+    let r0 = b.var("res0");
+    let r1 = b.var("res1");
+    let env = {
+        let mut p = b.program("noop");
+        p.skip();
+        p.finish()
+    };
+    let side = |b: &SystemBuilder, name: &str, mine, other, result| {
+        let mut p = b.program(name);
+        let r = p.reg("r");
+        p.store(mine, 1)
+            .load(r, other)
+            .assume_eq(r, 0)
+            .store(result, 1);
+        p.finish()
+    };
+    let d1 = side(&b, "t1", x, y, r0);
+    let d2 = side(&b, "t2", y, x, r1);
+    let mut obs = b.program("observer");
+    let a = obs.reg("a");
+    let c = obs.reg("c");
+    obs.load(a, r0)
+        .assume_eq(a, 1)
+        .load(c, r1)
+        .assume_eq(c, 1)
+        .assert_false();
+    let obs = obs.finish();
+    Benchmark {
+        name: "sb",
+        source: "classic litmus",
+        class_note: "env(nocas, acyc) ‖ dis(acyc)³",
+        expected: Expected::Unsafe,
+        system: b.build(env, vec![d1, d2, obs]),
+    }
+}
+
+/// LB: both threads read the other's (not yet performed) store. Under
+/// RA loads read *existing* messages, so `po ∪ rf` stays acyclic and the
+/// outcome is forbidden.
+pub fn load_buffering() -> Benchmark {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let y = b.var("y");
+    let r0 = b.var("res0");
+    let r1 = b.var("res1");
+    let env = {
+        let mut p = b.program("noop");
+        p.skip();
+        p.finish()
+    };
+    let side = |b: &SystemBuilder, name: &str, read, write, result| {
+        let mut p = b.program(name);
+        let r = p.reg("r");
+        p.load(r, read)
+            .assume_eq(r, 1)
+            .store(write, 1)
+            .store(result, 1);
+        p.finish()
+    };
+    let d1 = side(&b, "t1", x, y, r0);
+    let d2 = side(&b, "t2", y, x, r1);
+    let mut obs = b.program("observer");
+    let a = obs.reg("a");
+    let c = obs.reg("c");
+    obs.load(a, r0)
+        .assume_eq(a, 1)
+        .load(c, r1)
+        .assume_eq(c, 1)
+        .assert_false();
+    let obs = obs.finish();
+    Benchmark {
+        name: "lb",
+        source: "classic litmus",
+        class_note: "env(nocas, acyc) ‖ dis(acyc)³",
+        expected: Expected::Safe,
+        system: b.build(env, vec![d1, d2, obs]),
+    }
+}
+
+/// IRIW: two independent writers; two readers observe the writes in
+/// opposite orders. Allowed under RA (writes to different variables are
+/// not globally ordered).
+pub fn iriw() -> Benchmark {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let y = b.var("y");
+    let r0 = b.var("res0");
+    let r1 = b.var("res1");
+    // Writers are env threads (one writes x, one writes y).
+    let mut env = b.program("writer");
+    env.choice(
+        |p| {
+            p.store(x, 1);
+        },
+        |p| {
+            p.store(y, 1);
+        },
+    );
+    let env = env.finish();
+    let reader = |b: &SystemBuilder, name: &str, first, second, result| {
+        let mut p = b.program(name);
+        let r = p.reg("r");
+        let s = p.reg("s");
+        p.load(r, first)
+            .assume_eq(r, 1)
+            .load(s, second)
+            .assume_eq(s, 0)
+            .store(result, 1);
+        p.finish()
+    };
+    let d1 = reader(&b, "r1", x, y, r0);
+    let d2 = reader(&b, "r2", y, x, r1);
+    let mut obs = b.program("observer");
+    let a = obs.reg("a");
+    let c = obs.reg("c");
+    obs.load(a, r0)
+        .assume_eq(a, 1)
+        .load(c, r1)
+        .assume_eq(c, 1)
+        .assert_false();
+    let obs = obs.finish();
+    Benchmark {
+        name: "iriw",
+        source: "classic litmus",
+        class_note: "env(nocas, acyc) ‖ dis(acyc)³",
+        expected: Expected::Unsafe,
+        system: b.build(env, vec![d1, d2, obs]),
+    }
+}
+
+/// WRC: t2 reads t1's store and then publishes; t3 synchronizes on the
+/// publication and must also see t1's store (causality is transitive
+/// under RA). Forbidden.
+pub fn write_read_causality() -> Benchmark {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let y = b.var("y");
+    let mut env = b.program("t1_and_t2");
+    let r = env.reg("r");
+    env.choice(
+        |p| {
+            p.store(x, 1);
+        },
+        |p| {
+            p.load(r, x);
+            p.assume_eq(r, 1);
+            p.store(y, 1);
+        },
+    );
+    let env = env.finish();
+    let mut d = b.program("t3");
+    let ry = d.reg("ry");
+    let rx = d.reg("rx");
+    d.load(ry, y)
+        .assume_eq(ry, 1)
+        .load(rx, x)
+        .assume_eq(rx, 0)
+        .assert_false();
+    let d = d.finish();
+    Benchmark {
+        name: "wrc",
+        source: "classic litmus",
+        class_note: "env(nocas, acyc) ‖ dis(acyc)",
+        expected: Expected::Safe,
+        system: b.build(env, vec![d]),
+    }
+}
+
+/// CoRR: reads of the same variable by one thread respect modification
+/// order — after reading the *single* writer's second store, its first is
+/// unreadable. Forbidden under RA (per-variable coherence).
+///
+/// The writer must be a `dis` thread: with unboundedly many identical
+/// writers, another writer's `1` can legitimately sit *above* the
+/// observed `2` in modification order, making the pattern observable —
+/// see [`coherence_rr_parameterized`].
+pub fn coherence_rr() -> Benchmark {
+    let mut b = SystemBuilder::new(3);
+    let x = b.var("x");
+    let env = {
+        let mut p = b.program("noop");
+        p.skip();
+        p.finish()
+    };
+    let mut w = b.program("writer");
+    w.store(x, 1).store(x, 2);
+    let w = w.finish();
+    let mut d = b.program("reader");
+    let r = d.reg("r");
+    let s = d.reg("s");
+    d.load(r, x)
+        .assume_eq(r, 2)
+        .load(s, x)
+        .assume_eq(s, 1)
+        .assert_false();
+    let d = d.finish();
+    Benchmark {
+        name: "corr",
+        source: "classic litmus",
+        class_note: "env(nocas, acyc) ‖ dis(acyc)²",
+        expected: Expected::Safe,
+        system: b.build(env, vec![w, d]),
+    }
+}
+
+/// The parameterized twist on CoRR: when the writer is the *replicated*
+/// `env` program, a second writer's `1` can be placed above the first
+/// writer's `2`, so "read 2 then 1" becomes observable. A nice
+/// demonstration that parameterization genuinely adds behaviours.
+pub fn coherence_rr_parameterized() -> Benchmark {
+    let mut b = SystemBuilder::new(3);
+    let x = b.var("x");
+    let mut env = b.program("writer");
+    env.store(x, 1).store(x, 2);
+    let env = env.finish();
+    let mut d = b.program("reader");
+    let r = d.reg("r");
+    let s = d.reg("s");
+    d.load(r, x)
+        .assume_eq(r, 2)
+        .load(s, x)
+        .assume_eq(s, 1)
+        .assert_false();
+    let d = d.finish();
+    Benchmark {
+        name: "corr-parameterized",
+        source: "classic litmus (parameterized variant)",
+        class_note: "env(nocas, acyc) ‖ dis(acyc)",
+        expected: Expected::Unsafe,
+        system: b.build(env, vec![d]),
+    }
+}
+
+/// 2+2W: `t1: x := 1; y := 2` and `t2: y := 1; x := 2`, with the
+/// characteristic outcome that each thread's *first* store ends up last
+/// in its variable's modification order (an SC cycle through po ∪ mo).
+/// Allowed under RA — but only observable with *separate* per-variable
+/// observers: a single observer that reads `x = 2` inherits `t2`'s view
+/// of its own later `y = 1`, which hides `y = 2` (message views carry
+/// causality!). The per-variable observers publish flags that a final
+/// checker joins.
+pub fn two_plus_two_w() -> Benchmark {
+    let mut b = SystemBuilder::new(3);
+    let x = b.var("x");
+    let y = b.var("y");
+    let r0 = b.var("res0");
+    let r1 = b.var("res1");
+    let env = {
+        let mut p = b.program("noop");
+        p.skip();
+        p.finish()
+    };
+    let side = |b: &SystemBuilder, name: &str, first, second| {
+        let mut p = b.program(name);
+        p.store(first, 1).store(second, 2);
+        p.finish()
+    };
+    let d1 = side(&b, "t1", x, y);
+    let d2 = side(&b, "t2", y, x);
+    // Per-variable observers: each sees "2 then 1" on its variable.
+    let watch = |b: &SystemBuilder, name: &str, var, result| {
+        let mut p = b.program(name);
+        let r = p.reg("r");
+        p.load(r, var)
+            .assume_eq(r, 2)
+            .load(r, var)
+            .assume_eq(r, 1)
+            .store(result, 1);
+        p.finish()
+    };
+    let o1 = watch(&b, "obs_x", x, r0);
+    let o2 = watch(&b, "obs_y", y, r1);
+    let mut fin = b.program("final");
+    let a = fin.reg("a");
+    let c = fin.reg("c");
+    fin.load(a, r0)
+        .assume_eq(a, 1)
+        .load(c, r1)
+        .assume_eq(c, 1)
+        .assert_false();
+    let fin = fin.finish();
+    Benchmark {
+        name: "2+2w",
+        source: "classic litmus",
+        class_note: "env(nocas, acyc) ‖ dis(acyc)⁵",
+        expected: Expected::Unsafe,
+        system: b.build(env, vec![d1, d2, o1, o2, fin]),
+    }
+}
+
+/// The classic suite.
+pub fn all_classic() -> Vec<Benchmark> {
+    vec![
+        message_passing(),
+        store_buffering(),
+        load_buffering(),
+        iriw(),
+        write_read_causality(),
+        coherence_rr(),
+        coherence_rr_parameterized(),
+        two_plus_two_w(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parra_program::classify::SystemClass;
+
+    #[test]
+    fn classic_suite_classifies() {
+        for bench in all_classic() {
+            assert!(
+                SystemClass::of(&bench.system).is_decidable_fragment(),
+                "{}",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn expected_outcomes_match_ra_folklore() {
+        let allowed: Vec<&str> = all_classic()
+            .iter()
+            .filter(|b| b.expected == Expected::Unsafe)
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(allowed, vec!["sb", "iriw", "corr-parameterized", "2+2w"]);
+    }
+}

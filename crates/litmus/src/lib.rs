@@ -1,0 +1,143 @@
+#![warn(missing_docs)]
+
+//! # parra-litmus — the paper's benchmark programs
+//!
+//! The introduction of *"Parameterized Verification under Release Acquire
+//! is PSPACE-complete"* classifies concurrency benchmarks from three
+//! sources into its system classes:
+//!
+//! * Lahav–Margalit (PLDI 2019) robustness benchmarks: `peterson-ra`,
+//!   `lamport-2-ra`, `lamport-2-3-ra`, `rcu`;
+//! * Norris's model-checker benchmarks: `dekker-fences`, `barrier`,
+//!   `chase-lev-deque`, `peterson-ra-bratosz`;
+//! * the Phoenix-2.0 data-parallel suite: `histogram`, `kmeans`,
+//!   `linear-regression`, `matrix-multiply`, `pca`, `string-match`,
+//!   `word-count`, `sort-pthread`.
+//!
+//! The original C sources are irrelevant to the classification — only the
+//! shared-memory synchronization skeleton matters (loops, CAS usage), which
+//! this crate reproduces as `Com` programs, together with the
+//! producer/consumer example of the paper's Figure 1 and a CAS spinlock as
+//! a correct-under-RA contrast. Wait loops are remodelled as
+//! `load; assume` exactly as the paper prescribes; fixed-bound loops are
+//! unrolled; mutual-exclusion violations are detected with single-entry
+//! critical-section flags (no resets, so a flag read of 1 means the other
+//! role entered — sound for the acyclic single-entry models used here).
+//!
+//! Substitution note (documented in `DESIGN.md`): `dekker-fences` uses SC
+//! fences in the original; `Com` has no fence instruction, so the skeleton
+//! is modelled fence-free, and the expected verdict reflects that RA alone
+//! does not provide mutual exclusion for it.
+
+pub mod classic;
+pub mod mutex;
+pub mod phoenix;
+pub mod sync;
+
+use parra_program::system::ParamSystem;
+
+/// The expected verdict of a benchmark under RA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// The assertion is unreachable in every instance.
+    Safe,
+    /// Some instance reaches the assertion.
+    Unsafe,
+}
+
+/// A named benchmark with provenance, class note, and expected verdict.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Machine-friendly name.
+    pub name: &'static str,
+    /// Where the paper took it from.
+    pub source: &'static str,
+    /// The system class the paper assigns (after the documented
+    /// remodelling).
+    pub class_note: &'static str,
+    /// Expected verdict.
+    pub expected: Expected,
+    /// The system.
+    pub system: ParamSystem,
+}
+
+/// The full suite, in the order the paper lists the benchmarks.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        sync::producer_consumer_benchmark(3),
+        mutex::peterson_ra(),
+        mutex::peterson_ra_bratosz(),
+        mutex::dekker(),
+        mutex::lamport_2_ra(),
+        mutex::lamport_2_3_ra(),
+        mutex::spinlock_cas(),
+        sync::rcu(),
+        sync::barrier(),
+        sync::chase_lev_deque(),
+        phoenix::histogram(),
+        phoenix::kmeans(),
+        phoenix::linear_regression(),
+        phoenix::matrix_multiply(),
+        phoenix::pca(),
+        phoenix::string_match(),
+        phoenix::word_count(),
+        phoenix::sort_pthread(),
+        classic::message_passing(),
+        classic::store_buffering(),
+        classic::load_buffering(),
+        classic::iriw(),
+        classic::write_read_causality(),
+        classic::coherence_rr(),
+        classic::coherence_rr_parameterized(),
+        classic::two_plus_two_w(),
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parra_program::classify::SystemClass;
+
+    #[test]
+    fn suite_is_populated_and_named_uniquely() {
+        let suite = all();
+        assert!(suite.len() >= 25);
+        let mut names: Vec<_> = suite.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn all_benchmarks_are_in_the_decidable_class() {
+        for b in all() {
+            let class = SystemClass::of(&b.system);
+            assert!(
+                class.is_decidable_fragment(),
+                "{} is outside env(nocas) ‖ dis(acyc)*: {class}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_benchmarks() {
+        assert!(by_name("peterson-ra").is_some());
+        assert!(by_name("rcu").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn all_benchmarks_have_assertions() {
+        for b in all() {
+            let has = b.system.env.cfa().has_assert()
+                || b.system.dis.iter().any(|d| d.cfa().has_assert());
+            assert!(has, "{} has no assertion", b.name);
+        }
+    }
+}

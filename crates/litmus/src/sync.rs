@@ -1,0 +1,179 @@
+//! Synchronization-pattern benchmarks: the paper's producer/consumer
+//! (Figure 1), RCU, a barrier, and the Chase–Lev deque skeleton.
+
+use crate::{Benchmark, Expected};
+use parra_program::builder::SystemBuilder;
+use parra_program::system::ParamSystem;
+use parra_program::value::Val;
+use parra_program::ident::VarId;
+
+/// Figure 1's producer/consumer as a plain system: producers (`env`) wait
+/// for `y = 1` and write `x := i`; the consumer (`dis`) publishes `y := 1`,
+/// then loops reading `x` until it has seen `z` values, then writes
+/// `y := 2`. The paper's target (reaching `τ₅`) is modelled as an
+/// assertion right after the final store.
+pub fn producer_consumer(z: usize) -> (ParamSystem, VarId, Val) {
+    let mut b = SystemBuilder::new(3);
+    let x = b.var("x");
+    let y = b.var("y");
+    let mut env = b.program("producer");
+    let r = env.reg("r");
+    env.load(r, y).assume_eq(r, 1).store(x, 1);
+    let env = env.finish();
+    let mut d = b.program("consumer");
+    let s = d.reg("s");
+    d.store(y, 1);
+    for _ in 0..z {
+        d.load(s, x).assume_eq(s, 1);
+    }
+    d.store(y, 2);
+    d.assert_false(); // τ₅ reached
+    let d = d.finish();
+    (b.build(env, vec![d]), y, Val(2))
+}
+
+/// The Figure 1 benchmark entry (reaching `τ₅` is possible: "unsafe").
+pub fn producer_consumer_benchmark(z: usize) -> Benchmark {
+    let (system, _, _) = producer_consumer(z);
+    Benchmark {
+        name: "producer-consumer",
+        source: "the paper, Figure 1",
+        class_note: "env(nocas, acyc) ‖ dis(acyc); consumer loop bounded by z",
+        expected: Expected::Unsafe,
+        system,
+    }
+}
+
+/// `rcu` (Lahav–Margalit): the reader side of RCU is message passing —
+/// the writer initializes the data and then publishes the pointer; a
+/// reader that sees the pointer must see the data. Correct under RA —
+/// **safe**.
+pub fn rcu() -> Benchmark {
+    let mut b = SystemBuilder::new(2);
+    let data = b.var("data");
+    let ptr = b.var("ptr");
+    let mut env = b.program("reader");
+    let r = env.reg("r");
+    let s = env.reg("s");
+    env.load(r, ptr)
+        .assume_eq(r, 1)
+        .load(s, data)
+        .assume_eq(s, 0) // stale data after seeing the pointer
+        .assert_false();
+    let env = env.finish();
+    let mut d = b.program("writer");
+    d.store(data, 1).store(ptr, 1);
+    let d = d.finish();
+    Benchmark {
+        name: "rcu",
+        source: "Lahav–Margalit, PLDI 2019 [34]",
+        class_note: "env(nocas, acyc) ‖ dis(acyc); fixed-size loop unrolled",
+        expected: Expected::Safe,
+        system: b.build(env, vec![d]),
+    }
+}
+
+/// `barrier` (Norris): a one-round sense-reversing barrier. The
+/// coordinator observes an arrival, sets the phase, and releases; a
+/// participant past the barrier must observe the new phase. Message
+/// passing again — **safe**.
+pub fn barrier() -> Benchmark {
+    let mut b = SystemBuilder::new(2);
+    let arrived = b.var("arrived");
+    let release = b.var("release");
+    let phase = b.var("phase");
+    let mut env = b.program("participant");
+    env.store(arrived, 1);
+    env.await_eq(release, 1);
+    let s = env.reg("s");
+    env.load(s, phase).assume_eq(s, 0).assert_false();
+    let env = env.finish();
+    let mut d = b.program("coordinator");
+    d.await_eq(arrived, 1);
+    d.store(phase, 1).store(release, 1);
+    let d = d.finish();
+    Benchmark {
+        name: "barrier",
+        source: "Norris model-checker benchmarks [37]",
+        class_note: "env(nocas) with wait loops — remodelled: env(nocas, acyc) ‖ dis(acyc)",
+        expected: Expected::Safe,
+        system: b.build(env, vec![d]),
+    }
+}
+
+/// `chase-lev-deque` (Norris): the owner publishes a task (`buffer`, then
+/// `bottom`); a thief that observes `bottom = 1` CASes `top` and must see
+/// the published task. The paper notes the CAS is outside all loops and
+/// the bounded loop unrolls — the CAS goes to a `dis` thief, stealing
+/// observers are `env`. **Safe**: seeing `bottom = 1` implies seeing the
+/// buffer.
+pub fn chase_lev_deque() -> Benchmark {
+    let mut b = SystemBuilder::new(2);
+    let buffer = b.var("buffer");
+    let bottom = b.var("bottom");
+    let top = b.var("top");
+    let mut env = b.program("observer");
+    let r = env.reg("r");
+    // Passive stealers only inspect the indices.
+    env.load(r, top).load(r, bottom);
+    let env = env.finish();
+    let mut owner = b.program("owner");
+    owner.store(buffer, 1).store(bottom, 1);
+    let owner = owner.finish();
+    let mut thief = b.program("thief");
+    let t = thief.reg("t");
+    let v = thief.reg("v");
+    thief
+        .load(t, bottom)
+        .assume_eq(t, 1)
+        .cas(top, 0, 1)
+        .load(v, buffer)
+        .assume_eq(v, 0) // stole an unpublished task?
+        .assert_false();
+    let thief = thief.finish();
+    Benchmark {
+        name: "chase-lev-deque",
+        source: "Norris model-checker benchmarks [37]",
+        class_note: "env(nocas, acyc) ‖ dis1(acyc) ‖ dis2(acyc); CAS outside loops",
+        expected: Expected::Safe,
+        system: b.build(env, vec![owner, thief]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parra_program::classify::SystemClass;
+
+    #[test]
+    fn producer_consumer_scales_with_z() {
+        let (s1, _, _) = producer_consumer(1);
+        let (s5, _, _) = producer_consumer(5);
+        assert!(
+            s5.dis[0].com().instruction_count() > s1.dis[0].com().instruction_count()
+        );
+    }
+
+    #[test]
+    fn sync_benchmarks_classify() {
+        for bench in [
+            producer_consumer_benchmark(2),
+            rcu(),
+            barrier(),
+            chase_lev_deque(),
+        ] {
+            assert!(
+                SystemClass::of(&bench.system).is_decidable_fragment(),
+                "{}",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn chase_lev_cas_is_in_dis() {
+        let b = chase_lev_deque();
+        assert!(b.system.env.cfa().is_cas_free());
+        assert!(!b.system.dis[1].cfa().is_cas_free());
+    }
+}

@@ -1,0 +1,335 @@
+//! Ergonomic Rust builders for programs and systems.
+//!
+//! The [`parser`](crate::parser) is the nicest way to write fixed programs;
+//! the builders in this module are for *generated* programs (the litmus
+//! suite, the TQBF reduction, random program generation in tests).
+//!
+//! # Example
+//!
+//! ```
+//! use parra_program::builder::SystemBuilder;
+//! use parra_program::expr::Expr;
+//!
+//! let mut b = SystemBuilder::new(2);
+//! let x = b.var("x");
+//! let y = b.var("y");
+//!
+//! let mut producer = b.program("producer");
+//! let r = producer.reg("r");
+//! producer.load(r, y);
+//! producer.assume(Expr::reg(r).eq(Expr::val(1)));
+//! producer.store(x, 1);
+//! let producer = producer.finish();
+//!
+//! let mut consumer = b.program("consumer");
+//! let s = consumer.reg("s");
+//! consumer.store(y, 1);
+//! consumer.load(s, x);
+//! consumer.assume(Expr::reg(s).eq(Expr::val(1)));
+//! consumer.assert_false();
+//! let consumer = consumer.finish();
+//!
+//! let sys = b.build(producer, vec![consumer]);
+//! assert_eq!(sys.dis.len(), 1);
+//! ```
+
+use crate::expr::Expr;
+use crate::ident::{RegId, SymbolTable, VarId};
+use crate::stmt::Com;
+use crate::system::{ParamSystem, Program};
+use crate::value::{Dom, Val};
+
+/// Builder for a [`ParamSystem`]: owns the data domain and the shared
+/// variable namespace.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    dom: Dom,
+    vars: SymbolTable,
+}
+
+impl SystemBuilder {
+    /// Starts a system over `Dom = {0..dom_size-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dom_size == 0`.
+    pub fn new(dom_size: u32) -> SystemBuilder {
+        SystemBuilder {
+            dom: Dom::new(dom_size),
+            vars: SymbolTable::new(),
+        }
+    }
+
+    /// Declares (or re-uses) a shared variable.
+    pub fn var(&mut self, name: &str) -> VarId {
+        VarId(self.vars.intern(name))
+    }
+
+    /// The data domain.
+    pub fn dom(&self) -> Dom {
+        self.dom
+    }
+
+    /// Starts a program with its own register namespace.
+    pub fn program(&self, name: &str) -> ProgramBuilder {
+        ProgramBuilder::new(name)
+    }
+
+    /// Assembles the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program accesses an undeclared shared variable.
+    pub fn build(self, env: Program, dis: Vec<Program>) -> ParamSystem {
+        ParamSystem::new(self.dom, self.vars, env, dis)
+    }
+}
+
+/// Builder for one [`Program`]: accumulates statements sequentially, with
+/// structured nesting for choices and loops.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    regs: SymbolTable,
+    stmts: Vec<Com>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program.
+    pub fn new(name: &str) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.to_owned(),
+            regs: SymbolTable::new(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Declares (or re-uses) a register.
+    pub fn reg(&mut self, name: &str) -> RegId {
+        RegId(self.regs.intern(name))
+    }
+
+    /// Appends a raw statement.
+    pub fn push(&mut self, c: Com) -> &mut Self {
+        self.stmts.push(c);
+        self
+    }
+
+    /// `skip`.
+    pub fn skip(&mut self) -> &mut Self {
+        self.push(Com::Skip)
+    }
+
+    /// `r := x` — load.
+    pub fn load(&mut self, r: RegId, x: VarId) -> &mut Self {
+        self.push(Com::Load(r, x))
+    }
+
+    /// `x := e` — store.
+    pub fn store(&mut self, x: VarId, e: impl Into<Expr>) -> &mut Self {
+        self.push(Com::Store(x, e.into()))
+    }
+
+    /// `r := e` — register assignment.
+    pub fn assign(&mut self, r: RegId, e: impl Into<Expr>) -> &mut Self {
+        self.push(Com::Assign(r, e.into()))
+    }
+
+    /// `assume e`.
+    pub fn assume(&mut self, e: impl Into<Expr>) -> &mut Self {
+        self.push(Com::Assume(e.into()))
+    }
+
+    /// `assume r == v` — the ubiquitous flag check.
+    pub fn assume_eq(&mut self, r: RegId, v: u32) -> &mut Self {
+        self.assume(Expr::reg(r).eq(Expr::val(v)))
+    }
+
+    /// `assert false`.
+    pub fn assert_false(&mut self) -> &mut Self {
+        self.push(Com::AssertFalse)
+    }
+
+    /// `cas(x, e₁, e₂)`.
+    pub fn cas(&mut self, x: VarId, e1: impl Into<Expr>, e2: impl Into<Expr>) -> &mut Self {
+        self.push(Com::Cas(x, e1.into(), e2.into()))
+    }
+
+    /// Wait loop remodelled as `load; assume` (see
+    /// [`Com::await_value`]); allocates a scratch register.
+    pub fn await_eq(&mut self, x: VarId, v: u32) -> &mut Self {
+        let scratch = self.reg(&format!("$await_{}", x.0));
+        self.push(Com::await_value(x, scratch, Expr::val(v)))
+    }
+
+    /// Runs `f` to build a nested block and returns it as a single
+    /// statement, without appending it.
+    pub fn block(&mut self, f: impl FnOnce(&mut Self)) -> Com {
+        let saved = std::mem::take(&mut self.stmts);
+        f(self);
+        let inner = std::mem::replace(&mut self.stmts, saved);
+        Com::seq(inner)
+    }
+
+    /// `if cond { then }`.
+    pub fn if_then(&mut self, cond: Expr, then: impl FnOnce(&mut Self)) -> &mut Self {
+        let t = self.block(then);
+        self.push(Com::if_then(cond, t))
+    }
+
+    /// `if cond { then } else { els }`.
+    pub fn if_then_else(
+        &mut self,
+        cond: Expr,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        let t = self.block(then);
+        let e = self.block(els);
+        self.push(Com::if_then_else(cond, t, e))
+    }
+
+    /// `while cond { body }`.
+    pub fn while_loop(&mut self, cond: Expr, body: impl FnOnce(&mut Self)) -> &mut Self {
+        let b = self.block(body);
+        self.push(Com::while_loop(cond, b))
+    }
+
+    /// `body*` — unbounded iteration.
+    pub fn star(&mut self, body: impl FnOnce(&mut Self)) -> &mut Self {
+        let b = self.block(body);
+        self.push(Com::star(b))
+    }
+
+    /// Non-deterministic choice between two blocks.
+    pub fn choice(
+        &mut self,
+        left: impl FnOnce(&mut Self),
+        right: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        let l = self.block(left);
+        let r = self.block(right);
+        self.push(Com::choice([l, r]))
+    }
+
+    /// Non-deterministic choice among prebuilt alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alts` is empty.
+    pub fn choice_of(&mut self, alts: Vec<Com>) -> &mut Self {
+        self.push(Com::choice(alts))
+    }
+
+    /// Finishes the program, compiling its CFA.
+    pub fn finish(self) -> Program {
+        Program::new(self.name, self.regs, Com::seq(self.stmts))
+    }
+}
+
+impl From<u32> for Expr {
+    fn from(v: u32) -> Self {
+        Expr::Const(Val(v))
+    }
+}
+
+impl From<i32> for Expr {
+    /// Convenience for integer literals in builder calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative; domain values are non-negative.
+    fn from(v: i32) -> Self {
+        assert!(v >= 0, "domain values are non-negative, got {v}");
+        Expr::Const(Val(v as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::SystemClass;
+
+    #[test]
+    fn builds_producer_consumer() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("p");
+        let r = env.reg("r");
+        env.load(r, x).assume_eq(r, 1).store(x, 0);
+        let env = env.finish();
+        let sys = b.build(env, vec![]);
+        assert_eq!(sys.n_vars(), 1);
+        assert!(SystemClass::of(&sys).is_decidable_fragment());
+    }
+
+    #[test]
+    fn var_and_reg_are_idempotent() {
+        let mut b = SystemBuilder::new(2);
+        assert_eq!(b.var("x"), b.var("x"));
+        let mut p = b.program("p");
+        assert_eq!(p.reg("r"), p.reg("r"));
+    }
+
+    #[test]
+    fn structured_statements_nest() {
+        let mut b = SystemBuilder::new(3);
+        let x = b.var("x");
+        let mut p = b.program("p");
+        let r = p.reg("r");
+        p.while_loop(Expr::reg(r).ne(Expr::val(2)), |p| {
+            p.load(r, x);
+            p.if_then_else(
+                Expr::reg(r).eq(Expr::val(1)),
+                |p| {
+                    p.store(x, 2);
+                },
+                |p| {
+                    p.skip();
+                },
+            );
+        });
+        let prog = p.finish();
+        assert!(!prog.cfa().is_acyclic()); // while compiles to a cycle
+        assert!(prog.cfa().is_cas_free());
+    }
+
+    #[test]
+    fn await_allocates_scratch() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut p = b.program("p");
+        p.await_eq(x, 1);
+        let prog = p.finish();
+        assert_eq!(prog.n_regs(), 1);
+        assert!(prog.cfa().is_acyclic()); // remodelled, not a loop
+    }
+
+    #[test]
+    fn star_builds_cycle() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut p = b.program("p");
+        p.star(|p| {
+            p.store(x, 1);
+        });
+        assert!(!p.finish().cfa().is_acyclic());
+    }
+
+    #[test]
+    fn choice_forks() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut p = b.program("p");
+        p.choice(
+            |p| {
+                p.store(x, 0);
+            },
+            |p| {
+                p.store(x, 1);
+            },
+        );
+        let prog = p.finish();
+        assert!(prog.cfa().is_acyclic());
+    }
+}

@@ -1,0 +1,465 @@
+//! Control-flow automata: the executable form of `Com` programs.
+//!
+//! All verification engines (the concrete RA semantics, the simplified
+//! semantics, and the Datalog encoding) run on a [`Cfa`]: a finite automaton
+//! whose states are program locations (`lc` in the paper's thread
+//! predicates) and whose edges are labelled with atomic instructions.
+//!
+//! The compilation from [`Com`] is the standard Thompson-style construction:
+//! sequences share an intermediate location, choices fork and re-join,
+//! iteration `c*` loops back through its entry location.
+
+use crate::expr::Expr;
+use crate::ident::{RegId, VarId};
+use crate::stmt::Com;
+use std::fmt;
+
+/// A program location (control state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(pub u32);
+
+impl Loc {
+    /// The index as `usize` for array indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An atomic instruction labelling a CFA edge.
+///
+/// These are exactly the leaves of [`Com`]; `skip` edges appear where the
+/// Thompson construction needs ε-moves (kept explicit so traces are easy to
+/// read — engines treat them as silent transitions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Silent move.
+    Skip,
+    /// Blocks unless the expression is non-zero.
+    Assume(Expr),
+    /// The safety violation.
+    AssertFalse,
+    /// Local register assignment.
+    Assign(RegId, Expr),
+    /// Load `r := x`.
+    Load(RegId, VarId),
+    /// Store `x := e`.
+    Store(VarId, Expr),
+    /// Compare-and-swap `cas(x, e₁, e₂)`.
+    Cas(VarId, Expr, Expr),
+}
+
+impl Instr {
+    /// Whether the instruction interacts with shared memory.
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, Instr::Load(..) | Instr::Store(..) | Instr::Cas(..))
+    }
+
+    /// The shared variable accessed, if any.
+    pub fn accessed_variable(&self) -> Option<VarId> {
+        match self {
+            Instr::Load(_, x) | Instr::Store(x, _) | Instr::Cas(x, ..) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// A CFA edge `from --instr--> to`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source location.
+    pub from: Loc,
+    /// The instruction executed when traversing the edge.
+    pub instr: Instr,
+    /// Target location.
+    pub to: Loc,
+}
+
+/// A control-flow automaton compiled from a [`Com`] program.
+///
+/// # Example
+///
+/// ```
+/// use parra_program::cfg::Cfa;
+/// use parra_program::stmt::Com;
+/// use parra_program::expr::Expr;
+/// use parra_program::ident::{RegId, VarId};
+///
+/// let com = Com::seq([
+///     Com::Load(RegId(0), VarId(0)),
+///     Com::Assume(Expr::reg(RegId(0)).eq(Expr::val(1))),
+/// ]);
+/// let cfa = Cfa::compile(&com, 1);
+/// assert!(cfa.is_acyclic());
+/// assert!(cfa.is_cas_free());
+/// assert_eq!(cfa.outgoing(cfa.entry()).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfa {
+    n_regs: u32,
+    n_locs: u32,
+    edges: Vec<Edge>,
+    /// `out[l]` lists indices into `edges` with `from == l`.
+    out: Vec<Vec<u32>>,
+    entry: Loc,
+    exit: Loc,
+}
+
+impl Cfa {
+    /// Compiles a statement into a CFA with `n_regs` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statement mentions a register `>= n_regs`.
+    pub fn compile(com: &Com, n_regs: u32) -> Cfa {
+        if let Some(max) = com.registers().into_iter().max() {
+            assert!(
+                max.0 < n_regs,
+                "program mentions register {max} but declares only {n_regs} registers"
+            );
+        }
+        let mut b = CfaBuilder::new(n_regs);
+        let entry = b.fresh();
+        let exit = b.fresh();
+        b.lower(com, entry, exit);
+        b.finish(entry, exit)
+    }
+
+    /// Number of registers the program computes on.
+    pub fn n_regs(&self) -> u32 {
+        self.n_regs
+    }
+
+    /// Number of locations.
+    pub fn n_locs(&self) -> u32 {
+        self.n_locs
+    }
+
+    /// The initial location (`λ_init` in the paper's Datalog facts).
+    pub fn entry(&self) -> Loc {
+        self.entry
+    }
+
+    /// The final location; a thread at this location has terminated.
+    pub fn exit(&self) -> Loc {
+        self.exit
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edges leaving location `l`.
+    pub fn outgoing(&self, l: Loc) -> impl Iterator<Item = &Edge> {
+        self.out[l.index()].iter().map(|&i| &self.edges[i as usize])
+    }
+
+    /// Whether the control-flow graph is acyclic — the paper's `acyc`
+    /// restriction. Compiled `Com` only produces cycles for `c*`, but we
+    /// check the graph itself so the property holds by construction for any
+    /// CFA.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm: the graph is a DAG iff all nodes can be removed.
+        let n = self.n_locs as usize;
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to.index()] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&l| indeg[l] == 0).collect();
+        let mut removed = 0;
+        while let Some(l) = stack.pop() {
+            removed += 1;
+            for &ei in &self.out[l] {
+                let t = self.edges[ei as usize].to.index();
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    stack.push(t);
+                }
+            }
+        }
+        removed == n
+    }
+
+    /// Whether the program is `cas`-free — the paper's `nocas` restriction.
+    pub fn is_cas_free(&self) -> bool {
+        !self
+            .edges
+            .iter()
+            .any(|e| matches!(e.instr, Instr::Cas(..)))
+    }
+
+    /// Whether any edge is `assert false`.
+    pub fn has_assert(&self) -> bool {
+        self.edges
+            .iter()
+            .any(|e| matches!(e.instr, Instr::AssertFalse))
+    }
+
+    /// The shared variables accessed by the program.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self
+            .edges
+            .iter()
+            .filter_map(|e| e.instr.accessed_variable())
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// An upper bound on the number of store instructions executed in any
+    /// run, or `None` if the CFA has a cycle through a store (unbounded).
+    ///
+    /// For loop-free (`acyc`) programs this is the per-thread contribution
+    /// to the paper's timestamp budget `T` (Section 4.1).
+    pub fn max_stores_per_run(&self) -> Option<usize> {
+        if !self.is_acyclic() {
+            // A cycle only makes the count unbounded if a store is reachable
+            // from it; being conservative here is fine for budget purposes.
+            return None;
+        }
+        // Longest path weighted by store instructions, over the DAG.
+        // memo[l] = max stores on any path from l.
+        let n = self.n_locs as usize;
+        let mut memo: Vec<Option<usize>> = vec![None; n];
+        fn go(cfa: &Cfa, l: usize, memo: &mut Vec<Option<usize>>) -> usize {
+            if let Some(v) = memo[l] {
+                return v;
+            }
+            let mut best = 0;
+            for &ei in &cfa.out[l] {
+                let e = &cfa.edges[ei as usize];
+                let w = usize::from(matches!(e.instr, Instr::Store(..) | Instr::Cas(..)));
+                best = best.max(w + go(cfa, e.to.index(), memo));
+            }
+            memo[l] = Some(best);
+            best
+        }
+        Some(go(self, self.entry.index(), &mut memo))
+    }
+
+    /// An upper bound on the number of stores *to variable `x`* in any
+    /// run, or `None` for cyclic CFAs. Timestamps order stores
+    /// per-variable, so this is the per-variable slot budget.
+    pub fn max_stores_per_run_on(&self, x: VarId) -> Option<usize> {
+        if !self.is_acyclic() {
+            return None;
+        }
+        let n = self.n_locs as usize;
+        let mut memo: Vec<Option<usize>> = vec![None; n];
+        fn go(cfa: &Cfa, x: VarId, l: usize, memo: &mut Vec<Option<usize>>) -> usize {
+            if let Some(v) = memo[l] {
+                return v;
+            }
+            let mut best = 0;
+            for &ei in &cfa.out[l] {
+                let e = &cfa.edges[ei as usize];
+                let w = usize::from(matches!(
+                    &e.instr,
+                    Instr::Store(v, _) | Instr::Cas(v, ..) if *v == x
+                ));
+                best = best.max(w + go(cfa, x, e.to.index(), memo));
+            }
+            memo[l] = Some(best);
+            best
+        }
+        Some(go(self, x, self.entry.index(), &mut memo))
+    }
+
+    /// An upper bound on the number of instructions (edges) executed in any
+    /// run, or `None` for cyclic CFAs. This is the paper's per-thread bound
+    /// on how much a loop-free `dis` thread can execute.
+    pub fn max_steps_per_run(&self) -> Option<usize> {
+        if !self.is_acyclic() {
+            return None;
+        }
+        let n = self.n_locs as usize;
+        let mut memo: Vec<Option<usize>> = vec![None; n];
+        fn go(cfa: &Cfa, l: usize, memo: &mut Vec<Option<usize>>) -> usize {
+            if let Some(v) = memo[l] {
+                return v;
+            }
+            let mut best = 0;
+            for &ei in &cfa.out[l] {
+                let e = &cfa.edges[ei as usize];
+                best = best.max(1 + go(cfa, e.to.index(), memo));
+            }
+            memo[l] = Some(best);
+            best
+        }
+        Some(go(self, self.entry.index(), &mut memo))
+    }
+}
+
+struct CfaBuilder {
+    n_regs: u32,
+    n_locs: u32,
+    edges: Vec<Edge>,
+}
+
+impl CfaBuilder {
+    fn new(n_regs: u32) -> Self {
+        CfaBuilder {
+            n_regs,
+            n_locs: 0,
+            edges: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> Loc {
+        let l = Loc(self.n_locs);
+        self.n_locs += 1;
+        l
+    }
+
+    fn edge(&mut self, from: Loc, instr: Instr, to: Loc) {
+        self.edges.push(Edge { from, instr, to });
+    }
+
+    fn lower(&mut self, com: &Com, from: Loc, to: Loc) {
+        match com {
+            Com::Skip => self.edge(from, Instr::Skip, to),
+            Com::Assume(e) => self.edge(from, Instr::Assume(e.clone()), to),
+            Com::AssertFalse => self.edge(from, Instr::AssertFalse, to),
+            Com::Assign(r, e) => self.edge(from, Instr::Assign(*r, e.clone()), to),
+            Com::Load(r, x) => self.edge(from, Instr::Load(*r, *x), to),
+            Com::Store(x, e) => self.edge(from, Instr::Store(*x, e.clone()), to),
+            Com::Cas(x, e1, e2) => {
+                self.edge(from, Instr::Cas(*x, e1.clone(), e2.clone()), to)
+            }
+            Com::Seq(a, b) => {
+                let mid = self.fresh();
+                self.lower(a, from, mid);
+                self.lower(b, mid, to);
+            }
+            Com::Choice(a, b) => {
+                self.lower(a, from, to);
+                self.lower(b, from, to);
+            }
+            Com::Star(c) => {
+                // from --skip--> to  (zero iterations)
+                // from --c--> from   (loop back for another iteration)
+                self.edge(from, Instr::Skip, to);
+                self.lower(c, from, from);
+            }
+        }
+    }
+
+    fn finish(self, entry: Loc, exit: Loc) -> Cfa {
+        let mut out = vec![Vec::new(); self.n_locs as usize];
+        for (i, e) in self.edges.iter().enumerate() {
+            out[e.from.index()].push(i as u32);
+        }
+        Cfa {
+            n_regs: self.n_regs,
+            n_locs: self.n_locs,
+            edges: self.edges,
+            out,
+            entry,
+            exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn r() -> RegId {
+        RegId(0)
+    }
+
+    #[test]
+    fn straight_line_is_acyclic() {
+        let com = Com::seq([
+            Com::Load(r(), x()),
+            Com::Store(x(), Expr::val(1)),
+            Com::AssertFalse,
+        ]);
+        let cfa = Cfa::compile(&com, 1);
+        assert!(cfa.is_acyclic());
+        assert!(cfa.is_cas_free());
+        assert!(cfa.has_assert());
+        assert_eq!(cfa.max_stores_per_run(), Some(1));
+        assert_eq!(cfa.max_steps_per_run(), Some(3));
+    }
+
+    #[test]
+    fn star_produces_cycle() {
+        let com = Com::star(Com::Store(x(), Expr::val(1)));
+        let cfa = Cfa::compile(&com, 0);
+        assert!(!cfa.is_acyclic());
+        assert_eq!(cfa.max_stores_per_run(), None);
+        assert_eq!(cfa.max_steps_per_run(), None);
+    }
+
+    #[test]
+    fn choice_takes_max_store_bound() {
+        let com = Com::choice([
+            Com::seq([Com::Store(x(), Expr::val(1)), Com::Store(x(), Expr::val(0))]),
+            Com::Load(r(), x()),
+        ]);
+        let cfa = Cfa::compile(&com, 1);
+        assert!(cfa.is_acyclic());
+        assert_eq!(cfa.max_stores_per_run(), Some(2));
+    }
+
+    #[test]
+    fn cas_detected_and_counts_as_store() {
+        let com = Com::Cas(x(), Expr::val(0), Expr::val(1));
+        let cfa = Cfa::compile(&com, 0);
+        assert!(!cfa.is_cas_free());
+        assert_eq!(cfa.max_stores_per_run(), Some(1));
+    }
+
+    #[test]
+    fn entry_and_exit_are_distinct() {
+        let cfa = Cfa::compile(&Com::Skip, 0);
+        assert_ne!(cfa.entry(), cfa.exit());
+        let edges: Vec<_> = cfa.outgoing(cfa.entry()).collect();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].instr, Instr::Skip);
+        assert_eq!(edges[0].to, cfa.exit());
+    }
+
+    #[test]
+    #[should_panic(expected = "mentions register")]
+    fn undeclared_register_rejected() {
+        Cfa::compile(&Com::Load(RegId(3), x()), 1);
+    }
+
+    #[test]
+    fn variables_collected() {
+        let com = Com::seq([
+            Com::Load(r(), VarId(2)),
+            Com::Store(VarId(1), Expr::val(0)),
+        ]);
+        let cfa = Cfa::compile(&com, 1);
+        assert_eq!(cfa.variables(), vec![VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn instr_memory_access() {
+        assert!(Instr::Load(r(), x()).is_memory_access());
+        assert!(!Instr::Skip.is_memory_access());
+        assert_eq!(Instr::Store(x(), Expr::val(0)).accessed_variable(), Some(x()));
+        assert_eq!(Instr::AssertFalse.accessed_variable(), None);
+    }
+
+    #[test]
+    fn nested_choice_fan_out() {
+        let com = Com::choice([Com::Skip, Com::Skip, Com::Skip]);
+        let cfa = Cfa::compile(&com, 0);
+        assert_eq!(cfa.outgoing(cfa.entry()).count(), 3);
+    }
+}

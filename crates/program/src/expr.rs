@@ -1,0 +1,376 @@
+//! Expressions `e(r̄)` over thread-local registers.
+//!
+//! The paper does not insist on a particular shape of expressions but
+//! requires an interpretation `⟦e⟧ : Domⁿ → Dom` respecting the arity. We
+//! provide the usual arithmetic/boolean operators; all arithmetic wraps
+//! modulo the domain size so the interpretation is total.
+
+use crate::ident::RegId;
+use crate::value::{Dom, Val};
+use std::fmt;
+
+/// A register valuation `rv ∈ RVal = Reg → Dom`, indexed by [`RegId`].
+///
+/// # Example
+///
+/// ```
+/// use parra_program::expr::RegVal;
+/// use parra_program::ident::RegId;
+/// use parra_program::value::Val;
+///
+/// let mut rv = RegVal::new(2);
+/// assert_eq!(rv.get(RegId(0)), Val::INIT);
+/// rv.set(RegId(1), Val(3));
+/// assert_eq!(rv.get(RegId(1)), Val(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegVal {
+    vals: Vec<Val>,
+}
+
+impl RegVal {
+    /// A valuation with `n_regs` registers, all set to `d_init = 0`.
+    pub fn new(n_regs: usize) -> RegVal {
+        RegVal {
+            vals: vec![Val::INIT; n_regs],
+        }
+    }
+
+    /// The value of register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range for this valuation.
+    pub fn get(&self, r: RegId) -> Val {
+        self.vals[r.index()]
+    }
+
+    /// Sets register `r` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range for this valuation.
+    pub fn set(&mut self, r: RegId, v: Val) {
+        self.vals[r.index()] = v;
+    }
+
+    /// Returns a copy with register `r` updated to `v` (the paper's
+    /// `rv[r ↦ d]`).
+    pub fn with(&self, r: RegId, v: Val) -> RegVal {
+        let mut rv = self.clone();
+        rv.set(r, v);
+        rv
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether there are no registers.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Iterates over the register values in register order.
+    pub fn iter(&self) -> impl Iterator<Item = Val> + '_ {
+        self.vals.iter().copied()
+    }
+}
+
+impl fmt::Display for RegVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.vals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unop {
+    /// Logical negation: `0 ↦ 1`, non-zero `↦ 0`.
+    Not,
+}
+
+/// Binary operators. Comparisons and logical operators yield `0`/`1`;
+/// arithmetic wraps modulo the domain size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binop {
+    /// Addition modulo `|Dom|`.
+    Add,
+    /// Subtraction modulo `|Dom|`.
+    Sub,
+    /// Multiplication modulo `|Dom|`.
+    Mul,
+    /// Equality test.
+    Eq,
+    /// Disequality test.
+    Ne,
+    /// Strictly-less test.
+    Lt,
+    /// At-most test.
+    Le,
+    /// Strictly-greater test.
+    Gt,
+    /// At-least test.
+    Ge,
+    /// Logical conjunction (non-zero = true).
+    And,
+    /// Logical disjunction (non-zero = true).
+    Or,
+}
+
+impl fmt::Display for Binop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Binop::Add => "+",
+            Binop::Sub => "-",
+            Binop::Mul => "*",
+            Binop::Eq => "==",
+            Binop::Ne => "!=",
+            Binop::Lt => "<",
+            Binop::Le => "<=",
+            Binop::Gt => ">",
+            Binop::Ge => ">=",
+            Binop::And => "&&",
+            Binop::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression `e(r̄)` over registers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant `d ∈ Dom`.
+    Const(Val),
+    /// The current value of a register.
+    Reg(RegId),
+    /// A unary operation.
+    Unop(Unop, Box<Expr>),
+    /// A binary operation.
+    Binop(Binop, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Constant expression.
+    pub fn val(v: u32) -> Expr {
+        Expr::Const(Val(v))
+    }
+
+    /// Register read.
+    pub fn reg(r: RegId) -> Expr {
+        Expr::Reg(r)
+    }
+
+    /// The constant `1` (logical truth).
+    pub fn truth() -> Expr {
+        Expr::val(1)
+    }
+
+    /// Logical negation of `self`.
+    #[allow(clippy::should_implement_trait)] // DSL naming mirrors the syntax
+    pub fn not(self) -> Expr {
+        Expr::Unop(Unop::Not, Box::new(self))
+    }
+
+    /// Builds a binary operation node.
+    pub fn binop(op: Binop, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binop(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::binop(Binop::Eq, self, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::binop(Binop::Ne, self, rhs)
+    }
+
+    /// `self && rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::binop(Binop::And, self, rhs)
+    }
+
+    /// `self || rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::binop(Binop::Or, self, rhs)
+    }
+
+    /// `self + rhs` (modulo the domain size).
+    #[allow(clippy::should_implement_trait)] // DSL naming mirrors the syntax
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::binop(Binop::Add, self, rhs)
+    }
+
+    /// Evaluates the expression under register valuation `rv`; the
+    /// interpretation `⟦e⟧` of the paper.
+    ///
+    /// All intermediate results are wrapped into `dom`, so the result is
+    /// always a domain value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a register outside `rv`.
+    pub fn eval(&self, rv: &RegVal, dom: Dom) -> Val {
+        // Boolean results are wrapped into the domain too, so the
+        // interpretation is total even for the degenerate one-value domain.
+        let b = |v: bool| dom.wrap(v as u64);
+        match self {
+            Expr::Const(v) => dom.wrap(v.0 as u64),
+            Expr::Reg(r) => rv.get(*r),
+            Expr::Unop(Unop::Not, e) => b(!e.eval(rv, dom).as_bool()),
+            Expr::Binop(op, a, b2) => {
+                let x = a.eval(rv, dom);
+                let y = b2.eval(rv, dom);
+                match op {
+                    Binop::Add => dom.wrap(x.0 as u64 + y.0 as u64),
+                    Binop::Sub => {
+                        let m = dom.size() as u64;
+                        dom.wrap(x.0 as u64 + m - (y.0 as u64 % m))
+                    }
+                    Binop::Mul => dom.wrap(x.0 as u64 * y.0 as u64),
+                    Binop::Eq => b(x == y),
+                    Binop::Ne => b(x != y),
+                    Binop::Lt => b(x < y),
+                    Binop::Le => b(x <= y),
+                    Binop::Gt => b(x > y),
+                    Binop::Ge => b(x >= y),
+                    Binop::And => b(x.as_bool() && y.as_bool()),
+                    Binop::Or => b(x.as_bool() || y.as_bool()),
+                }
+            }
+        }
+    }
+
+    /// All registers mentioned by the expression (its arity support `r̄`).
+    pub fn registers(&self) -> Vec<RegId> {
+        let mut out = Vec::new();
+        self.collect_registers(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_registers(&self, out: &mut Vec<RegId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Reg(r) => out.push(*r),
+            Expr::Unop(_, e) => e.collect_registers(out),
+            Expr::Binop(_, a, b) => {
+                a.collect_registers(out);
+                b.collect_registers(out);
+            }
+        }
+    }
+
+    /// The maximal register index mentioned, if any. Used to validate that a
+    /// program declares enough registers.
+    pub fn max_register(&self) -> Option<RegId> {
+        self.registers().into_iter().max()
+    }
+}
+
+impl From<Val> for Expr {
+    fn from(v: Val) -> Self {
+        Expr::Const(v)
+    }
+}
+
+impl From<RegId> for Expr {
+    fn from(r: RegId) -> Self {
+        Expr::Reg(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(vals: &[u32]) -> RegVal {
+        let mut r = RegVal::new(vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            r.set(RegId(i as u32), Val(v));
+        }
+        r
+    }
+
+    #[test]
+    fn constants_wrap_into_domain() {
+        let dom = Dom::new(3);
+        assert_eq!(Expr::val(7).eval(&RegVal::new(0), dom), Val(1));
+    }
+
+    #[test]
+    fn register_reads() {
+        let dom = Dom::new(4);
+        let e = Expr::reg(RegId(1));
+        assert_eq!(e.eval(&rv(&[0, 3]), dom), Val(3));
+    }
+
+    #[test]
+    fn arithmetic_is_modular() {
+        let dom = Dom::new(4);
+        let v = rv(&[3, 2]);
+        let add = Expr::binop(Binop::Add, Expr::reg(RegId(0)), Expr::reg(RegId(1)));
+        let sub = Expr::binop(Binop::Sub, Expr::reg(RegId(1)), Expr::reg(RegId(0)));
+        let mul = Expr::binop(Binop::Mul, Expr::reg(RegId(0)), Expr::reg(RegId(1)));
+        assert_eq!(add.eval(&v, dom), Val(1)); // 3+2 = 5 ≡ 1 (mod 4)
+        assert_eq!(sub.eval(&v, dom), Val(3)); // 2-3 = -1 ≡ 3 (mod 4)
+        assert_eq!(mul.eval(&v, dom), Val(2)); // 6 ≡ 2 (mod 4)
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let dom = Dom::new(4);
+        let v = rv(&[1, 2]);
+        let a = Expr::reg(RegId(0));
+        let b = Expr::reg(RegId(1));
+        assert_eq!(a.clone().eq(b.clone()).eval(&v, dom), Val(0));
+        assert_eq!(a.clone().ne(b.clone()).eval(&v, dom), Val(1));
+        assert_eq!(
+            Expr::binop(Binop::Lt, a.clone(), b.clone()).eval(&v, dom),
+            Val(1)
+        );
+        assert_eq!(
+            Expr::binop(Binop::Ge, a.clone(), b.clone()).eval(&v, dom),
+            Val(0)
+        );
+        assert_eq!(a.clone().and(b.clone()).eval(&v, dom), Val(1));
+        assert_eq!(Expr::val(0).or(b).eval(&v, dom), Val(1));
+        assert_eq!(a.not().eval(&v, dom), Val(0));
+        assert_eq!(Expr::val(0).not().eval(&v, dom), Val(1));
+    }
+
+    #[test]
+    fn registers_are_collected_sorted_dedup() {
+        let e = Expr::reg(RegId(2))
+            .add(Expr::reg(RegId(0)))
+            .and(Expr::reg(RegId(2)));
+        assert_eq!(e.registers(), vec![RegId(0), RegId(2)]);
+        assert_eq!(e.max_register(), Some(RegId(2)));
+        assert_eq!(Expr::val(1).max_register(), None);
+    }
+
+    #[test]
+    fn regval_with_is_persistent() {
+        let v = rv(&[0, 0]);
+        let w = v.with(RegId(0), Val(1));
+        assert_eq!(v.get(RegId(0)), Val(0));
+        assert_eq!(w.get(RegId(0)), Val(1));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn regval_display() {
+        assert_eq!(rv(&[1, 0, 2]).to_string(), "[1,0,2]");
+    }
+}

@@ -1,0 +1,186 @@
+//! Interned identifiers for shared variables and thread-local registers.
+//!
+//! Shared variables (`Var` in the paper) are global to a
+//! [`ParamSystem`](crate::system::ParamSystem); registers (`Reg`) are local
+//! to one program. Both are represented as dense `u32` indices so that the
+//! verification engines can use them as array indices; the human-readable
+//! names live in a [`SymbolTable`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a shared memory variable (`x ∈ Var` in the paper).
+///
+/// Dense indices `0..n_vars` within one system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+/// Index of a thread-local register (`r ∈ Reg` in the paper).
+///
+/// Dense indices `0..n_regs` within one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub u32);
+
+impl VarId {
+    /// The index as a `usize`, for direct array indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RegId {
+    /// The index as a `usize`, for direct array indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A bidirectional map between names and dense indices.
+///
+/// Used for both shared-variable and register namespaces. Interning the same
+/// name twice returns the same index.
+///
+/// # Example
+///
+/// ```
+/// use parra_program::ident::SymbolTable;
+///
+/// let mut t = SymbolTable::new();
+/// let x = t.intern("x");
+/// assert_eq!(t.intern("x"), x);
+/// assert_eq!(t.name(x), "x");
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its dense index.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name for index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn name(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    /// The name for index `i`, if in range.
+    pub fn get(&self, i: u32) -> Option<&str> {
+        self.names.get(i as usize).map(String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(index, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+impl FromIterator<String> for SymbolTable {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut t = SymbolTable::new();
+        for name in iter {
+            t.intern(&name);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alpha"), a);
+        assert_eq!(t.intern("beta"), b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name_roundtrip() {
+        let mut t = SymbolTable::new();
+        let x = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(x));
+        assert_eq!(t.lookup("y"), None);
+        assert_eq!(t.name(x), "x");
+        assert_eq!(t.get(99), None);
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let t: SymbolTable = ["a", "b", "a"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(0), "a");
+        assert_eq!(t.name(1), "b");
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(VarId(3).to_string(), "x3");
+        assert_eq!(RegId(0).to_string(), "r0");
+        assert_eq!(VarId(7).index(), 7);
+        assert_eq!(RegId(2).index(), 2);
+    }
+
+    #[test]
+    fn iter_in_index_order() {
+        let mut t = SymbolTable::new();
+        t.intern("p");
+        t.intern("q");
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, vec![(0, "p"), (1, "q")]);
+    }
+}

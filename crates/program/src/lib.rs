@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! # parra-program — the `Com` while-language
+//!
+//! This crate implements the program syntax of the paper *"Parameterized
+//! Verification under Release Acquire is PSPACE-complete"* (PODC 2022),
+//! Section 1:
+//!
+//! ```text
+//! c ::= skip | assume e(r̄) | assert false | r := e(r̄)
+//!     | c; c | c ⊕ c | c* | r := x | x := r | cas(x, r₁, r₂)
+//! ```
+//!
+//! Programs compute on thread-local registers over a finite data domain and
+//! interact with shared variables through loads, stores, and atomic
+//! compare-and-swap. Conditionals and loops are derived forms.
+//!
+//! The crate provides:
+//!
+//! * the abstract syntax ([`Com`], [`Expr`]) and finite domains ([`Dom`],
+//!   [`Val`]),
+//! * compilation to control-flow automata ([`Cfa`]) — the representation all
+//!   verification engines consume,
+//! * classification into the paper's system classes (`nocas`, `acyc`,
+//!   Table 1) in [`classify`],
+//! * parameterized systems `env(…) ‖ dis₁(…) ‖ … ‖ disₙ(…)` in [`system`],
+//! * a concrete text syntax ([`parser`]) and an ergonomic Rust builder
+//!   ([`builder`]),
+//! * source-to-source transformations in [`transform`]: bounded loop
+//!   unrolling and the `assert false ↦ x# := d#` goal-message rewriting of
+//!   Section 4.1.
+//!
+//! # Example
+//!
+//! ```
+//! use parra_program::parser::parse_system;
+//!
+//! let sys = parse_system(
+//!     r#"
+//!     system {
+//!         dom 3;
+//!         vars x, y;
+//!         env producer {
+//!             regs r;
+//!             r <- y;
+//!             assume r == 1;
+//!             x := 1;
+//!         }
+//!         dis consumer {
+//!             regs s;
+//!             y := 1;
+//!             s <- x;
+//!             assume s == 1;
+//!             assert false;
+//!         }
+//!     }
+//!     "#,
+//! )?;
+//! assert_eq!(sys.dis.len(), 1);
+//! assert!(sys.env.cfa().is_cas_free());
+//! # Ok::<(), parra_program::parser::ParseError>(())
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod classify;
+pub mod expr;
+pub mod ident;
+pub mod parser;
+pub mod pretty;
+pub mod stmt;
+pub mod system;
+pub mod transform;
+pub mod value;
+
+pub use cfg::{Cfa, Edge, Instr, Loc};
+pub use classify::{Complexity, SystemClass, ThreadClass};
+pub use expr::{Binop, Expr, RegVal, Unop};
+pub use ident::{RegId, SymbolTable, VarId};
+pub use stmt::Com;
+pub use system::{ParamSystem, Program, ThreadKind};
+pub use value::{Dom, Val};

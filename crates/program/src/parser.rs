@@ -1,0 +1,831 @@
+//! A concrete text syntax for parameterized systems.
+//!
+//! The grammar (line comments `// …` allowed everywhere):
+//!
+//! ```text
+//! system  := "system" "{" "dom" NUM ";" ("vars" idents ";")? block* "}"
+//! block   := ("env" | "dis") IDENT "{" ("regs" idents ";")? stmt* "}"
+//! stmt    := "skip" ";"
+//!          | "assume" expr ";"
+//!          | "assert" "false" ";"
+//!          | "await" IDENT "==" NUM ";"          // wait loop, remodelled
+//!          | "cas" "(" IDENT "," expr "," expr ")" ";"
+//!          | IDENT ":=" expr ";"                 // store or assignment
+//!          | IDENT "<-" IDENT ";"                // load
+//!          | "if" expr "{" stmt* "}" ("else" "{" stmt* "}")?
+//!          | "while" expr "{" stmt* "}"
+//!          | "loop" "{" stmt* "}"                // c*
+//!          | "choice" "{" stmt* "}" ("or" "{" stmt* "}")+
+//! expr    := usual precedence: "||", "&&", comparisons, "+" "-", "*", "!"
+//! ```
+//!
+//! `IDENT := expr` is a register assignment when `IDENT` is a declared
+//! register and a store when it is a shared variable; declaring the same
+//! name as both is rejected.
+//!
+//! `await x == v` is sugar for the paper's wait-loop remodelling: a load
+//! into a scratch register followed by `assume` (Section 1 discusses why
+//! this preserves safety for the `barrier`/`peterson-ra-bratosz`
+//! benchmarks).
+
+use crate::expr::{Binop, Expr};
+use crate::ident::{RegId, SymbolTable, VarId};
+use crate::stmt::Com;
+use crate::system::{ParamSystem, Program};
+use crate::value::Dom;
+use std::fmt;
+
+/// A parse error with 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full `system { … }` declaration.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on any lexical or syntactic problem, including
+/// references to undeclared variables/registers.
+pub fn parse_system(input: &str) -> Result<ParamSystem, ParseError> {
+    Parser::new(input)?.system()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u32),
+    // punctuation / operators
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Assign,  // :=
+    Arrow,   // <-
+    EqEq,
+    NeEq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    Plus,
+    Minus,
+    Star,
+    Bang,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(n) => write!(f, "`{n}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::Arrow => write!(f, "`<-`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NeEq => write!(f, "`!=`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexed {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Lexed>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Lexed {
+                tok: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = bytes.get(i + 1).map(|&b| b as char);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            ':' if next == Some('=') => push!(Tok::Assign, 2),
+            '<' if next == Some('-') => push!(Tok::Arrow, 2),
+            '<' if next == Some('=') => push!(Tok::Le, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if next == Some('=') => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '=' if next == Some('=') => push!(Tok::EqEq, 2),
+            '!' if next == Some('=') => push!(Tok::NeEq, 2),
+            '!' => push!(Tok::Bang, 1),
+            '&' if next == Some('&') => push!(Tok::AndAnd, 2),
+            '|' if next == Some('|') => push!(Tok::OrOr, 2),
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: u32 = text.parse().map_err(|_| ParseError {
+                    line,
+                    col,
+                    message: format!("number `{text}` out of range"),
+                })?;
+                out.push(Lexed {
+                    tok: Tok::Num(n),
+                    line,
+                    col,
+                });
+                col += i - start;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                out.push(Lexed {
+                    tok: Tok::Ident(text.to_owned()),
+                    line,
+                    col,
+                });
+                col += i - start;
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    col,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Lexed {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Lexed>,
+    pos: usize,
+    vars: SymbolTable,
+    /// Register table of the program currently being parsed.
+    regs: SymbolTable,
+    await_count: u32,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            vars: SymbolTable::new(),
+            regs: SymbolTable::new(),
+            await_count: 0,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        (self.toks[self.pos].line, self.toks[self.pos].col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn num(&mut self) -> Result<u32, ParseError> {
+        match *self.peek() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(n)
+            }
+            ref other => Err(self.error(format!("expected number, found {other}"))),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut names = vec![self.ident()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            names.push(self.ident()?);
+        }
+        Ok(names)
+    }
+
+    fn system(&mut self) -> Result<ParamSystem, ParseError> {
+        self.keyword("system")?;
+        self.expect(Tok::LBrace)?;
+        self.keyword("dom")?;
+        let dom_size = self.num()?;
+        if dom_size == 0 {
+            return Err(self.error("domain size must be positive"));
+        }
+        self.expect(Tok::Semi)?;
+        if self.at_keyword("vars") {
+            self.bump();
+            for name in self.ident_list()? {
+                self.vars.intern(&name);
+            }
+            self.expect(Tok::Semi)?;
+        }
+        let mut env: Option<Program> = None;
+        let mut dis: Vec<Program> = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if self.at_keyword("env") {
+                self.bump();
+                let p = self.program_block()?;
+                if env.replace(p).is_some() {
+                    return Err(self.error("duplicate `env` block"));
+                }
+            } else if self.at_keyword("dis") {
+                self.bump();
+                dis.push(self.program_block()?);
+            } else {
+                return Err(self.error(format!(
+                    "expected `env`, `dis`, or `}}`, found {}",
+                    self.peek()
+                )));
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        let env = env.ok_or_else(|| self.error("system has no `env` block"))?;
+        self.expect(Tok::Eof)?;
+        Ok(ParamSystem::new(
+            Dom::new(dom_size),
+            std::mem::take(&mut self.vars),
+            env,
+            dis,
+        ))
+    }
+
+    fn program_block(&mut self) -> Result<Program, ParseError> {
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        self.regs = SymbolTable::new();
+        self.await_count = 0;
+        if self.at_keyword("regs") {
+            self.bump();
+            for r in self.ident_list()? {
+                if self.vars.lookup(&r).is_some() {
+                    return Err(self.error(format!(
+                        "`{r}` is declared both as a shared variable and a register"
+                    )));
+                }
+                self.regs.intern(&r);
+            }
+            self.expect(Tok::Semi)?;
+        }
+        let body = self.stmts_until_rbrace()?;
+        self.expect(Tok::RBrace)?;
+        Ok(Program::new(name, std::mem::take(&mut self.regs), body))
+    }
+
+    fn stmts_until_rbrace(&mut self) -> Result<Com, ParseError> {
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Com::seq(stmts))
+    }
+
+    fn braced_stmts(&mut self) -> Result<Com, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let c = self.stmts_until_rbrace()?;
+        self.expect(Tok::RBrace)?;
+        Ok(c)
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<VarId> {
+        self.vars.lookup(name).map(VarId)
+    }
+
+    fn lookup_reg(&self, name: &str) -> Option<RegId> {
+        self.regs.lookup(name).map(RegId)
+    }
+
+    fn stmt(&mut self) -> Result<Com, ParseError> {
+        if self.at_keyword("skip") {
+            self.bump();
+            self.expect(Tok::Semi)?;
+            return Ok(Com::Skip);
+        }
+        if self.at_keyword("assume") {
+            self.bump();
+            let e = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Com::Assume(e));
+        }
+        if self.at_keyword("assert") {
+            self.bump();
+            self.keyword("false")?;
+            self.expect(Tok::Semi)?;
+            return Ok(Com::AssertFalse);
+        }
+        if self.at_keyword("await") {
+            self.bump();
+            let var_name = self.ident()?;
+            let x = self
+                .lookup_var(&var_name)
+                .ok_or_else(|| self.error(format!("undeclared shared variable `{var_name}`")))?;
+            self.expect(Tok::EqEq)?;
+            let v = self.num()?;
+            self.expect(Tok::Semi)?;
+            let scratch = RegId(self.regs.intern(&format!("$await{}", self.await_count)));
+            self.await_count += 1;
+            return Ok(Com::await_value(x, scratch, Expr::val(v)));
+        }
+        if self.at_keyword("cas") {
+            self.bump();
+            self.expect(Tok::LParen)?;
+            let var_name = self.ident()?;
+            let x = self
+                .lookup_var(&var_name)
+                .ok_or_else(|| self.error(format!("undeclared shared variable `{var_name}`")))?;
+            self.expect(Tok::Comma)?;
+            let e1 = self.expr()?;
+            self.expect(Tok::Comma)?;
+            let e2 = self.expr()?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Semi)?;
+            return Ok(Com::Cas(x, e1, e2));
+        }
+        if self.at_keyword("if") {
+            self.bump();
+            let cond = self.expr()?;
+            let then = self.braced_stmts()?;
+            if self.at_keyword("else") {
+                self.bump();
+                let els = self.braced_stmts()?;
+                return Ok(Com::if_then_else(cond, then, els));
+            }
+            return Ok(Com::if_then(cond, then));
+        }
+        if self.at_keyword("while") {
+            self.bump();
+            let cond = self.expr()?;
+            let body = self.braced_stmts()?;
+            return Ok(Com::while_loop(cond, body));
+        }
+        if self.at_keyword("loop") {
+            self.bump();
+            let body = self.braced_stmts()?;
+            return Ok(Com::star(body));
+        }
+        if self.at_keyword("choice") {
+            self.bump();
+            let mut alts = vec![self.braced_stmts()?];
+            if !self.at_keyword("or") {
+                return Err(self.error("`choice` needs at least one `or` branch"));
+            }
+            while self.at_keyword("or") {
+                self.bump();
+                alts.push(self.braced_stmts()?);
+            }
+            return Ok(Com::choice(alts));
+        }
+        // IDENT := expr  |  IDENT <- IDENT
+        let name = self.ident()?;
+        match self.peek() {
+            Tok::Assign => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                if let Some(r) = self.lookup_reg(&name) {
+                    Ok(Com::Assign(r, e))
+                } else if let Some(x) = self.lookup_var(&name) {
+                    Ok(Com::Store(x, e))
+                } else {
+                    Err(self.error(format!("`{name}` is neither a register nor a variable")))
+                }
+            }
+            Tok::Arrow => {
+                self.bump();
+                let src = self.ident()?;
+                self.expect(Tok::Semi)?;
+                let r = self
+                    .lookup_reg(&name)
+                    .ok_or_else(|| self.error(format!("undeclared register `{name}`")))?;
+                let x = self
+                    .lookup_var(&src)
+                    .ok_or_else(|| self.error(format!("undeclared shared variable `{src}`")))?;
+                Ok(Com::Load(r, x))
+            }
+            other => Err(self.error(format!("expected `:=` or `<-`, found {other}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_and()?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            e = Expr::binop(Binop::Or, e, self.expr_and()?);
+        }
+        Ok(e)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_cmp()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            e = Expr::binop(Binop::And, e, self.expr_cmp()?);
+        }
+        Ok(e)
+    }
+
+    fn expr_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.expr_add()?;
+        let op = match self.peek() {
+            Tok::EqEq => Binop::Eq,
+            Tok::NeEq => Binop::Ne,
+            Tok::Lt => Binop::Lt,
+            Tok::Le => Binop::Le,
+            Tok::Gt => Binop::Gt,
+            Tok::Ge => Binop::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.expr_add()?;
+        Ok(Expr::binop(op, lhs, rhs))
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => Binop::Add,
+                Tok::Minus => Binop::Sub,
+                _ => return Ok(e),
+            };
+            self.bump();
+            e = Expr::binop(op, e, self.expr_mul()?);
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_unary()?;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            e = Expr::binop(Binop::Mul, e, self.expr_unary()?);
+        }
+        Ok(e)
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr, ParseError> {
+        if *self.peek() == Tok::Bang {
+            self.bump();
+            return Ok(self.expr_unary()?.not());
+        }
+        self.expr_atom()
+    }
+
+    fn expr_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::val(n))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) if name == "true" => {
+                self.bump();
+                Ok(Expr::val(1))
+            }
+            Tok::Ident(name) if name == "false" => {
+                self.bump();
+                Ok(Expr::val(0))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if let Some(r) = self.lookup_reg(&name) {
+                    Ok(Expr::reg(r))
+                } else if self.lookup_var(&name).is_some() {
+                    Err(self.error(format!(
+                        "shared variable `{name}` cannot appear in an expression; \
+                         load it into a register first"
+                    )))
+                } else {
+                    Err(self.error(format!("undeclared register `{name}`")))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty;
+
+    const PRODUCER_CONSUMER: &str = r#"
+        // Figure 1 of the paper, parameterized.
+        system {
+            dom 3;
+            vars x, y;
+            env producer {
+                regs r;
+                r <- y;
+                assume r == 1;
+                x := 1;
+            }
+            dis consumer {
+                regs s;
+                y := 1;
+                s <- x;
+                assume s == 1;
+                assert false;
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_producer_consumer() {
+        let sys = parse_system(PRODUCER_CONSUMER).unwrap();
+        assert_eq!(sys.dom.size(), 3);
+        assert_eq!(sys.n_vars(), 2);
+        assert_eq!(sys.env.name(), "producer");
+        assert_eq!(sys.dis.len(), 1);
+        assert!(sys.env.cfa().is_cas_free());
+        assert!(sys.dis[0].cfa().has_assert());
+    }
+
+    #[test]
+    fn structured_statements() {
+        let sys = parse_system(
+            r#"system {
+                dom 4;
+                vars x;
+                env e {
+                    regs r, s;
+                    while r != 2 {
+                        r <- x;
+                        if r == 1 { x := 2; } else { skip; }
+                    }
+                    choice { s := 1; } or { s := 2; } or { s := 3; }
+                    loop { x := 1; }
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(!sys.env.cfa().is_acyclic());
+        assert_eq!(sys.env.n_regs(), 2);
+    }
+
+    #[test]
+    fn await_allocates_scratch_register() {
+        let sys = parse_system(
+            r#"system {
+                dom 2;
+                vars flag;
+                env e {
+                    await flag == 1;
+                    await flag == 0;
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(sys.env.n_regs(), 2);
+        assert!(sys.env.cfa().is_acyclic());
+    }
+
+    #[test]
+    fn cas_statement() {
+        let sys = parse_system(
+            r#"system {
+                dom 2;
+                vars lock;
+                env e { skip; }
+                dis d {
+                    cas(lock, 0, 1);
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(!sys.dis[0].cfa().is_cas_free());
+        assert!(sys.env.cfa().is_cas_free());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let sys = parse_system(
+            r#"system {
+                dom 8;
+                vars x;
+                env e {
+                    regs a, b;
+                    assume a + b * 2 == 5 && !(a == b) || b >= 1;
+                }
+            }"#,
+        )
+        .unwrap();
+        // Spot-check via pretty-printing (which emits minimal parens).
+        let names = pretty::Names::for_program(&sys.vars, &sys.env);
+        let text = pretty::com_to_string(sys.env.com(), names);
+        assert!(text.contains("a + b * 2 == 5 && !(a == b) || b >= 1"));
+    }
+
+    #[test]
+    fn store_vs_assign_disambiguation() {
+        let sys = parse_system(
+            r#"system {
+                dom 2;
+                vars x;
+                env e {
+                    regs r;
+                    r := 1;   // assignment
+                    x := 1;   // store
+                }
+            }"#,
+        )
+        .unwrap();
+        match sys.env.com() {
+            Com::Seq(a, b) => {
+                assert!(matches!(**a, Com::Assign(..)));
+                assert!(matches!(**b, Com::Store(..)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_system("system {\n  dom 0;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("positive"));
+
+        let err = parse_system("system { dom 2; env e { r <- x; } }").unwrap_err();
+        assert!(err.message.contains("undeclared register `r`"));
+    }
+
+    #[test]
+    fn variable_in_expression_rejected() {
+        let err = parse_system(
+            "system { dom 2; vars x; env e { assume x == 1; } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("load it into a register"));
+    }
+
+    #[test]
+    fn name_collision_rejected() {
+        let err = parse_system(
+            "system { dom 2; vars x; env e { regs x; skip; } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("both"));
+    }
+
+    #[test]
+    fn missing_env_rejected() {
+        let err = parse_system("system { dom 2; }").unwrap_err();
+        assert!(err.message.contains("no `env` block"));
+    }
+
+    #[test]
+    fn choice_requires_or() {
+        let err = parse_system(
+            "system { dom 2; env e { choice { skip; } } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("`or`"));
+    }
+
+    #[test]
+    fn pretty_parse_roundtrip_is_stable() {
+        let sys = parse_system(PRODUCER_CONSUMER).unwrap();
+        let printed = pretty::system_to_string(&sys);
+        let reparsed = parse_system(&printed).unwrap();
+        assert_eq!(pretty::system_to_string(&reparsed), printed);
+        assert_eq!(reparsed.dom, sys.dom);
+        assert_eq!(reparsed.env.com(), sys.env.com());
+    }
+}

@@ -1,0 +1,297 @@
+//! Pretty-printing of expressions, statements, and systems with resolved
+//! names.
+//!
+//! Identifiers are dense indices; rendering them readably needs the name
+//! tables, so the printers take a [`Names`] context rather than using
+//! `Display` impls.
+
+use crate::cfg::Instr;
+use crate::expr::{Binop, Expr, Unop};
+use crate::ident::SymbolTable;
+use crate::stmt::Com;
+use crate::system::{ParamSystem, Program};
+use std::fmt::Write as _;
+
+/// Name-resolution context for printing: shared variables and (one
+/// program's) registers.
+#[derive(Debug, Clone, Copy)]
+pub struct Names<'a> {
+    /// Shared-variable names.
+    pub vars: &'a SymbolTable,
+    /// Register names of the program being printed.
+    pub regs: &'a SymbolTable,
+}
+
+impl<'a> Names<'a> {
+    /// Context for `program` inside a system with variable table `vars`.
+    pub fn for_program(vars: &'a SymbolTable, program: &'a Program) -> Names<'a> {
+        Names {
+            vars,
+            regs: program.regs(),
+        }
+    }
+
+    fn var(&self, i: u32) -> String {
+        self.vars
+            .get(i)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("x{i}"))
+    }
+
+    fn reg(&self, i: u32) -> String {
+        self.regs
+            .get(i)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("r{i}"))
+    }
+}
+
+/// Renders an expression.
+pub fn expr_to_string(e: &Expr, names: Names<'_>) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, names, 0);
+    s
+}
+
+fn binop_prec(op: Binop) -> u8 {
+    match op {
+        Binop::Or => 1,
+        Binop::And => 2,
+        Binop::Eq | Binop::Ne | Binop::Lt | Binop::Le | Binop::Gt | Binop::Ge => 3,
+        Binop::Add | Binop::Sub => 4,
+        Binop::Mul => 5,
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, names: Names<'_>, min_prec: u8) {
+    match e {
+        Expr::Const(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Reg(r) => out.push_str(&names.reg(r.0)),
+        Expr::Unop(Unop::Not, inner) => {
+            out.push('!');
+            write_expr(out, inner, names, 6);
+        }
+        Expr::Binop(op, a, b) => {
+            let p = binop_prec(*op);
+            let parens = p < min_prec;
+            if parens {
+                out.push('(');
+            }
+            write_expr(out, a, names, p);
+            let _ = write!(out, " {op} ");
+            write_expr(out, b, names, p + 1);
+            if parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Renders a single CFA instruction.
+pub fn instr_to_string(i: &Instr, names: Names<'_>) -> String {
+    match i {
+        Instr::Skip => "skip".to_owned(),
+        Instr::Assume(e) => format!("assume {}", expr_to_string(e, names)),
+        Instr::AssertFalse => "assert false".to_owned(),
+        Instr::Assign(r, e) => format!("{} := {}", names.reg(r.0), expr_to_string(e, names)),
+        Instr::Load(r, x) => format!("{} <- {}", names.reg(r.0), names.var(x.0)),
+        Instr::Store(x, e) => format!("{} := {}", names.var(x.0), expr_to_string(e, names)),
+        Instr::Cas(x, e1, e2) => format!(
+            "cas({}, {}, {})",
+            names.var(x.0),
+            expr_to_string(e1, names),
+            expr_to_string(e2, names)
+        ),
+    }
+}
+
+/// Renders a statement as indented block text (the parser's input syntax).
+pub fn com_to_string(c: &Com, names: Names<'_>) -> String {
+    let mut s = String::new();
+    write_com(&mut s, c, names, 0);
+    s
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn write_com(out: &mut String, c: &Com, names: Names<'_>, depth: usize) {
+    match c {
+        Com::Seq(a, b) => {
+            write_com(out, a, names, depth);
+            write_com(out, b, names, depth);
+        }
+        Com::Skip => {
+            indent(out, depth);
+            out.push_str("skip;\n");
+        }
+        Com::Assume(e) => {
+            indent(out, depth);
+            let _ = writeln!(out, "assume {};", expr_to_string(e, names));
+        }
+        Com::AssertFalse => {
+            indent(out, depth);
+            out.push_str("assert false;\n");
+        }
+        Com::Assign(r, e) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{} := {};", names.reg(r.0), expr_to_string(e, names));
+        }
+        Com::Load(r, x) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{} <- {};", names.reg(r.0), names.var(x.0));
+        }
+        Com::Store(x, e) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{} := {};", names.var(x.0), expr_to_string(e, names));
+        }
+        Com::Cas(x, e1, e2) => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "cas({}, {}, {});",
+                names.var(x.0),
+                expr_to_string(e1, names),
+                expr_to_string(e2, names)
+            );
+        }
+        Com::Choice(a, b) => {
+            indent(out, depth);
+            out.push_str("choice {\n");
+            write_com(out, a, names, depth + 1);
+            indent(out, depth);
+            out.push_str("} or {\n");
+            write_com(out, b, names, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Com::Star(inner) => {
+            indent(out, depth);
+            out.push_str("loop {\n");
+            write_com(out, inner, names, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Renders a whole program declaration.
+pub fn program_to_string(kind: &str, p: &Program, vars: &SymbolTable) -> String {
+    let names = Names::for_program(vars, p);
+    let mut s = String::new();
+    let _ = writeln!(s, "{} {} {{", kind, p.name());
+    if !p.regs().is_empty() {
+        let regs: Vec<&str> = p.regs().iter().map(|(_, n)| n).collect();
+        let _ = writeln!(s, "    regs {};", regs.join(", "));
+    }
+    let body = com_to_string(p.com(), names);
+    for line in body.lines() {
+        let _ = writeln!(s, "    {line}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a whole system in the parser's input syntax.
+pub fn system_to_string(sys: &ParamSystem) -> String {
+    let mut s = String::new();
+    s.push_str("system {\n");
+    let _ = writeln!(s, "    dom {};", sys.dom.size());
+    if !sys.vars.is_empty() {
+        let vars: Vec<&str> = sys.vars.iter().map(|(_, n)| n).collect();
+        let _ = writeln!(s, "    vars {};", vars.join(", "));
+    }
+    for block in std::iter::once(("env", &sys.env))
+        .chain(sys.dis.iter().map(|p| ("dis", p)))
+    {
+        let text = program_to_string(block.0, block.1, &sys.vars);
+        for line in text.lines() {
+            let _ = writeln!(s, "    {line}");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::{RegId, VarId};
+
+    fn names_with(vars: &[&str], regs: &[&str]) -> (SymbolTable, SymbolTable) {
+        (
+            vars.iter().map(|s| s.to_string()).collect(),
+            regs.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn expr_precedence_printed_minimally() {
+        let (vars, regs) = names_with(&[], &["a", "b"]);
+        let names = Names {
+            vars: &vars,
+            regs: &regs,
+        };
+        let a = Expr::reg(RegId(0));
+        let b = Expr::reg(RegId(1));
+        // (a + b) * 2: parens required
+        let e = Expr::binop(
+            Binop::Mul,
+            Expr::binop(Binop::Add, a.clone(), b.clone()),
+            Expr::val(2),
+        );
+        assert_eq!(expr_to_string(&e, names), "(a + b) * 2");
+        // a + b * 2: no parens
+        let e2 = Expr::binop(Binop::Add, a, Expr::binop(Binop::Mul, b, Expr::val(2)));
+        assert_eq!(expr_to_string(&e2, names), "a + b * 2");
+    }
+
+    #[test]
+    fn not_binds_tight() {
+        let (vars, regs) = names_with(&[], &["a"]);
+        let names = Names {
+            vars: &vars,
+            regs: &regs,
+        };
+        let e = Expr::reg(RegId(0)).eq(Expr::val(0)).not();
+        assert_eq!(expr_to_string(&e, names), "!(a == 0)");
+    }
+
+    #[test]
+    fn com_blocks_render() {
+        let (vars, regs) = names_with(&["x"], &["r"]);
+        let names = Names {
+            vars: &vars,
+            regs: &regs,
+        };
+        let c = Com::choice([
+            Com::Load(RegId(0), VarId(0)),
+            Com::star(Com::Store(VarId(0), Expr::val(1))),
+        ]);
+        let text = com_to_string(&c, names);
+        assert!(text.contains("choice {"));
+        assert!(text.contains("} or {"));
+        assert!(text.contains("loop {"));
+        assert!(text.contains("r <- x;"));
+        assert!(text.contains("x := 1;"));
+    }
+
+    #[test]
+    fn instr_rendering() {
+        let (vars, regs) = names_with(&["flag"], &["r"]);
+        let names = Names {
+            vars: &vars,
+            regs: &regs,
+        };
+        assert_eq!(
+            instr_to_string(&Instr::Cas(VarId(0), Expr::val(0), Expr::val(1)), names),
+            "cas(flag, 0, 1)"
+        );
+        assert_eq!(instr_to_string(&Instr::Skip, names), "skip");
+    }
+}

@@ -1,0 +1,325 @@
+//! The `Com` statement syntax and its derived forms.
+//!
+//! ```text
+//! c ::= skip | assume e(r̄) | assert false | r := e(r̄)
+//!     | c; c | c ⊕ c | c* | r := x | x := e | cas(x, e₁, e₂)
+//! ```
+//!
+//! Two liberalizations relative to the paper's grammar, both conservative:
+//!
+//! * stores write the value of an arbitrary expression (`x := e` instead of
+//!   `x := r`) — the paper's form is the special case `e = r`, and the
+//!   general form is macro-expressible via a scratch register;
+//! * `cas` compares/stores expression values rather than registers, for the
+//!   same reason.
+//!
+//! `if` and `while` are derived (see [`Com::if_then_else`] and
+//! [`Com::while_loop`]), exactly as noted in the paper.
+
+use crate::expr::Expr;
+use crate::ident::{RegId, VarId};
+
+/// A `Com` program statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Com {
+    /// `skip` — no effect.
+    Skip,
+    /// `assume e` — blocks unless `e` evaluates to a non-zero value.
+    Assume(Expr),
+    /// `assert false` — reaching this instruction is the safety violation.
+    AssertFalse,
+    /// `r := e` — local register assignment.
+    Assign(RegId, Expr),
+    /// `c₁; c₂` — sequential composition.
+    Seq(Box<Com>, Box<Com>),
+    /// `c₁ ⊕ c₂` — non-deterministic choice.
+    Choice(Box<Com>, Box<Com>),
+    /// `c*` — iteration (zero or more executions of `c`).
+    Star(Box<Com>),
+    /// `r := x` — load from shared variable `x` into register `r`.
+    Load(RegId, VarId),
+    /// `x := e` — store the value of `e` to shared variable `x`.
+    Store(VarId, Expr),
+    /// `cas(x, e₁, e₂)` — atomic compare-and-swap: atomically load `x`,
+    /// block unless the loaded value equals `e₁`, then store `e₂` with an
+    /// adjacent timestamp.
+    Cas(VarId, Expr, Expr),
+}
+
+impl Com {
+    /// Sequential composition of any number of statements.
+    /// `Com::seq([])` is `skip`.
+    pub fn seq<I: IntoIterator<Item = Com>>(parts: I) -> Com {
+        let mut iter = parts.into_iter();
+        let first = match iter.next() {
+            Some(c) => c,
+            None => return Com::Skip,
+        };
+        iter.fold(first, |acc, c| Com::Seq(Box::new(acc), Box::new(c)))
+    }
+
+    /// Non-deterministic choice among any number of alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty — an empty choice has no semantics.
+    pub fn choice<I: IntoIterator<Item = Com>>(parts: I) -> Com {
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("choice of zero alternatives");
+        iter.fold(first, |acc, c| Com::Choice(Box::new(acc), Box::new(c)))
+    }
+
+    /// `c*` — iteration.
+    pub fn star(c: Com) -> Com {
+        Com::Star(Box::new(c))
+    }
+
+    /// Then-branch conditional: `if e { c }` ≜ `(assume e; c) ⊕ assume !e`.
+    pub fn if_then(cond: Expr, then: Com) -> Com {
+        Com::if_then_else(cond, then, Com::Skip)
+    }
+
+    /// Conditional, derived exactly as the paper describes:
+    /// `if e { c₁ } else { c₂ }` ≜ `(assume e; c₁) ⊕ (assume !e; c₂)`.
+    pub fn if_then_else(cond: Expr, then: Com, els: Com) -> Com {
+        Com::choice([
+            Com::seq([Com::Assume(cond.clone()), then]),
+            Com::seq([Com::Assume(cond.not()), els]),
+        ])
+    }
+
+    /// Loop, derived as `while e { c }` ≜ `(assume e; c)*; assume !e`.
+    pub fn while_loop(cond: Expr, body: Com) -> Com {
+        Com::seq([
+            Com::star(Com::seq([Com::Assume(cond.clone()), body])),
+            Com::Assume(cond.not()),
+        ])
+    }
+
+    /// A wait loop (`read-till-specific-value`), remodelled as the paper
+    /// prescribes for the `barrier` and `peterson-ra-bratosz` benchmarks:
+    /// a load followed by an `assume`, using scratch register `scratch`.
+    pub fn await_value(x: VarId, scratch: RegId, expected: Expr) -> Com {
+        Com::seq([
+            Com::Load(scratch, x),
+            Com::Assume(Expr::reg(scratch).eq(expected)),
+        ])
+    }
+
+    /// Whether the statement contains a `cas` operation (the `nocas`
+    /// restriction of the paper forbids these).
+    pub fn has_cas(&self) -> bool {
+        match self {
+            Com::Cas(..) => true,
+            Com::Seq(a, b) | Com::Choice(a, b) => a.has_cas() || b.has_cas(),
+            Com::Star(c) => c.has_cas(),
+            _ => false,
+        }
+    }
+
+    /// Whether the statement contains iteration `c*` (so its control flow
+    /// has a cycle; the `acyc` restriction forbids these).
+    pub fn has_star(&self) -> bool {
+        match self {
+            Com::Star(_) => true,
+            Com::Seq(a, b) | Com::Choice(a, b) => a.has_star() || b.has_star(),
+            _ => false,
+        }
+    }
+
+    /// Whether the statement contains `assert false`.
+    pub fn has_assert(&self) -> bool {
+        match self {
+            Com::AssertFalse => true,
+            Com::Seq(a, b) | Com::Choice(a, b) => a.has_assert() || b.has_assert(),
+            Com::Star(c) => c.has_assert(),
+            _ => false,
+        }
+    }
+
+    /// The registers mentioned anywhere in the statement.
+    pub fn registers(&self) -> Vec<RegId> {
+        let mut out = Vec::new();
+        self.collect_registers(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_registers(&self, out: &mut Vec<RegId>) {
+        match self {
+            Com::Skip | Com::AssertFalse => {}
+            Com::Assume(e) | Com::Store(_, e) => out.extend(e.registers()),
+            Com::Assign(r, e) => {
+                out.push(*r);
+                out.extend(e.registers());
+            }
+            Com::Seq(a, b) | Com::Choice(a, b) => {
+                a.collect_registers(out);
+                b.collect_registers(out);
+            }
+            Com::Star(c) => c.collect_registers(out),
+            Com::Load(r, _) => out.push(*r),
+            Com::Cas(_, e1, e2) => {
+                out.extend(e1.registers());
+                out.extend(e2.registers());
+            }
+        }
+    }
+
+    /// The shared variables mentioned anywhere in the statement.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<VarId>) {
+        match self {
+            Com::Skip | Com::AssertFalse | Com::Assume(_) | Com::Assign(..) => {}
+            Com::Seq(a, b) | Com::Choice(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Com::Star(c) => c.collect_variables(out),
+            Com::Load(_, x) | Com::Store(x, _) | Com::Cas(x, ..) => out.push(*x),
+        }
+    }
+
+    /// Number of atomic instructions (leaves other than `skip`), an upper
+    /// bound on instructions executed per run for loop-free programs — the
+    /// quantity the paper calls `|c_dis|` when bounding the timestamp budget
+    /// `T` (Section 4.1).
+    pub fn instruction_count(&self) -> usize {
+        match self {
+            Com::Skip => 0,
+            Com::Assume(_)
+            | Com::AssertFalse
+            | Com::Assign(..)
+            | Com::Load(..)
+            | Com::Store(..) => 1,
+            // A CAS is a load and a store executed atomically: it consumes
+            // one timestamp for the store (the load consumes none).
+            Com::Cas(..) => 1,
+            Com::Seq(a, b) => a.instruction_count() + b.instruction_count(),
+            Com::Choice(a, b) => a.instruction_count().max(b.instruction_count()),
+            Com::Star(c) => c.instruction_count(),
+        }
+    }
+
+    /// Number of store instructions on any path (maximum over choices),
+    /// bounding how many timestamps a loop-free program can consume.
+    pub fn store_count_bound(&self) -> usize {
+        match self {
+            Com::Store(..) | Com::Cas(..) => 1,
+            Com::Seq(a, b) => a.store_count_bound() + b.store_count_bound(),
+            Com::Choice(a, b) => a.store_count_bound().max(b.store_count_bound()),
+            Com::Star(c) => c.store_count_bound(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Val;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn r() -> RegId {
+        RegId(0)
+    }
+
+    #[test]
+    fn seq_of_empty_is_skip() {
+        assert_eq!(Com::seq([]), Com::Skip);
+    }
+
+    #[test]
+    fn seq_left_folds() {
+        let c = Com::seq([Com::Skip, Com::AssertFalse, Com::Skip]);
+        match c {
+            Com::Seq(a, b) => {
+                assert_eq!(*b, Com::Skip);
+                match *a {
+                    Com::Seq(a1, b1) => {
+                        assert_eq!(*a1, Com::Skip);
+                        assert_eq!(*b1, Com::AssertFalse);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero alternatives")]
+    fn empty_choice_panics() {
+        Com::choice([]);
+    }
+
+    #[test]
+    fn derived_if_shape() {
+        let c = Com::if_then_else(Expr::truth(), Com::AssertFalse, Com::Skip);
+        assert!(matches!(c, Com::Choice(..)));
+        assert!(c.has_assert());
+        assert!(!c.has_star());
+    }
+
+    #[test]
+    fn derived_while_has_star() {
+        let c = Com::while_loop(Expr::truth(), Com::Skip);
+        assert!(c.has_star());
+    }
+
+    #[test]
+    fn await_is_load_then_assume() {
+        let c = Com::await_value(x(), r(), Expr::Const(Val(1)));
+        match c {
+            Com::Seq(a, b) => {
+                assert_eq!(*a, Com::Load(r(), x()));
+                assert!(matches!(*b, Com::Assume(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cas_detection() {
+        let c = Com::seq([
+            Com::Skip,
+            Com::star(Com::Cas(x(), Expr::val(0), Expr::val(1))),
+        ]);
+        assert!(c.has_cas());
+        assert!(!Com::Load(r(), x()).has_cas());
+    }
+
+    #[test]
+    fn collects_registers_and_variables() {
+        let c = Com::seq([
+            Com::Load(RegId(1), VarId(2)),
+            Com::Store(VarId(0), Expr::reg(RegId(0))),
+            Com::Cas(VarId(1), Expr::val(0), Expr::reg(RegId(1))),
+        ]);
+        assert_eq!(c.registers(), vec![RegId(0), RegId(1)]);
+        assert_eq!(c.variables(), vec![VarId(0), VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn instruction_and_store_bounds() {
+        let c = Com::seq([
+            Com::Store(x(), Expr::val(1)),
+            Com::choice([
+                Com::Store(x(), Expr::val(0)),
+                Com::seq([Com::Load(r(), x()), Com::Store(x(), Expr::val(1))]),
+            ]),
+        ]);
+        assert_eq!(c.store_count_bound(), 2);
+        assert_eq!(c.instruction_count(), 3);
+    }
+}

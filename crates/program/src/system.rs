@@ -1,0 +1,323 @@
+//! Parameterized systems `env(…) ‖ dis₁(…) ‖ … ‖ disₙ(…)`.
+//!
+//! A [`ParamSystem`] consists of one *environment* program, executed by an
+//! unbounded number of indistinguishable `env` threads, and a fixed list of
+//! *distinguished* programs, each executed by exactly one `dis` thread
+//! (Section 1 of the paper). An *instance* fixes the number of `env`
+//! threads.
+
+use crate::cfg::Cfa;
+use crate::ident::SymbolTable;
+use crate::stmt::Com;
+use crate::value::Dom;
+use std::fmt;
+use std::sync::Arc;
+
+/// Whether a thread is an environment or a distinguished thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadKind {
+    /// One of the unboundedly many identical environment threads.
+    Env,
+    /// The `i`-th distinguished thread (0-based).
+    Dis(usize),
+}
+
+impl fmt::Display for ThreadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadKind::Env => write!(f, "env"),
+            ThreadKind::Dis(i) => write!(f, "dis{}", i + 1),
+        }
+    }
+}
+
+/// One program of the system: a named [`Com`] statement together with its
+/// register namespace and compiled [`Cfa`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    regs: SymbolTable,
+    com: Com,
+    cfa: Arc<Cfa>,
+}
+
+impl Program {
+    /// Creates a program, compiling it to a CFA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `com` mentions a register not in `regs` (see
+    /// [`Cfa::compile`]).
+    pub fn new(name: impl Into<String>, regs: SymbolTable, com: Com) -> Program {
+        let n_regs = regs.len() as u32;
+        let cfa = Arc::new(Cfa::compile(&com, n_regs));
+        Program {
+            name: name.into(),
+            regs,
+            com,
+            cfa,
+        }
+    }
+
+    /// The program's name (used in traces and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The register name table.
+    pub fn regs(&self) -> &SymbolTable {
+        &self.regs
+    }
+
+    /// Number of registers.
+    pub fn n_regs(&self) -> u32 {
+        self.regs.len() as u32
+    }
+
+    /// The source statement.
+    pub fn com(&self) -> &Com {
+        &self.com
+    }
+
+    /// The compiled control-flow automaton.
+    pub fn cfa(&self) -> &Cfa {
+        &self.cfa
+    }
+
+    /// Shared handle to the compiled CFA (engines keep these).
+    pub fn cfa_arc(&self) -> Arc<Cfa> {
+        Arc::clone(&self.cfa)
+    }
+
+    /// Replaces the body with `com`, recompiling. Used by the
+    /// [`transform`](crate::transform) passes.
+    pub fn with_com(&self, com: Com) -> Program {
+        Program::new(self.name.clone(), self.regs.clone(), com)
+    }
+
+    /// Replaces the body and register table, recompiling.
+    pub fn with_com_and_regs(&self, regs: SymbolTable, com: Com) -> Program {
+        Program::new(self.name.clone(), regs, com)
+    }
+}
+
+/// A parameterized system: shared variables, a data domain, one `env`
+/// program and `n` `dis` programs.
+///
+/// # Example
+///
+/// ```
+/// use parra_program::builder::SystemBuilder;
+///
+/// let mut b = SystemBuilder::new(2);
+/// let x = b.var("x");
+/// let mut env = b.program("env");
+/// env.store(x, 1);
+/// let env = env.finish();
+/// let sys = b.build(env, vec![]);
+/// assert_eq!(sys.n_vars(), 1);
+/// assert!(sys.dis.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSystem {
+    /// The finite data domain.
+    pub dom: Dom,
+    /// Shared-variable names.
+    pub vars: SymbolTable,
+    /// The program run by every `env` thread.
+    pub env: Program,
+    /// The programs run by the distinguished threads.
+    pub dis: Vec<Program>,
+}
+
+impl ParamSystem {
+    /// Creates a system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any program accesses a shared variable outside `vars`.
+    pub fn new(dom: Dom, vars: SymbolTable, env: Program, dis: Vec<Program>) -> ParamSystem {
+        let n_vars = vars.len() as u32;
+        let check = |p: &Program| {
+            for v in p.cfa().variables() {
+                assert!(
+                    v.0 < n_vars,
+                    "program `{}` accesses undeclared shared variable {v}",
+                    p.name()
+                );
+            }
+        };
+        check(&env);
+        dis.iter().for_each(check);
+        ParamSystem {
+            dom,
+            vars,
+            env,
+            dis,
+        }
+    }
+
+    /// Number of shared variables.
+    pub fn n_vars(&self) -> u32 {
+        self.vars.len() as u32
+    }
+
+    /// The program run by thread kind `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` names a `dis` index out of range.
+    pub fn program(&self, kind: ThreadKind) -> &Program {
+        match kind {
+            ThreadKind::Env => &self.env,
+            ThreadKind::Dis(i) => &self.dis[i],
+        }
+    }
+
+    /// All programs with their thread kinds: `env` first, then `dis₁ … disₙ`.
+    pub fn programs(&self) -> impl Iterator<Item = (ThreadKind, &Program)> {
+        std::iter::once((ThreadKind::Env, &self.env)).chain(
+            self.dis
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (ThreadKind::Dis(i), p)),
+        )
+    }
+
+    /// The combined size `|dis|` of all distinguished programs (instruction
+    /// count), used in the paper's cache bound `Q₀ = |Dom||Var| + |dis|`.
+    pub fn dis_size(&self) -> usize {
+        self.dis.iter().map(|p| p.com().instruction_count()).sum()
+    }
+
+    /// The paper's `Q₀ = |Dom|·|Var| + |dis|` (Section 4.2).
+    pub fn q0(&self) -> usize {
+        (self.dom.size() as usize) * (self.n_vars() as usize) + self.dis_size()
+    }
+
+    /// The timestamp budget `T`: an upper bound on the number of integer
+    /// timestamps `dis` threads can consume, i.e. the total number of store
+    /// instructions loop-free `dis` threads can execute (Section 4.1).
+    ///
+    /// Returns `None` if some `dis` thread has a store inside a loop; direct
+    /// engines then need an explicit budget.
+    pub fn dis_timestamp_budget(&self) -> Option<usize> {
+        self.dis
+            .iter()
+            .map(|p| p.cfa().max_stores_per_run())
+            .sum::<Option<usize>>()
+    }
+
+    /// The per-variable timestamp budget: for each shared variable, an
+    /// upper bound on the number of stores the loop-free `dis` threads
+    /// can perform on it. Timestamps order stores per variable, so this
+    /// (rather than the global sum) bounds the integer slots each
+    /// variable needs.
+    ///
+    /// Returns `None` if some `dis` thread can store inside a loop.
+    pub fn dis_timestamp_budget_per_var(&self) -> Option<Vec<usize>> {
+        (0..self.n_vars())
+            .map(|i| {
+                self.dis
+                    .iter()
+                    .map(|p| p.cfa().max_stores_per_run_on(crate::ident::VarId(i)))
+                    .sum::<Option<usize>>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ident::{RegId, VarId};
+
+    fn table(names: &[&str]) -> SymbolTable {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn store_prog(name: &str, var: u32) -> Program {
+        Program::new(name, table(&[]), Com::Store(VarId(var), Expr::val(1)))
+    }
+
+    #[test]
+    fn program_compiles_on_construction() {
+        let p = Program::new(
+            "p",
+            table(&["r"]),
+            Com::Load(RegId(0), VarId(0)),
+        );
+        assert_eq!(p.n_regs(), 1);
+        assert!(p.cfa().is_acyclic());
+        assert_eq!(p.name(), "p");
+    }
+
+    #[test]
+    fn system_checks_variable_bounds() {
+        let sys = ParamSystem::new(
+            Dom::boolean(),
+            table(&["x"]),
+            store_prog("env", 0),
+            vec![store_prog("d1", 0)],
+        );
+        assert_eq!(sys.n_vars(), 1);
+        assert_eq!(sys.dis_size(), 1);
+        assert_eq!(sys.q0(), 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared shared variable")]
+    fn out_of_range_variable_rejected() {
+        ParamSystem::new(Dom::boolean(), table(&["x"]), store_prog("env", 1), vec![]);
+    }
+
+    #[test]
+    fn programs_iterates_env_then_dis() {
+        let sys = ParamSystem::new(
+            Dom::boolean(),
+            table(&["x"]),
+            store_prog("env", 0),
+            vec![store_prog("d1", 0), store_prog("d2", 0)],
+        );
+        let kinds: Vec<_> = sys.programs().map(|(k, _)| k).collect();
+        assert_eq!(
+            kinds,
+            vec![ThreadKind::Env, ThreadKind::Dis(0), ThreadKind::Dis(1)]
+        );
+        assert_eq!(sys.program(ThreadKind::Dis(1)).name(), "d2");
+    }
+
+    #[test]
+    fn timestamp_budget_sums_dis_stores() {
+        let sys = ParamSystem::new(
+            Dom::boolean(),
+            table(&["x"]),
+            store_prog("env", 0),
+            vec![store_prog("d1", 0), store_prog("d2", 0)],
+        );
+        assert_eq!(sys.dis_timestamp_budget(), Some(2));
+    }
+
+    #[test]
+    fn looping_dis_budget_is_none() {
+        let looping = Program::new(
+            "d",
+            table(&[]),
+            Com::star(Com::Store(VarId(0), Expr::val(1))),
+        );
+        let sys = ParamSystem::new(
+            Dom::boolean(),
+            table(&["x"]),
+            store_prog("env", 0),
+            vec![looping],
+        );
+        assert_eq!(sys.dis_timestamp_budget(), None);
+    }
+
+    #[test]
+    fn thread_kind_display() {
+        assert_eq!(ThreadKind::Env.to_string(), "env");
+        assert_eq!(ThreadKind::Dis(0).to_string(), "dis1");
+    }
+}

@@ -1,0 +1,269 @@
+//! Source-to-source transformations.
+//!
+//! * [`unroll`] — bounded loop unrolling, turning `c*` into a `bound`-deep
+//!   nest of choices. This is how fixed-size loops in the benchmarks (e.g.
+//!   `chase-lev-deque`) are brought into the `acyc` fragment, and how
+//!   bounded model checking of looping `dis` threads is realized
+//!   (Section 4: "this class captures bounded model checking where the
+//!   distinguished threads are explored up to an under-approximate
+//!   loop-unrolling bound").
+//! * [`assert_to_goal`] — the Section 4.1 reduction from safety
+//!   verification to *Message Generation (MG)*: every `assert false` is
+//!   replaced by a store `x# := d#` to a fresh variable, and the system is
+//!   unsafe iff the goal message `(x#, d#, _)` can be generated.
+
+use crate::expr::Expr;
+use crate::ident::VarId;
+use crate::stmt::Com;
+use crate::system::{ParamSystem, Program};
+use crate::value::Val;
+
+/// Replaces every iteration `c*` by at most `bound` unrolled copies of `c`.
+///
+/// The result is loop-free and under-approximates the original program:
+/// every run of the unrolled program is a run of the original. `bound = 0`
+/// erases loop bodies entirely (zero iterations are always allowed).
+pub fn unroll(com: &Com, bound: usize) -> Com {
+    match com {
+        Com::Seq(a, b) => Com::Seq(Box::new(unroll(a, bound)), Box::new(unroll(b, bound))),
+        Com::Choice(a, b) => {
+            Com::Choice(Box::new(unroll(a, bound)), Box::new(unroll(b, bound)))
+        }
+        Com::Star(c) => {
+            let body = unroll(c, bound);
+            // skip ⊕ (c; (skip ⊕ (c; …))) — `bound` levels deep.
+            let mut acc = Com::Skip;
+            for _ in 0..bound {
+                acc = Com::choice([
+                    Com::Skip,
+                    Com::seq([body.clone(), acc]),
+                ]);
+            }
+            acc
+        }
+        leaf => leaf.clone(),
+    }
+}
+
+/// Unrolls all loops in a program, recompiling its CFA.
+pub fn unroll_program(p: &Program, bound: usize) -> Program {
+    p.with_com(unroll(p.com(), bound))
+}
+
+/// Unrolls all loops in the `dis` programs of a system (the paper's
+/// bounded-model-checking usage keeps `env` loops — the simplified
+/// semantics handles those exactly).
+pub fn unroll_dis(sys: &ParamSystem, bound: usize) -> ParamSystem {
+    ParamSystem::new(
+        sys.dom,
+        sys.vars.clone(),
+        sys.env.clone(),
+        sys.dis.iter().map(|p| unroll_program(p, bound)).collect(),
+    )
+}
+
+/// Unrolls all loops everywhere, including `env`.
+pub fn unroll_all(sys: &ParamSystem, bound: usize) -> ParamSystem {
+    ParamSystem::new(
+        sys.dom,
+        sys.vars.clone(),
+        unroll_program(&sys.env, bound),
+        sys.dis.iter().map(|p| unroll_program(p, bound)).collect(),
+    )
+}
+
+/// The result of [`assert_to_goal`]: the rewritten system and the goal
+/// message `(x#, d#)` whose generability is equivalent to unsafety.
+#[derive(Debug, Clone)]
+pub struct GoalSystem {
+    /// The system with `assert false` replaced by `x# := d#`.
+    pub system: ParamSystem,
+    /// The fresh goal variable `x#`.
+    pub goal_var: VarId,
+    /// The goal value `d#`.
+    pub goal_val: Val,
+    /// Whether the original system contained any assertion at all (if not,
+    /// it is trivially safe and the goal message is unreachable).
+    pub had_assert: bool,
+}
+
+/// The name used for the fresh goal variable.
+pub const GOAL_VAR_NAME: &str = "$goal";
+
+/// Reduces safety verification to Message Generation (Section 4.1).
+///
+/// Appends a fresh shared variable `x#` (named [`GOAL_VAR_NAME`]) and
+/// replaces every `assert false` by the store `x# := d#` with `d# = 1`.
+/// The rewritten system generates the message `(x#, 1, _)` iff the original
+/// system can reach an assertion violation.
+///
+/// # Panics
+///
+/// Panics if the data domain has fewer than two values (then no `d# ≠
+/// d_init` exists) or if the system already declares [`GOAL_VAR_NAME`].
+pub fn assert_to_goal(sys: &ParamSystem) -> GoalSystem {
+    assert!(
+        sys.dom.size() >= 2,
+        "goal transformation needs |Dom| >= 2 so that d# differs from d_init"
+    );
+    assert!(
+        sys.vars.lookup(GOAL_VAR_NAME).is_none(),
+        "system already declares the reserved variable {GOAL_VAR_NAME}"
+    );
+    let mut vars = sys.vars.clone();
+    let goal_var = VarId(vars.intern(GOAL_VAR_NAME));
+    let goal_val = Val(1);
+
+    let had_assert = sys.env.com().has_assert()
+        || sys.dis.iter().any(|p| p.com().has_assert());
+
+    let rewrite_program = |p: &Program| {
+        p.with_com(replace_assert(p.com(), goal_var, goal_val))
+    };
+    let system = ParamSystem::new(
+        sys.dom,
+        vars,
+        rewrite_program(&sys.env),
+        sys.dis.iter().map(rewrite_program).collect(),
+    );
+    GoalSystem {
+        system,
+        goal_var,
+        goal_val,
+        had_assert,
+    }
+}
+
+fn replace_assert(com: &Com, goal_var: VarId, goal_val: Val) -> Com {
+    match com {
+        Com::AssertFalse => Com::Store(goal_var, Expr::Const(goal_val)),
+        Com::Seq(a, b) => Com::Seq(
+            Box::new(replace_assert(a, goal_var, goal_val)),
+            Box::new(replace_assert(b, goal_var, goal_val)),
+        ),
+        Com::Choice(a, b) => Com::Choice(
+            Box::new(replace_assert(a, goal_var, goal_val)),
+            Box::new(replace_assert(b, goal_var, goal_val)),
+        ),
+        Com::Star(c) => Com::star(replace_assert(c, goal_var, goal_val)),
+        leaf => leaf.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+    use crate::ident::RegId;
+
+    fn loopy_system() -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.star(|p| {
+            p.store(x, 1);
+        });
+        env.assert_false();
+        let env = env.finish();
+        let mut d = b.program("d");
+        let r = d.reg("r");
+        d.star(|p| {
+            p.load(r, x);
+        });
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    #[test]
+    fn unroll_makes_acyclic() {
+        let sys = loopy_system();
+        assert!(!sys.env.cfa().is_acyclic());
+        let u = unroll_all(&sys, 3);
+        assert!(u.env.cfa().is_acyclic());
+        assert!(u.dis[0].cfa().is_acyclic());
+    }
+
+    #[test]
+    fn unroll_zero_erases_bodies() {
+        let c = Com::star(Com::AssertFalse);
+        assert_eq!(unroll(&c, 0), Com::Skip);
+    }
+
+    #[test]
+    fn unroll_bound_counts_iterations() {
+        // Each unrolled level contributes at most one store; a loop-free CFA
+        // with bound k can store at most k times.
+        let c = Com::star(Com::Store(VarId(0), Expr::val(1)));
+        for k in 1..5 {
+            let u = unroll(&c, k);
+            let cfa = crate::cfg::Cfa::compile(&u, 0);
+            assert!(cfa.is_acyclic());
+            assert_eq!(cfa.max_stores_per_run(), Some(k));
+        }
+    }
+
+    #[test]
+    fn unroll_dis_keeps_env_loops() {
+        let sys = loopy_system();
+        let u = unroll_dis(&sys, 2);
+        assert!(!u.env.cfa().is_acyclic());
+        assert!(u.dis[0].cfa().is_acyclic());
+    }
+
+    #[test]
+    fn goal_transformation_replaces_asserts() {
+        let sys = loopy_system();
+        let g = assert_to_goal(&sys);
+        assert!(g.had_assert);
+        assert!(!g.system.env.cfa().has_assert());
+        assert!(!g.system.dis[0].cfa().has_assert());
+        assert_eq!(g.system.n_vars(), sys.n_vars() + 1);
+        assert_eq!(g.system.vars.name(g.goal_var.0), GOAL_VAR_NAME);
+        // The goal store is present in env.
+        assert!(g
+            .system
+            .env
+            .cfa()
+            .edges()
+            .iter()
+            .any(|e| matches!(e.instr, crate::cfg::Instr::Store(v, _) if v == g.goal_var)));
+    }
+
+    #[test]
+    fn goal_transformation_flags_assert_free_systems() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.store(x, 1);
+        let env = env.finish();
+        let sys = b.build(env, vec![]);
+        let g = assert_to_goal(&sys);
+        assert!(!g.had_assert);
+    }
+
+    #[test]
+    #[should_panic(expected = "|Dom| >= 2")]
+    fn tiny_domain_rejected() {
+        let mut b = SystemBuilder::new(1);
+        let _ = b.var("x");
+        let env = b.program("env").finish();
+        let sys = b.build(env, vec![]);
+        assert_to_goal(&sys);
+    }
+
+    #[test]
+    fn unrolled_program_keeps_registers() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut p = b.program("p");
+        let r = p.reg("r");
+        p.star(|p| {
+            p.load(r, x);
+        });
+        let p = p.finish();
+        let u = unroll_program(&p, 2);
+        assert_eq!(u.n_regs(), 1);
+        assert_eq!(u.name(), "p");
+        let _ = RegId(0);
+    }
+}

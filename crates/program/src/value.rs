@@ -1,0 +1,164 @@
+//! The finite data domain `Dom` and its values.
+//!
+//! The paper works with a finite data domain (Section 4 assumes this
+//! explicitly for the PSPACE upper bound). We fix `Dom = {0, 1, …, size-1}`
+//! with `d_init = 0`: the initial value of all shared variables and
+//! registers.
+
+use std::fmt;
+
+/// A value from the data domain, `d ∈ Dom`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Val(pub u32);
+
+impl Val {
+    /// The initial value `d_init` held by every shared variable and register.
+    pub const INIT: Val = Val(0);
+
+    /// The value as a `usize`, for direct array indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this value is "true" when used as a boolean (non-zero).
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+
+    /// `1` for `true`, `0` for `false`.
+    pub fn from_bool(b: bool) -> Val {
+        Val(b as u32)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Val {
+    fn from(v: u32) -> Self {
+        Val(v)
+    }
+}
+
+/// The finite data domain `Dom = {0, …, size-1}`.
+///
+/// All arithmetic in [`Expr`](crate::expr::Expr) evaluation wraps modulo
+/// `size`, so every expression is total on the domain.
+///
+/// # Example
+///
+/// ```
+/// use parra_program::value::{Dom, Val};
+///
+/// let dom = Dom::new(4);
+/// assert!(dom.contains(Val(3)));
+/// assert!(!dom.contains(Val(4)));
+/// assert_eq!(dom.wrap(7), Val(3));
+/// assert_eq!(dom.iter().count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dom {
+    size: u32,
+}
+
+impl Dom {
+    /// Creates a domain of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`; a domain must contain at least `d_init = 0`.
+    pub fn new(size: u32) -> Dom {
+        assert!(size > 0, "data domain must be non-empty");
+        Dom { size }
+    }
+
+    /// The boolean domain `{0, 1}` — the domain of *PureRA* programs
+    /// (Section 5) and of most litmus tests.
+    pub fn boolean() -> Dom {
+        Dom::new(2)
+    }
+
+    /// Number of values in the domain.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Whether `v` belongs to the domain.
+    pub fn contains(&self, v: Val) -> bool {
+        v.0 < self.size
+    }
+
+    /// Reduces an unbounded integer into the domain (modulo `size`).
+    pub fn wrap(&self, raw: u64) -> Val {
+        Val((raw % self.size as u64) as u32)
+    }
+
+    /// Iterates over all domain values in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Val> {
+        (0..self.size).map(Val)
+    }
+}
+
+impl Default for Dom {
+    /// The boolean domain.
+    fn default() -> Self {
+        Dom::boolean()
+    }
+}
+
+impl fmt::Display for Dom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{0..{}}}", self.size - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_zero() {
+        assert_eq!(Val::INIT, Val(0));
+        assert!(!Val::INIT.as_bool());
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Val::from_bool(true), Val(1));
+        assert_eq!(Val::from_bool(false), Val(0));
+        assert!(Val(5).as_bool());
+    }
+
+    #[test]
+    fn domain_membership_and_wrap() {
+        let dom = Dom::new(3);
+        assert!(dom.contains(Val(0)));
+        assert!(dom.contains(Val(2)));
+        assert!(!dom.contains(Val(3)));
+        assert_eq!(dom.wrap(3), Val(0));
+        assert_eq!(dom.wrap(5), Val(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_rejected() {
+        Dom::new(0);
+    }
+
+    #[test]
+    fn boolean_domain() {
+        let b = Dom::boolean();
+        assert_eq!(b.size(), 2);
+        assert_eq!(b, Dom::default());
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![Val(0), Val(1)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dom::new(4).to_string(), "{0..3}");
+        assert_eq!(Val(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,88 @@
+//! The TQBF ground-truth oracle: direct recursive evaluation.
+//!
+//! Exponential in the prefix length — exactly what the PSPACE-hardness
+//! reduction is validated against on small instances.
+
+use crate::formula::Qbf;
+
+/// Decides whether `Ψ` is true.
+pub fn evaluate(qbf: &Qbf) -> bool {
+    let mut assignment = vec![false; qbf.n_vars()];
+    eval_from(qbf, 0, &mut assignment)
+}
+
+fn eval_from(qbf: &Qbf, pos: usize, assignment: &mut Vec<bool>) -> bool {
+    if pos == qbf.n_vars() {
+        return qbf.matrix.eval(assignment);
+    }
+    let universal = pos.is_multiple_of(2);
+    let mut results = [false, false];
+    for (i, b) in [false, true].into_iter().enumerate() {
+        assignment[pos] = b;
+        results[i] = eval_from(qbf, pos + 1, assignment);
+        // Short-circuit.
+        if universal && !results[i] {
+            return false;
+        }
+        if !universal && results[i] {
+            return true;
+        }
+    }
+    if universal {
+        results[0] && results[1]
+    } else {
+        results[0] || results[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::BoolExpr;
+
+    #[test]
+    fn trivial_formulas() {
+        assert!(evaluate(&Qbf::new(0, BoolExpr::Const(true))));
+        assert!(!evaluate(&Qbf::new(0, BoolExpr::Const(false))));
+    }
+
+    #[test]
+    fn single_universal() {
+        // ∀u0. u0 — false; ∀u0. u0 ∨ ¬u0 — true.
+        assert!(!evaluate(&Qbf::new(0, BoolExpr::var(0))));
+        assert!(evaluate(&Qbf::new(
+            0,
+            BoolExpr::var(0).or(BoolExpr::var(0).not())
+        )));
+    }
+
+    #[test]
+    fn exists_matches_forall() {
+        // ∀u0 ∃e1 ∀u1. (e1 ↔ u0): e1 is chosen after u0 but before u1 —
+        // true (pick e1 = u0); u1 is unused.
+        let iff = BoolExpr::var(1)
+            .and(BoolExpr::var(0))
+            .or(BoolExpr::var(1).not().and(BoolExpr::var(0).not()));
+        assert!(evaluate(&Qbf::new(1, iff)));
+        // ∀u0 ∃e1 ∀u1. (e1 ↔ u1): e1 is chosen before u1 — false.
+        let iff2 = BoolExpr::var(1)
+            .and(BoolExpr::var(2))
+            .or(BoolExpr::var(1).not().and(BoolExpr::var(2).not()));
+        assert!(!evaluate(&Qbf::new(1, iff2)));
+    }
+
+    #[test]
+    fn deeper_alternation() {
+        // ∀u0 ∃e1 ∀u1 ∃e2 ∀u2. (e1 ↔ u0) ∧ (e2 ↔ u1)
+        let mk_iff = |a: usize, b: usize| {
+            BoolExpr::var(a)
+                .and(BoolExpr::var(b))
+                .or(BoolExpr::var(a).not().and(BoolExpr::var(b).not()))
+        };
+        let m = mk_iff(1, 0).and(mk_iff(3, 2));
+        assert!(evaluate(&Qbf::new(2, m)));
+        // Flipping the second: (e2 ↔ u2) — u2 quantified later: false.
+        let m2 = mk_iff(1, 0).and(mk_iff(3, 4));
+        assert!(!evaluate(&Qbf::new(2, m2)));
+    }
+}

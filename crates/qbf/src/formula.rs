@@ -1,0 +1,289 @@
+//! Quantified boolean formulas of the paper's shape:
+//! `Ψ = ∀u₀ ∃e₁ ∀u₁ … ∃eₙ ∀uₙ Φ(u₀, e₁, …, uₙ)`.
+//!
+//! The prefix strictly alternates, starting and ending universally, with
+//! `n+1` universal and `n` existential variables (`2n+1` in total). This is
+//! the canonical PSPACE-complete TQBF form used by the Section 5
+//! reduction; arbitrary QBFs can be padded into it with dummy variables.
+
+use std::fmt;
+
+/// A variable of the prefix, by position: `QVar(0) = u₀`, `QVar(1) = e₁`,
+/// `QVar(2) = u₁`, … — universal iff the position is even.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QVar(pub usize);
+
+impl QVar {
+    /// Whether the variable is universally quantified.
+    pub fn is_universal(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+
+    /// The paper's name: `u_i` for universals, `e_i` for existentials.
+    pub fn name(self) -> String {
+        if self.is_universal() {
+            format!("u{}", self.0 / 2)
+        } else {
+            format!("e{}", self.0 / 2 + 1)
+        }
+    }
+}
+
+/// A boolean formula over prefix variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// A constant.
+    Const(bool),
+    /// A variable.
+    Var(QVar),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Variable leaf.
+    pub fn var(i: usize) -> BoolExpr {
+        BoolExpr::Var(QVar(i))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)] // DSL naming mirrors the syntax
+    pub fn not(self) -> BoolExpr {
+        BoolExpr::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: BoolExpr) -> BoolExpr {
+        BoolExpr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Conjunction of any number of formulas (`true` when empty).
+    pub fn conj<I: IntoIterator<Item = BoolExpr>>(parts: I) -> BoolExpr {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => BoolExpr::Const(true),
+            Some(first) => iter.fold(first, BoolExpr::and),
+        }
+    }
+
+    /// Disjunction of any number of formulas (`false` when empty).
+    pub fn disj<I: IntoIterator<Item = BoolExpr>>(parts: I) -> BoolExpr {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => BoolExpr::Const(false),
+            Some(first) => iter.fold(first, BoolExpr::or),
+        }
+    }
+
+    /// Evaluates under an assignment (indexed by prefix position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula mentions a variable outside the assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Var(v) => assignment[v.0],
+            BoolExpr::Not(e) => !e.eval(assignment),
+            BoolExpr::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            BoolExpr::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+        }
+    }
+
+    /// Negation normal form: negations pushed to the literals.
+    pub fn to_nnf(&self) -> Nnf {
+        match self {
+            BoolExpr::Const(b) => Nnf::Const(*b),
+            BoolExpr::Var(v) => Nnf::Lit(*v, true),
+            BoolExpr::And(a, b) => Nnf::And(Box::new(a.to_nnf()), Box::new(b.to_nnf())),
+            BoolExpr::Or(a, b) => Nnf::Or(Box::new(a.to_nnf()), Box::new(b.to_nnf())),
+            BoolExpr::Not(e) => e.negate_nnf(),
+        }
+    }
+
+    fn negate_nnf(&self) -> Nnf {
+        match self {
+            BoolExpr::Const(b) => Nnf::Const(!*b),
+            BoolExpr::Var(v) => Nnf::Lit(*v, false),
+            BoolExpr::Not(e) => e.to_nnf(),
+            BoolExpr::And(a, b) => {
+                Nnf::Or(Box::new(a.negate_nnf()), Box::new(b.negate_nnf()))
+            }
+            BoolExpr::Or(a, b) => {
+                Nnf::And(Box::new(a.negate_nnf()), Box::new(b.negate_nnf()))
+            }
+        }
+    }
+
+    /// The highest prefix position mentioned, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            BoolExpr::Const(_) => None,
+            BoolExpr::Var(v) => Some(v.0),
+            BoolExpr::Not(e) => e.max_var(),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => a.max_var().max(b.max_var()),
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Const(b) => write!(f, "{b}"),
+            BoolExpr::Var(v) => write!(f, "{}", v.name()),
+            BoolExpr::Not(e) => write!(f, "¬({e})"),
+            BoolExpr::And(a, b) => write!(f, "({a} ∧ {b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a} ∨ {b})"),
+        }
+    }
+}
+
+/// Negation normal form: literals with polarity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Nnf {
+    /// Constant.
+    Const(bool),
+    /// A literal: variable and polarity (`true` = positive).
+    Lit(QVar, bool),
+    /// Conjunction.
+    And(Box<Nnf>, Box<Nnf>),
+    /// Disjunction.
+    Or(Box<Nnf>, Box<Nnf>),
+}
+
+/// A quantified boolean formula of the paper's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Qbf {
+    /// The alternation parameter: `n+1` universals, `n` existentials.
+    pub n: usize,
+    /// The matrix `Φ` over prefix positions `0..2n+1`.
+    pub matrix: BoolExpr,
+}
+
+impl Qbf {
+    /// Creates a formula, validating that the matrix stays within the
+    /// prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix mentions a variable beyond position `2n`.
+    pub fn new(n: usize, matrix: BoolExpr) -> Qbf {
+        if let Some(m) = matrix.max_var() {
+            assert!(
+                m <= 2 * n,
+                "matrix mentions prefix position {m}, but the prefix has {} variables",
+                2 * n + 1
+            );
+        }
+        Qbf { n, matrix }
+    }
+
+    /// Total number of prefix variables (`2n + 1`).
+    pub fn n_vars(&self) -> usize {
+        2 * self.n + 1
+    }
+
+    /// The prefix variables in order.
+    pub fn prefix(&self) -> impl Iterator<Item = QVar> {
+        (0..self.n_vars()).map(QVar)
+    }
+}
+
+impl fmt::Display for Qbf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in self.prefix() {
+            write!(f, "{}{} ", if v.is_universal() { "∀" } else { "∃" }, v.name())?;
+        }
+        write!(f, ". {}", self.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_alternation() {
+        let q = Qbf::new(2, BoolExpr::Const(true));
+        let kinds: Vec<bool> = q.prefix().map(|v| v.is_universal()).collect();
+        assert_eq!(kinds, vec![true, false, true, false, true]);
+        assert_eq!(QVar(0).name(), "u0");
+        assert_eq!(QVar(1).name(), "e1");
+        assert_eq!(QVar(4).name(), "u2");
+    }
+
+    #[test]
+    fn eval_on_assignments() {
+        // (u0 ∨ e1) ∧ ¬u1
+        let m = BoolExpr::var(0)
+            .or(BoolExpr::var(1))
+            .and(BoolExpr::var(2).not());
+        assert!(m.eval(&[true, false, false]));
+        assert!(!m.eval(&[false, false, false]));
+        assert!(!m.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        // ¬(u0 ∧ ¬e1) = ¬u0 ∨ e1
+        let m = BoolExpr::var(0).and(BoolExpr::var(1).not()).not();
+        let nnf = m.to_nnf();
+        match nnf {
+            Nnf::Or(a, b) => {
+                assert_eq!(*a, Nnf::Lit(QVar(0), false));
+                assert_eq!(*b, Nnf::Lit(QVar(1), true));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        fn eval_nnf(n: &Nnf, a: &[bool]) -> bool {
+            match n {
+                Nnf::Const(b) => *b,
+                Nnf::Lit(v, pos) => a[v.0] == *pos,
+                Nnf::And(x, y) => eval_nnf(x, a) && eval_nnf(y, a),
+                Nnf::Or(x, y) => eval_nnf(x, a) || eval_nnf(y, a),
+            }
+        }
+        let m = BoolExpr::var(0)
+            .and(BoolExpr::var(1).or(BoolExpr::var(2)).not())
+            .or(BoolExpr::var(2).not().not());
+        let nnf = m.to_nnf();
+        for bits in 0..8u32 {
+            let a: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(m.eval(&a), eval_nnf(&nnf, &a), "bits {bits:#b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix")]
+    fn out_of_prefix_matrix_rejected() {
+        Qbf::new(0, BoolExpr::var(1));
+    }
+
+    #[test]
+    fn display() {
+        let q = Qbf::new(1, BoolExpr::var(0).and(BoolExpr::var(2)));
+        assert_eq!(q.to_string(), "∀u0 ∃e1 ∀u1 . (u0 ∧ u1)");
+    }
+
+    #[test]
+    fn conj_disj_helpers() {
+        assert_eq!(BoolExpr::conj([]), BoolExpr::Const(true));
+        assert_eq!(BoolExpr::disj([]), BoolExpr::Const(false));
+        let c = BoolExpr::conj([BoolExpr::var(0), BoolExpr::var(2)]);
+        assert!(c.eval(&[true, false, true]));
+        assert!(!c.eval(&[true, false, false]));
+    }
+}

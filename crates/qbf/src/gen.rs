@@ -1,0 +1,101 @@
+//! QBF instance generators for tests and benchmarks.
+
+use crate::formula::{BoolExpr, Qbf};
+use rand::Rng;
+
+/// `∀u₀∃e₁…∀uₙ. ⋀ᵢ (eᵢ ↔ u_{i-1})` — true: every existential can copy the
+/// preceding universal. Scales the reduction linearly in `n`.
+pub fn copycat(n: usize) -> Qbf {
+    let matrix = BoolExpr::conj((1..=n).map(|i| {
+        let e = 2 * i - 1; // position of e_i
+        let u = 2 * (i - 1); // position of u_{i-1}
+        iff(e, u)
+    }));
+    Qbf::new(n, matrix)
+}
+
+/// `∀u₀∃e₁…∀uₙ. ⋀ᵢ (eᵢ ↔ uᵢ)` — false for `n ≥ 1`: each existential would
+/// have to predict the *following* universal.
+pub fn clairvoyant(n: usize) -> Qbf {
+    if n == 0 {
+        return Qbf::new(0, BoolExpr::Const(true));
+    }
+    let matrix = BoolExpr::conj((1..=n).map(|i| {
+        let e = 2 * i - 1; // position of e_i
+        let u = 2 * i; // position of u_i
+        iff(e, u)
+    }));
+    Qbf::new(n, matrix)
+}
+
+/// A tautological matrix: `∀…∃…. u₀ ∨ ¬u₀` — always true.
+pub fn tautology(n: usize) -> Qbf {
+    Qbf::new(n, BoolExpr::var(0).or(BoolExpr::var(0).not()))
+}
+
+/// An unsatisfiable matrix — always false.
+pub fn contradiction(n: usize) -> Qbf {
+    Qbf::new(n, BoolExpr::var(0).and(BoolExpr::var(0).not()))
+}
+
+/// A random matrix of the given depth over the prefix of `Qbf::new(n, _)`.
+pub fn random<R: Rng>(rng: &mut R, n: usize, depth: usize) -> Qbf {
+    let n_vars = 2 * n + 1;
+    Qbf::new(n, random_expr(rng, n_vars, depth))
+}
+
+fn random_expr<R: Rng>(rng: &mut R, n_vars: usize, depth: usize) -> BoolExpr {
+    if depth == 0 {
+        let v = BoolExpr::var(rng.gen_range(0..n_vars));
+        return if rng.gen_bool(0.5) { v } else { v.not() };
+    }
+    match rng.gen_range(0..3) {
+        0 => random_expr(rng, n_vars, depth - 1).and(random_expr(rng, n_vars, depth - 1)),
+        1 => random_expr(rng, n_vars, depth - 1).or(random_expr(rng, n_vars, depth - 1)),
+        _ => random_expr(rng, n_vars, depth - 1).not(),
+    }
+}
+
+fn iff(a: usize, b: usize) -> BoolExpr {
+    BoolExpr::var(a)
+        .and(BoolExpr::var(b))
+        .or(BoolExpr::var(a).not().and(BoolExpr::var(b).not()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn copycat_true_clairvoyant_false() {
+        for n in 0..4 {
+            assert!(evaluate(&copycat(n)), "copycat({n})");
+        }
+        for n in 1..4 {
+            assert!(!evaluate(&clairvoyant(n)), "clairvoyant({n})");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        for n in 0..3 {
+            assert!(evaluate(&tautology(n)));
+            assert!(!evaluate(&contradiction(n)));
+        }
+    }
+
+    #[test]
+    fn random_generates_valid_formulas() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in 0..3 {
+            for _ in 0..5 {
+                let q = random(&mut rng, n, 3);
+                let _ = evaluate(&q); // must not panic
+                assert_eq!(q.n, n);
+            }
+        }
+    }
+}

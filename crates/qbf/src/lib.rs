@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # parra-qbf — quantified boolean formulas and the PSPACE-hardness
+//! reduction
+//!
+//! Section 5 of *"Parameterized Verification under Release Acquire is
+//! PSPACE-complete"* (PODC 2022) proves the lower bound by reducing TQBF to
+//! parameterized safety verification of *PureRA* programs —
+//! `env(nocas, acyc)` systems without registers in which stores can only
+//! write the value `1` to an initially-zero memory.
+//!
+//! This crate provides:
+//!
+//! * [`formula`] — QBF syntax `∀u₀∃e₁∀u₁…∃eₙ∀uₙ Φ` with a boolean matrix;
+//! * [`eval`] — a recursive TQBF evaluator (the ground-truth oracle the
+//!   reduction is validated against);
+//! * [`reduce`] — the Figure 6 construction: `c_env = c_AG ⊕ c_SATC ⊕
+//!   c_FE[0] ⊕ … ⊕ c_FE[n-1] ⊕ c_assert`, with truth values encoded in
+//!   views (`vw(t_b) = 0 ⟺ b = 1`);
+//! * [`gen`] — structured and random instance generators for tests and
+//!   benchmarks.
+
+pub mod eval;
+pub mod formula;
+pub mod gen;
+pub mod reduce;
+
+pub use eval::evaluate;
+pub use formula::{BoolExpr, Qbf, QVar};
+pub use reduce::{reduce_to_purera, Reduction};

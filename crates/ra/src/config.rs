@@ -1,0 +1,264 @@
+//! Configurations `CF = Mem × LCFMap` and system instances.
+//!
+//! The paper's `LCFMap` assigns a local configuration to every thread
+//! identifier; all but finitely many are at the initial configuration. An
+//! [`Instance`] fixes the number of `env` threads, so a [`Config`] can use a
+//! dense vector of local configurations.
+
+use crate::memory::Memory;
+use crate::view::View;
+use parra_program::cfg::Loc;
+use parra_program::expr::RegVal;
+use parra_program::system::{ParamSystem, Program, ThreadKind};
+use std::fmt;
+use std::sync::Arc;
+
+/// A thread identifier within an instance. Threads `0..n_env` are `env`
+/// threads; threads `n_env..n_env+n_dis` are the distinguished threads in
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "th{}", self.0)
+    }
+}
+
+/// A thread-local configuration `lcf = (pc, rv, vw) ∈ LCF`.
+///
+/// The paper's `Com` component is represented by the program counter into
+/// the thread's CFA.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LocalConfig {
+    /// Program counter.
+    pub loc: Loc,
+    /// Register valuation.
+    pub regs: RegVal,
+    /// The thread's view.
+    pub view: View,
+}
+
+impl LocalConfig {
+    /// The initial local configuration `lcf_init` for `program`.
+    pub fn initial(program: &Program, n_vars: usize) -> LocalConfig {
+        LocalConfig {
+            loc: program.cfa().entry(),
+            regs: RegVal::new(program.n_regs() as usize),
+            view: View::zero(n_vars),
+        }
+    }
+
+    /// Whether the thread has terminated (reached the CFA exit).
+    pub fn is_terminated(&self, program: &Program) -> bool {
+        self.loc == program.cfa().exit()
+    }
+}
+
+/// An *instance* of a parameterized system: the system plus a fixed number
+/// of `env` threads.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    system: Arc<ParamSystem>,
+    n_env: usize,
+}
+
+impl Instance {
+    /// Creates an instance with `n_env` environment threads.
+    pub fn new(system: ParamSystem, n_env: usize) -> Instance {
+        Instance {
+            system: Arc::new(system),
+            n_env,
+        }
+    }
+
+    /// Creates an instance sharing an existing system handle.
+    pub fn from_arc(system: Arc<ParamSystem>, n_env: usize) -> Instance {
+        Instance { system, n_env }
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &ParamSystem {
+        &self.system
+    }
+
+    /// Number of `env` threads in this instance.
+    pub fn n_env(&self) -> usize {
+        self.n_env
+    }
+
+    /// Total number of threads.
+    pub fn n_threads(&self) -> usize {
+        self.n_env + self.system.dis.len()
+    }
+
+    /// Number of shared variables.
+    pub fn n_vars(&self) -> usize {
+        self.system.n_vars() as usize
+    }
+
+    /// The kind of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn kind(&self, tid: ThreadId) -> ThreadKind {
+        assert!(tid.0 < self.n_threads(), "thread {tid} out of range");
+        if tid.0 < self.n_env {
+            ThreadKind::Env
+        } else {
+            ThreadKind::Dis(tid.0 - self.n_env)
+        }
+    }
+
+    /// The program executed by thread `tid`.
+    pub fn program(&self, tid: ThreadId) -> &Program {
+        self.system.program(self.kind(tid))
+    }
+
+    /// All thread identifiers.
+    pub fn threads(&self) -> impl Iterator<Item = ThreadId> {
+        (0..self.n_threads()).map(ThreadId)
+    }
+
+    /// The initial configuration `cf_init = (Mem_init, lcfm_init)`.
+    pub fn initial_config(&self) -> Config {
+        let n_vars = self.n_vars();
+        Config {
+            memory: Memory::initial(n_vars),
+            threads: self
+                .threads()
+                .map(|tid| LocalConfig::initial(self.program(tid), n_vars))
+                .collect(),
+        }
+    }
+}
+
+/// A global configuration `cf = (m, lcfm)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// The shared memory (message pool).
+    pub memory: Memory,
+    /// Local configurations, indexed by [`ThreadId`].
+    pub threads: Vec<LocalConfig>,
+}
+
+impl Config {
+    /// The local configuration of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn thread(&self, tid: ThreadId) -> &LocalConfig {
+        &self.threads[tid.0]
+    }
+
+    /// Mutable access to the local configuration of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn thread_mut(&mut self, tid: ThreadId) -> &mut LocalConfig {
+        &mut self.threads[tid.0]
+    }
+
+    /// Configuration addition `cf₁ ⊕ cf₂` (Section 3.2): memories are
+    /// united; each thread takes its `cf₁` state unless that is still
+    /// initial, in which case it takes the `cf₂` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations have different thread counts or
+    /// variable counts.
+    pub fn add(&self, other: &Config, instance: &Instance) -> Config {
+        assert_eq!(
+            self.threads.len(),
+            other.threads.len(),
+            "adding configurations of different instances"
+        );
+        let n_vars = instance.n_vars();
+        let threads = self
+            .threads
+            .iter()
+            .zip(&other.threads)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let init = LocalConfig::initial(instance.program(ThreadId(i)), n_vars);
+                if *a != init {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            })
+            .collect();
+        Config {
+            memory: self.memory.union(&other.memory),
+            threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parra_program::builder::SystemBuilder;
+
+    fn sys_with_dis() -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.load(r, x);
+        let env = env.finish();
+        let mut d = b.program("d");
+        d.store(x, 1);
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    #[test]
+    fn instance_thread_layout() {
+        let inst = Instance::new(sys_with_dis(), 3);
+        assert_eq!(inst.n_threads(), 4);
+        assert_eq!(inst.kind(ThreadId(0)), ThreadKind::Env);
+        assert_eq!(inst.kind(ThreadId(2)), ThreadKind::Env);
+        assert_eq!(inst.kind(ThreadId(3)), ThreadKind::Dis(0));
+        assert_eq!(inst.program(ThreadId(3)).name(), "d");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_thread_panics() {
+        let inst = Instance::new(sys_with_dis(), 1);
+        inst.kind(ThreadId(2));
+    }
+
+    #[test]
+    fn initial_config_shape() {
+        let inst = Instance::new(sys_with_dis(), 2);
+        let cf = inst.initial_config();
+        assert_eq!(cf.threads.len(), 3);
+        assert_eq!(cf.memory.len(), 1); // one var
+        for tid in inst.threads() {
+            let lcf = cf.thread(tid);
+            assert_eq!(lcf.loc, inst.program(tid).cfa().entry());
+            assert!(lcf.view.is_zero());
+        }
+    }
+
+    #[test]
+    fn addition_prefers_non_initial_threads() {
+        let inst = Instance::new(sys_with_dis(), 1);
+        let init = inst.initial_config();
+        // cf1: thread 0 moved; cf2: thread 1 moved.
+        let mut cf1 = init.clone();
+        cf1.thread_mut(ThreadId(0)).loc = Loc(1);
+        let mut cf2 = init.clone();
+        cf2.thread_mut(ThreadId(1)).loc = Loc(1);
+        let sum = cf1.add(&cf2, &inst);
+        assert_eq!(sum.thread(ThreadId(0)).loc, Loc(1));
+        assert_eq!(sum.thread(ThreadId(1)).loc, Loc(1));
+        // initial config is neutral: cf ⊕ cf_init = cf
+        assert_eq!(cf1.add(&init, &inst), cf1);
+    }
+}

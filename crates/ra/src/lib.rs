@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # parra-ra — the concrete Release-Acquire operational semantics
+//!
+//! This crate implements Section 2 of *"Parameterized Verification under
+//! Release Acquire is PSPACE-complete"* (PODC 2022): the standard
+//! operational RA semantics with explicit timestamps, thread views, and a
+//! message-pool memory, following Kang et al. / Podkopaev et al. as the
+//! paper does.
+//!
+//! Two complementary machineries live here:
+//!
+//! 1. **Literal semantics** ([`config`], [`step`], [`trace`]) —
+//!    configurations carry numeric timestamps exactly as in the paper's
+//!    Figure 2. Computations are first-class values ([`trace::Trace`]) that
+//!    can be *replayed* (every transition premise re-checked). On top of
+//!    this sit the executable versions of the paper's Section 3 machinery:
+//!    timestamp lifting ([`lifting`], Lemma 3.1), superposition
+//!    ([`superpose`], Lemma 3.2), and env-message duplication
+//!    ([`supply`], the Infinite Supply Lemma 3.3).
+//!
+//! 2. **Canonical exploration** ([`explore`]) — a bounded explicit-state
+//!    model checker for *instances* (fixed thread counts). Timestamps only
+//!    matter up to per-variable order and CAS adjacency, so states are
+//!    canonicalized to per-variable message sequences with glue marks,
+//!    making the bounded state space finite. This engine is the
+//!    ground-truth baseline that the simplified semantics is validated
+//!    against (Theorem 3.4) and the `BoundedConcrete` verifier backend.
+
+pub mod config;
+pub mod explore;
+pub mod lifting;
+pub mod memory;
+pub mod message;
+pub mod step;
+pub mod superpose;
+pub mod supply;
+pub mod timestamp;
+pub mod trace;
+pub mod view;
+
+pub use config::{Config, Instance, LocalConfig, ThreadId};
+pub use explore::{ExploreLimits, ExploreOutcome, ExploreReport, Explorer};
+pub use memory::Memory;
+pub use message::Message;
+pub use step::{Action, StepError, Transition};
+pub use timestamp::Timestamp;
+pub use trace::Trace;
+pub use view::View;

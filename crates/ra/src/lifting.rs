@@ -1,0 +1,407 @@
+//! Timestamp lifting (Section 3.1, Lemma 3.1), executable.
+//!
+//! A [`Lifting`] is a collection `M = {μˣ}` of per-variable timestamp
+//! transformations. It is *RA-valid* for a computation `ρ` when each `μˣ`
+//! is strictly increasing with `μˣ(0) = 0`, and CAS (load, store) timestamp
+//! pairs stay adjacent. Lemma 3.1 states that applying an RA-valid lifting
+//! to an RA computation yields an RA computation — here that is a theorem
+//! you can *run*: [`Lifting::apply`] transforms the transition labels and
+//! replays them, failing if (and only if, per the lemma, never) some rule
+//! premise breaks.
+
+use crate::message::Message;
+use crate::step::{Action, Transition};
+use crate::timestamp::Timestamp;
+use crate::trace::{ReplayError, Trace};
+use crate::view::View;
+use parra_program::ident::VarId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a lifting is not RA-valid for a computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftingError {
+    /// `μˣ(0) ≠ 0`.
+    ZeroNotFixed {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// `μˣ` is not strictly increasing on the occurring timestamps.
+    NotStrictlyIncreasing {
+        /// The offending variable.
+        var: VarId,
+        /// The smaller input timestamp.
+        t1: Timestamp,
+        /// The larger input timestamp mapped to a non-larger output.
+        t2: Timestamp,
+    },
+    /// A CAS pair `(t, t+1)` on `var` is torn apart: `μˣ(t+1) ≠ μˣ(t)+1`.
+    CasPairTorn {
+        /// The offending variable.
+        var: VarId,
+        /// The load timestamp of the pair.
+        load: Timestamp,
+    },
+    /// The lifted computation failed to replay. Per Lemma 3.1 this cannot
+    /// happen for RA-valid liftings; it is reported for completeness (and
+    /// exercised in tests with deliberately invalid liftings).
+    Replay(ReplayError),
+}
+
+impl fmt::Display for LiftingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftingError::ZeroNotFixed { var } => write!(f, "μ^{var}(0) ≠ 0"),
+            LiftingError::NotStrictlyIncreasing { var, t1, t2 } => {
+                write!(f, "μ^{var} not strictly increasing between {t1} and {t2}")
+            }
+            LiftingError::CasPairTorn { var, load } => {
+                write!(f, "CAS pair ({load}, {}) on {var} torn apart", load.succ())
+            }
+            LiftingError::Replay(e) => write!(f, "lifted computation invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftingError {}
+
+/// A per-variable timestamp transformation `M = {μˣ}`, represented
+/// extensionally over the timestamps that actually occur.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lifting {
+    maps: Vec<BTreeMap<Timestamp, Timestamp>>,
+}
+
+impl Lifting {
+    /// The identity lifting over `n_vars` variables.
+    pub fn identity(n_vars: usize) -> Lifting {
+        Lifting {
+            maps: vec![BTreeMap::new(); n_vars],
+        }
+    }
+
+    /// Builds a lifting by evaluating `f(x, t)` on every timestamp `t`
+    /// occurring on `x` in `trace` (plus `0 ↦ 0`).
+    pub fn from_fn<F: Fn(VarId, Timestamp) -> Timestamp>(trace: &Trace, f: F) -> Lifting {
+        let n_vars = trace.instance().n_vars();
+        let mut maps = vec![BTreeMap::new(); n_vars];
+        for x in (0..n_vars).map(|i| VarId(i as u32)) {
+            maps[x.index()].insert(Timestamp::ZERO, Timestamp::ZERO);
+            for t in trace.timestamps_on(x) {
+                maps[x.index()].insert(t, f(x, t));
+            }
+        }
+        Lifting { maps }
+    }
+
+    /// The uniform spacing lifting `μˣ(t) = factor·t` — the canonical way
+    /// to "make space for clones" (Section 3.3): with `factor = 2`, every
+    /// odd slot becomes a hole.
+    ///
+    /// Only RA-valid for computations without CAS (uniform spacing tears
+    /// CAS pairs apart); use [`Lifting::spacing_with_holes`] in general.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn spacing(trace: &Trace, factor: u64) -> Lifting {
+        assert!(factor > 0, "spacing factor must be positive");
+        Lifting::from_fn(trace, |_, t| Timestamp(t.0 * factor))
+    }
+
+    /// A spacing lifting that opens a hole directly below every message
+    /// *except* CAS stores, whose timestamps must stay adjacent to their
+    /// loads (Lemma 3.1, condition (2)). This is the "make space for
+    /// clones" lifting that works for arbitrary computations.
+    pub fn spacing_with_holes(trace: &Trace) -> Lifting {
+        let n_vars = trace.instance().n_vars();
+        let mut maps = vec![BTreeMap::new(); n_vars];
+        for x in (0..n_vars).map(|i| VarId(i as u32)) {
+            let pairs: std::collections::BTreeSet<(Timestamp, Timestamp)> =
+                trace.cas_pairs_on(x).into_iter().collect();
+            maps[x.index()].insert(Timestamp::ZERO, Timestamp::ZERO);
+            let mut prev = Timestamp::ZERO;
+            let mut cur = Timestamp::ZERO;
+            for t in trace.timestamps_on(x) {
+                // A CAS store must stay glued to its load; everything else
+                // gets a hole below it.
+                cur = if pairs.contains(&(prev, t)) {
+                    cur.succ()
+                } else {
+                    Timestamp(cur.0 + 2)
+                };
+                maps[x.index()].insert(t, cur);
+                prev = t;
+            }
+        }
+        Lifting { maps }
+    }
+
+    /// `μˣ(t)`, defaulting to the identity on unmapped timestamps.
+    pub fn map(&self, x: VarId, t: Timestamp) -> Timestamp {
+        self.maps[x.index()].get(&t).copied().unwrap_or(t)
+    }
+
+    /// Checks RA-validity for `trace` (Section 3.1): strictly increasing
+    /// per variable, `μˣ(0) = 0`, CAS pairs stay adjacent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated condition.
+    pub fn validate(&self, trace: &Trace) -> Result<(), LiftingError> {
+        let n_vars = trace.instance().n_vars();
+        for x in (0..n_vars).map(|i| VarId(i as u32)) {
+            if !self.map(x, Timestamp::ZERO).is_zero() {
+                return Err(LiftingError::ZeroNotFixed { var: x });
+            }
+            // Strictly increasing over {0} ∪ TS(ρ)|x.
+            let mut occurring: Vec<Timestamp> = trace.timestamps_on(x).into_iter().collect();
+            occurring.insert(0, Timestamp::ZERO);
+            for w in occurring.windows(2) {
+                if self.map(x, w[0]) >= self.map(x, w[1]) {
+                    return Err(LiftingError::NotStrictlyIncreasing {
+                        var: x,
+                        t1: w[0],
+                        t2: w[1],
+                    });
+                }
+            }
+            for (load, store) in trace.cas_pairs_on(x) {
+                debug_assert_eq!(store, load.succ());
+                if self.map(x, store) != self.map(x, load).succ() {
+                    return Err(LiftingError::CasPairTorn { var: x, load });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transforms a view by `M` (`M(vw) = λx. μˣ(vw(x))`).
+    pub fn lift_view(&self, view: &View) -> View {
+        View::from_times(
+            view.iter()
+                .map(|(x, t)| self.map(x, t))
+                .collect(),
+        )
+    }
+
+    /// Transforms a message by transforming its view.
+    pub fn lift_message(&self, msg: &Message) -> Message {
+        Message::new(msg.var, msg.val, self.lift_view(&msg.view))
+    }
+
+    /// Transforms a transition label.
+    pub fn lift_transition(&self, t: &Transition) -> Transition {
+        let action = match &t.action {
+            Action::Silent => Action::Silent,
+            Action::Load(m) => Action::Load(self.lift_message(m)),
+            Action::Store(m) => Action::Store(self.lift_message(m)),
+            Action::Cas { load, store } => Action::Cas {
+                load: self.lift_message(load),
+                store: self.lift_message(store),
+            },
+        };
+        Transition {
+            thread: t.thread,
+            edge: t.edge,
+            action,
+        }
+    }
+
+    /// Lemma 3.1 in executable form: validates the lifting and replays the
+    /// lifted computation `M(ρ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validity violation, or a replay error (which, per the
+    /// lemma, RA-valid liftings never produce).
+    pub fn apply(&self, trace: &Trace) -> Result<Trace, LiftingError> {
+        self.validate(trace)?;
+        let lifted: Vec<Transition> = trace
+            .transitions()
+            .iter()
+            .map(|t| self.lift_transition(t))
+            .collect();
+        Trace::from_transitions(trace.instance().clone(), lifted).map_err(LiftingError::Replay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Instance, ThreadId};
+    use parra_program::builder::SystemBuilder;
+    use parra_program::system::ParamSystem;
+
+    /// env: x := 1; y := 1  ‖  dis: cas(x, 0, 1) — gives CAS pairs.
+    fn sys() -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        let mut env = b.program("env");
+        env.store(x, 1).store(y, 1);
+        let env = env.finish();
+        let mut d = b.program("d");
+        d.cas(x, 0, 1);
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    /// CAS-free variant: env: x := 1; y := 1  ‖  dis: y := 0.
+    fn casfree_sys() -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        let mut env = b.program("env");
+        env.store(x, 1).store(y, 1);
+        let env = env.finish();
+        let mut d = b.program("d");
+        d.store(y, 0);
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    fn lcg(seed: u64) -> impl FnMut(usize) -> usize {
+        let mut s = seed;
+        move |k| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize % k.max(1)
+        }
+    }
+
+    #[test]
+    fn spacing_lifting_is_valid_and_applies() {
+        let tr = Trace::random(Instance::new(casfree_sys(), 2), 15, lcg(7));
+        let lift = Lifting::spacing(&tr, 3);
+        let lifted = lift.apply(&tr).expect("Lemma 3.1");
+        assert_eq!(lifted.len(), tr.len());
+        // Final memory has same (var, val) multiset, scaled timestamps.
+        for m in tr.last().memory.iter() {
+            let lm = lift.lift_message(m);
+            assert!(lifted.last().memory.contains(&lm));
+        }
+    }
+
+    #[test]
+    fn spacing_with_holes_preserves_cas_pairs() {
+        // The dis CAS gives a (0, 1) pair on x; the hole-opening lifting
+        // must keep it adjacent and still be RA-valid for the whole trace.
+        for seed in 0..10 {
+            let tr = Trace::random(Instance::new(sys(), 2), 20, lcg(100 + seed));
+            let lift = Lifting::spacing_with_holes(&tr);
+            let lifted = lift.apply(&tr).expect("Lemma 3.1 with CAS");
+            assert_eq!(lifted.len(), tr.len());
+            for x in [VarId(0), VarId(1)] {
+                for (load, store) in tr.cas_pairs_on(x) {
+                    assert_eq!(lift.map(x, store), lift.map(x, load).succ());
+                }
+                // Every non-CAS-store timestamp has a free hole below it.
+                let pairs: std::collections::BTreeSet<_> =
+                    tr.cas_pairs_on(x).into_iter().collect();
+                let image: std::collections::BTreeSet<_> = tr
+                    .timestamps_on(x)
+                    .into_iter()
+                    .map(|t| lift.map(x, t))
+                    .collect();
+                for t in tr.timestamps_on(x) {
+                    let glued = pairs.iter().any(|&(_, s)| s == t);
+                    if !glued {
+                        // Non-glued timestamps map to prev+2, so the slot
+                        // below is a hole (and never 0).
+                        let hole = Timestamp(lift.map(x, t).0 - 1);
+                        assert!(!hole.is_zero());
+                        assert!(!image.contains(&hole));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_lifting_is_noop() {
+        let tr = Trace::random(Instance::new(sys(), 1), 10, lcg(3));
+        let lift = Lifting::identity(tr.instance().n_vars());
+        let lifted = lift.apply(&tr).unwrap();
+        assert_eq!(lifted.last(), tr.last());
+    }
+
+    #[test]
+    fn cas_tearing_rejected() {
+        // Build a trace in which the dis thread performs cas(x,0,1):
+        // the pair is (0, 1). A lifting mapping 1 ↦ 5 on x tears it.
+        let inst = Instance::new(sys(), 0);
+        let mut tr = Trace::new(inst);
+        let succs = crate::step::monotone_successors(tr.instance(), tr.last());
+        assert_eq!(succs.len(), 1);
+        tr.push(succs[0].clone()).unwrap();
+        assert_eq!(tr.cas_pairs_on(parra_program::ident::VarId(0)).len(), 1);
+        let lift = Lifting::from_fn(&tr, |_, t| Timestamp(t.0 * 5));
+        let err = lift.validate(&tr).unwrap_err();
+        assert!(matches!(err, LiftingError::CasPairTorn { .. }));
+    }
+
+    #[test]
+    fn zero_must_be_fixed() {
+        let tr = Trace::random(Instance::new(sys(), 1), 5, lcg(9));
+        let mut lift = Lifting::from_fn(&tr, |_, t| t);
+        lift.maps[0].insert(Timestamp::ZERO, Timestamp(1));
+        let err = lift.validate(&tr).unwrap_err();
+        assert!(matches!(err, LiftingError::ZeroNotFixed { .. }));
+    }
+
+    #[test]
+    fn non_monotone_rejected() {
+        let inst = Instance::new(sys(), 2);
+        // Two env threads store to x at ts 1 and 2.
+        let tr = {
+            let mut tr = Trace::new(inst);
+            let s = crate::step::monotone_successors(tr.instance(), tr.last());
+            let store_x: Vec<_> = s
+                .into_iter()
+                .filter(|t| t.thread == ThreadId(0) || t.thread == ThreadId(1))
+                .collect();
+            tr.push(store_x[0].clone()).unwrap();
+            let s2 = crate::step::monotone_successors(tr.instance(), tr.last());
+            let next = s2
+                .into_iter()
+                .find(|t| t.thread != tr.transitions()[0].thread && matches!(t.action, Action::Store(_)))
+                .unwrap();
+            tr.push(next).unwrap();
+            tr
+        };
+        // Swap the order of timestamps 1 and 2 on x (or on y, wherever the
+        // two stores landed): find a variable with ≥2 timestamps.
+        let n_vars = tr.instance().n_vars();
+        let var = (0..n_vars)
+            .map(|i| VarId(i as u32))
+            .find(|&x| tr.timestamps_on(x).len() >= 2);
+        if let Some(x) = var {
+            let lift = Lifting::from_fn(&tr, |y, t| {
+                if y == x {
+                    Timestamp(100 - t.0) // order-reversing
+                } else {
+                    t
+                }
+            });
+            let err = lift.validate(&tr).unwrap_err();
+            assert!(matches!(err, LiftingError::NotStrictlyIncreasing { .. }));
+        }
+    }
+
+    #[test]
+    fn lift_view_maps_per_variable() {
+        let tr = Trace::random(Instance::new(sys(), 1), 8, lcg(11));
+        let lift = Lifting::spacing(&tr, 2);
+        let v = View::from_times(vec![Timestamp(1), Timestamp(3)]);
+        let lv = lift.lift_view(&v);
+        // Timestamps that occurred are doubled; unmapped ones identity.
+        for (x, t) in v.iter() {
+            let expected = if tr.timestamps_on(x).contains(&t) {
+                Timestamp(t.0 * 2)
+            } else {
+                t
+            };
+            assert_eq!(lv.get(x), expected);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Memory states `Mem = 2^Msgs`: the message pool.
+//!
+//! Messages are added by stores and remain in the pool forever. The pool is
+//! a set; we keep it as a sorted, deduplicated vector so memories hash and
+//! compare cheaply.
+
+use crate::message::Message;
+use crate::timestamp::Timestamp;
+use parra_program::ident::VarId;
+use std::fmt;
+
+/// A memory state: a set of messages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Memory {
+    msgs: Vec<Message>, // sorted, deduplicated
+}
+
+impl Memory {
+    /// The empty memory.
+    pub fn empty() -> Memory {
+        Memory::default()
+    }
+
+    /// The initial memory `Mem_init`: one message per variable with value
+    /// `d_init` and the zero view.
+    pub fn initial(n_vars: usize) -> Memory {
+        let msgs = (0..n_vars)
+            .map(|i| Message::initial(VarId(i as u32), n_vars))
+            .collect();
+        Memory { msgs }
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Whether `msg` is in the pool.
+    pub fn contains(&self, msg: &Message) -> bool {
+        self.msgs.binary_search(msg).is_ok()
+    }
+
+    /// Inserts a message (idempotent).
+    pub fn insert(&mut self, msg: Message) {
+        if let Err(pos) = self.msgs.binary_search(&msg) {
+            self.msgs.insert(pos, msg);
+        }
+    }
+
+    /// Whether `msg` is non-conflicting with everything in the pool — the
+    /// side condition `msg # m` of the ST-GLOBAL rule.
+    pub fn admits(&self, msg: &Message) -> bool {
+        self.msgs.iter().all(|m| m.non_conflicting(msg))
+    }
+
+    /// Whether every pair of messages across the two memories is
+    /// non-conflicting (`m₁ # m₂`, Section 3.2).
+    pub fn non_conflicting(&self, other: &Memory) -> bool {
+        self.msgs
+            .iter()
+            .all(|a| other.msgs.iter().all(|b| a.non_conflicting(b)))
+    }
+
+    /// Set union (used by configuration addition `⊕`).
+    pub fn union(&self, other: &Memory) -> Memory {
+        let mut out = self.clone();
+        for m in &other.msgs {
+            out.insert(m.clone());
+        }
+        out
+    }
+
+    /// Iterates over all messages.
+    pub fn iter(&self) -> impl Iterator<Item = &Message> {
+        self.msgs.iter()
+    }
+
+    /// Iterates over the messages on variable `x`.
+    pub fn on_var(&self, x: VarId) -> impl Iterator<Item = &Message> {
+        self.msgs.iter().filter(move |m| m.var == x)
+    }
+
+    /// The message on `x` with timestamp `t`, if present. There is at most
+    /// one in any memory reachable from `Mem_init` (conflicts are excluded
+    /// by the store rule).
+    pub fn at(&self, x: VarId, t: Timestamp) -> Option<&Message> {
+        self.on_var(x).find(|m| m.timestamp() == t)
+    }
+
+    /// The maximal timestamp used on `x` (zero for untouched variables).
+    pub fn max_timestamp(&self, x: VarId) -> Timestamp {
+        self.on_var(x)
+            .map(Message::timestamp)
+            .max()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// All messages in `self` that are not in `other`.
+    pub fn difference(&self, other: &Memory) -> Vec<Message> {
+        self.msgs
+            .iter()
+            .filter(|m| !other.contains(m))
+            .cloned()
+            .collect()
+    }
+}
+
+impl FromIterator<Message> for Memory {
+    fn from_iter<I: IntoIterator<Item = Message>>(iter: I) -> Self {
+        let mut m = Memory::empty();
+        for msg in iter {
+            m.insert(msg);
+        }
+        m
+    }
+}
+
+impl Extend<Message> for Memory {
+    fn extend<I: IntoIterator<Item = Message>>(&mut self, iter: I) {
+        for msg in iter {
+            self.insert(msg);
+        }
+    }
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.msgs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::View;
+    use parra_program::value::Val;
+
+    fn msg(var: u32, val: u32, ts: &[u64]) -> Message {
+        Message::new(
+            VarId(var),
+            Val(val),
+            View::from_times(ts.iter().map(|&t| Timestamp(t)).collect()),
+        )
+    }
+
+    #[test]
+    fn initial_memory_has_one_message_per_var() {
+        let m = Memory::initial(3);
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            let x = VarId(i);
+            assert_eq!(m.on_var(x).count(), 1);
+            assert!(m.at(x, Timestamp::ZERO).unwrap().is_initial());
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut m = Memory::empty();
+        m.insert(msg(0, 1, &[1]));
+        m.insert(msg(0, 1, &[1]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn admits_rejects_conflicts() {
+        let mut m = Memory::initial(1);
+        m.insert(msg(0, 1, &[4]));
+        assert!(!m.admits(&msg(0, 2, &[4]))); // same var, same ts
+        assert!(m.admits(&msg(0, 2, &[5])));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a: Memory = [msg(0, 1, &[1]), msg(0, 2, &[2])].into_iter().collect();
+        let b: Memory = [msg(0, 2, &[2]), msg(0, 3, &[3])].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert_eq!(a.difference(&b), vec![msg(0, 1, &[1])]);
+    }
+
+    #[test]
+    fn memory_non_conflict() {
+        let a: Memory = [msg(0, 1, &[1])].into_iter().collect();
+        let b: Memory = [msg(0, 2, &[1])].into_iter().collect();
+        let c: Memory = [msg(0, 2, &[2])].into_iter().collect();
+        assert!(!a.non_conflicting(&b));
+        assert!(a.non_conflicting(&c));
+    }
+
+    #[test]
+    fn max_timestamp() {
+        let m: Memory = [msg(0, 1, &[1, 0]), msg(0, 2, &[5, 0]), msg(1, 1, &[0, 2])]
+            .into_iter()
+            .collect();
+        assert_eq!(m.max_timestamp(VarId(0)), Timestamp(5));
+        assert_eq!(m.max_timestamp(VarId(1)), Timestamp(2));
+    }
+}

@@ -1,0 +1,113 @@
+//! Messages `(x, d, vw) ∈ Msgs = Var × Dom × View`.
+//!
+//! Stores generate messages; the shared memory is a pool of them. A
+//! message's view records what its generating thread had observed, with the
+//! stored variable's own coordinate being the message's timestamp.
+
+use crate::timestamp::Timestamp;
+use crate::view::View;
+use parra_program::ident::VarId;
+use parra_program::value::Val;
+use std::fmt;
+
+/// A message `(x, d, vw)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Message {
+    /// The variable written.
+    pub var: VarId,
+    /// The value written.
+    pub val: Val,
+    /// The attached view; `view.get(var)` is the message's timestamp.
+    pub view: View,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(var: VarId, val: Val, view: View) -> Message {
+        Message { var, val, view }
+    }
+
+    /// The initial message for variable `x`: value `d_init`, zero view.
+    pub fn initial(x: VarId, n_vars: usize) -> Message {
+        Message::new(x, Val::INIT, View::zero(n_vars))
+    }
+
+    /// The message's timestamp: its view's coordinate for its own variable.
+    pub fn timestamp(&self) -> Timestamp {
+        self.view.get(self.var)
+    }
+
+    /// Whether this is an initial message (timestamp zero).
+    pub fn is_initial(&self) -> bool {
+        self.timestamp().is_zero()
+    }
+
+    /// The non-conflict relation `msg₁ # msg₂` (Section 3.2): different
+    /// variables, or different timestamps, or both timestamps zero.
+    pub fn non_conflicting(&self, other: &Message) -> bool {
+        self.var != other.var
+            || self.timestamp() != other.timestamp()
+            || (self.timestamp().is_zero() && other.timestamp().is_zero())
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}]", self.var, self.val, self.view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(var: u32, val: u32, ts: &[u64]) -> Message {
+        Message::new(
+            VarId(var),
+            Val(val),
+            View::from_times(ts.iter().map(|&t| Timestamp(t)).collect()),
+        )
+    }
+
+    #[test]
+    fn timestamp_is_own_coordinate() {
+        let m = msg(1, 3, &[5, 7]);
+        assert_eq!(m.timestamp(), Timestamp(7));
+        assert!(!m.is_initial());
+    }
+
+    #[test]
+    fn initial_message() {
+        let m = Message::initial(VarId(0), 2);
+        assert!(m.is_initial());
+        assert_eq!(m.val, Val::INIT);
+        assert!(m.view.is_zero());
+    }
+
+    #[test]
+    fn conflict_same_var_same_ts() {
+        let a = msg(0, 1, &[3, 0]);
+        let b = msg(0, 2, &[3, 9]);
+        assert!(!a.non_conflicting(&b));
+    }
+
+    #[test]
+    fn non_conflict_different_var_or_ts() {
+        let a = msg(0, 1, &[3, 0]);
+        assert!(a.non_conflicting(&msg(1, 1, &[3, 3]))); // different var
+        assert!(a.non_conflicting(&msg(0, 1, &[4, 0]))); // different ts
+    }
+
+    #[test]
+    fn both_zero_timestamps_do_not_conflict() {
+        let a = msg(0, 0, &[0, 0]);
+        let b = msg(0, 0, &[0, 5]);
+        assert!(a.non_conflicting(&b));
+        assert!(b.non_conflicting(&a));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(msg(0, 4, &[7, 10]).to_string(), "[x0, 4, ⟨7,10⟩]");
+    }
+}

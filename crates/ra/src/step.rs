@@ -1,0 +1,531 @@
+//! The labelled transition relation of Figure 2.
+//!
+//! A [`Transition`] names a thread, one CFA edge of its program, and the
+//! messages involved (for loads, stores, and CAS). [`apply`] checks *every*
+//! premise of the corresponding rule and produces the successor
+//! configuration — so a sequence of transitions that replays successfully
+//! is a genuine RA computation. This is the foundation for the executable
+//! Lemmas 3.1–3.3 (see [`lifting`](crate::lifting),
+//! [`superpose`](crate::superpose), [`supply`](crate::supply)).
+//!
+//! Enumeration of successors with *monotone* timestamp choice (each store
+//! appends above the current maximum) is provided for trace generation;
+//! exhaustive exploration with arbitrary timestamp placement lives in
+//! [`explore`](crate::explore).
+
+use crate::config::{Config, Instance, ThreadId};
+use crate::message::Message;
+use parra_program::cfg::{Edge, Instr};
+use parra_program::value::Val;
+use std::fmt;
+
+/// The memory interaction of a transition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// A silent transition (skip, assume, assign, assert).
+    Silent,
+    /// Loading an existing message.
+    Load(Message),
+    /// Adding a store message.
+    Store(Message),
+    /// An atomic CAS: the loaded message and the added message.
+    Cas {
+        /// The message the CAS loads.
+        load: Message,
+        /// The message the CAS stores (adjacent timestamp).
+        store: Message,
+    },
+}
+
+/// One labelled transition `(th, msg)` of the global relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// The thread taking the step.
+    pub thread: ThreadId,
+    /// Index into the thread program's CFA edge list.
+    pub edge: usize,
+    /// The memory interaction.
+    pub action: Action,
+}
+
+impl Transition {
+    /// A silent transition.
+    pub fn silent(thread: ThreadId, edge: usize) -> Transition {
+        Transition {
+            thread,
+            edge,
+            action: Action::Silent,
+        }
+    }
+}
+
+/// Why a transition failed to apply — one variant per violated premise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepError {
+    /// The edge index does not exist in the thread's program.
+    EdgeOutOfRange,
+    /// The thread is not at the edge's source location.
+    WrongSource,
+    /// The action kind does not match the edge's instruction.
+    ActionMismatch,
+    /// An `assume` evaluated to false.
+    AssumeFailed,
+    /// A loaded message is not in the memory (LD-GLOBAL premise).
+    MessageNotInMemory,
+    /// The message's variable differs from the instruction's.
+    WrongVariable,
+    /// The loaded message is outdated: its timestamp is below the thread's
+    /// view (LD-LOCAL premise `vw(x) ≤ vw'(x)`).
+    OutdatedMessage,
+    /// The stored message's view is not `vw <ₓ vw'` from the thread's view.
+    BadStoreView,
+    /// The stored/loaded value does not match the instruction.
+    ValueMismatch,
+    /// The stored message conflicts with the memory (`msg # m` fails).
+    Conflict,
+    /// CAS timestamps are not adjacent (`ts' ≠ ts + 1`) or the store view is
+    /// not the joined view raised to `ts + 1`.
+    NotAdjacent,
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StepError::EdgeOutOfRange => "edge index out of range",
+            StepError::WrongSource => "thread is not at the edge's source location",
+            StepError::ActionMismatch => "action does not match the edge instruction",
+            StepError::AssumeFailed => "assume evaluated to false",
+            StepError::MessageNotInMemory => "loaded message is not in memory",
+            StepError::WrongVariable => "message variable differs from instruction variable",
+            StepError::OutdatedMessage => "loaded message is outdated for the thread's view",
+            StepError::BadStoreView => "store view is not vw <_x vw' from the thread's view",
+            StepError::ValueMismatch => "message value does not match the instruction",
+            StepError::Conflict => "stored message conflicts with the memory",
+            StepError::NotAdjacent => "CAS views/timestamps are not adjacent",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// Applies `t` to `cf`, checking every premise of the Figure 2 rules.
+///
+/// # Errors
+///
+/// Returns the first violated premise as a [`StepError`]; `cf` is not
+/// modified on error (the function is pure).
+pub fn apply(instance: &Instance, cf: &Config, t: &Transition) -> Result<Config, StepError> {
+    let program = instance.program(t.thread);
+    let cfa = program.cfa();
+    let edge: &Edge = cfa.edges().get(t.edge).ok_or(StepError::EdgeOutOfRange)?;
+    let lcf = cf.thread(t.thread);
+    if lcf.loc != edge.from {
+        return Err(StepError::WrongSource);
+    }
+    let dom = instance.system().dom;
+    let mut next = cf.clone();
+    {
+        let lcf_mut = next.thread_mut(t.thread);
+        lcf_mut.loc = edge.to;
+    }
+    match (&edge.instr, &t.action) {
+        (Instr::Skip, Action::Silent) | (Instr::AssertFalse, Action::Silent) => Ok(next),
+        (Instr::Assume(e), Action::Silent) => {
+            if e.eval(&lcf.regs, dom).as_bool() {
+                Ok(next)
+            } else {
+                Err(StepError::AssumeFailed)
+            }
+        }
+        (Instr::Assign(r, e), Action::Silent) => {
+            let v = e.eval(&lcf.regs, dom);
+            next.thread_mut(t.thread).regs.set(*r, v);
+            Ok(next)
+        }
+        (Instr::Load(r, x), Action::Load(msg)) => {
+            if msg.var != *x {
+                return Err(StepError::WrongVariable);
+            }
+            if !cf.memory.contains(msg) {
+                return Err(StepError::MessageNotInMemory);
+            }
+            if msg.view.get(*x) < lcf.view.get(*x) {
+                return Err(StepError::OutdatedMessage);
+            }
+            let lcf_mut = next.thread_mut(t.thread);
+            lcf_mut.regs.set(*r, msg.val);
+            lcf_mut.view = lcf.view.join(&msg.view);
+            Ok(next)
+        }
+        (Instr::Store(x, e), Action::Store(msg)) => {
+            if msg.var != *x {
+                return Err(StepError::WrongVariable);
+            }
+            if msg.val != e.eval(&lcf.regs, dom) {
+                return Err(StepError::ValueMismatch);
+            }
+            if !lcf.view.lt_x(&msg.view, *x) {
+                return Err(StepError::BadStoreView);
+            }
+            if !cf.memory.admits(msg) {
+                return Err(StepError::Conflict);
+            }
+            next.memory.insert(msg.clone());
+            next.thread_mut(t.thread).view = msg.view.clone();
+            Ok(next)
+        }
+        (Instr::Cas(x, e1, e2), Action::Cas { load, store }) => {
+            // LD half.
+            if load.var != *x || store.var != *x {
+                return Err(StepError::WrongVariable);
+            }
+            if !cf.memory.contains(load) {
+                return Err(StepError::MessageNotInMemory);
+            }
+            if load.val != e1.eval(&lcf.regs, dom) {
+                return Err(StepError::ValueMismatch);
+            }
+            if load.view.get(*x) < lcf.view.get(*x) {
+                return Err(StepError::OutdatedMessage);
+            }
+            // ST half: view is the join raised to the adjacent timestamp.
+            if store.val != e2.eval(&lcf.regs, dom) {
+                return Err(StepError::ValueMismatch);
+            }
+            let ts = load.view.get(*x);
+            let expected_view = lcf.view.join(&load.view).with(*x, ts.succ());
+            if store.view != expected_view {
+                return Err(StepError::NotAdjacent);
+            }
+            if !cf.memory.admits(store) {
+                return Err(StepError::Conflict);
+            }
+            next.memory.insert(store.clone());
+            next.thread_mut(t.thread).view = store.view.clone();
+            Ok(next)
+        }
+        _ => Err(StepError::ActionMismatch),
+    }
+}
+
+/// Enumerates all transitions enabled at `cf` under the *monotone*
+/// timestamp policy: store messages take timestamp `max(x) + 1` over the
+/// current memory.
+///
+/// This under-approximates RA (stores may also be placed into gaps below
+/// the maximum); it is complete enough for random trace generation and all
+/// Section 3 machinery tests. Use [`explore`](crate::explore) for
+/// exhaustive placement.
+pub fn monotone_successors(instance: &Instance, cf: &Config) -> Vec<Transition> {
+    let mut out = Vec::new();
+    let dom = instance.system().dom;
+    for tid in instance.threads() {
+        let lcf = cf.thread(tid);
+        let cfa = instance.program(tid).cfa();
+        for (ei, edge) in cfa.edges().iter().enumerate() {
+            if edge.from != lcf.loc {
+                continue;
+            }
+            match &edge.instr {
+                Instr::Skip | Instr::AssertFalse => out.push(Transition::silent(tid, ei)),
+                Instr::Assume(e) => {
+                    if e.eval(&lcf.regs, dom).as_bool() {
+                        out.push(Transition::silent(tid, ei));
+                    }
+                }
+                Instr::Assign(..) => out.push(Transition::silent(tid, ei)),
+                Instr::Load(_, x) => {
+                    for msg in cf.memory.on_var(*x) {
+                        if msg.view.get(*x) >= lcf.view.get(*x) {
+                            out.push(Transition {
+                                thread: tid,
+                                edge: ei,
+                                action: Action::Load(msg.clone()),
+                            });
+                        }
+                    }
+                }
+                Instr::Store(x, e) => {
+                    let ts = cf.memory.max_timestamp(*x).succ();
+                    let view = lcf.view.with(*x, ts.max(lcf.view.get(*x).succ()));
+                    let msg = Message::new(*x, e.eval(&lcf.regs, dom), view);
+                    out.push(Transition {
+                        thread: tid,
+                        edge: ei,
+                        action: Action::Store(msg),
+                    });
+                }
+                Instr::Cas(x, e1, e2) => {
+                    let want: Val = e1.eval(&lcf.regs, dom);
+                    for load in cf.memory.on_var(*x) {
+                        if load.val != want || load.view.get(*x) < lcf.view.get(*x) {
+                            continue;
+                        }
+                        let ts = load.view.get(*x);
+                        let store_view = lcf.view.join(&load.view).with(*x, ts.succ());
+                        let store = Message::new(*x, e2.eval(&lcf.regs, dom), store_view);
+                        if cf.memory.admits(&store) {
+                            out.push(Transition {
+                                thread: tid,
+                                edge: ei,
+                                action: Action::Cas {
+                                    load: load.clone(),
+                                    store,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::Timestamp;
+    use crate::view::View;
+    use parra_program::builder::SystemBuilder;
+    use parra_program::expr::Expr;
+    use parra_program::ident::VarId;
+    use parra_program::system::ParamSystem;
+
+    /// env: r <- x; assume r == 1   ‖   dis: x := 1; cas(x, 1, 0)
+    fn sys() -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.load(r, x).assume_eq(r, 1);
+        let env = env.finish();
+        let mut d = b.program("d");
+        d.store(x, 1).cas(x, 1, 0);
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+
+    #[test]
+    fn load_initial_message() {
+        let inst = Instance::new(sys(), 1);
+        let cf = inst.initial_config();
+        let msg = cf.memory.at(x(), Timestamp::ZERO).unwrap().clone();
+        let t = Transition {
+            thread: ThreadId(0),
+            edge: 0,
+            action: Action::Load(msg),
+        };
+        let next = apply(&inst, &cf, &t).unwrap();
+        assert_eq!(next.thread(ThreadId(0)).regs.get(parra_program::ident::RegId(0)), parra_program::value::Val(0));
+        // assume r == 1 now fails
+        let t2 = Transition::silent(ThreadId(0), 1);
+        assert_eq!(apply(&inst, &next, &t2), Err(StepError::AssumeFailed));
+    }
+
+    #[test]
+    fn store_then_load_then_assume() {
+        let inst = Instance::new(sys(), 1);
+        let cf = inst.initial_config();
+        // dis stores x := 1 at ts 1.
+        let store_msg = Message::new(x(), parra_program::value::Val(1), View::from_times(vec![Timestamp(1)]));
+        let t = Transition {
+            thread: ThreadId(1),
+            edge: 0,
+            action: Action::Store(store_msg.clone()),
+        };
+        let cf1 = apply(&inst, &cf, &t).unwrap();
+        assert!(cf1.memory.contains(&store_msg));
+        assert_eq!(cf1.thread(ThreadId(1)).view.get(x()), Timestamp(1));
+        // env loads the new message and passes the assume.
+        let t2 = Transition {
+            thread: ThreadId(0),
+            edge: 0,
+            action: Action::Load(store_msg),
+        };
+        let cf2 = apply(&inst, &cf1, &t2).unwrap();
+        let t3 = Transition::silent(ThreadId(0), 1);
+        let cf3 = apply(&inst, &cf2, &t3).unwrap();
+        assert_eq!(
+            cf3.thread(ThreadId(0)).loc,
+            inst.program(ThreadId(0)).cfa().exit()
+        );
+    }
+
+    #[test]
+    fn outdated_load_rejected() {
+        // A thread whose view on x is already at ts 1 must not load the
+        // initial ts-0 message (LD-LOCAL premise vw(x) ≤ vw'(x)).
+        let inst = Instance::new(sys(), 2);
+        let cf = inst.initial_config();
+        let store_msg = Message::new(
+            x(),
+            parra_program::value::Val(1),
+            View::from_times(vec![Timestamp(1)]),
+        );
+        let cf1 = apply(
+            &inst,
+            &cf,
+            &Transition {
+                thread: ThreadId(2),
+                edge: 0,
+                action: Action::Store(store_msg.clone()),
+            },
+        )
+        .unwrap();
+        let init_msg = cf1.memory.at(x(), Timestamp::ZERO).unwrap().clone();
+        // Raise env thread 1's view to ts 1 directly (as if it had synced).
+        let mut raised = cf1.clone();
+        raised.thread_mut(ThreadId(1)).view.set(x(), Timestamp(1));
+        let err = apply(
+            &inst,
+            &raised,
+            &Transition {
+                thread: ThreadId(1),
+                edge: 0,
+                action: Action::Load(init_msg),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, StepError::OutdatedMessage);
+        // The up-to-date message is still loadable.
+        assert!(apply(
+            &inst,
+            &raised,
+            &Transition {
+                thread: ThreadId(1),
+                edge: 0,
+                action: Action::Load(store_msg),
+            },
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn conflicting_store_rejected() {
+        let inst = Instance::new(sys(), 0);
+        let cf = inst.initial_config();
+        let m1 = Message::new(x(), parra_program::value::Val(1), View::from_times(vec![Timestamp(1)]));
+        let cf1 = apply(
+            &inst,
+            &cf,
+            &Transition {
+                thread: ThreadId(0),
+                edge: 0,
+                action: Action::Store(m1),
+            },
+        )
+        .unwrap();
+        // A dis thread at entry again would be needed to store again; fake a
+        // second instance where the same timestamp collides.
+        let inst2 = Instance::new(sys(), 0);
+        let mut cf_stale = inst2.initial_config();
+        cf_stale.memory = cf1.memory.clone();
+        let m_conflict = Message::new(x(), parra_program::value::Val(1), View::from_times(vec![Timestamp(1)]));
+        let err = apply(
+            &inst2,
+            &cf_stale,
+            &Transition {
+                thread: ThreadId(0),
+                edge: 0,
+                action: Action::Store(m_conflict),
+            },
+        )
+        .unwrap_err();
+        // Message is identical to an existing one: identical messages are
+        // *equal*, and a set insert would be idempotent — but the store rule
+        // demands non-conflict, so it is rejected.
+        assert_eq!(err, StepError::Conflict);
+    }
+
+    #[test]
+    fn cas_requires_adjacency() {
+        let inst = Instance::new(sys(), 0);
+        let cf = inst.initial_config();
+        // dis: x := 1 at ts 1, then cas(x, 1, 0) must store at ts 2.
+        let m1 = Message::new(x(), parra_program::value::Val(1), View::from_times(vec![Timestamp(1)]));
+        let cf1 = apply(
+            &inst,
+            &cf,
+            &Transition {
+                thread: ThreadId(0),
+                edge: 0,
+                action: Action::Store(m1.clone()),
+            },
+        )
+        .unwrap();
+        let good_store = Message::new(x(), parra_program::value::Val(0), View::from_times(vec![Timestamp(2)]));
+        let bad_store = Message::new(x(), parra_program::value::Val(0), View::from_times(vec![Timestamp(3)]));
+        let bad = Transition {
+            thread: ThreadId(0),
+            edge: 1,
+            action: Action::Cas {
+                load: m1.clone(),
+                store: bad_store,
+            },
+        };
+        assert_eq!(apply(&inst, &cf1, &bad), Err(StepError::NotAdjacent));
+        let good = Transition {
+            thread: ThreadId(0),
+            edge: 1,
+            action: Action::Cas {
+                load: m1,
+                store: good_store.clone(),
+            },
+        };
+        let cf2 = apply(&inst, &cf1, &good).unwrap();
+        assert!(cf2.memory.contains(&good_store));
+        assert_eq!(cf2.thread(ThreadId(0)).view.get(x()), Timestamp(2));
+    }
+
+    #[test]
+    fn monotone_successors_cover_all_threads() {
+        let inst = Instance::new(sys(), 2);
+        let cf = inst.initial_config();
+        let succs = monotone_successors(&inst, &cf);
+        // 2 env loads (one message each) + 1 dis store.
+        assert_eq!(succs.len(), 3);
+        for t in &succs {
+            assert!(apply(&inst, &cf, t).is_ok());
+        }
+    }
+
+    #[test]
+    fn monotone_cas_successor() {
+        let inst = Instance::new(sys(), 0);
+        let cf = inst.initial_config();
+        let succs = monotone_successors(&inst, &cf);
+        assert_eq!(succs.len(), 1); // the store
+        let cf1 = apply(&inst, &cf, &succs[0]).unwrap();
+        let succs2 = monotone_successors(&inst, &cf1);
+        assert_eq!(succs2.len(), 1); // the CAS on value 1
+        assert!(matches!(succs2[0].action, Action::Cas { .. }));
+        assert!(apply(&inst, &cf1, &succs2[0]).is_ok());
+    }
+
+    #[test]
+    fn wrong_source_and_action_mismatch() {
+        let inst = Instance::new(sys(), 1);
+        let cf = inst.initial_config();
+        // env edge 1 is the assume; thread is at edge 0's source.
+        assert_eq!(
+            apply(&inst, &cf, &Transition::silent(ThreadId(0), 1)),
+            Err(StepError::WrongSource)
+        );
+        // load edge with silent action
+        assert_eq!(
+            apply(&inst, &cf, &Transition::silent(ThreadId(0), 0)),
+            Err(StepError::ActionMismatch)
+        );
+        assert_eq!(
+            apply(&inst, &cf, &Transition::silent(ThreadId(0), 99)),
+            Err(StepError::EdgeOutOfRange)
+        );
+        let _ = Expr::val(0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Superposition `ρ ▷ ρ'` (Section 3.2, Lemma 3.2), executable.
+//!
+//! The superposition of two non-conflicting computations executes `ρ` and
+//! then re-executes the `env` part of `ρ'` on top of `last(ρ)`. Lemma 3.2:
+//! if `ρ↓env # ρ'↓env` and `Msgs(ρ↓dis) = Msgs(ρ'↓dis)`, the result is
+//! again an RA computation. [`superpose_env`] performs the construction —
+//! including the thread-disjointness requirement, realized by re-indexing
+//! `ρ'`'s `env` threads into a combined instance — and replays the result.
+
+use crate::config::{Instance, ThreadId};
+use crate::step::Transition;
+use crate::trace::{ReplayError, Trace};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a superposition is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuperposeError {
+    /// The computations run over different systems.
+    DifferentSystems,
+    /// The `env` messages of the two computations conflict
+    /// (`ρ↓env # ρ'↓env` fails).
+    EnvConflict,
+    /// `Msgs(ρ↓dis) ≠ Msgs(ρ'↓dis)`: the clone run saw different
+    /// distinguished messages.
+    DisMessagesDiffer,
+    /// The combined computation failed to replay. Per Lemma 3.2 this cannot
+    /// happen when the side conditions hold.
+    Replay(ReplayError),
+}
+
+impl fmt::Display for SuperposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperposeError::DifferentSystems => {
+                write!(f, "computations run over different systems")
+            }
+            SuperposeError::EnvConflict => write!(f, "env messages of ρ and ρ' conflict"),
+            SuperposeError::DisMessagesDiffer => {
+                write!(f, "Msgs(ρ↓dis) ≠ Msgs(ρ'↓dis)")
+            }
+            SuperposeError::Replay(e) => write!(f, "superposed computation invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuperposeError {}
+
+/// Re-indexes the threads of a transition sequence.
+pub fn remap_threads<F: Fn(ThreadId) -> ThreadId>(
+    transitions: &[Transition],
+    f: F,
+) -> Vec<Transition> {
+    transitions
+        .iter()
+        .map(|t| Transition {
+            thread: f(t.thread),
+            edge: t.edge,
+            action: t.action.clone(),
+        })
+        .collect()
+}
+
+/// The superposition `ρ ▷ (ρ'↓env)` of Lemma 3.2.
+///
+/// Both computations must run over the same system (possibly with different
+/// `env` counts). The result runs over a combined instance with
+/// `ρ.n_env + ρ'.n_env` environment threads: `ρ`'s `env` threads keep their
+/// identities, `ρ'`'s are shifted up, and the `dis` threads are shared
+/// (their transitions are taken from `ρ` only).
+///
+/// # Errors
+///
+/// Rejects computations over different systems, with conflicting `env`
+/// messages, or with different `dis` message sets; and reports a replay
+/// error if the combined computation is invalid (by Lemma 3.2, impossible
+/// when the side conditions hold — property-tested).
+pub fn superpose_env(rho: &Trace, rho2: &Trace) -> Result<Trace, SuperposeError> {
+    if rho.instance().system() != rho2.instance().system() {
+        return Err(SuperposeError::DifferentSystems);
+    }
+    if !rho
+        .env_messages()
+        .non_conflicting(&rho2.env_messages())
+    {
+        return Err(SuperposeError::EnvConflict);
+    }
+    if rho.dis_messages() != rho2.dis_messages() {
+        return Err(SuperposeError::DisMessagesDiffer);
+    }
+
+    let n_env1 = rho.instance().n_env();
+    let n_env2 = rho2.instance().n_env();
+    let n_env_total = n_env1 + n_env2;
+    let combined = Instance::from_arc(
+        Arc::new(rho.instance().system().clone()),
+        n_env_total,
+    );
+
+    // ρ's transitions: env ids unchanged, dis ids shifted to the end.
+    let part1 = remap_threads(rho.transitions(), |tid| {
+        if tid.0 < n_env1 {
+            tid
+        } else {
+            ThreadId(tid.0 - n_env1 + n_env_total)
+        }
+    });
+    // ρ'↓env: env ids shifted past ρ's env block.
+    let part2 = remap_threads(&rho2.env_projection(), |tid| {
+        debug_assert!(tid.0 < n_env2);
+        ThreadId(tid.0 + n_env1)
+    });
+
+    let mut all = part1;
+    all.extend(part2);
+    Trace::from_transitions(combined, all).map_err(SuperposeError::Replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifting::Lifting;
+    use crate::step::monotone_successors;
+    use parra_program::builder::SystemBuilder;
+    use parra_program::system::{ParamSystem, ThreadKind};
+
+    /// env: r <- y; x := 1  ‖  dis: y := 1
+    fn sys() -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.load(r, y).store(x, 1);
+        let env = env.finish();
+        let mut d = b.program("d");
+        d.store(y, 1);
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    fn lcg(seed: u64) -> impl FnMut(usize) -> usize {
+        let mut s = seed;
+        move |k| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize % k.max(1)
+        }
+    }
+
+    /// Build ρ and a "clone candidate" ρ' with the same dis messages but
+    /// env messages in the holes of a spaced-out ρ.
+    #[test]
+    fn superposition_of_spaced_runs() {
+        let inst = Instance::new(sys(), 1);
+        let tr = Trace::random(inst, 30, lcg(42));
+        if tr.env_messages().is_empty() {
+            return; // nothing to superpose in this sample
+        }
+        // Space ρ out by factor 2: odd slots become holes.
+        let spaced = Lifting::spacing(&tr, 2).apply(&tr).unwrap();
+        // ρ': same run, but env stores shifted into the holes (2t - 1) and
+        // dis stores at the same spots (2t).
+        let n_env = tr.instance().n_env();
+        let env_ts: std::collections::BTreeSet<_> = tr
+            .env_messages()
+            .iter()
+            .map(|m| (m.var, m.timestamp()))
+            .collect();
+        let shifted = Lifting::from_fn(&tr, |x, t| {
+            if env_ts.contains(&(x, t)) {
+                crate::timestamp::Timestamp(2 * t.0 - 1)
+            } else {
+                crate::timestamp::Timestamp(2 * t.0)
+            }
+        })
+        .apply(&tr)
+        .unwrap();
+        let result = superpose_env(&spaced, &shifted).expect("Lemma 3.2");
+        assert_eq!(result.instance().n_env(), 2 * n_env);
+        // All spaced env messages and all shifted env messages coexist.
+        for m in spaced.env_messages().iter() {
+            assert!(result.last().memory.contains(m));
+        }
+        for m in shifted.env_messages().iter() {
+            assert!(result.last().memory.contains(m));
+        }
+        // dis transitions appear exactly once (from ρ).
+        let dis_count = result
+            .transitions()
+            .iter()
+            .filter(|t| {
+                matches!(
+                    result.instance().kind(t.thread),
+                    ThreadKind::Dis(_)
+                )
+            })
+            .count();
+        assert_eq!(dis_count, tr.dis_projection().len());
+    }
+
+    #[test]
+    fn conflicting_env_messages_rejected() {
+        let inst = Instance::new(sys(), 1);
+        let tr = {
+            // Force an env store: dis stores y, env loads y, env stores x.
+            let mut tr = Trace::new(inst);
+            loop {
+                let succs = monotone_successors(tr.instance(), tr.last());
+                match succs.into_iter().next() {
+                    Some(t) => tr.push(t).unwrap(),
+                    None => break,
+                }
+            }
+            tr
+        };
+        if tr.env_messages().is_empty() {
+            panic!("expected env messages");
+        }
+        // ρ' = ρ: identical env messages conflict (same var, same ts).
+        let err = superpose_env(&tr, &tr).unwrap_err();
+        assert_eq!(err, SuperposeError::EnvConflict);
+    }
+
+    #[test]
+    fn differing_dis_messages_rejected() {
+        let inst = Instance::new(sys(), 1);
+        // ρ: only the dis store happens. ρ': nothing happens.
+        let mut rho = Trace::new(inst.clone());
+        let dis_store = monotone_successors(rho.instance(), rho.last())
+            .into_iter()
+            .find(|t| t.thread == ThreadId(1))
+            .unwrap();
+        rho.push(dis_store).unwrap();
+        let rho2 = Trace::new(inst);
+        let err = superpose_env(&rho, &rho2).unwrap_err();
+        assert_eq!(err, SuperposeError::DisMessagesDiffer);
+    }
+
+    #[test]
+    fn empty_superposition_is_identity() {
+        let inst = Instance::new(sys(), 1);
+        let rho = Trace::new(inst.clone());
+        let rho2 = Trace::new(inst);
+        let result = superpose_env(&rho, &rho2).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.instance().n_env(), 2);
+    }
+
+    #[test]
+    fn remap_is_pure_relabeling() {
+        let inst = Instance::new(sys(), 2);
+        let tr = Trace::random(inst, 10, lcg(5));
+        let remapped = remap_threads(tr.transitions(), |t| ThreadId(t.0 + 7));
+        for (a, b) in tr.transitions().iter().zip(&remapped) {
+            assert_eq!(a.edge, b.edge);
+            assert_eq!(a.action, b.action);
+            assert_eq!(b.thread.0, a.thread.0 + 7);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Concrete timestamps `Time = ℕ`.
+//!
+//! The RA semantics totally orders all stores to the same variable by
+//! timestamps (Section 2 of the paper). `0` is reserved for the initial
+//! messages.
+
+use std::fmt;
+
+/// A concrete timestamp `t ∈ Time = ℕ`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The timestamp of initial messages.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The immediately following timestamp — the adjacency requirement of
+    /// CAS (`ts' = ts + 1`).
+    pub fn succ(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+
+    /// Whether this is the initial timestamp.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(t: u64) -> Self {
+        Timestamp(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Timestamp(0) < Timestamp(1));
+        assert!(Timestamp(10) > Timestamp(2));
+        assert_eq!(Timestamp::ZERO, Timestamp(0));
+    }
+
+    #[test]
+    fn succ_and_zero() {
+        assert_eq!(Timestamp(3).succ(), Timestamp(4));
+        assert!(Timestamp::ZERO.is_zero());
+        assert!(!Timestamp(1).is_zero());
+    }
+}

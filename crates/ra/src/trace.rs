@@ -1,0 +1,363 @@
+//! Computations `ρ` as first-class, replayable values.
+//!
+//! A [`Trace`] is an initialized computation: a sequence of transitions
+//! starting from `cf_init`. Pushing a transition re-checks every premise of
+//! the Figure 2 rules, so a `Trace` is *valid by construction*. The
+//! Section 3 operations (lifting, superposition, infinite supply) transform
+//! transition sequences and re-validate them by replay.
+
+use crate::config::{Config, Instance, ThreadId};
+use crate::memory::Memory;
+use crate::step::{self, Action, StepError, Transition};
+use crate::timestamp::Timestamp;
+use parra_program::ident::VarId;
+use parra_program::system::ThreadKind;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A replay failure: which step failed and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Index of the offending transition.
+    pub step: usize,
+    /// The violated premise.
+    pub error: StepError,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replay failed at step {}: {}", self.step, self.error)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// An initialized RA computation
+/// `ρ = cf_init → cf₁ → … → cfₙ`, valid by construction.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    instance: Instance,
+    transitions: Vec<Transition>,
+    /// `configs[i]` is the configuration *before* transition `i`;
+    /// `configs.last()` is `last(ρ)`.
+    configs: Vec<Config>,
+}
+
+impl Trace {
+    /// The empty computation from `cf_init`.
+    pub fn new(instance: Instance) -> Trace {
+        let init = instance.initial_config();
+        Trace {
+            instance,
+            transitions: Vec::new(),
+            configs: vec![init],
+        }
+    }
+
+    /// Replays a transition sequence from `cf_init`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first step whose premises fail.
+    pub fn from_transitions(
+        instance: Instance,
+        transitions: Vec<Transition>,
+    ) -> Result<Trace, ReplayError> {
+        let mut trace = Trace::new(instance);
+        for t in transitions {
+            trace.push(t).map_err(|e| ReplayError {
+                step: trace.len(),
+                error: e,
+            })?;
+        }
+        Ok(trace)
+    }
+
+    /// Appends a transition, checking all rule premises.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated premise; the trace is unchanged on error.
+    pub fn push(&mut self, t: Transition) -> Result<(), StepError> {
+        let next = step::apply(&self.instance, self.last(), &t)?;
+        self.transitions.push(t);
+        self.configs.push(next);
+        Ok(())
+    }
+
+    /// The instance this computation runs over.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the computation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// `first(ρ)` — always `cf_init` for initialized computations.
+    pub fn first(&self) -> &Config {
+        &self.configs[0]
+    }
+
+    /// `last(ρ)` — the final configuration.
+    pub fn last(&self) -> &Config {
+        self.configs.last().expect("configs is never empty")
+    }
+
+    /// The configuration before transition `i` (so `config_at(len())` is
+    /// `last(ρ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len()`.
+    pub fn config_at(&self, i: usize) -> &Config {
+        &self.configs[i]
+    }
+
+    /// `TID(ρ)` — the thread identifiers labelling transitions.
+    pub fn thread_ids(&self) -> BTreeSet<ThreadId> {
+        self.transitions.iter().map(|t| t.thread).collect()
+    }
+
+    /// `TS(ρ)` for variable `x`: all non-zero timestamps occurring on `x`
+    /// across all messages of the final memory (messages persist, so the
+    /// final memory contains every message of the computation) and all
+    /// thread views.
+    pub fn timestamps_on(&self, x: VarId) -> BTreeSet<Timestamp> {
+        let mut out = BTreeSet::new();
+        for cf in &self.configs {
+            for m in cf.memory.iter() {
+                let t = m.view.get(x);
+                if !t.is_zero() {
+                    out.insert(t);
+                }
+            }
+            for th in &cf.threads {
+                let t = th.view.get(x);
+                if !t.is_zero() {
+                    out.insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// The projection `ρ↓TID'`: the transition subsequence of the given
+    /// threads. The result is label data, not necessarily a valid
+    /// initialized computation on its own.
+    pub fn project<F: Fn(ThreadId) -> bool>(&self, keep: F) -> Vec<Transition> {
+        self.transitions
+            .iter()
+            .filter(|t| keep(t.thread))
+            .cloned()
+            .collect()
+    }
+
+    /// The transitions of `env` threads (`ρ↓env`).
+    pub fn env_projection(&self) -> Vec<Transition> {
+        let n_env = self.instance.n_env();
+        self.project(|tid| tid.0 < n_env)
+    }
+
+    /// The transitions of `dis` threads (`ρ↓dis`).
+    pub fn dis_projection(&self) -> Vec<Transition> {
+        let n_env = self.instance.n_env();
+        self.project(|tid| tid.0 >= n_env)
+    }
+
+    /// `Msgs(ρ↓kind)`: the messages added by threads of the given kind
+    /// during the computation.
+    pub fn messages_added_by<F: Fn(ThreadKind) -> bool>(&self, keep: F) -> Memory {
+        let mut out = Memory::empty();
+        for t in &self.transitions {
+            if !keep(self.instance.kind(t.thread)) {
+                continue;
+            }
+            match &t.action {
+                Action::Store(m) => out.insert(m.clone()),
+                Action::Cas { store, .. } => out.insert(store.clone()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// `Msgs(ρ↓env)`.
+    pub fn env_messages(&self) -> Memory {
+        self.messages_added_by(|k| k == ThreadKind::Env)
+    }
+
+    /// `Msgs(ρ↓dis)`.
+    pub fn dis_messages(&self) -> Memory {
+        self.messages_added_by(|k| matches!(k, ThreadKind::Dis(_)))
+    }
+
+    /// For each CAS transition on `x`, the (load, store) timestamp pair —
+    /// the pairs an RA-valid lifting must keep adjacent (Lemma 3.1,
+    /// condition (2)).
+    pub fn cas_pairs_on(&self, x: VarId) -> Vec<(Timestamp, Timestamp)> {
+        self.transitions
+            .iter()
+            .filter_map(|t| match &t.action {
+                Action::Cas { load, store } if load.var == x => {
+                    Some((load.view.get(x), store.view.get(x)))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Generates a random monotone computation of at most `steps`
+    /// transitions by repeatedly picking an enabled transition, using the
+    /// caller-supplied chooser (`chooser(k)` picks an index `< k`).
+    ///
+    /// Used by property tests to exercise the Section 3 machinery on
+    /// arbitrary computations.
+    pub fn random<F: FnMut(usize) -> usize>(
+        instance: Instance,
+        steps: usize,
+        mut chooser: F,
+    ) -> Trace {
+        let mut trace = Trace::new(instance);
+        for _ in 0..steps {
+            let succs = step::monotone_successors(trace.instance(), trace.last());
+            if succs.is_empty() {
+                break;
+            }
+            let pick = succs[chooser(succs.len()) % succs.len()].clone();
+            trace
+                .push(pick)
+                .expect("monotone successor must be applicable");
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::View;
+    use parra_program::builder::SystemBuilder;
+    use parra_program::system::ParamSystem;
+    use parra_program::value::Val;
+
+    /// env: x := 1; r <- x   ‖  dis: x := 1
+    fn sys() -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.store(x, 1).load(r, x);
+        let env = env.finish();
+        let mut d = b.program("d");
+        d.store(x, 1);
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    fn build_store(tid: usize, edge: usize, ts: u64) -> Transition {
+        Transition {
+            thread: ThreadId(tid),
+            edge,
+            action: Action::Store(crate::message::Message::new(
+                VarId(0),
+                Val(1),
+                View::from_times(vec![Timestamp(ts)]),
+            )),
+        }
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut tr = Trace::new(Instance::new(sys(), 1));
+        tr.push(build_store(0, 0, 1)).unwrap();
+        assert_eq!(tr.len(), 1);
+        // Same timestamp again conflicts.
+        let err = tr.push(build_store(1, 0, 1)).unwrap_err();
+        assert_eq!(err, StepError::Conflict);
+        assert_eq!(tr.len(), 1); // unchanged
+        tr.push(build_store(1, 0, 2)).unwrap();
+        assert_eq!(tr.last().memory.len(), 3); // init + two stores
+    }
+
+    #[test]
+    fn from_transitions_reports_step_index() {
+        let inst = Instance::new(sys(), 1);
+        let err = Trace::from_transitions(
+            inst,
+            vec![build_store(0, 0, 1), build_store(1, 0, 1)],
+        )
+        .unwrap_err();
+        assert_eq!(err.step, 1);
+        assert_eq!(err.error, StepError::Conflict);
+    }
+
+    #[test]
+    fn projections_and_message_attribution() {
+        let inst = Instance::new(sys(), 1);
+        let tr = Trace::from_transitions(
+            inst,
+            vec![build_store(0, 0, 1), build_store(1, 0, 2)],
+        )
+        .unwrap();
+        assert_eq!(tr.env_projection().len(), 1);
+        assert_eq!(tr.dis_projection().len(), 1);
+        assert_eq!(tr.env_messages().len(), 1);
+        assert_eq!(tr.dis_messages().len(), 1);
+        assert_eq!(
+            tr.env_messages().iter().next().unwrap().timestamp(),
+            Timestamp(1)
+        );
+        assert_eq!(
+            tr.thread_ids(),
+            [ThreadId(0), ThreadId(1)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn timestamps_on_collects_nonzero() {
+        let inst = Instance::new(sys(), 1);
+        let tr = Trace::from_transitions(
+            inst,
+            vec![build_store(0, 0, 3), build_store(1, 0, 7)],
+        )
+        .unwrap();
+        let ts = tr.timestamps_on(VarId(0));
+        assert_eq!(ts, [Timestamp(3), Timestamp(7)].into_iter().collect());
+    }
+
+    #[test]
+    fn random_traces_replay() {
+        let inst = Instance::new(sys(), 2);
+        let mut seed = 12345u64;
+        let mut next = move |k: usize| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as usize % k.max(1)
+        };
+        let tr = Trace::random(inst.clone(), 20, &mut next);
+        // Replaying the same transitions must succeed.
+        let replayed = Trace::from_transitions(inst, tr.transitions().to_vec()).unwrap();
+        assert_eq!(replayed.last(), tr.last());
+    }
+
+    #[test]
+    fn config_at_boundaries() {
+        let inst = Instance::new(sys(), 1);
+        let tr =
+            Trace::from_transitions(inst, vec![build_store(0, 0, 1)]).unwrap();
+        assert_eq!(tr.config_at(0), tr.first());
+        assert_eq!(tr.config_at(1), tr.last());
+        assert!(tr.first().memory.len() == 1);
+    }
+}

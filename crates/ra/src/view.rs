@@ -1,0 +1,193 @@
+//! Thread views `View = Var → Time`.
+//!
+//! A view maps every shared variable to the timestamp of the most recent
+//! event the thread has observed on it. Views are joined pointwise when
+//! loading (`vw ⊔ vw' = λx. max(vw(x), vw'(x))`), and a store raises exactly
+//! the stored variable (`vw <ₓ vw'`).
+
+use crate::timestamp::Timestamp;
+use parra_program::ident::VarId;
+use std::fmt;
+
+/// A view `vw : Var → Time`, represented densely over `n_vars` variables.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct View {
+    times: Vec<Timestamp>,
+}
+
+impl View {
+    /// The zero view `vw₀` over `n_vars` variables (all timestamps 0).
+    pub fn zero(n_vars: usize) -> View {
+        View {
+            times: vec![Timestamp::ZERO; n_vars],
+        }
+    }
+
+    /// Builds a view from explicit timestamps.
+    pub fn from_times(times: Vec<Timestamp>) -> View {
+        View { times }
+    }
+
+    /// The timestamp for variable `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn get(&self, x: VarId) -> Timestamp {
+        self.times[x.index()]
+    }
+
+    /// Sets the timestamp for variable `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn set(&mut self, x: VarId, t: Timestamp) {
+        self.times[x.index()] = t;
+    }
+
+    /// Returns a copy with `x ↦ t` — the paper's `vw[x ↦ t]`.
+    pub fn with(&self, x: VarId, t: Timestamp) -> View {
+        let mut v = self.clone();
+        v.set(x, t);
+        v
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the view covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Pointwise join `vw ⊔ vw' = λx. max(vw(x), vw'(x))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the views have different lengths.
+    pub fn join(&self, other: &View) -> View {
+        assert_eq!(self.len(), other.len(), "joining views of different arity");
+        View {
+            times: self
+                .times
+                .iter()
+                .zip(&other.times)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
+        }
+    }
+
+    /// The pointwise order `vw ⊑ vw'` (every coordinate at most).
+    pub fn leq(&self, other: &View) -> bool {
+        self.len() == other.len()
+            && self.times.iter().zip(&other.times).all(|(a, b)| a <= b)
+    }
+
+    /// The store relation `vw <ₓ vw'`: strictly raised on `x`, equal
+    /// elsewhere.
+    pub fn lt_x(&self, other: &View, x: VarId) -> bool {
+        self.len() == other.len()
+            && self.get(x) < other.get(x)
+            && self
+                .times
+                .iter()
+                .zip(&other.times)
+                .enumerate()
+                .all(|(i, (a, b))| i == x.index() || a == b)
+    }
+
+    /// Iterates over `(variable, timestamp)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Timestamp)> + '_ {
+        self.times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (VarId(i as u32), t))
+    }
+
+    /// Whether every coordinate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.times.iter().all(|t| t.is_zero())
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, t) in self.times.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ts: &[u64]) -> View {
+        View::from_times(ts.iter().map(|&t| Timestamp(t)).collect())
+    }
+
+    #[test]
+    fn zero_view() {
+        let z = View::zero(3);
+        assert!(z.is_zero());
+        assert_eq!(z.get(VarId(2)), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let a = v(&[1, 5, 0]);
+        let b = v(&[2, 3, 0]);
+        assert_eq!(a.join(&b), v(&[2, 5, 0]));
+        // join is commutative and idempotent
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let a = v(&[1, 5]);
+        let b = v(&[2, 3]);
+        let j = a.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        // anything above both is above the join
+        let u = v(&[2, 5]);
+        assert!(j.leq(&u));
+    }
+
+    #[test]
+    fn lt_x_requires_strict_raise_on_x_only() {
+        let a = v(&[1, 2]);
+        assert!(a.lt_x(&v(&[3, 2]), VarId(0)));
+        assert!(!a.lt_x(&v(&[1, 2]), VarId(0))); // not raised
+        assert!(!a.lt_x(&v(&[3, 3]), VarId(0))); // other coord changed
+        assert!(!a.lt_x(&v(&[0, 2]), VarId(0))); // lowered
+    }
+
+    #[test]
+    fn with_is_persistent() {
+        let a = v(&[0, 0]);
+        let b = a.with(VarId(1), Timestamp(7));
+        assert_eq!(a.get(VarId(1)), Timestamp(0));
+        assert_eq!(b.get(VarId(1)), Timestamp(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn join_arity_mismatch_panics() {
+        let _ = v(&[0]).join(&v(&[0, 0]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(v(&[0, 10]).to_string(), "⟨0,10⟩");
+    }
+}

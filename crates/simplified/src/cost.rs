@@ -1,0 +1,164 @@
+//! The cost function of Section 4.3: how many `env` threads does a bug
+//! need?
+//!
+//! Parameterization is sound but not complete for systems with a *fixed*
+//! number of threads. The paper attributes costs to dependency-graph nodes
+//! so that `cost(G)` — the cost of the goal message — bounds the number of
+//! `env` threads sufficient to generate it:
+//!
+//! * `cost(msg) = 0` for initial messages,
+//! * `cost(msg) = 1 + Σ rc(msg, msg')·cost(msg')` for `env` messages (one
+//!   fresh thread generates the message, plus the threads needed for
+//!   everything it read),
+//! * `cost(msg) = Σ rc(msg, msg')·cost(msg')` for `dis` messages (the
+//!   `dis` thread already exists).
+//!
+//! The bound is over-approximate (Figure 5's producer/consumer: the cost
+//! is the loop bound `z` although `l < z` producers suffice), and in
+//! general doubly exponential in the system parameters.
+
+use crate::depgraph::{DepGraph, GenThread, MsgRef};
+
+/// The cost of one node (number of `env` threads sufficient to generate
+/// the message), saturating at `u64::MAX`.
+pub fn cost_of_node(graph: &DepGraph, node: MsgRef) -> u64 {
+    let mut memo = vec![None; graph.nodes.len()];
+    cost_rec(graph, node, &mut memo)
+}
+
+fn cost_rec(graph: &DepGraph, node: MsgRef, memo: &mut Vec<Option<u64>>) -> u64 {
+    if let Some(c) = memo[node] {
+        return c;
+    }
+    let n = &graph.nodes[node];
+    let base: u64 = match n.genthread {
+        GenThread::Init => 0,
+        GenThread::Env => 1,
+        GenThread::Dis(_) => 0,
+    };
+    let mut total = base;
+    if n.genthread != GenThread::Init {
+        for &(d, rc) in &n.depends {
+            let c = cost_rec(graph, d, memo);
+            total = total.saturating_add(c.saturating_mul(rc as u64));
+        }
+    }
+    memo[node] = Some(total);
+    total
+}
+
+/// `cost(G) = cost(msg#)`: the §4.3 bound for the goal message at `goal`.
+pub fn cost_of_graph(graph: &DepGraph, goal: MsgRef) -> u64 {
+    cost_of_node(graph, goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::{ReachLimits, ReachOutcome, Reachability, SimpTarget};
+    use crate::state::Budget;
+    use parra_program::builder::SystemBuilder;
+    use parra_program::ident::VarId;
+    use parra_program::system::ParamSystem;
+    use parra_program::value::Val;
+
+    /// Figure 1/5's producer-consumer with consumer loop bound `z`.
+    fn producer_consumer(z: usize) -> (ParamSystem, VarId) {
+        let mut b = SystemBuilder::new(3);
+        let x = b.var("x");
+        let y = b.var("y");
+        let mut env = b.program("producer");
+        let r = env.reg("r");
+        env.load(r, y).assume_eq(r, 1).store(x, 1);
+        let env = env.finish();
+        let mut d = b.program("consumer");
+        let s = d.reg("s");
+        d.store(y, 1);
+        for _ in 0..z {
+            d.load(s, x).assume_eq(s, 1);
+        }
+        d.store(y, 2);
+        let d = d.finish();
+        (b.build(env, vec![d]), y)
+    }
+
+    fn goal_cost(z: usize) -> u64 {
+        let (sys, y) = producer_consumer(z);
+        let budget = Budget::exact(&sys).unwrap();
+        let engine =
+            Reachability::new(sys.clone(), budget.clone(), ReachLimits::default()).unwrap();
+        let report = engine.run(SimpTarget::MessageGenerated(y, Val(2)));
+        assert_eq!(report.outcome, ReachOutcome::Unsafe);
+        let witness = report.witness.unwrap();
+        let graph = crate::depgraph::DepGraph::build(&sys, &budget, &witness);
+        let goal = graph.find_message(y, Val(2)).unwrap();
+        cost_of_graph(&graph, goal)
+    }
+
+    /// Figure 5: cost(G) equals the consumer's loop bound z — each loop
+    /// iteration reads one producer message of cost 1, and the producer
+    /// messages depend only on the dis message (y, 1) of cost 0.
+    #[test]
+    fn producer_consumer_cost_is_loop_bound() {
+        for z in 1..=4 {
+            assert_eq!(goal_cost(z), z as u64, "z = {z}");
+        }
+    }
+
+    #[test]
+    fn init_nodes_cost_zero() {
+        let (sys, y) = producer_consumer(1);
+        let budget = Budget::exact(&sys).unwrap();
+        let engine =
+            Reachability::new(sys.clone(), budget.clone(), ReachLimits::default()).unwrap();
+        let report = engine.run(SimpTarget::MessageGenerated(y, Val(2)));
+        let witness = report.witness.unwrap();
+        let graph = crate::depgraph::DepGraph::build(&sys, &budget, &witness);
+        for i in 0..graph.n_vars {
+            assert_eq!(cost_of_node(&graph, i), 0);
+        }
+    }
+
+    /// A chain env₁ → env₂ → goal multiplies costs: env₂ reads env₁ twice,
+    /// the dis goal reads env₂ three times ⇒ cost = 3·(1 + 2·1) = 9.
+    #[test]
+    fn costs_multiply_along_chains() {
+        let mut b = SystemBuilder::new(3);
+        let a = b.var("a");
+        let c = b.var("c");
+        let goal = b.var("goal");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.choice(
+            |p| {
+                p.store(a, 1);
+            },
+            |p| {
+                // reads a twice, then writes c.
+                p.load(r, a);
+                p.assume_eq(r, 1);
+                p.load(r, a);
+                p.assume_eq(r, 1);
+                p.store(c, 1);
+            },
+        );
+        let env = env.finish();
+        let mut d = b.program("d");
+        let s = d.reg("s");
+        for _ in 0..3 {
+            d.load(s, c).assume_eq(s, 1);
+        }
+        d.store(goal, 1);
+        let d = d.finish();
+        let sys = b.build(env, vec![d]);
+        let budget = Budget::exact(&sys).unwrap();
+        let engine =
+            Reachability::new(sys.clone(), budget.clone(), ReachLimits::default()).unwrap();
+        let report = engine.run(SimpTarget::MessageGenerated(goal, Val(1)));
+        assert_eq!(report.outcome, ReachOutcome::Unsafe);
+        let witness = report.witness.unwrap();
+        let graph = crate::depgraph::DepGraph::build(&sys, &budget, &witness);
+        let g = graph.find_message(goal, Val(1)).unwrap();
+        assert_eq!(cost_of_graph(&graph, g), 9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Abstract messages with provenance.
+
+use crate::timestamp::ATime;
+use crate::view::AView;
+use parra_program::ident::VarId;
+use parra_program::value::Val;
+use std::fmt;
+
+/// Who generated a message — the asymmetry at the heart of the timestamp
+/// abstraction (Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Origin {
+    /// One of the initial messages (timestamp `Int(0)`).
+    Init,
+    /// Stored by a distinguished thread (integer slot).
+    Dis,
+    /// Stored by an environment thread (gap timestamp `ts⁺`).
+    Env,
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Origin::Init => "init",
+            Origin::Dis => "dis",
+            Origin::Env => "env",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An abstract message `(x, d, vw^de)` with provenance.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AMessage {
+    /// The variable written.
+    pub var: VarId,
+    /// The value written.
+    pub val: Val,
+    /// The abstract view; `view.get(var)` is the message's timestamp.
+    pub view: AView,
+    /// Who generated it.
+    pub origin: Origin,
+}
+
+impl AMessage {
+    /// Creates a message, checking the timestamp/provenance invariant:
+    /// `env` messages carry gap timestamps, `dis` messages non-zero integer
+    /// slots, `init` messages timestamp zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated.
+    pub fn new(var: VarId, val: Val, view: AView, origin: Origin) -> AMessage {
+        let ts = view.get(var);
+        match origin {
+            Origin::Init => assert!(ts.is_zero(), "init message with timestamp {ts}"),
+            Origin::Dis => assert!(
+                !ts.is_plus() && !ts.is_zero(),
+                "dis message with timestamp {ts}"
+            ),
+            Origin::Env => assert!(ts.is_plus(), "env message with timestamp {ts}"),
+        }
+        AMessage {
+            var,
+            val,
+            view,
+            origin,
+        }
+    }
+
+    /// The initial message for `x`.
+    pub fn initial(x: VarId, n_vars: usize) -> AMessage {
+        AMessage::new(x, Val::INIT, AView::zero(n_vars), Origin::Init)
+    }
+
+    /// The message's abstract timestamp.
+    pub fn timestamp(&self) -> ATime {
+        self.view.get(self.var)
+    }
+}
+
+impl fmt::Display for AMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}, {} :{}]",
+            self.var, self.val, self.view, self.origin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_message_shape() {
+        let m = AMessage::initial(VarId(1), 3);
+        assert_eq!(m.timestamp(), ATime::ZERO);
+        assert_eq!(m.origin, Origin::Init);
+        assert_eq!(m.val, Val::INIT);
+    }
+
+    #[test]
+    fn env_messages_live_in_gaps() {
+        let view = AView::zero(2).with(VarId(0), ATime::Plus(1));
+        let m = AMessage::new(VarId(0), Val(1), view, Origin::Env);
+        assert_eq!(m.timestamp(), ATime::Plus(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "env message with timestamp")]
+    fn env_message_with_slot_timestamp_rejected() {
+        let view = AView::zero(1).with(VarId(0), ATime::Int(1));
+        AMessage::new(VarId(0), Val(1), view, Origin::Env);
+    }
+
+    #[test]
+    #[should_panic(expected = "dis message with timestamp")]
+    fn dis_message_with_gap_timestamp_rejected() {
+        let view = AView::zero(1).with(VarId(0), ATime::Plus(1));
+        AMessage::new(VarId(0), Val(1), view, Origin::Dis);
+    }
+
+    #[test]
+    #[should_panic(expected = "init message with timestamp")]
+    fn init_message_with_nonzero_timestamp_rejected() {
+        let view = AView::zero(1).with(VarId(0), ATime::Int(2));
+        AMessage::new(VarId(0), Val(0), view, Origin::Init);
+    }
+
+    #[test]
+    fn display() {
+        let m = AMessage::initial(VarId(0), 1);
+        assert_eq!(m.to_string(), "[x0, 0, ⟨0⟩ :init]");
+    }
+}

@@ -1,0 +1,551 @@
+//! Reachability in the simplified semantics — the direct decision
+//! procedure for `env(nocas) ‖ dis₁(acyc) ‖ … ‖ disₙ(acyc)`.
+//!
+//! The engine interleaves the two halves of the abstraction:
+//!
+//! * **saturation** of the monotone `env` part between `dis` steps
+//!   ([`SimpState::saturate`]) — the fixpoint the paper's Datalog rules
+//!   compute;
+//! * **search** over the finite `dis` state space (memoized on saturated
+//!   states);
+//! * **worlds**: the lazily-discovered pre-closure guesses for CAS gaps
+//!   (see [`DisSuccessors`](crate::state::DisSuccessors)) — the engine's
+//!   rendering of `makeP`'s nondeterministic guess of the `dis` run.
+//!
+//! For systems in the decidable class with the exact budget, an
+//! exhaustive, un-truncated search is a *decision*: `Unsafe` comes with a
+//! witness, `Safe` means no instance of any size reaches the target
+//! (Theorem 3.4 + Theorem 4.1).
+
+use crate::state::{Budget, DisStep, SimpState};
+use parra_program::classify::SystemClass;
+use parra_program::ident::VarId;
+use parra_program::system::ParamSystem;
+use parra_program::value::Val;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// Search limits (safety nets; the abstract domain is finite).
+#[derive(Debug, Clone, Copy)]
+pub struct ReachLimits {
+    /// Cap on saturated `dis`-states per world.
+    pub max_states: usize,
+    /// Cap on `env_threads.len() + env_msgs.len()` during saturation.
+    pub max_env_size: usize,
+    /// Cap on the number of pre-closure worlds explored.
+    pub max_worlds: usize,
+}
+
+impl Default for ReachLimits {
+    fn default() -> Self {
+        ReachLimits {
+            max_states: 100_000,
+            max_env_size: 200_000,
+            max_worlds: 256,
+        }
+    }
+}
+
+/// What to search for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimpTarget {
+    /// An enabled `assert false`.
+    AssertViolation,
+    /// A generated message `(x, d, _)` — Message Generation (Section 4.1).
+    MessageGenerated(VarId, Val),
+}
+
+/// The verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReachOutcome {
+    /// The target is reachable (witness attached).
+    Unsafe,
+    /// Exhaustive search found no violation. For the decidable class with
+    /// the exact budget this is a proof of safety for *all* instances.
+    Safe,
+    /// A limit was hit; "no violation found" is not a proof.
+    Truncated,
+}
+
+/// A witness for an `Unsafe` verdict.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The gaps guessed closed up-front in the successful world.
+    pub preclosed: Vec<(VarId, u32)>,
+    /// The `dis` steps, in order, between saturations.
+    pub dis_path: Vec<DisStep>,
+    /// The saturated state in which the target holds.
+    pub final_state: SimpState,
+}
+
+/// The report of a reachability run.
+#[derive(Debug, Clone)]
+pub struct ReachReport {
+    /// The verdict.
+    pub outcome: ReachOutcome,
+    /// Saturated states visited (across all worlds).
+    pub states: usize,
+    /// Worlds (pre-closure guesses) explored.
+    pub worlds: usize,
+    /// Largest `env` configuration set observed.
+    pub peak_env_configs: usize,
+    /// Largest `env` message set observed.
+    pub peak_env_msgs: usize,
+    /// Witness for `Unsafe`.
+    pub witness: Option<Witness>,
+}
+
+/// Why a system is outside the engine's supported class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnsupportedSystem {
+    /// The `env` program contains CAS — parameterized verification is then
+    /// undecidable (Theorem 1.1) and the simplified semantics does not
+    /// apply.
+    EnvHasCas,
+}
+
+impl fmt::Display for UnsupportedSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsupportedSystem::EnvHasCas => {
+                write!(
+                    f,
+                    "env program uses CAS: outside the simplified semantics \
+                     (undecidable, Theorem 1.1)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnsupportedSystem {}
+
+/// The reachability engine.
+///
+/// # Example
+///
+/// ```
+/// use parra_program::builder::SystemBuilder;
+/// use parra_program::value::Val;
+/// use parra_simplified::reach::{ReachLimits, ReachOutcome, Reachability, SimpTarget};
+/// use parra_simplified::state::Budget;
+///
+/// // env: x := 1 — some env thread can always generate (x, 1).
+/// let mut b = SystemBuilder::new(2);
+/// let x = b.var("x");
+/// let mut env = b.program("env");
+/// env.store(x, 1);
+/// let env = env.finish();
+/// let sys = b.build(env, vec![]);
+///
+/// let budget = Budget::exact(&sys).expect("dis threads are loop-free");
+/// let engine = Reachability::new(sys, budget, ReachLimits::default())?;
+/// let report = engine.run(SimpTarget::MessageGenerated(x, Val(1)));
+/// assert_eq!(report.outcome, ReachOutcome::Unsafe);
+/// # Ok::<(), parra_simplified::reach::UnsupportedSystem>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    sys: ParamSystem,
+    budget: Budget,
+    limits: ReachLimits,
+}
+
+impl Reachability {
+    /// Creates an engine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects systems whose `env` program uses CAS.
+    pub fn new(
+        sys: ParamSystem,
+        budget: Budget,
+        limits: ReachLimits,
+    ) -> Result<Reachability, UnsupportedSystem> {
+        if !SystemClass::of(&sys).env.nocas {
+            return Err(UnsupportedSystem::EnvHasCas);
+        }
+        Ok(Reachability {
+            sys,
+            budget,
+            limits,
+        })
+    }
+
+    /// The system under verification.
+    pub fn system(&self) -> &ParamSystem {
+        &self.sys
+    }
+
+    /// The budget in use.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Runs the search.
+    pub fn run(&self, target: SimpTarget) -> ReachReport {
+        let sys = &self.sys;
+        let budget = &self.budget;
+        let limits = self.limits;
+
+        let mut worlds_seen: BTreeSet<BTreeSet<(VarId, u32)>> = BTreeSet::new();
+        let mut worlds_queue: VecDeque<BTreeSet<(VarId, u32)>> = VecDeque::new();
+        worlds_seen.insert(BTreeSet::new());
+        worlds_queue.push_back(BTreeSet::new());
+
+        let mut total_states = 0usize;
+        let mut worlds = 0usize;
+        let mut peak_cfg = 0usize;
+        let mut peak_msg = 0usize;
+        let mut truncated = false;
+
+        let target_holds = |st: &SimpState| match target {
+            SimpTarget::AssertViolation => st.assert_enabled(sys),
+            SimpTarget::MessageGenerated(x, d) => st.has_message(x, d),
+        };
+
+        while let Some(world) = worlds_queue.pop_front() {
+            if worlds >= limits.max_worlds {
+                truncated = true;
+                break;
+            }
+            worlds += 1;
+
+            let mut init = SimpState::initial(sys);
+            for &(x, g) in &world {
+                init.preclose(x, g);
+            }
+            init.saturate(sys, budget, limits.max_env_size);
+            if init.env_threads.len() + init.env_msgs.len() > limits.max_env_size {
+                truncated = true;
+            }
+            peak_cfg = peak_cfg.max(init.env_threads.len());
+            peak_msg = peak_msg.max(init.env_msgs.len());
+
+            let mut states: Vec<SimpState> = Vec::new();
+            let mut parents: Vec<Option<(u32, DisStep)>> = Vec::new();
+            let mut index: HashMap<SimpState, u32> = HashMap::new();
+            let mut queue: VecDeque<u32> = VecDeque::new();
+
+            let unwind = |parents: &[Option<(u32, DisStep)>], mut at: u32| {
+                let mut path = Vec::new();
+                while let Some((prev, step)) = &parents[at as usize] {
+                    path.push(step.clone());
+                    at = *prev;
+                }
+                path.reverse();
+                path
+            };
+
+            index.insert(init.clone(), 0);
+            states.push(init.clone());
+            parents.push(None);
+            queue.push_back(0);
+            total_states += 1;
+
+            if target_holds(&init) {
+                return ReachReport {
+                    outcome: ReachOutcome::Unsafe,
+                    states: total_states,
+                    worlds,
+                    peak_env_configs: peak_cfg,
+                    peak_env_msgs: peak_msg,
+                    witness: Some(Witness {
+                        preclosed: world.iter().copied().collect(),
+                        dis_path: Vec::new(),
+                        final_state: init,
+                    }),
+                };
+            }
+
+            while let Some(si) = queue.pop_front() {
+                let state = states[si as usize].clone();
+                let succs = state.dis_successors(sys, budget);
+                // Blocked CAS gaps spawn new pre-closure worlds.
+                for (x, g) in succs.blocked_gaps {
+                    if world.contains(&(x, g)) {
+                        continue;
+                    }
+                    let mut w2 = world.clone();
+                    w2.insert((x, g));
+                    if worlds_seen.insert(w2.clone()) {
+                        worlds_queue.push_back(w2);
+                    }
+                }
+                for (step, mut next) in succs.steps {
+                    next.saturate(sys, budget, limits.max_env_size);
+                    if next.env_threads.len() + next.env_msgs.len() > limits.max_env_size {
+                        truncated = true;
+                        continue;
+                    }
+                    peak_cfg = peak_cfg.max(next.env_threads.len());
+                    peak_msg = peak_msg.max(next.env_msgs.len());
+                    if index.contains_key(&next) {
+                        continue;
+                    }
+                    if states.len() >= limits.max_states {
+                        truncated = true;
+                        continue;
+                    }
+                    let ni = states.len() as u32;
+                    index.insert(next.clone(), ni);
+                    states.push(next.clone());
+                    parents.push(Some((si, step)));
+                    queue.push_back(ni);
+                    total_states += 1;
+                    if target_holds(&next) {
+                        let path = unwind(&parents, ni);
+                        return ReachReport {
+                            outcome: ReachOutcome::Unsafe,
+                            states: total_states,
+                            worlds,
+                            peak_env_configs: peak_cfg,
+                            peak_env_msgs: peak_msg,
+                            witness: Some(Witness {
+                                preclosed: world.iter().copied().collect(),
+                                dis_path: path,
+                                final_state: next,
+                            }),
+                        };
+                    }
+                }
+            }
+        }
+
+        ReachReport {
+            outcome: if truncated {
+                ReachOutcome::Truncated
+            } else {
+                ReachOutcome::Safe
+            },
+            states: total_states,
+            worlds,
+            peak_env_configs: peak_cfg,
+            peak_env_msgs: peak_msg,
+            witness: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parra_program::builder::SystemBuilder;
+
+    fn limits() -> ReachLimits {
+        ReachLimits::default()
+    }
+
+    /// env: r <- y; assume r == 1; x := 1
+    /// dis: y := 1; s <- x; assume s == 1; assert false
+    fn handshake() -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.load(r, y).assume_eq(r, 1).store(x, 1);
+        let env = env.finish();
+        let mut d = b.program("d");
+        let s = d.reg("s");
+        d.store(y, 1).load(s, x).assume_eq(s, 1).assert_false();
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    #[test]
+    fn handshake_is_unsafe() {
+        let sys = handshake();
+        let budget = Budget::exact(&sys).unwrap();
+        let engine = Reachability::new(sys, budget, limits()).unwrap();
+        let report = engine.run(SimpTarget::AssertViolation);
+        assert_eq!(report.outcome, ReachOutcome::Unsafe);
+        let w = report.witness.unwrap();
+        assert!(!w.dis_path.is_empty());
+        assert!(w.preclosed.is_empty());
+    }
+
+    /// Safe variant: env never stores, so the dis assume s == 1 blocks.
+    #[test]
+    fn silent_env_is_safe() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.skip();
+        let env = env.finish();
+        let mut d = b.program("d");
+        let s = d.reg("s");
+        d.load(s, x).assume_eq(s, 1).assert_false();
+        let d = d.finish();
+        let sys = b.build(env, vec![d]);
+        let budget = Budget::exact(&sys).unwrap();
+        let engine = Reachability::new(sys, budget, limits()).unwrap();
+        let report = engine.run(SimpTarget::AssertViolation);
+        assert_eq!(report.outcome, ReachOutcome::Safe);
+        assert!(report.witness.is_none());
+    }
+
+    /// The RA coherence guarantee: after seeing x = 1 (stored after
+    /// y = 1 by the same thread), y = 0 is unreadable.
+    #[test]
+    fn no_overwritten_reads_across_env_and_dis() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        let mut env = b.program("writer");
+        env.store(y, 1).store(x, 1);
+        let env = env.finish();
+        let mut d = b.program("reader");
+        let rx = d.reg("rx");
+        let ry = d.reg("ry");
+        d.load(rx, x)
+            .assume_eq(rx, 1)
+            .load(ry, y)
+            .assume_eq(ry, 0)
+            .assert_false();
+        let d = d.finish();
+        let sys = b.build(env, vec![d]);
+        let budget = Budget::exact(&sys).unwrap();
+        let engine = Reachability::new(sys, budget, limits()).unwrap();
+        let report = engine.run(SimpTarget::AssertViolation);
+        assert_eq!(report.outcome, ReachOutcome::Safe);
+    }
+
+    /// CAS blocked by env messages in the base world succeeds in the
+    /// pre-closed world: dis needs the CAS *and* an env message.
+    #[test]
+    fn world_restart_enables_cas() {
+        let mut b = SystemBuilder::new(3);
+        let x = b.var("x");
+        let f = b.var("f");
+        let mut env = b.program("env");
+        // env writes x := 2 — anywhere, including the CAS gap.
+        env.store(x, 2);
+        let env = env.finish();
+        let mut d = b.program("d");
+        let r = d.reg("r");
+        // dis CAS x from 0 to 1, then must still see an env message x = 2.
+        d.cas(x, 0, 1).load(r, x).assume_eq(r, 2).store(f, 1);
+        let d = d.finish();
+        let mut d2 = b.program("d2");
+        let s = d2.reg("s");
+        d2.load(s, f).assume_eq(s, 1).assert_false();
+        let d2 = d2.finish();
+        let sys = b.build(env, vec![d, d2]);
+        let budget = Budget::exact(&sys).unwrap();
+        let engine = Reachability::new(sys, budget, limits()).unwrap();
+        let report = engine.run(SimpTarget::AssertViolation);
+        assert_eq!(report.outcome, ReachOutcome::Unsafe);
+        // The witness world should have pre-closed gap 0 of x... unless the
+        // base world already worked (env can choose gap 1 or 2 and leave
+        // gap 0 free — but saturation puts messages in *all* gaps, so the
+        // pre-closure is required).
+        let w = report.witness.unwrap();
+        assert!(w.preclosed.contains(&(x, 0)));
+        assert!(report.worlds > 1);
+    }
+
+    #[test]
+    fn env_cas_rejected() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.cas(x, 0, 1);
+        let env = env.finish();
+        let sys = b.build(env, vec![]);
+        let err = Reachability::new(sys.clone(), Budget::uniform_for(&sys, 1), limits()).unwrap_err();
+        assert_eq!(err, UnsupportedSystem::EnvHasCas);
+    }
+
+    /// Unbounded env loops are handled exactly (no depth bound needed):
+    /// env: loop { r <- x; x := r + 1 } over a small modular domain.
+    #[test]
+    fn env_loops_saturate() {
+        let mut b = SystemBuilder::new(4);
+        let x = b.var("x");
+        let goal = b.var("goal");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.star(|p| {
+            p.load(r, x);
+            p.store(x, parra_program::expr::Expr::reg(r).add(parra_program::expr::Expr::val(1)));
+        });
+        env.load(r, x).assume_eq(r, 3).store(goal, 1);
+        let env = env.finish();
+        let sys = b.build(env, vec![]);
+        let budget = Budget::exact(&sys).unwrap(); // no dis stores: T = 0
+        let engine = Reachability::new(sys, budget, limits()).unwrap();
+        let report = engine.run(SimpTarget::MessageGenerated(goal, Val(1)));
+        assert_eq!(report.outcome, ReachOutcome::Unsafe);
+    }
+
+    /// Exhausting the state cap yields Truncated, never a silent Safe.
+    #[test]
+    fn tight_limits_truncate() {
+        let mut b = SystemBuilder::new(3);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.store(x, 1);
+        let env = env.finish();
+        let mut d = b.program("d");
+        let r = d.reg("r");
+        d.store(x, 2).load(r, x).store(x, 1);
+        let d = d.finish();
+        let sys = b.build(env, vec![d]);
+        let budget = Budget::exact(&sys).unwrap();
+        let tight = ReachLimits {
+            max_states: 2,
+            max_env_size: 200_000,
+            max_worlds: 256,
+        };
+        let engine = Reachability::new(sys, budget, tight).unwrap();
+        // The never-generated value forces exploring everything; the cap
+        // cuts it off.
+        let report = engine.run(SimpTarget::MessageGenerated(x, Val(7)));
+        assert_eq!(report.outcome, ReachOutcome::Truncated);
+    }
+
+    /// The initial value d_init = 0 is trivially generated.
+    #[test]
+    fn init_value_always_generated() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let env = {
+            let mut p = b.program("env");
+            p.skip();
+            p.finish()
+        };
+        let sys = b.build(env, vec![]);
+        let budget = Budget::exact(&sys).unwrap();
+        let engine = Reachability::new(sys, budget, ReachLimits::default()).unwrap();
+        let report = engine.run(SimpTarget::MessageGenerated(x, Val(0)));
+        assert_eq!(report.outcome, ReachOutcome::Unsafe);
+        assert!(report.witness.unwrap().dis_path.is_empty());
+    }
+
+    /// Figure 3's point: the consumer can loop more times than there are
+    /// producers — z > l is feasible because env messages are re-readable
+    /// (clones). Here dis reads x = 1 twice though each env thread writes
+    /// it once.
+    #[test]
+    fn dis_rereads_env_messages() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("producer");
+        env.store(x, 1);
+        let env = env.finish();
+        let mut d = b.program("consumer");
+        let r = d.reg("r");
+        d.load(r, x)
+            .assume_eq(r, 1)
+            .load(r, x)
+            .assume_eq(r, 1)
+            .assert_false();
+        let d = d.finish();
+        let sys = b.build(env, vec![d]);
+        let budget = Budget::exact(&sys).unwrap();
+        let engine = Reachability::new(sys, budget, limits()).unwrap();
+        let report = engine.run(SimpTarget::AssertViolation);
+        assert_eq!(report.outcome, ReachOutcome::Unsafe);
+    }
+}

@@ -1,0 +1,137 @@
+//! The timestamp abstraction `ℕ ⊎ ℕ⁺` (Section 3.4).
+//!
+//! Abstract time is ordered `0 < 0⁺ < 1 < 1⁺ < 2 < …`: each integer
+//! timestamp `ts` (a *slot* for at most one `dis` store) is followed by the
+//! *gap* `ts⁺`, shared by arbitrarily many `env` stores.
+
+use std::fmt;
+
+/// An abstract timestamp: a `dis` slot `Int(i)` or an `env` gap `Plus(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ATime {
+    /// The integer timestamp `i` — used by `dis` stores (and the initial
+    /// messages at `Int(0)`).
+    Int(u32),
+    /// The timestamp `i⁺`, strictly between `i` and `i+1` — used by `env`
+    /// stores.
+    Plus(u32),
+}
+
+impl ATime {
+    /// The timestamp of initial messages.
+    pub const ZERO: ATime = ATime::Int(0);
+
+    /// The integer part: `floor(i) = floor(i⁺) = i`.
+    pub fn floor(self) -> u32 {
+        match self {
+            ATime::Int(i) | ATime::Plus(i) => i,
+        }
+    }
+
+    /// Whether this is a gap timestamp `i⁺`.
+    pub fn is_plus(self) -> bool {
+        matches!(self, ATime::Plus(_))
+    }
+
+    /// Whether this is the initial timestamp `0`.
+    pub fn is_zero(self) -> bool {
+        self == ATime::ZERO
+    }
+
+    /// Sort key realizing `0 < 0⁺ < 1 < 1⁺ < …`.
+    fn key(self) -> u64 {
+        match self {
+            ATime::Int(i) => 2 * i as u64,
+            ATime::Plus(i) => 2 * i as u64 + 1,
+        }
+    }
+
+    /// The *gap ceiling*: the smallest gap index `g` such that an event in
+    /// gap `g⁺` is at-or-above this timestamp. Both `Int(i)` and `Plus(i)`
+    /// give `i` — a clone placed in gap `i` is above `Int(i)` and
+    /// order-equivalent to `Plus(i)`.
+    pub fn gap_ceiling(self) -> u32 {
+        self.floor()
+    }
+}
+
+impl PartialOrd for ATime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ATime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl fmt::Display for ATime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ATime::Int(i) => write!(f, "{i}"),
+            ATime::Plus(i) => write!(f, "{i}⁺"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_interleaves_slots_and_gaps() {
+        assert!(ATime::Int(0) < ATime::Plus(0));
+        assert!(ATime::Plus(0) < ATime::Int(1));
+        assert!(ATime::Int(1) < ATime::Plus(1));
+        assert!(ATime::Plus(1) < ATime::Int(2));
+        assert!(ATime::Plus(3) > ATime::Int(3));
+        assert!(ATime::Plus(3) < ATime::Int(4));
+    }
+
+    #[test]
+    fn order_is_total_on_samples() {
+        let mut v = vec![
+            ATime::Plus(2),
+            ATime::Int(0),
+            ATime::Int(3),
+            ATime::Plus(0),
+            ATime::Int(2),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                ATime::Int(0),
+                ATime::Plus(0),
+                ATime::Int(2),
+                ATime::Plus(2),
+                ATime::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn floor_and_predicates() {
+        assert_eq!(ATime::Int(5).floor(), 5);
+        assert_eq!(ATime::Plus(5).floor(), 5);
+        assert!(ATime::Plus(0).is_plus());
+        assert!(!ATime::Int(0).is_plus());
+        assert!(ATime::ZERO.is_zero());
+        assert!(!ATime::Plus(0).is_zero());
+    }
+
+    #[test]
+    fn gap_ceiling() {
+        // A clone in gap i is above Int(i) and equivalent to Plus(i).
+        assert_eq!(ATime::Int(3).gap_ceiling(), 3);
+        assert_eq!(ATime::Plus(3).gap_ceiling(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ATime::Int(7).to_string(), "7");
+        assert_eq!(ATime::Plus(7).to_string(), "7⁺");
+    }
+}

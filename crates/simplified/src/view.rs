@@ -1,0 +1,151 @@
+//! Abstract views `Var → ℕ ⊎ ℕ⁺`.
+
+use crate::timestamp::ATime;
+use parra_program::ident::VarId;
+use std::fmt;
+
+/// An abstract view, dense over `n_vars` variables.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AView {
+    times: Vec<ATime>,
+}
+
+impl AView {
+    /// The zero view (all coordinates `Int(0)`).
+    pub fn zero(n_vars: usize) -> AView {
+        AView {
+            times: vec![ATime::ZERO; n_vars],
+        }
+    }
+
+    /// Builds a view from explicit coordinates.
+    pub fn from_times(times: Vec<ATime>) -> AView {
+        AView { times }
+    }
+
+    /// The coordinate for `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn get(&self, x: VarId) -> ATime {
+        self.times[x.index()]
+    }
+
+    /// Sets the coordinate for `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn set(&mut self, x: VarId, t: ATime) {
+        self.times[x.index()] = t;
+    }
+
+    /// Returns a copy with `x ↦ t`.
+    pub fn with(&self, x: VarId, t: ATime) -> AView {
+        let mut v = self.clone();
+        v.set(x, t);
+        v
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the view covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Pointwise join (max in the abstract order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the views have different lengths.
+    pub fn join(&self, other: &AView) -> AView {
+        assert_eq!(self.len(), other.len(), "joining views of different arity");
+        AView {
+            times: self
+                .times
+                .iter()
+                .zip(&other.times)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
+        }
+    }
+
+    /// Pointwise order.
+    pub fn leq(&self, other: &AView) -> bool {
+        self.len() == other.len()
+            && self.times.iter().zip(&other.times).all(|(a, b)| a <= b)
+    }
+
+    /// Iterates over `(variable, timestamp)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, ATime)> + '_ {
+        self.times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (VarId(i as u32), t))
+    }
+}
+
+impl fmt::Display for AView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, t) in self.times.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ts: &[ATime]) -> AView {
+        AView::from_times(ts.to_vec())
+    }
+
+    #[test]
+    fn join_uses_abstract_order() {
+        let a = v(&[ATime::Int(1), ATime::Plus(0)]);
+        let b = v(&[ATime::Plus(0), ATime::Int(1)]);
+        let j = a.join(&b);
+        // Int(1) > Plus(0) in the abstract order.
+        assert_eq!(j.get(VarId(0)), ATime::Int(1));
+        assert_eq!(j.get(VarId(1)), ATime::Int(1));
+    }
+
+    #[test]
+    fn join_lattice_laws() {
+        let a = v(&[ATime::Plus(2), ATime::Int(0)]);
+        let b = v(&[ATime::Int(2), ATime::Plus(1)]);
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.join(&a), a);
+        assert!(a.leq(&a.join(&b)));
+        assert!(b.leq(&a.join(&b)));
+    }
+
+    #[test]
+    fn zero_and_with() {
+        let z = AView::zero(2);
+        assert_eq!(z.get(VarId(1)), ATime::ZERO);
+        let w = z.with(VarId(0), ATime::Plus(3));
+        assert_eq!(w.get(VarId(0)), ATime::Plus(3));
+        assert_eq!(z.get(VarId(0)), ATime::ZERO);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            v(&[ATime::Int(1), ATime::Plus(0)]).to_string(),
+            "⟨1,0⁺⟩"
+        );
+    }
+}

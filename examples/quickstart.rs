@@ -1,0 +1,63 @@
+//! Quickstart: parse a parameterized system, classify it, verify it with
+//! all three engines, and print the §4.3 thread bound.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use parra::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Unboundedly many producers wait for the consumer's signal and
+    // publish x := 1; the consumer flags a violation if it observes the
+    // produced value — a reachable configuration, so the system is UNSAFE.
+    let sys = parse_system(
+        r#"
+        system {
+            dom 2;
+            vars x, y;
+            env producer {
+                regs r;
+                r <- y;
+                assume r == 1;
+                x := 1;
+            }
+            dis consumer {
+                regs s;
+                y := 1;
+                s <- x;
+                assume s == 1;
+                assert false;
+            }
+        }
+        "#,
+    )?;
+
+    let class = SystemClass::of(&sys);
+    println!("system class : {class}");
+    println!("complexity   : {}", class.complexity());
+
+    let verifier = Verifier::new(&sys, VerifierOptions::default())?;
+    for engine in [
+        Engine::SimplifiedReach,
+        Engine::CacheDatalog,
+        Engine::BoundedConcrete,
+    ] {
+        let result = verifier.run(engine);
+        println!(
+            "\n[{engine}] verdict: {} ({:.2?})",
+            result.verdict, result.stats.duration
+        );
+        if let Some(bound) = result.env_thread_bound {
+            println!("  env threads sufficient for the bug (§4.3 cost): {bound}");
+        }
+        if !result.witness_lines.is_empty() {
+            println!("  witness (dis steps):");
+            for line in &result.witness_lines {
+                println!("    {line}");
+            }
+        }
+        for note in &result.notes {
+            println!("  note: {note}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! The `parra` command-line verifier.
+//!
+//! ```text
+//! parra classify <file.ra>
+//! parra verify   <file.ra> [--engine simplified|datalog|concrete]
+//!                          [--unroll N] [--all-engines] [--concretize]
+//! parra print    <file.ra>
+//! ```
+//!
+//! Input files use the `system { … }` syntax (see the README or
+//! `examples/`). Exit code 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 64+ =
+//! usage/input errors.
+
+use parra::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("parra: {msg}");
+            ExitCode::from(64)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "classify" => classify(rest),
+        "verify" => verify(rest),
+        "print" => print_system(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  parra classify <file.ra>\n  parra verify <file.ra> \
+     [--engine simplified|datalog|concrete] [--unroll N] [--all-engines] \
+     [--concretize]\n  parra print <file.ra>"
+        .to_owned()
+}
+
+fn load(args: &[String]) -> Result<ParamSystem, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+        .ok_or("missing input file")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    parse_system(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn classify(args: &[String]) -> Result<ExitCode, String> {
+    let sys = load(args)?;
+    let class = SystemClass::of(&sys);
+    println!("class      : {class}");
+    println!("complexity : {}", class.complexity());
+    println!(
+        "supported  : {}",
+        if class.is_decidable_fragment() {
+            "yes (decided exactly)"
+        } else if class.env.nocas {
+            "with --unroll N (bounded model checking of dis loops)"
+        } else {
+            "no (undecidable, Theorem 1.1)"
+        }
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn verify(args: &[String]) -> Result<ExitCode, String> {
+    let sys = load(args)?;
+    let unroll = flag_value(args, "--unroll")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--unroll: {e}")))
+        .transpose()?;
+    let options = VerifierOptions {
+        unroll_dis: unroll,
+        ..Default::default()
+    };
+    let verifier = Verifier::new(&sys, options).map_err(|e| e.to_string())?;
+
+    let engines: Vec<Engine> = if args.iter().any(|a| a == "--all-engines") {
+        vec![
+            Engine::SimplifiedReach,
+            Engine::CacheDatalog,
+            Engine::BoundedConcrete,
+        ]
+    } else {
+        let engine = match flag_value(args, "--engine").as_deref() {
+            None | Some("simplified") => Engine::SimplifiedReach,
+            Some("datalog") => Engine::CacheDatalog,
+            Some("concrete") => Engine::BoundedConcrete,
+            Some(other) => return Err(format!("unknown engine `{other}`")),
+        };
+        vec![engine]
+    };
+
+    let mut final_verdict = Verdict::Unknown;
+    for engine in engines {
+        let result = verifier.run(engine);
+        println!(
+            "[{engine}] {} ({:.2?}, {} states)",
+            result.verdict, result.stats.duration, result.stats.states
+        );
+        if let Some(bound) = result.env_thread_bound {
+            println!("  env threads sufficient for the violation: {bound}");
+        }
+        for line in &result.witness_lines {
+            println!("  witness: {line}");
+        }
+        for note in &result.notes {
+            println!("  note: {note}");
+        }
+        if args.iter().any(|a| a == "--concretize") && result.verdict == Verdict::Unsafe {
+            match verifier.concretize(&result, 6) {
+                Some(w) => {
+                    println!("  concrete interleaving ({} env threads):", w.n_env);
+                    for step in &w.steps {
+                        println!("    {step}");
+                    }
+                }
+                None => println!(
+                    "  (no concrete interleaving found within 6 env threads \
+                     and default depth)"
+                ),
+            }
+        }
+        final_verdict = result.verdict;
+    }
+    Ok(match final_verdict {
+        Verdict::Safe => ExitCode::SUCCESS,
+        Verdict::Unsafe => ExitCode::from(1),
+        Verdict::Unknown => ExitCode::from(2),
+    })
+}
+
+fn print_system(args: &[String]) -> Result<ExitCode, String> {
+    let sys = load(args)?;
+    print!("{}", parra::program::pretty::system_to_string(&sys));
+    Ok(ExitCode::SUCCESS)
+}

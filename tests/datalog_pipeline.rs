@@ -1,0 +1,91 @@
+//! The full Theorem 4.1 pipeline on a tiny system: safety verification →
+//! `makeP` Cache-Datalog program → EDB specialization (bodies ≤ 2) →
+//! Lemma 4.2 cache-to-linear translation → *linear* Datalog query — with
+//! the verdict preserved at every stage.
+//!
+//! The translation blows up combinatorially (it is a complexity
+//! construction), so the system here is minimal: one env store and the
+//! query for the stored message.
+
+use parra_core::makep::{DatalogTarget, MakeP, MakePLimits};
+use parra_datalog::cache::{cache_schedule, prove_with_cache, verify_schedule};
+use parra_datalog::eval::Evaluator;
+use parra_datalog::linear::{is_linear, LinearEvaluator};
+use parra_datalog::specialize::specialize_edb;
+use parra_datalog::translate::cache_to_linear;
+use parra_program::builder::SystemBuilder;
+use parra_program::system::ParamSystem;
+use parra_program::value::Val;
+use parra_simplified::state::Budget;
+
+/// env: x := 1 — a single env store, no dis threads (T = 0).
+fn tiny_system() -> (ParamSystem, parra_program::ident::VarId) {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let mut env = b.program("env");
+    env.store(x, 1);
+    let env = env.finish();
+    (b.build(env, vec![]), x)
+}
+
+/// env: r <- x; assume r == 1 — the goal value is never stored.
+fn tiny_safe_system() -> (ParamSystem, parra_program::ident::VarId) {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let mut env = b.program("env");
+    let r = env.reg("r");
+    env.load(r, x).assume_eq(r, 1);
+    let env = env.finish();
+    (b.build(env, vec![]), x)
+}
+
+fn pipeline(sys: &ParamSystem, x: parra_program::ident::VarId, expect: bool) {
+    let budget = Budget::exact(sys).unwrap();
+    let mk = MakeP::new(sys, budget, MakePLimits::default()).unwrap();
+    let guesses = mk.guesses().unwrap();
+    assert_eq!(guesses.len(), 1, "env-only system has a single guess");
+    let (prog, goal) = mk.program(&guesses[0], DatalogTarget::MessageGenerated(x, Val(1)));
+
+    // Stage 1: ordinary evaluation of the makeP program.
+    assert_eq!(Evaluator::new(&prog).query(&goal), expect);
+
+    // Stage 2: specialize the timestamp side-conditions away; bodies
+    // shrink to at most two (thread + message) atoms.
+    let edb = MakeP::edb_predicates(&prog);
+    let specialized = specialize_edb(&prog, &edb);
+    assert!(specialized.rules().iter().all(|r| r.body.len() <= 2));
+    assert_eq!(Evaluator::new(&specialized).query(&goal), expect);
+
+    if expect {
+        // Stage 3: Lemma 4.6 — a cache schedule from the derivation.
+        let schedule = cache_schedule(&specialized, &goal).expect("derivable");
+        assert!(verify_schedule(&specialized, &goal, &schedule, schedule.peak));
+
+        // Stage 4: exact Cache-Datalog provability at the schedule's peak.
+        assert!(prove_with_cache(&specialized, &goal, schedule.peak));
+
+        // Stage 5: Lemma 4.2 — the cache-bounded query as linear Datalog.
+        let t = cache_to_linear(&specialized, &goal, schedule.peak).unwrap();
+        assert!(is_linear(&t.program));
+        assert!(LinearEvaluator::new(&t.program).query(&t.goal));
+    } else {
+        // The whole pipeline must remain negative.
+        let k = 4;
+        assert!(!prove_with_cache(&specialized, &goal, k));
+        let t = cache_to_linear(&specialized, &goal, k).unwrap();
+        assert!(is_linear(&t.program));
+        assert!(!LinearEvaluator::new(&t.program).query(&t.goal));
+    }
+}
+
+#[test]
+fn unsafe_system_through_the_whole_pipeline() {
+    let (sys, x) = tiny_system();
+    pipeline(&sys, x, true);
+}
+
+#[test]
+fn safe_system_through_the_whole_pipeline() {
+    let (sys, x) = tiny_safe_system();
+    pipeline(&sys, x, false);
+}

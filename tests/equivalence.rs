@@ -1,0 +1,413 @@
+//! Theorem 3.4 (Soundness and Completeness), empirically: a goal message is
+//! generable in some instance under concrete RA iff it is generable in the
+//! simplified semantics.
+//!
+//! * **Completeness** — if the bounded concrete explorer finds the goal in
+//!   *any* tested instance, the simplified engine must report `Unsafe`.
+//! * **Soundness** — if the simplified engine reports `Unsafe`, some
+//!   concrete instance must exhibit the goal; the §4.3 cost bound from the
+//!   witness's dependency graph tells us how many `env` threads suffice.
+//!
+//! Both directions are exercised on hand-picked corner systems and on a
+//! pseudo-random family of small programs.
+
+use parra_program::builder::{ProgramBuilder, SystemBuilder};
+use parra_program::expr::Expr;
+use parra_program::ident::VarId;
+use parra_program::system::ParamSystem;
+use parra_program::value::Val;
+use parra_ra::explore::{ExploreLimits, ExploreOutcome, Explorer, Target};
+use parra_ra::Instance;
+use parra_simplified::cost::cost_of_graph;
+use parra_simplified::depgraph::DepGraph;
+use parra_simplified::reach::{ReachLimits, ReachOutcome, Reachability, SimpTarget};
+use parra_simplified::state::Budget;
+
+const GOAL_VAL: Val = Val(1);
+
+/// The verdicts of the two engines for the goal message `(goal_var, 1)`.
+struct Verdicts {
+    simplified: ReachOutcome,
+    /// Smallest tested `n_env` whose bounded concrete exploration reaches
+    /// the goal, if any.
+    concrete_hit: Option<usize>,
+    /// Whether every tested concrete instance was exhausted (verdicts are
+    /// exact, not bound-limited).
+    concrete_exact: bool,
+    cost_bound: Option<u64>,
+}
+
+fn run_both(sys: &ParamSystem, goal: VarId, max_env: usize) -> Verdicts {
+    let budget = Budget::exact(sys).expect("test systems have loop-free dis");
+    let engine = Reachability::new(sys.clone(), budget.clone(), ReachLimits::default())
+        .expect("env is CAS-free");
+    let report = engine.run(SimpTarget::MessageGenerated(goal, GOAL_VAL));
+    assert_ne!(
+        report.outcome,
+        ReachOutcome::Truncated,
+        "simplified search must be exhaustive on test systems"
+    );
+    let cost_bound = report.witness.as_ref().map(|w| {
+        let g = DepGraph::build(sys, &budget, w);
+        let node = g
+            .find_message(goal, GOAL_VAL)
+            .expect("goal node in witness graph");
+        cost_of_graph(&g, node)
+    });
+
+    let mut concrete_hit = None;
+    let mut concrete_exact = true;
+    for n_env in 0..=max_env {
+        let limits = ExploreLimits {
+            max_depth: 40,
+            max_states: 400_000,
+        };
+        let rep = Explorer::new(Instance::new(sys.clone(), n_env), limits)
+            .run(Target::MessageGenerated(goal, GOAL_VAL));
+        match rep.outcome {
+            ExploreOutcome::Unsafe => {
+                concrete_hit = Some(n_env);
+                break;
+            }
+            ExploreOutcome::SafeExhausted => {}
+            ExploreOutcome::SafeWithinBounds => concrete_exact = false,
+        }
+    }
+    Verdicts {
+        simplified: report.outcome,
+        concrete_hit,
+        concrete_exact,
+        cost_bound,
+    }
+}
+
+fn check_agreement(sys: &ParamSystem, goal: VarId, max_env: usize, label: &str) {
+    let v = run_both(sys, goal, max_env);
+    match (v.simplified, v.concrete_hit) {
+        (ReachOutcome::Unsafe, Some(_)) => {}
+        (ReachOutcome::Safe, None) => {}
+        (ReachOutcome::Safe, Some(n)) => panic!(
+            "{label}: COMPLETENESS violation — concrete instance with {n} env \
+             threads generates the goal but the simplified semantics says Safe\n\
+             system:\n{}",
+            parra_program::pretty::system_to_string(sys)
+        ),
+        (ReachOutcome::Unsafe, None) => {
+            // Soundness: the goal should be concretely generable. Our
+            // concrete search is bounded, so only report a hard failure
+            // when all tested instances were fully exhausted and the cost
+            // bound says the tested instance sizes suffice.
+            let enough_threads = v.cost_bound.map(|c| c <= max_env as u64).unwrap_or(false);
+            if v.concrete_exact && enough_threads {
+                panic!(
+                    "{label}: SOUNDNESS violation — simplified semantics says \
+                     Unsafe (cost bound {:?}) but no concrete instance up to \
+                     {max_env} env threads generates the goal\nsystem:\n{}",
+                    v.cost_bound,
+                    parra_program::pretty::system_to_string(sys)
+                );
+            }
+        }
+        (ReachOutcome::Truncated, _) => unreachable!(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-picked corner systems
+// ---------------------------------------------------------------------
+
+/// env handshake: dis y:=1 → env reads it and writes x:=1 → dis reads x
+/// and writes the goal.
+#[test]
+fn handshake_agrees() {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let y = b.var("y");
+    let goal = b.var("goal");
+    let mut env = b.program("env");
+    let r = env.reg("r");
+    env.load(r, y).assume_eq(r, 1).store(x, 1);
+    let env = env.finish();
+    let mut d = b.program("d");
+    let s = d.reg("s");
+    d.store(y, 1).load(s, x).assume_eq(s, 1).store(goal, 1);
+    let d = d.finish();
+    let sys = b.build(env, vec![d]);
+    check_agreement(&sys, goal, 3, "handshake");
+}
+
+/// Coherence: after dis sees x=1 (written after y=1 by one env thread),
+/// y=0 is unreadable — goal must be unreachable in both semantics.
+#[test]
+fn coherence_agrees() {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let y = b.var("y");
+    let goal = b.var("goal");
+    let mut env = b.program("env");
+    env.store(y, 1).store(x, 1);
+    let env = env.finish();
+    let mut d = b.program("d");
+    let rx = d.reg("rx");
+    let ry = d.reg("ry");
+    d.load(rx, x)
+        .assume_eq(rx, 1)
+        .load(ry, y)
+        .assume_eq(ry, 0)
+        .store(goal, 1);
+    let d = d.finish();
+    let sys = b.build(env, vec![d]);
+    check_agreement(&sys, goal, 3, "coherence");
+}
+
+/// The same shape but with the two writes in *different* env threads:
+/// now the stale read is allowed.
+#[test]
+fn unordered_writes_agree() {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let y = b.var("y");
+    let goal = b.var("goal");
+    let mut env = b.program("env");
+    let which = env.reg("w");
+    env.choice(
+        |p| {
+            p.store(y, 1);
+        },
+        |p| {
+            p.store(x, 1);
+        },
+    );
+    let _ = which;
+    let env = env.finish();
+    let mut d = b.program("d");
+    let rx = d.reg("rx");
+    let ry = d.reg("ry");
+    d.load(rx, x)
+        .assume_eq(rx, 1)
+        .load(ry, y)
+        .assume_eq(ry, 0)
+        .store(goal, 1);
+    let d = d.finish();
+    let sys = b.build(env, vec![d]);
+    check_agreement(&sys, goal, 3, "unordered-writes");
+}
+
+/// CAS interplay: dis CAS on the initial message plus an env message the
+/// dis thread must still observe afterwards.
+#[test]
+fn cas_with_env_messages_agrees() {
+    let mut b = SystemBuilder::new(3);
+    let x = b.var("x");
+    let goal = b.var("goal");
+    let mut env = b.program("env");
+    env.store(x, 2);
+    let env = env.finish();
+    let mut d = b.program("d");
+    let r = d.reg("r");
+    d.cas(x, 0, 1).load(r, x).assume_eq(r, 2).store(goal, 1);
+    let d = d.finish();
+    let sys = b.build(env, vec![d]);
+    check_agreement(&sys, goal, 3, "cas-env");
+}
+
+/// Two dis threads CAS the same initial message: only one can win.
+#[test]
+fn cas_mutual_exclusion_agrees() {
+    let mut b = SystemBuilder::new(3);
+    let lock = b.var("lock");
+    let flag = b.var("flag");
+    let goal = b.var("goal");
+    let env = {
+        let mut p = b.program("env");
+        p.skip();
+        p.finish()
+    };
+    let mut d1 = b.program("d1");
+    d1.cas(lock, 0, 1).store(flag, 1);
+    let d1 = d1.finish();
+    let mut d2 = b.program("d2");
+    let r = d2.reg("r");
+    d2.cas(lock, 0, 2).load(r, flag).assume_eq(r, 1).store(goal, 1);
+    let d2 = d2.finish();
+    let sys = b.build(env, vec![d1, d2]);
+    // d2's CAS and d1's CAS both target slot 1 from the init message: only
+    // one succeeds, so (goal, 1) is unreachable.
+    check_agreement(&sys, goal, 2, "cas-mutex");
+}
+
+/// env messages are re-readable (Infinite Supply): dis reads x = 1 more
+/// often than a single env thread stores it.
+#[test]
+fn rereads_agree() {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let goal = b.var("goal");
+    let mut env = b.program("env");
+    env.store(x, 1);
+    let env = env.finish();
+    let mut d = b.program("d");
+    let r = d.reg("r");
+    for _ in 0..3 {
+        d.load(r, x).assume_eq(r, 1);
+    }
+    d.store(goal, 1);
+    let d = d.finish();
+    let sys = b.build(env, vec![d]);
+    check_agreement(&sys, goal, 3, "rereads");
+}
+
+/// env-to-env communication chains.
+#[test]
+fn env_chain_agrees() {
+    let mut b = SystemBuilder::new(2);
+    let a = b.var("a");
+    let c = b.var("c");
+    let goal = b.var("goal");
+    let mut env = b.program("env");
+    let r = env.reg("r");
+    env.choice(
+        |p| {
+            p.store(a, 1);
+        },
+        |p| {
+            p.load(r, a);
+            p.assume_eq(r, 1);
+            p.store(c, 1);
+        },
+    );
+    let env = env.finish();
+    let mut d = b.program("d");
+    let s = d.reg("s");
+    d.load(s, c).assume_eq(s, 1).store(goal, 1);
+    let d = d.finish();
+    let sys = b.build(env, vec![d]);
+    check_agreement(&sys, goal, 3, "env-chain");
+}
+
+// ---------------------------------------------------------------------
+// Pseudo-random small systems
+// ---------------------------------------------------------------------
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, k: usize) -> usize {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((self.0 >> 33) as usize) % k.max(1)
+    }
+}
+
+/// Generates a random straight-line program over `n_vars` variables and
+/// 2 registers, of `len` instructions; `allow_cas` gates CAS.
+#[allow(clippy::too_many_arguments)]
+fn random_program(
+    b: &SystemBuilder,
+    name: &str,
+    rng: &mut Lcg,
+    n_vars: u32,
+    dom: u32,
+    len: usize,
+    allow_cas: bool,
+    goal: Option<VarId>,
+) -> ProgramBuilder {
+    let mut p = b.program(name);
+    let r0 = p.reg("r0");
+    let r1 = p.reg("r1");
+    for _ in 0..len {
+        let x = VarId(rng.next(n_vars as usize) as u32);
+        let reg = if rng.next(2) == 0 { r0 } else { r1 };
+        match rng.next(if allow_cas { 6 } else { 5 }) {
+            0 => {
+                p.load(reg, x);
+            }
+            1 => {
+                let v = rng.next(dom as usize) as u32;
+                p.store(x, Expr::val(v));
+            }
+            2 => {
+                let v = rng.next(dom as usize) as u32;
+                p.assume(Expr::reg(reg).eq(Expr::val(v)));
+            }
+            3 => {
+                let v = rng.next(dom as usize) as u32;
+                p.assign(reg, Expr::val(v));
+            }
+            4 => {
+                p.store(x, Expr::reg(reg));
+            }
+            _ => {
+                let v1 = rng.next(dom as usize) as u32;
+                let v2 = rng.next(dom as usize) as u32;
+                p.cas(x, Expr::val(v1), Expr::val(v2));
+            }
+        }
+    }
+    if let Some(g) = goal {
+        p.store(g, Expr::val(1));
+    }
+    p
+}
+
+fn random_system(seed: u64, allow_cas: bool) -> (ParamSystem, VarId) {
+    let mut rng = Lcg(seed);
+    let n_vars = 2;
+    let dom = 3;
+    let mut b = SystemBuilder::new(dom);
+    for i in 0..n_vars {
+        b.var(&format!("v{i}"));
+    }
+    let goal = b.var("goal");
+    let env = random_program(&b, "env", &mut rng, n_vars, dom, 3, false, None).finish();
+    let d1 = random_program(
+        &b,
+        "d1",
+        &mut rng,
+        n_vars,
+        dom,
+        3,
+        allow_cas,
+        Some(goal),
+    )
+    .finish();
+    (b.build(env, vec![d1]), goal)
+}
+
+#[test]
+fn random_cas_free_systems_agree() {
+    for seed in 0..60 {
+        let (sys, goal) = random_system(seed, false);
+        check_agreement(&sys, goal, 3, &format!("random-nocas-{seed}"));
+    }
+}
+
+#[test]
+fn random_cas_systems_agree() {
+    for seed in 0..60 {
+        let (sys, goal) = random_system(1000 + seed, true);
+        check_agreement(&sys, goal, 3, &format!("random-cas-{seed}"));
+    }
+}
+
+/// Larger random sweeps with three-instruction env and two dis threads.
+#[test]
+fn random_two_dis_systems_agree() {
+    for seed in 0..40 {
+        let mut rng = Lcg(5000 + seed);
+        let n_vars = 2;
+        let dom = 2;
+        let mut b = SystemBuilder::new(dom);
+        for i in 0..n_vars {
+            b.var(&format!("v{i}"));
+        }
+        let goal = b.var("goal");
+        let env =
+            random_program(&b, "env", &mut rng, n_vars, dom, 3, false, None).finish();
+        let d1 = random_program(&b, "d1", &mut rng, n_vars, dom, 2, true, Some(goal))
+            .finish();
+        let d2 =
+            random_program(&b, "d2", &mut rng, n_vars, dom, 2, true, None).finish();
+        let sys = b.build(env, vec![d1, d2]);
+        check_agreement(&sys, goal, 2, &format!("random-2dis-{seed}"));
+    }
+}

@@ -1,0 +1,69 @@
+//! The benchmark suite end-to-end: every benchmark's verdict under the
+//! simplified-semantics engine must match its expected verdict, and the
+//! concrete baseline must corroborate every `Unsafe`.
+
+use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_litmus::{all, Expected};
+
+#[test]
+fn suite_verdicts_match_expectations() {
+    for bench in all() {
+        let verifier = Verifier::new(&bench.system, VerifierOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let result = verifier.run(Engine::SimplifiedReach);
+        let expected = match bench.expected {
+            Expected::Safe => Verdict::Safe,
+            Expected::Unsafe => Verdict::Unsafe,
+        };
+        assert_eq!(
+            result.verdict, expected,
+            "{} ({}): expected {expected}, got {} — {:?}",
+            bench.name, bench.source, result.verdict, result.notes
+        );
+        if result.verdict == Verdict::Unsafe {
+            assert!(
+                result.env_thread_bound.is_some(),
+                "{}: unsafe verdict without a thread bound",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn concrete_baseline_corroborates_unsafe_benchmarks() {
+    for bench in all() {
+        if bench.expected != Expected::Unsafe {
+            continue;
+        }
+        let verifier =
+            Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
+        let result = verifier.run(Engine::BoundedConcrete);
+        assert_eq!(
+            result.verdict,
+            Verdict::Unsafe,
+            "{}: concrete exploration did not reproduce the violation",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn concrete_baseline_finds_nothing_in_safe_benchmarks() {
+    for bench in all() {
+        if bench.expected != Expected::Safe {
+            continue;
+        }
+        let verifier =
+            Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
+        let result = verifier.run(Engine::BoundedConcrete);
+        // Parameterized safety cannot be concluded by the bounded engine,
+        // but it must not find a (spurious) violation.
+        assert_eq!(
+            result.verdict,
+            Verdict::Unknown,
+            "{}: concrete exploration found a violation in a safe benchmark",
+            bench.name
+        );
+    }
+}

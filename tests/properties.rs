@@ -1,0 +1,350 @@
+//! Property-based tests (proptest) for the core data structures and the
+//! executable lemmas.
+
+use proptest::prelude::*;
+
+use parra_program::builder::SystemBuilder;
+use parra_program::expr::Expr;
+use parra_program::ident::VarId;
+use parra_program::system::ParamSystem;
+use parra_ra::lifting::Lifting;
+use parra_ra::supply::{duplicate_env_message, env_store_indices, Placement};
+use parra_ra::timestamp::Timestamp;
+use parra_ra::{Instance, Trace};
+use parra_simplified::timestamp::ATime;
+use parra_simplified::view::AView;
+
+// ---------------------------------------------------------------------
+// Abstract timestamps: a total order interleaving slots and gaps
+// ---------------------------------------------------------------------
+
+fn atime_strategy() -> impl Strategy<Value = ATime> {
+    (0u32..20, prop::bool::ANY).prop_map(|(i, plus)| {
+        if plus {
+            ATime::Plus(i)
+        } else {
+            ATime::Int(i)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn atime_order_total_and_transitive(
+        a in atime_strategy(),
+        b in atime_strategy(),
+        c in atime_strategy(),
+    ) {
+        // Totality.
+        prop_assert!(a <= b || b <= a);
+        // Antisymmetry.
+        if a <= b && b <= a {
+            prop_assert_eq!(a, b);
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // The defining interleaving: Int(i) < Plus(i) < Int(i+1).
+        prop_assert!(ATime::Int(a.floor()) <= a);
+        prop_assert!(a <= ATime::Plus(a.floor()));
+    }
+
+    #[test]
+    fn aview_join_is_lattice_join(
+        xs in prop::collection::vec(atime_strategy(), 3),
+        ys in prop::collection::vec(atime_strategy(), 3),
+        zs in prop::collection::vec(atime_strategy(), 3),
+    ) {
+        let a = AView::from_times(xs);
+        let b = AView::from_times(ys);
+        let c = AView::from_times(zs);
+        // Commutative, idempotent, associative.
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        // Least upper bound.
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j) && b.leq(&j));
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expressions: evaluation stays in the domain
+// ---------------------------------------------------------------------
+
+fn expr_strategy(n_regs: u32, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0u32..8).prop_map(Expr::val),
+        (0..n_regs).prop_map(|r| Expr::reg(parra_program::ident::RegId(r))),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| e.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn expr_eval_in_domain(
+        e in expr_strategy(2, 3),
+        dom_size in 1u32..6,
+        r0 in 0u32..6,
+        r1 in 0u32..6,
+    ) {
+        let dom = parra_program::value::Dom::new(dom_size);
+        let mut rv = parra_program::expr::RegVal::new(2);
+        rv.set(parra_program::ident::RegId(0), dom.wrap(r0 as u64));
+        rv.set(parra_program::ident::RegId(1), dom.wrap(r1 as u64));
+        let v = e.eval(&rv, dom);
+        prop_assert!(dom.contains(v), "value {v} outside {dom}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lemma 3.1 (lifting) and Lemma 3.3 (infinite supply) on random traces
+// ---------------------------------------------------------------------
+
+fn test_system() -> ParamSystem {
+    let mut b = SystemBuilder::new(2);
+    let x = b.var("x");
+    let y = b.var("y");
+    let z = b.var("z");
+    let mut env = b.program("env");
+    let r = env.reg("r");
+    env.load(r, y).store(x, 1).store(z, 1);
+    let env = env.finish();
+    let mut d = b.program("d");
+    let s = d.reg("s");
+    d.store(y, 1).load(s, x).cas(z, 1, 0);
+    let d = d.finish();
+    b.build(env, vec![d])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lemma_3_1_valid_liftings_replay(seed in 0u64..10_000, stretch in 1u64..5) {
+        let mut s = seed;
+        let mut chooser = move |k: usize| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize % k.max(1)
+        };
+        let trace = Trace::random(Instance::new(test_system(), 2), 18, &mut chooser);
+        // A spacing lift that respects CAS pairs is RA-valid for every
+        // computation; Lemma 3.1 promises the lifted run replays.
+        let lift = Lifting::spacing_with_holes(&trace);
+        let lifted = lift.apply(&trace);
+        prop_assert!(lifted.is_ok(), "{:?}", lifted.err());
+        // Uniform stretches are valid exactly when no CAS pair occurs (the
+        // validator must reject the rest up front, never at replay).
+        let uniform = Lifting::spacing(&trace, 1 + stretch);
+        match uniform.validate(&trace) {
+            Ok(()) => prop_assert!(uniform.apply(&trace).is_ok()),
+            Err(e) => prop_assert!(
+                matches!(e, parra_ra::lifting::LiftingError::CasPairTorn { .. }),
+                "unexpected validation error {e}"
+            ),
+        }
+    }
+
+    #[test]
+    fn lemma_3_3_duplication(seed in 0u64..10_000) {
+        let mut s = seed;
+        let mut chooser = move |k: usize| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize % k.max(1)
+        };
+        let trace = Trace::random(Instance::new(test_system(), 2), 22, &mut chooser);
+        for idx in env_store_indices(&trace) {
+            for placement in [Placement::Adjacent, Placement::High] {
+                let dup = duplicate_env_message(&trace, idx, placement);
+                let dup = match dup {
+                    Ok(d) => d,
+                    Err(e) => return Err(TestCaseError::fail(format!("idx {idx}: {e}"))),
+                };
+                prop_assert_eq!(dup.original.var, dup.clone.var);
+                prop_assert_eq!(dup.original.val, dup.clone.val);
+                prop_assert!(dup.trace.last().memory.contains(&dup.original));
+                prop_assert!(dup.trace.last().memory.contains(&dup.clone));
+                if placement == Placement::High {
+                    // Higher than every other message on the variable.
+                    for m in dup.trace.last().memory.on_var(dup.clone.var) {
+                        if *m != dup.clone {
+                            prop_assert!(dup.clone.timestamp() > m.timestamp());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concrete_view_join_monotone_along_traces(seed in 0u64..10_000) {
+        // Thread views only ever grow along a computation (the join
+        // discipline) — an invariant of the Figure 2 rules.
+        let mut s = seed;
+        let mut chooser = move |k: usize| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize % k.max(1)
+        };
+        let trace = Trace::random(Instance::new(test_system(), 2), 20, &mut chooser);
+        for step in 0..trace.len() {
+            let before = trace.config_at(step);
+            let after = trace.config_at(step + 1);
+            for (b, a) in before.threads.iter().zip(&after.threads) {
+                prop_assert!(b.view.leq(&a.view), "view shrank at step {step}");
+            }
+            // Memory only grows.
+            prop_assert!(after.memory.len() >= before.memory.len());
+        }
+        let _ = Timestamp::ZERO;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Datalog: linear evaluator agrees with the general one
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_and_general_evaluators_agree(
+        edges in prop::collection::vec((0u32..6, 0u32..6), 1..12),
+        start in 0u32..6,
+        goal in 0u32..6,
+    ) {
+        use parra_datalog::ast::{Atom, Program, Term, GroundAtom};
+        let mut p = Program::new();
+        let reach = p.predicate("reach", 1);
+        let consts: Vec<_> = (0..6).map(|i| p.constant(&format!("n{i}"))).collect();
+        p.fact(reach, vec![consts[start as usize]]).unwrap();
+        // One linear rule per edge: reach(b) :- reach(a).
+        for (a, b) in &edges {
+            p.rule(
+                Atom::new(reach, vec![Term::Const(consts[*b as usize])]),
+                vec![Atom::new(reach, vec![Term::Const(consts[*a as usize])])],
+            )
+            .unwrap();
+        }
+        let g = GroundAtom::new(reach, vec![consts[goal as usize]]);
+        let lin = parra_datalog::linear::LinearEvaluator::new(&p).query(&g);
+        let gen = parra_datalog::eval::Evaluator::new(&p).query(&g);
+        prop_assert_eq!(lin, gen);
+        // And both agree with plain graph reachability.
+        let mut seen = [false; 6];
+        seen[start as usize] = true;
+        loop {
+            let mut changed = false;
+            for (a, b) in &edges {
+                if seen[*a as usize] && !seen[*b as usize] {
+                    seen[*b as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        prop_assert_eq!(lin, seen[goal as usize]);
+    }
+
+    #[test]
+    fn cache_schedules_verify(chain_len in 2u32..12) {
+        use parra_datalog::ast::{Atom, Program, Term, GroundAtom};
+        use parra_datalog::cache::{cache_schedule, verify_schedule};
+        let mut p = Program::new();
+        let next = p.predicate("next", 2);
+        let reach = p.predicate("reach", 1);
+        let consts: Vec<_> = (0..chain_len)
+            .map(|i| p.constant(&format!("v{i}")))
+            .collect();
+        for w in consts.windows(2) {
+            p.fact(next, vec![w[0], w[1]]).unwrap();
+        }
+        p.fact(reach, vec![consts[0]]).unwrap();
+        p.rule(
+            Atom::new(reach, vec![Term::Var(1)]),
+            vec![
+                Atom::new(reach, vec![Term::Var(0)]),
+                Atom::new(next, vec![Term::Var(0), Term::Var(1)]),
+            ],
+        )
+        .unwrap();
+        let goal = GroundAtom::new(reach, vec![*consts.last().unwrap()]);
+        let sched = cache_schedule(&p, &goal).expect("derivable");
+        prop_assert!(verify_schedule(&p, &goal, &sched, sched.peak));
+        // The peak stays constant in the chain length (locality).
+        prop_assert!(sched.peak <= 3, "peak {}", sched.peak);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser/pretty-printer round trip
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pretty_parse_roundtrip(seed in 0u64..100_000) {
+        // Build a random small system programmatically, print it, parse
+        // it back, and check the printed forms agree (fixed point after
+        // one round).
+        let mut s = seed;
+        let mut rng = move |k: usize| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize % k.max(1)
+        };
+        let mut b = SystemBuilder::new(3);
+        let vars: Vec<VarId> = (0..2).map(|i| b.var(&format!("v{i}"))).collect();
+        let mut p = b.program("env");
+        let r = p.reg("r0");
+        for _ in 0..rng(5) + 1 {
+            match rng(5) {
+                0 => {
+                    p.load(r, vars[rng(2)]);
+                }
+                1 => {
+                    p.store(vars[rng(2)], Expr::val(rng(3) as u32));
+                }
+                2 => {
+                    p.assume(Expr::reg(r).eq(Expr::val(rng(3) as u32)));
+                }
+                3 => {
+                    p.choice(
+                        |p| {
+                            p.skip();
+                        },
+                        |p| {
+                            p.assert_false();
+                        },
+                    );
+                }
+                _ => {
+                    p.star(|p| {
+                        p.store(vars[0], Expr::val(1));
+                    });
+                }
+            }
+        }
+        let env = p.finish();
+        let sys = b.build(env, vec![]);
+        let printed = parra_program::pretty::system_to_string(&sys);
+        let reparsed = parra_program::parser::parse_system(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        let reprinted = parra_program::pretty::system_to_string(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+}

@@ -1,0 +1,107 @@
+//! Theorem 5.1 end-to-end: the Figure 6 reduction is correct — the PureRA
+//! program is unsafe iff the TQBF instance is true. The verifier verdict is
+//! compared against the recursive TQBF oracle.
+
+use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_qbf::eval::evaluate;
+use parra_qbf::formula::{BoolExpr, Qbf};
+use parra_qbf::gen;
+use parra_qbf::reduce::reduce_to_purera;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check(qbf: &Qbf, label: &str) {
+    let truth = evaluate(qbf);
+    let reduction = reduce_to_purera(qbf);
+    let verifier =
+        Verifier::new(&reduction.system, VerifierOptions::default()).expect("PureRA class");
+    let result = verifier.run(Engine::SimplifiedReach);
+    let expected = if truth { Verdict::Unsafe } else { Verdict::Safe };
+    assert_eq!(
+        result.verdict, expected,
+        "{label}: Ψ = {qbf} is {truth} but the reduced program is {:?}",
+        result.verdict
+    );
+}
+
+#[test]
+fn constants_roundtrip() {
+    check(&Qbf::new(0, BoolExpr::Const(true)), "const-true");
+    check(&Qbf::new(0, BoolExpr::Const(false)), "const-false");
+}
+
+#[test]
+fn n0_formulas() {
+    // ∀u0. u0 — false.
+    check(&Qbf::new(0, BoolExpr::var(0)), "forall-u0");
+    // ∀u0. ¬u0 — false.
+    check(&Qbf::new(0, BoolExpr::var(0).not()), "forall-not-u0");
+    // ∀u0. u0 ∨ ¬u0 — true.
+    check(
+        &Qbf::new(0, BoolExpr::var(0).or(BoolExpr::var(0).not())),
+        "excluded-middle",
+    );
+    // ∀u0. u0 ∧ ¬u0 — false.
+    check(
+        &Qbf::new(0, BoolExpr::var(0).and(BoolExpr::var(0).not())),
+        "contradiction",
+    );
+}
+
+#[test]
+fn n1_copycat_and_clairvoyant() {
+    // ∀u0 ∃e1 ∀u1. e1 ↔ u0 — true.
+    check(&gen::copycat(1), "copycat-1");
+    // ∀u0 ∃e1 ∀u1. e1 ↔ u1 — false.
+    check(&gen::clairvoyant(1), "clairvoyant-1");
+}
+
+#[test]
+fn n1_mixed_formulas() {
+    // ∀u0 ∃e1 ∀u1. (u0 ∨ e1) — true: pick e1 = 1.
+    check(
+        &Qbf::new(1, BoolExpr::var(0).or(BoolExpr::var(1))),
+        "or-true",
+    );
+    // ∀u0 ∃e1 ∀u1. (u0 ∧ e1) — false: u0 may be 0.
+    check(
+        &Qbf::new(1, BoolExpr::var(0).and(BoolExpr::var(1))),
+        "and-false",
+    );
+    // ∀u0 ∃e1 ∀u1. (e1 ∧ (u1 ∨ ¬u1)) — true.
+    check(
+        &Qbf::new(
+            1,
+            BoolExpr::var(1).and(BoolExpr::var(2).or(BoolExpr::var(2).not())),
+        ),
+        "e-and-taut",
+    );
+}
+
+#[test]
+fn n2_copycat() {
+    check(&gen::copycat(2), "copycat-2");
+}
+
+#[test]
+fn n2_clairvoyant() {
+    check(&gen::clairvoyant(2), "clairvoyant-2");
+}
+
+#[test]
+fn random_small_instances() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..8 {
+        let q = gen::random(&mut rng, 1, 2);
+        check(&q, &format!("random-n1-{i}"));
+    }
+}
+
+#[test]
+fn random_depth_two_instances() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for i in 0..4 {
+        let q = gen::random(&mut rng, 2, 2);
+        check(&q, &format!("random-n2-{i}"));
+    }
+}

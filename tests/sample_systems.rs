@@ -1,0 +1,82 @@
+//! The shipped `.ra` sample files parse, classify, and verify with the
+//! documented verdicts — what a user of the CLI would see.
+
+use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_program::classify::SystemClass;
+use parra_program::parser::parse_system;
+
+fn check(source: &str, name: &str, expected: Verdict) {
+    let sys = parse_system(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let class = SystemClass::of(&sys);
+    assert!(class.is_decidable_fragment(), "{name}: {class}");
+    let verifier = Verifier::new(&sys, VerifierOptions::default())
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let result = verifier.run(Engine::SimplifiedReach);
+    assert_eq!(result.verdict, expected, "{name}");
+}
+
+#[test]
+fn handshake_sample() {
+    check(
+        include_str!("../examples/systems/handshake.ra"),
+        "handshake.ra",
+        Verdict::Unsafe,
+    );
+}
+
+#[test]
+fn peterson_sample() {
+    check(
+        include_str!("../examples/systems/peterson.ra"),
+        "peterson.ra",
+        Verdict::Unsafe,
+    );
+}
+
+#[test]
+fn rcu_sample() {
+    check(
+        include_str!("../examples/systems/rcu.ra"),
+        "rcu.ra",
+        Verdict::Safe,
+    );
+}
+
+#[test]
+fn spinlock_sample() {
+    check(
+        include_str!("../examples/systems/spinlock.ra"),
+        "spinlock.ra",
+        Verdict::Safe,
+    );
+}
+
+#[test]
+fn barrier_sample() {
+    check(
+        include_str!("../examples/systems/barrier.ra"),
+        "barrier.ra",
+        Verdict::Safe,
+    );
+}
+
+/// The CLI pretty-printer round-trips every sample.
+#[test]
+fn samples_roundtrip_through_pretty() {
+    for (name, source) in [
+        ("handshake", include_str!("../examples/systems/handshake.ra")),
+        ("peterson", include_str!("../examples/systems/peterson.ra")),
+        ("rcu", include_str!("../examples/systems/rcu.ra")),
+        ("spinlock", include_str!("../examples/systems/spinlock.ra")),
+        ("barrier", include_str!("../examples/systems/barrier.ra")),
+    ] {
+        let sys = parse_system(source).unwrap();
+        let printed = parra_program::pretty::system_to_string(&sys);
+        let reparsed = parse_system(&printed).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            parra_program::pretty::system_to_string(&reparsed),
+            printed,
+            "{name}"
+        );
+    }
+}
