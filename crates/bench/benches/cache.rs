@@ -2,7 +2,7 @@
 //! exact bounded-cache search (`⊢ₖ`) on reachability chains, plus the
 //! Lemma 4.2 cache-to-linear translation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parra_bench::micro::Harness;
 use parra_datalog::ast::{Atom, Const, GroundAtom, Program, Term};
 use parra_datalog::cache::{cache_schedule, prove_with_cache};
 use parra_datalog::linear::LinearEvaluator;
@@ -28,23 +28,24 @@ fn chain(n: u32) -> (Program, GroundAtom) {
     (p, GroundAtom::new(reach, vec![*consts.last().unwrap()]))
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_datalog");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("cache_datalog");
     for n in [8u32, 16, 32] {
         let (p, goal) = chain(n);
-        group.bench_with_input(BenchmarkId::new("schedule", n), &n, |b, _| {
+        group.bench_function(&format!("schedule/{n}"), |b| {
             b.iter(|| std::hint::black_box(cache_schedule(&p, &goal).unwrap().peak))
         });
     }
     for n in [4u32, 6] {
         let (p, goal) = chain(n);
-        group.bench_with_input(BenchmarkId::new("prove_k3_exact", n), &n, |b, _| {
+        group.bench_function(&format!("prove_k3_exact/{n}"), |b| {
             b.iter(|| std::hint::black_box(prove_with_cache(&p, &goal, 3)))
         });
     }
     for k in [2usize, 3, 4] {
         let (p, goal) = chain(4);
-        group.bench_with_input(BenchmarkId::new("lemma42_translate_eval", k), &k, |b, &k| {
+        group.bench_function(&format!("lemma42_translate_eval/{k}"), |b| {
             b.iter(|| {
                 let t = cache_to_linear(&p, &goal, k).unwrap();
                 std::hint::black_box(LinearEvaluator::new(&t.program).query(&t.goal))
@@ -53,6 +54,3 @@ fn bench_cache(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

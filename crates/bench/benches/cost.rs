@@ -1,15 +1,16 @@
 //! F5: dependency-graph construction and the §4.3 cost analysis as the
 //! consumer loop bound z grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parra_bench::micro::Harness;
 use parra_litmus::sync::producer_consumer;
 use parra_simplified::cost::cost_of_graph;
 use parra_simplified::depgraph::DepGraph;
 use parra_simplified::reach::{ReachLimits, Reachability, SimpTarget};
 use parra_simplified::state::Budget;
 
-fn bench_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cost_analysis");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("cost_analysis");
     for z in [1usize, 2, 4, 8] {
         let (sys, y, val) = producer_consumer(z);
         let budget = Budget::exact(&sys).unwrap();
@@ -17,14 +18,10 @@ fn bench_cost(c: &mut Criterion) {
             Reachability::new(sys.clone(), budget.clone(), ReachLimits::default()).unwrap();
         let report = engine.run(SimpTarget::MessageGenerated(y, val));
         let witness = report.witness.expect("unsafe");
-        group.bench_with_input(BenchmarkId::new("reach", z), &z, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(
-                    engine.run(SimpTarget::MessageGenerated(y, val)).states,
-                )
-            })
+        group.bench_function(&format!("reach/{z}"), |b| {
+            b.iter(|| std::hint::black_box(engine.run(SimpTarget::MessageGenerated(y, val)).states))
         });
-        group.bench_with_input(BenchmarkId::new("depgraph_and_cost", z), &z, |b, _| {
+        group.bench_function(&format!("depgraph_and_cost/{z}"), |b| {
             b.iter(|| {
                 let graph = DepGraph::build(&sys, &budget, &witness);
                 let goal = graph.find_message(y, val).unwrap();
@@ -34,6 +31,3 @@ fn bench_cost(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_cost);
-criterion_main!(benches);

@@ -2,12 +2,13 @@
 //! simplified-semantics search, the makeP Datalog path, and the bounded
 //! concrete baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parra_bench::experiments::{cas_example_system, handshake_system};
+use parra_bench::micro::Harness;
 use parra_core::verify::{Engine, Verifier, VerifierOptions};
 
-fn bench_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engines");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("engines");
     group.sample_size(10);
     let systems = [
         ("handshake_unsafe", handshake_system(false)),
@@ -21,17 +22,10 @@ fn bench_engines(c: &mut Criterion) {
             Engine::CacheDatalog,
             Engine::BoundedConcrete,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(engine.to_string(), name),
-                &engine,
-                |b, &engine| {
-                    b.iter(|| std::hint::black_box(verifier.run(engine).verdict))
-                },
-            );
+            group.bench_function(&format!("{engine}/{name}"), |b| {
+                b.iter(|| std::hint::black_box(verifier.run(engine).verdict))
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

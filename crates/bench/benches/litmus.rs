@@ -1,15 +1,15 @@
 //! B1: verification time for every benchmark of the suite under the
 //! simplified-semantics engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use parra_bench::micro::Harness;
 use parra_core::verify::{Engine, Verifier, VerifierOptions};
 
-fn bench_litmus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("litmus");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("litmus");
     group.sample_size(10);
     for bench in parra_litmus::all() {
-        let verifier =
-            Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
+        let verifier = Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
         group.bench_function(bench.name, |b| {
             b.iter(|| {
                 let r = verifier.run(Engine::SimplifiedReach);
@@ -19,6 +19,3 @@ fn bench_litmus(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_litmus);
-criterion_main!(benches);

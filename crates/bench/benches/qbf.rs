@@ -1,19 +1,19 @@
 //! F6: scaling of the TQBF reduction with the alternation depth — the
 //! PSPACE-hardness family (copycat is true, clairvoyant is false).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parra_bench::micro::Harness;
 use parra_core::verify::{Engine, Verifier, VerifierOptions};
 use parra_qbf::gen;
 use parra_qbf::reduce::reduce_to_purera;
 
-fn bench_qbf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qbf_reduction");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("qbf_reduction");
     group.sample_size(10);
     for n in 0..=2usize {
         let reduction = reduce_to_purera(&gen::copycat(n));
-        let verifier =
-            Verifier::new(&reduction.system, VerifierOptions::default()).unwrap();
-        group.bench_with_input(BenchmarkId::new("copycat", n), &n, |b, _| {
+        let verifier = Verifier::new(&reduction.system, VerifierOptions::default()).unwrap();
+        group.bench_function(&format!("copycat/{n}"), |b| {
             b.iter(|| {
                 let r = verifier.run(Engine::SimplifiedReach);
                 std::hint::black_box(r.verdict)
@@ -22,9 +22,8 @@ fn bench_qbf(c: &mut Criterion) {
     }
     for n in 1..=2usize {
         let reduction = reduce_to_purera(&gen::clairvoyant(n));
-        let verifier =
-            Verifier::new(&reduction.system, VerifierOptions::default()).unwrap();
-        group.bench_with_input(BenchmarkId::new("clairvoyant", n), &n, |b, _| {
+        let verifier = Verifier::new(&reduction.system, VerifierOptions::default()).unwrap();
+        group.bench_function(&format!("clairvoyant/{n}"), |b| {
             b.iter(|| {
                 let r = verifier.run(Engine::SimplifiedReach);
                 std::hint::black_box(r.verdict)
@@ -33,6 +32,3 @@ fn bench_qbf(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_qbf);
-criterion_main!(benches);

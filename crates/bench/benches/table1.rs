@@ -2,12 +2,13 @@
 //! decidable cells (the undecidable cells are classifier rejections and
 //! take no measurable work).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use parra_bench::experiments::{cas_example_system, handshake_system};
+use parra_bench::micro::Harness;
 use parra_core::verify::{Engine, Verifier, VerifierOptions};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("table1");
     let systems = [
         ("pspace_handshake_unsafe", handshake_system(false)),
         ("pspace_handshake_safe", handshake_system(true)),
@@ -24,6 +25,3 @@ fn bench_table1(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -31,10 +31,19 @@ pub fn all_reports() -> Vec<(&'static str, String)> {
         ("F1: Figure 1 — a concrete RA execution", figure1()),
         ("F3: Figure 3 — the simplified semantics, z > l", figure3()),
         ("F4: Figure 4 — two dependency graphs", figure4()),
-        ("F5: Figure 5 — cost-annotated dependency graphs (§4.3)", figure5()),
+        (
+            "F5: Figure 5 — cost-annotated dependency graphs (§4.3)",
+            figure5(),
+        ),
         ("F6: Figure 6 — the TQBF reduction (Theorem 5.1)", figure6()),
-        ("B1: benchmark classification and verification", benchmark_table()),
-        ("A1: Lemma 4.4 — cache peaks vs the O(Q₀²) bound", cache_bound()),
+        (
+            "B1: benchmark classification and verification",
+            benchmark_table(),
+        ),
+        (
+            "A1: Lemma 4.4 — cache peaks vs the O(Q₀²) bound",
+            cache_bound(),
+        ),
         ("A2: Lemma 4.5 — dependency-graph compaction", compaction()),
         ("A3: engine comparison", engine_comparison()),
     ]
@@ -133,9 +142,9 @@ pub fn figure1() -> String {
                 )
             })
             .or_else(|| {
-                succs.iter().find(|t| {
-                    matches!(&t.action, parra_ra::step::Action::Load(m) if m.val != Val(0))
-                })
+                succs.iter().find(
+                    |t| matches!(&t.action, parra_ra::step::Action::Load(m) if m.val != Val(0)),
+                )
             })
             .or_else(|| succs.first())
             .cloned();
@@ -170,13 +179,16 @@ pub fn figure1() -> String {
 /// constant-size `env` part — `z > l` feasibility.
 pub fn figure3() -> String {
     let mut t = Table::new([
-        "z", "verdict", "abstract states", "env messages (peak)", "env configs (peak)",
+        "z",
+        "verdict",
+        "abstract states",
+        "env messages (peak)",
+        "env configs (peak)",
     ]);
     for z in [1usize, 2, 4, 8, 16] {
         let (sys, y, val) = producer_consumer(z);
         let budget = Budget::exact(&sys).unwrap();
-        let engine =
-            Reachability::new(sys, budget.clone(), ReachLimits::default()).unwrap();
+        let engine = Reachability::new(sys, budget.clone(), ReachLimits::default()).unwrap();
         let report = engine.run(SimpTarget::MessageGenerated(y, val));
         t.row([
             z.to_string(),
@@ -209,8 +221,7 @@ pub fn figure3() -> String {
 pub fn figure4() -> String {
     let (sys, y) = figure4_system();
     let budget = Budget::exact(&sys).unwrap();
-    let engine =
-        Reachability::new(sys.clone(), budget.clone(), ReachLimits::default()).unwrap();
+    let engine = Reachability::new(sys.clone(), budget.clone(), ReachLimits::default()).unwrap();
     let report = engine.run(SimpTarget::MessageGenerated(y, Val(2)));
     let witness = report.witness.expect("goal reachable");
 
@@ -230,14 +241,16 @@ pub fn figure4() -> String {
 
     let mut out = String::new();
     for (label, blocked) in [
-        ("computation 1: the writer role generates (y,2) first", Vec::new()),
+        (
+            "computation 1: the writer role generates (y,2) first",
+            Vec::new(),
+        ),
         (
             "computation 2: writers stop after (x,1); the reader role generates (y,2)",
             writer_y_store,
         ),
     ] {
-        let graph =
-            DepGraph::build_with_blocked_env_edges(&sys, &budget, &witness, &blocked);
+        let graph = DepGraph::build_with_blocked_env_edges(&sys, &budget, &witness, &blocked);
         let goal = graph.find_message(y, Val(2)).expect("goal node");
         let _ = writeln!(out, "--- {label} ---");
         let _ = writeln!(
@@ -267,9 +280,7 @@ pub fn figure4() -> String {
 /// over-approximation remark) and the value-chaining variant (cost grows,
 /// and genuinely more threads are needed).
 pub fn figure5() -> String {
-    let mut t = Table::new([
-        "variant", "z", "cost(G)", "min concrete env threads",
-    ]);
+    let mut t = Table::new(["variant", "z", "cost(G)", "min concrete env threads"]);
     for z in 1..=4usize {
         let (sys, y, val) = producer_consumer(z);
         let cost = cost_for(&sys, y, val);
@@ -311,7 +322,12 @@ pub fn figure5() -> String {
 /// sizes and times scale with the alternation depth.
 pub fn figure6() -> String {
     let mut t = Table::new([
-        "Ψ", "truth", "verdict", "shared vars", "abstract states", "time",
+        "Ψ",
+        "truth",
+        "verdict",
+        "shared vars",
+        "abstract states",
+        "time",
     ]);
     let mut instances: Vec<(String, parra_qbf::formula::Qbf)> = Vec::new();
     for n in 0..=2 {
@@ -355,7 +371,13 @@ pub fn figure6() -> String {
 /// Classification and verification of the full benchmark suite.
 pub fn benchmark_table() -> String {
     let mut t = Table::new([
-        "benchmark", "source", "class", "expected", "verdict", "states", "time",
+        "benchmark",
+        "source",
+        "class",
+        "expected",
+        "verdict",
+        "states",
+        "time",
     ]);
     for bench in parra_litmus::all() {
         let class = SystemClass::of(&bench.system);
@@ -388,7 +410,11 @@ pub fn benchmark_table() -> String {
 /// the successful `makeP` derivations vs the `O(Q₀²)` bound.
 pub fn cache_bound() -> String {
     let mut t = Table::new([
-        "system", "Q₀", "Q₀²", "datalog atoms", "cache peak (Lemma 4.6 schedule)",
+        "system",
+        "Q₀",
+        "Q₀²",
+        "datalog atoms",
+        "cache peak (Lemma 4.6 schedule)",
     ]);
     let mut systems: Vec<(&str, ParamSystem)> = vec![
         ("handshake", handshake_system(false)),
@@ -436,7 +462,13 @@ pub fn cache_bound() -> String {
 /// fires.
 pub fn compaction() -> String {
     let mut t = Table::new([
-        "system", "nodes", "height", "max fan-in", "rewrites", "fan-in after", "height after",
+        "system",
+        "nodes",
+        "height",
+        "max fan-in",
+        "rewrites",
+        "fan-in after",
+        "height after",
     ]);
     let mut cases: Vec<(String, ParamSystem, VarId, Val)> = Vec::new();
     for z in [2usize, 4, 6] {
@@ -454,8 +486,7 @@ pub fn compaction() -> String {
         let report = engine.run(SimpTarget::MessageGenerated(y, val));
         let witness = report.witness.expect("unsafe case");
         let mut graph = DepGraph::build(&sys, &budget, &witness);
-        let (nodes, height, fanin) =
-            (graph.nodes.len(), graph.height(), graph.max_fan_in());
+        let (nodes, height, fanin) = (graph.nodes.len(), graph.height(), graph.max_fan_in());
         let rewrites = graph.compact();
         t.row([
             name,
@@ -472,8 +503,7 @@ pub fn compaction() -> String {
     // 8-deep chain of duplicate-pair env messages (truncation).
     {
         let mut graph = synthetic_noncompact_graph(8);
-        let (nodes, height, fanin) =
-            (graph.nodes.len(), graph.height(), graph.max_fan_in());
+        let (nodes, height, fanin) = (graph.nodes.len(), graph.height(), graph.max_fan_in());
         let rewrites = graph.compact();
         t.row([
             "synthetic wide+deep (8)".to_string(),
@@ -522,7 +552,14 @@ fn synthetic_noncompact_graph(width: usize) -> DepGraph {
     for g in 0..width {
         let view = AView::zero(n_vars).with(x, ATime::Plus(g.min(3) as u32));
         // Distinct messages need distinct views; vary the y coordinate.
-        let view = view.with(y, if g % 2 == 0 { ATime::ZERO } else { ATime::Plus(0) });
+        let view = view.with(
+            y,
+            if g % 2 == 0 {
+                ATime::ZERO
+            } else {
+                ATime::Plus(0)
+            },
+        );
         let msg = AMessage::new(x, Val(1), view, Origin::Env);
         let idx = nodes.len();
         nodes.push(MsgNode {
@@ -549,9 +586,7 @@ fn synthetic_noncompact_graph(width: usize) -> DepGraph {
 
 /// The three engines on the same systems: verdicts agree; costs differ.
 pub fn engine_comparison() -> String {
-    let mut t = Table::new([
-        "system", "engine", "verdict", "states/guesses", "time",
-    ]);
+    let mut t = Table::new(["system", "engine", "verdict", "states/guesses", "time"]);
     let systems: Vec<(&str, ParamSystem)> = vec![
         ("handshake-unsafe", handshake_system(false)),
         ("handshake-safe", handshake_system(true)),
@@ -743,12 +778,7 @@ fn cost_for(sys: &ParamSystem, y: VarId, val: Val) -> u64 {
     cost_of_graph(&graph, goal)
 }
 
-fn minimal_concrete_threads(
-    sys: &ParamSystem,
-    y: VarId,
-    val: Val,
-    max: usize,
-) -> Option<usize> {
+fn minimal_concrete_threads(sys: &ParamSystem, y: VarId, val: Val, max: usize) -> Option<usize> {
     for n in 0..=max {
         let report = Explorer::new(
             Instance::new(sys.clone(), n),

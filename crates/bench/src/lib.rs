@@ -4,9 +4,11 @@
 //!
 //! One function per table/figure of the paper (see `DESIGN.md` §6 for the
 //! experiment index). The `experiments` binary prints them all; the
-//! Criterion benches in `benches/` time the same workloads.
+//! std-only micro-benches in `benches/` (driven by [`micro`]) time the
+//! same workloads.
 
 pub mod experiments;
+pub mod micro;
 pub mod table;
 
 pub use experiments::*;

@@ -1,0 +1,173 @@
+//! A std-only micro-benchmark harness.
+//!
+//! The offline build environment rules out Criterion, so the `benches/`
+//! targets (all `harness = false`) drive their workloads through this
+//! module instead. The surface deliberately mirrors the slice of the
+//! Criterion API the benches used — `group`, `sample_size`,
+//! `bench_function`, `Bencher::iter` — so a bench file reads the same
+//! either way.
+//!
+//! Measurement model: each sample times a batch of iterations sized so
+//! a batch takes ≳1 ms (calibrated from a warmup run), then the
+//! per-iteration times of all samples are summarized as min / median /
+//! mean. No outlier rejection, no statistics beyond that — these are
+//! smoke-level numbers for tracking gross regressions, not a substitute
+//! for a real benchmarking rig.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one sample batch.
+const TARGET_BATCH: Duration = Duration::from_millis(1);
+
+/// Top-level harness: parses CLI args (`cargo bench` passes `--bench`;
+/// the first non-flag argument, if any, filters benchmark ids by
+/// substring).
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// A harness configured from `std::env::args`.
+    pub fn from_args() -> Harness {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Harness { filter }
+    }
+
+    /// Start a named benchmark group.
+    pub fn group(&self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            sample_size: 50,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct Group<'a> {
+    harness: &'a Harness,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per benchmark (default 50).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the workload.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&full, &b.samples);
+    }
+
+    /// Criterion-compat no-op marking the end of the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration times (seconds) of each recorded sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, recording `sample_size` batched samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup and batch calibration: grow the batch until it takes
+        // at least TARGET_BATCH (or a single iteration exceeds it).
+        let mut batch = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            if start.elapsed() >= TARGET_BATCH {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples — Bencher::iter never called)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{id:<48} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+        fmt_secs(min),
+        fmt_secs(median),
+        fmt_secs(mean),
+        sorted.len()
+    );
+}
+
+/// Human-readable seconds with an adaptive unit.
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn unit_formatting_picks_sensible_scales() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(0.0025), "2.500 ms");
+        assert_eq!(fmt_secs(0.0000025), "2.500 µs");
+        assert_eq!(fmt_secs(0.0000000025), "2.5 ns");
+    }
+}

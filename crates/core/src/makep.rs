@@ -35,6 +35,7 @@
 //! message predicate), the property the cache bound of Lemma 4.4 exploits.
 
 use parra_datalog::ast::{Atom, Const, GroundAtom, PredId, Program, Term};
+use parra_obs::{Counter, Recorder};
 use parra_program::cfg::{Cfa, Instr, Loc};
 use parra_program::expr::RegVal;
 use parra_program::ident::VarId;
@@ -155,6 +156,7 @@ pub struct MakeP<'s> {
     budget: Budget,
     limits: MakePLimits,
     timeline: Vec<ATime>,
+    rec: Recorder,
 }
 
 impl<'s> MakeP<'s> {
@@ -177,12 +179,10 @@ impl<'s> MakeP<'s> {
                 return Err(MakePError::DisHasLoops { thread: i });
             }
         }
-        let env_states = sys.env.cfa().n_locs() as usize
-            * (sys.dom.size() as usize).pow(sys.env.n_regs());
+        let env_states =
+            sys.env.cfa().n_locs() as usize * (sys.dom.size() as usize).pow(sys.env.n_regs());
         if env_states > limits.max_env_states {
-            return Err(MakePError::TooManyEnvStates {
-                states: env_states,
-            });
+            return Err(MakePError::TooManyEnvStates { states: env_states });
         }
         let t = budget.max_slots();
         let mut timeline = Vec::with_capacity(2 * t as usize + 2);
@@ -195,7 +195,14 @@ impl<'s> MakeP<'s> {
             budget,
             limits,
             timeline,
+            rec: Recorder::disabled(),
         })
+    }
+
+    /// The same encoder reporting metrics/spans through `rec`.
+    pub fn with_recorder(mut self, rec: Recorder) -> MakeP<'s> {
+        self.rec = rec;
+        self
     }
 
     /// Enumerates all guesses (dis run skeletons with slots).
@@ -204,15 +211,21 @@ impl<'s> MakeP<'s> {
     ///
     /// Fails with [`MakePError::TooManyGuesses`] beyond the limit.
     pub fn guesses(&self) -> Result<Vec<Guess>, MakePError> {
+        let span = self.rec.span("makep.guesses");
         // Per-thread skeleton candidates (paths with loaded values).
         let mut per_thread: Vec<Vec<DisGuess>> = Vec::new();
         for d in &self.sys.dis {
             per_thread.push(self.thread_skeletons(d.cfa()));
         }
+        self.rec
+            .counter("skeletons")
+            .add(per_thread.iter().map(|v| v.len() as u64).sum());
         // Product over threads, then assign slots (injective per variable).
         let mut out: Vec<Guess> = Vec::new();
         let mut partial = Vec::new();
         self.product(&per_thread, 0, &mut partial, &mut out)?;
+        self.rec.counter("guesses_enumerated").add(out.len() as u64);
+        span.arg_u64("guesses", out.len() as u64);
         Ok(out)
     }
 
@@ -241,11 +254,8 @@ impl<'s> MakeP<'s> {
         let dom = self.sys.dom;
         let mut out = Vec::new();
         // DFS state: (loc, rv, steps so far).
-        let mut stack: Vec<(Loc, RegVal, Vec<DisStepGuess>)> = vec![(
-            cfa.entry(),
-            RegVal::new(cfa.n_regs() as usize),
-            Vec::new(),
-        )];
+        let mut stack: Vec<(Loc, RegVal, Vec<DisStepGuess>)> =
+            vec![(cfa.entry(), RegVal::new(cfa.n_regs() as usize), Vec::new())];
         while let Some((loc, rv, steps)) = stack.pop() {
             let mut extended = false;
             for (ei, edge) in cfa.edges().iter().enumerate() {
@@ -310,11 +320,7 @@ impl<'s> MakeP<'s> {
 
     /// Extends skeletons with slot assignments (injective per variable)
     /// and CAS read kinds.
-    fn assign_slots(
-        &self,
-        skeletons: &[DisGuess],
-        out: &mut Vec<Guess>,
-    ) -> Result<(), MakePError> {
+    fn assign_slots(&self, skeletons: &[DisGuess], out: &mut Vec<Guess>) -> Result<(), MakePError> {
         // Collect store-ish steps: (thread, step index, var, is_cas).
         let mut sites: Vec<(usize, usize, VarId, bool)> = Vec::new();
         for (ti, skel) in skeletons.iter().enumerate() {
@@ -328,6 +334,7 @@ impl<'s> MakeP<'s> {
             }
         }
         let budget = &self.budget;
+        let pruned = self.rec.counter("slot_assignments_pruned");
         // Backtracking assignment.
         #[allow(clippy::too_many_arguments)]
         fn rec(
@@ -339,6 +346,7 @@ impl<'s> MakeP<'s> {
             skeletons: &[DisGuess],
             out: &mut Vec<Guess>,
             max: usize,
+            pruned: &Counter,
         ) -> Result<(), MakePError> {
             if i == sites.len() {
                 // Materialize the guess.
@@ -359,18 +367,39 @@ impl<'s> MakeP<'s> {
             let (_, _, x, is_cas) = sites[i];
             for slot in 1..=budget.slots(x) {
                 if used.get(&x).map(|s| s.contains(&slot)).unwrap_or(false) {
+                    pruned.incr();
                     continue;
                 }
                 used.entry(x).or_default().insert(slot);
                 if is_cas {
                     for read in [CasRead::IntSlot, CasRead::EnvMessage] {
                         choice.push((slot, Some(read)));
-                        rec(sites, i + 1, budget, used, choice, skeletons, out, max)?;
+                        rec(
+                            sites,
+                            i + 1,
+                            budget,
+                            used,
+                            choice,
+                            skeletons,
+                            out,
+                            max,
+                            pruned,
+                        )?;
                         choice.pop();
                     }
                 } else {
                     choice.push((slot, None));
-                    rec(sites, i + 1, budget, used, choice, skeletons, out, max)?;
+                    rec(
+                        sites,
+                        i + 1,
+                        budget,
+                        used,
+                        choice,
+                        skeletons,
+                        out,
+                        max,
+                        pruned,
+                    )?;
                     choice.pop();
                 }
                 used.get_mut(&x).unwrap().remove(&slot);
@@ -386,6 +415,7 @@ impl<'s> MakeP<'s> {
             skeletons,
             out,
             self.limits.max_guesses,
+            &pruned,
         )
     }
 
@@ -501,7 +531,10 @@ impl<'a, 's> Encoder<'a, 's> {
         let name = format!(
             "etp_{}_{}",
             loc.0,
-            rv.iter().map(|v| v.0.to_string()).collect::<Vec<_>>().join("_")
+            rv.iter()
+                .map(|v| v.0.to_string())
+                .collect::<Vec<_>>()
+                .join("_")
         );
         let p = self.prog.predicate(&name, n);
         self.etp.insert((loc, rv.clone()), p);
@@ -639,12 +672,7 @@ impl<'a, 's> Encoder<'a, 's> {
                         for d in dom.iter() {
                             let rv2 = rv.with(*r, d);
                             let dst = self.etp_pred(edge.to, &rv2);
-                            self.emit_load_rules(
-                                Atom::new(src, self.vvec(0)),
-                                dst,
-                                *x,
-                                d,
-                            );
+                            self.emit_load_rules(Atom::new(src, self.vvec(0)), dst, *x, d);
                         }
                     }
                     Instr::Store(x, e) => {
@@ -705,17 +733,12 @@ impl<'a, 's> Encoder<'a, 's> {
         let xi = x.index();
         let mut head_view = v.clone();
         head_view[xi] = g;
-        let body = vec![
-            src_atom,
-            Atom::new(self.gapstore[xi], vec![v[xi], g]),
-        ];
+        let body = vec![src_atom, Atom::new(self.gapstore[xi], vec![v[xi], g])];
         let emp = self.emp_pred(x, d);
         self.prog
             .rule(Atom::new(emp, head_view.clone()), body.clone())
             .unwrap();
-        self.prog
-            .rule(Atom::new(dst, head_view), body)
-            .unwrap();
+        self.prog.rule(Atom::new(dst, head_view), body).unwrap();
     }
 
     /// Dis rules along the guessed skeletons.
@@ -776,23 +799,13 @@ impl<'a, 's> Encoder<'a, 's> {
 
     /// Dis store at the guessed slot: requires `Vx < slot`; emits the
     /// message and the moved thread with `x ↦ slot`.
-    fn emit_dis_store_rules(
-        &mut self,
-        src_atom: Atom,
-        dst: PredId,
-        x: VarId,
-        d: Val,
-        slot: u32,
-    ) {
+    fn emit_dis_store_rules(&mut self, src_atom: Atom, dst: PredId, x: VarId, d: Val, slot: u32) {
         let v = self.vvec(0);
         let xi = x.index();
         let slot_c = Term::Const(self.t(ATime::Int(slot)));
         let mut head_view = v.clone();
         head_view[xi] = slot_c;
-        let body = vec![
-            src_atom,
-            Atom::new(self.tlt, vec![v[xi], slot_c]),
-        ];
+        let body = vec![src_atom, Atom::new(self.tlt, vec![v[xi], slot_c])];
         let dmp = self.dmp_pred(x, d);
         self.prog
             .rule(Atom::new(dmp, head_view.clone()), body.clone())
@@ -872,7 +885,10 @@ impl<'a, 's> Encoder<'a, 's> {
                 let v = self.vvec(0);
                 let emp = self.emp_pred(x, d);
                 self.prog
-                    .rule(Atom::new(self.goal, vec![]), vec![Atom::new(emp, v.clone())])
+                    .rule(
+                        Atom::new(self.goal, vec![]),
+                        vec![Atom::new(emp, v.clone())],
+                    )
                     .unwrap();
                 let dmp = self.dmp_pred(x, d);
                 self.prog
@@ -1027,8 +1043,8 @@ mod tests {
         env.cas(x, 0, 1);
         let env = env.finish();
         let sys = b.build(env, vec![]);
-        let err = MakeP::new(&sys, Budget::uniform_for(&sys, 1), MakePLimits::default())
-            .unwrap_err();
+        let err =
+            MakeP::new(&sys, Budget::uniform_for(&sys, 1), MakePLimits::default()).unwrap_err();
         assert_eq!(err, MakePError::EnvHasCas);
     }
 
@@ -1047,8 +1063,8 @@ mod tests {
         });
         let d = d.finish();
         let sys = b.build(env, vec![d]);
-        let err = MakeP::new(&sys, Budget::uniform_for(&sys, 1), MakePLimits::default())
-            .unwrap_err();
+        let err =
+            MakeP::new(&sys, Budget::uniform_for(&sys, 1), MakePLimits::default()).unwrap_err();
         assert_eq!(err, MakePError::DisHasLoops { thread: 0 });
     }
 
@@ -1064,10 +1080,7 @@ mod tests {
         let mk = MakeP::new(&sys, budget, MakePLimits::default()).unwrap();
         let guesses = mk.guesses().unwrap();
         assert_eq!(guesses.len(), 1);
-        let (prog, goal) = mk.program(
-            &guesses[0],
-            DatalogTarget::MessageGenerated(x, Val(1)),
-        );
+        let (prog, goal) = mk.program(&guesses[0], DatalogTarget::MessageGenerated(x, Val(1)));
         assert!(Evaluator::new(&prog).query(&goal));
     }
 

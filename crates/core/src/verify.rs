@@ -4,6 +4,8 @@
 use crate::makep::{DatalogTarget, MakeP, MakePError, MakePLimits};
 use parra_datalog::cache::schedule_from_database;
 use parra_datalog::eval::Evaluator;
+use parra_obs::json::ObjWriter;
+use parra_obs::{GaugeSnapshot, HistSnapshot, Recorder};
 use parra_program::classify::{Complexity, SystemClass};
 use parra_program::system::ParamSystem;
 use parra_program::transform;
@@ -105,6 +107,110 @@ pub struct VerificationResult {
     pub witness_lines: Vec<String>,
     /// Notes (approximations applied, limits hit).
     pub notes: Vec<String>,
+    /// The structured report superseding the flat [`Stats`] view (which is
+    /// kept for compatibility). Populated by [`Verifier::run`].
+    pub report: RunReport,
+}
+
+/// The structured report of one engine run: the legacy [`Stats`] plus
+/// every metric the engine emitted through its [`Recorder`] scope, a
+/// cache-occupancy time series (CacheDatalog), and the witness/notes.
+/// Renders to JSON with [`RunReport::to_json`] (the CLI's `--json`).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The engine that ran.
+    pub engine: Engine,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// The flat compatibility view.
+    pub stats: Stats,
+    /// Counter deltas attributed to this run (name without the engine
+    /// prefix, value).
+    pub counters: Vec<(String, u64)>,
+    /// Gauges under this engine's scope (name, snapshot).
+    pub gauges: Vec<(String, GaugeSnapshot)>,
+    /// Histograms under this engine's scope (name, snapshot).
+    pub histograms: Vec<(String, HistSnapshot)>,
+    /// Running intensional-cache occupancy after each schedule step of the
+    /// successful guess (CacheDatalog, unsafe runs) — the Lemma 4.6 series.
+    pub cache_occupancy: Vec<u64>,
+    /// The §4.3 env-thread bound, when derived.
+    pub env_thread_bound: Option<u64>,
+    /// Witness lines, when unsafe.
+    pub witness: Vec<String>,
+    /// Notes.
+    pub notes: Vec<String>,
+}
+
+impl RunReport {
+    /// An empty report for `engine` (placeholder until [`Verifier::run`]
+    /// fills it in).
+    pub fn empty(engine: Engine) -> RunReport {
+        RunReport {
+            engine,
+            verdict: Verdict::Unknown,
+            duration: Duration::ZERO,
+            stats: Stats::default(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            cache_occupancy: Vec::new(),
+            env_thread_bound: None,
+            witness: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Renders the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.str_field("engine", &self.engine.to_string());
+        w.str_field("verdict", &self.verdict.to_string());
+        w.num_field("duration_us", self.duration.as_micros() as u64);
+        let mut stats = ObjWriter::new();
+        stats.num_field("states", self.stats.states as u64);
+        stats.num_field("worlds", self.stats.worlds as u64);
+        stats.num_field("peak_env_msgs", self.stats.peak_env_msgs as u64);
+        stats.num_field("guesses", self.stats.guesses as u64);
+        stats.num_field("datalog_atoms", self.stats.datalog_atoms as u64);
+        stats.num_field("datalog_rules", self.stats.datalog_rules as u64);
+        stats.num_field("cache_peak", self.stats.cache_peak as u64);
+        stats.num_field("duration_us", self.stats.duration.as_micros() as u64);
+        w.raw_field("stats", &stats.finish());
+        let mut counters = ObjWriter::new();
+        for (name, v) in &self.counters {
+            counters.num_field(name, *v);
+        }
+        w.raw_field("counters", &counters.finish());
+        let mut gauges = ObjWriter::new();
+        for (name, g) in &self.gauges {
+            let mut one = ObjWriter::new();
+            one.num_field("value", g.value);
+            one.num_field("peak", g.peak);
+            gauges.raw_field(name, &one.finish());
+        }
+        w.raw_field("gauges", &gauges.finish());
+        let mut hists = ObjWriter::new();
+        for (name, h) in &self.histograms {
+            let mut one = ObjWriter::new();
+            one.num_field("count", h.count);
+            one.num_field("sum", h.sum);
+            one.num_field("max", h.max);
+            one.raw_field("mean", &format!("{:.3}", h.mean()));
+            hists.raw_field(name, &one.finish());
+        }
+        w.raw_field("histograms", &hists.finish());
+        w.num_arr_field("cache_occupancy", &self.cache_occupancy);
+        match self.env_thread_bound {
+            Some(b) => w.num_field("env_thread_bound", b),
+            None => w.raw_field("env_thread_bound", "null"),
+        }
+        w.str_arr_field("witness", &self.witness);
+        w.str_arr_field("notes", &self.notes);
+        w.finish()
+    }
 }
 
 /// Options controlling verification.
@@ -175,6 +281,7 @@ pub struct Verifier {
     budget: Budget,
     options: VerifierOptions,
     notes: Vec<String>,
+    rec: Recorder,
 }
 
 impl Verifier {
@@ -186,10 +293,25 @@ impl Verifier {
     ///
     /// See [`VerifierError`].
     pub fn new(sys: &ParamSystem, options: VerifierOptions) -> Result<Verifier, VerifierError> {
-        let original_class = SystemClass::of(sys);
+        Verifier::new_with_recorder(sys, options, Recorder::disabled())
+    }
+
+    /// [`Verifier::new`] with an observability recorder: the preparation
+    /// phases get `classify` / `transform` spans, and every engine run
+    /// records its metrics under a `{engine}/` scope.
+    pub fn new_with_recorder(
+        sys: &ParamSystem,
+        options: VerifierOptions,
+        rec: Recorder,
+    ) -> Result<Verifier, VerifierError> {
+        let original_class = {
+            let _span = rec.span("classify");
+            SystemClass::of(sys)
+        };
         if !original_class.env.nocas {
             return Err(VerifierError::Undecidable(original_class.complexity()));
         }
+        let span = rec.span("transform");
         let mut notes = Vec::new();
         let sys = if original_class.dis.iter().all(|d| d.acyc) {
             sys.clone()
@@ -206,15 +328,22 @@ impl Verifier {
             }
         };
         let goal = transform::assert_to_goal(&sys);
-        let budget = Budget::exact(&goal.system)
-            .expect("dis is loop-free after unrolling");
+        let budget = Budget::exact(&goal.system).expect("dis is loop-free after unrolling");
+        drop(span);
         Ok(Verifier {
             original_class,
             goal,
             budget,
             options,
             notes,
+            rec,
         })
+    }
+
+    /// Replaces the recorder (builder style).
+    pub fn with_recorder(mut self, rec: Recorder) -> Verifier {
+        self.rec = rec;
+        self
     }
 
     /// The class of the original system.
@@ -235,13 +364,46 @@ impl Verifier {
     /// Runs the selected engine.
     pub fn run(&self, engine: Engine) -> VerificationResult {
         let start = Instant::now();
-        let mut result = match engine {
-            Engine::SimplifiedReach => self.run_simplified(),
-            Engine::CacheDatalog => self.run_datalog(),
-            Engine::BoundedConcrete => self.run_concrete(),
+        // Metrics for this run land under `{engine}/`; the before/after
+        // snapshot delta attributes counters to this run even when the
+        // same Verifier runs the same engine repeatedly.
+        let scope = self.rec.scoped(&format!("{engine}/"));
+        let before = self.rec.snapshot();
+        let mut result = {
+            let span = self.rec.span(&format!("engine:{engine}"));
+            let r = match engine {
+                Engine::SimplifiedReach => self.run_simplified(&scope),
+                Engine::CacheDatalog => self.run_datalog(&scope),
+                Engine::BoundedConcrete => self.run_concrete(&scope),
+            };
+            span.arg_str("verdict", &r.verdict.to_string());
+            r
         };
         result.stats.duration = start.elapsed();
         result.notes.extend(self.notes.iter().cloned());
+
+        let after = self.rec.snapshot();
+        let prefix = format!("{engine}/");
+        let mut report = RunReport::empty(engine);
+        report.verdict = result.verdict;
+        report.duration = result.stats.duration;
+        report.stats = result.stats.clone();
+        report.counters = after.counter_deltas(&before, &prefix);
+        report.gauges = after
+            .gauges
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix(&prefix).map(|n| (n.to_string(), *v)))
+            .collect();
+        report.histograms = after
+            .hists
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix(&prefix).map(|n| (n.to_string(), v.clone())))
+            .collect();
+        report.cache_occupancy = std::mem::take(&mut result.report.cache_occupancy);
+        report.env_thread_bound = result.env_thread_bound;
+        report.witness = result.witness_lines.clone();
+        report.notes = result.notes.clone();
+        result.report = report;
         result
     }
 
@@ -256,16 +418,18 @@ impl Verifier {
             env_thread_bound: None,
             witness_lines: vec![],
             notes: vec!["program contains no assertions".into()],
+            report: RunReport::empty(engine),
         })
     }
 
-    fn run_simplified(&self) -> VerificationResult {
+    fn run_simplified(&self, rec: &Recorder) -> VerificationResult {
         if let Some(r) = self.trivially_safe(Engine::SimplifiedReach) {
             return r;
         }
         let sys = &self.goal.system;
         let engine = Reachability::new(sys.clone(), self.budget.clone(), self.options.reach_limits)
-            .expect("env CAS-freedom checked in Verifier::new");
+            .expect("env CAS-freedom checked in Verifier::new")
+            .with_recorder(rec.clone());
         let target = SimpTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
         let report = engine.run(target);
         let mut notes = Vec::new();
@@ -312,18 +476,18 @@ impl Verifier {
             env_thread_bound,
             witness_lines,
             notes,
+            report: RunReport::empty(Engine::SimplifiedReach),
         }
     }
 
-    fn run_datalog(&self) -> VerificationResult {
+    fn run_datalog(&self, rec: &Recorder) -> VerificationResult {
         if let Some(r) = self.trivially_safe(Engine::CacheDatalog) {
             return r;
         }
         let sys = &self.goal.system;
-        let target =
-            DatalogTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
+        let target = DatalogTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
         let mk = match MakeP::new(sys, self.budget.clone(), self.options.makep_limits) {
-            Ok(mk) => mk,
+            Ok(mk) => mk.with_recorder(rec.clone()),
             Err(e) => {
                 return VerificationResult {
                     verdict: Verdict::Unknown,
@@ -332,6 +496,7 @@ impl Verifier {
                     env_thread_bound: None,
                     witness_lines: vec![],
                     notes: vec![format!("makeP not applicable: {e}")],
+                    report: RunReport::empty(Engine::CacheDatalog),
                 }
             }
         };
@@ -345,6 +510,7 @@ impl Verifier {
                     env_thread_bound: None,
                     witness_lines: vec![],
                     notes: vec![format!("guess enumeration failed: {e}")],
+                    report: RunReport::empty(Engine::CacheDatalog),
                 }
             }
         };
@@ -362,17 +528,19 @@ impl Verifier {
             rules: usize,
             atoms: usize,
             cache_peak: Option<usize>,
+            occupancy: Vec<usize>,
         }
         let found = std::sync::atomic::AtomicBool::new(false);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let outcomes: Vec<GuessOutcome> = crossbeam::thread::scope(|scope| {
+        let n_guesses = guesses.len();
+        let outcomes: Vec<GuessOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
                 .map(|_| {
                     let mk = &mk;
                     let guesses = &guesses;
                     let found = &found;
                     let next = &next;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             if found.load(std::sync::atomic::Ordering::Relaxed) {
@@ -382,19 +550,22 @@ impl Verifier {
                             if i >= guesses.len() {
                                 break;
                             }
+                            rec.heartbeat(|| format!("datalog: guess {i}/{n_guesses}"));
                             let (prog, goal) = mk.program(&guesses[i], target);
-                            let db = Evaluator::new(&prog).run_until(Some(&goal));
+                            let db = Evaluator::new(&prog)
+                                .with_recorder(rec.clone())
+                                .run_until(Some(&goal));
                             let mut outcome = GuessOutcome {
                                 rules: prog.rules().len(),
                                 atoms: db.len(),
                                 cache_peak: None,
+                                occupancy: Vec::new(),
                             };
                             if db.contains(&goal) {
                                 // Lemma 4.6: read a bounded-cache schedule
                                 // off the derivation, counting intensional
                                 // atoms only.
-                                if let Some(schedule) = schedule_from_database(&db, &goal)
-                                {
+                                if let Some(schedule) = schedule_from_database(&db, &goal) {
                                     let edb = MakeP::edb_predicates(&prog);
                                     let mut cache = 0usize;
                                     let mut peak = 0usize;
@@ -412,6 +583,7 @@ impl Verifier {
                                                 }
                                             }
                                         }
+                                        outcome.occupancy.push(cache);
                                     }
                                     outcome.cache_peak = Some(peak);
                                 } else {
@@ -431,18 +603,24 @@ impl Verifier {
                 .into_iter()
                 .flat_map(|h| h.join().expect("guess worker panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope");
+        });
 
         let mut verdict = Verdict::Safe;
+        let mut occupancy: Vec<u64> = Vec::new();
         for o in &outcomes {
             stats.datalog_rules = stats.datalog_rules.max(o.rules);
             stats.datalog_atoms = stats.datalog_atoms.max(o.atoms);
             if let Some(peak) = o.cache_peak {
                 stats.cache_peak = peak;
                 verdict = Verdict::Unsafe;
+                occupancy = o.occupancy.iter().map(|&c| c as u64).collect();
             }
         }
+        if !occupancy.is_empty() {
+            rec.record_series("cache_occupancy", occupancy.clone());
+        }
+        let mut report = RunReport::empty(Engine::CacheDatalog);
+        report.cache_occupancy = occupancy;
         VerificationResult {
             verdict,
             engine: Engine::CacheDatalog,
@@ -450,10 +628,11 @@ impl Verifier {
             env_thread_bound: None,
             witness_lines: vec![],
             notes: vec![],
+            report,
         }
     }
 
-    fn run_concrete(&self) -> VerificationResult {
+    fn run_concrete(&self, rec: &Recorder) -> VerificationResult {
         if let Some(r) = self.trivially_safe(Engine::BoundedConcrete) {
             return r;
         }
@@ -464,9 +643,12 @@ impl Verifier {
             let explorer = Explorer::new(
                 Instance::new(sys.clone(), n_env),
                 self.options.concrete_limits,
-            );
-            let report =
-                explorer.run(Target::MessageGenerated(self.goal.goal_var, self.goal.goal_val));
+            )
+            .with_recorder(rec.clone());
+            let report = explorer.run(Target::MessageGenerated(
+                self.goal.goal_var,
+                self.goal.goal_val,
+            ));
             stats.states += report.states;
             match report.outcome {
                 ExploreOutcome::Unsafe => {
@@ -482,6 +664,7 @@ impl Verifier {
                             .map(|s| s.description)
                             .collect(),
                         notes: vec![format!("violation found with {n_env} env threads")],
+                        report: RunReport::empty(Engine::BoundedConcrete),
                     }
                 }
                 ExploreOutcome::SafeExhausted => {}
@@ -504,6 +687,7 @@ impl Verifier {
                     "bounds hit"
                 }
             )],
+            report: RunReport::empty(Engine::BoundedConcrete),
         }
     }
 
@@ -679,15 +863,75 @@ mod tests {
             .concretize(&abstract_result, 4)
             .expect("the bug concretizes");
         assert!(concrete.n_env >= 1);
-        assert!(concrete
-            .steps
-            .iter()
-            .any(|s| s.contains("$goal := 1")));
+        assert!(concrete.steps.iter().any(|s| s.contains("$goal := 1")));
         // Safe results do not concretize.
         let safe_sys = handshake(true);
         let vs = Verifier::new(&safe_sys, VerifierOptions::default()).unwrap();
         let safe = vs.run(Engine::SimplifiedReach);
         assert!(vs.concretize(&safe, 4).is_none());
+    }
+
+    #[test]
+    fn run_report_mirrors_stats_and_records_metrics() {
+        let sys = handshake(false);
+        let rec = Recorder::enabled(parra_obs::Level::Summary);
+        let v = Verifier::new_with_recorder(&sys, VerifierOptions::default(), rec.clone()).unwrap();
+        let r = v.run(Engine::SimplifiedReach);
+        assert_eq!(r.report.verdict, r.verdict);
+        assert_eq!(r.report.stats.states, r.stats.states);
+        assert_eq!(r.report.witness, r.witness_lines);
+        assert!(
+            r.report
+                .counters
+                .iter()
+                .any(|(n, v)| n == "worlds_explored" && *v > 0),
+            "simplified-reach counters missing: {:?}",
+            r.report.counters
+        );
+        assert!(r.report.gauges.iter().any(|(n, _)| n == "env_msgs"));
+        // The datalog engine attaches the Lemma 4.6 occupancy series.
+        let r2 = v.run(Engine::CacheDatalog);
+        assert_eq!(r2.verdict, Verdict::Unsafe);
+        assert!(!r2.report.cache_occupancy.is_empty());
+        assert_eq!(
+            r2.report.cache_occupancy.iter().copied().max().unwrap(),
+            r2.stats.cache_peak as u64
+        );
+        assert!(r2
+            .report
+            .counters
+            .iter()
+            .any(|(n, v)| n == "guesses_enumerated" && *v >= 1));
+        // The spans include the engine runs and the prep phases.
+        let spans = rec.spans();
+        assert!(spans.iter().any(|s| s.name == "classify"));
+        assert!(spans.iter().any(|s| s.name == "engine:simplified-reach"));
+    }
+
+    #[test]
+    fn run_report_json_roundtrips() {
+        let sys = handshake(false);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        let r = v.run(Engine::CacheDatalog);
+        let json = parra_obs::json::parse(&r.report.to_json()).expect("valid JSON");
+        assert_eq!(json.get("engine").unwrap().as_str(), Some("cache-datalog"));
+        assert_eq!(json.get("verdict").unwrap().as_str(), Some("UNSAFE"));
+        let stats = json.get("stats").unwrap();
+        assert_eq!(
+            stats.get("guesses").unwrap().as_u64(),
+            Some(r.stats.guesses as u64)
+        );
+        assert_eq!(
+            stats.get("cache_peak").unwrap().as_u64(),
+            Some(r.stats.cache_peak as u64)
+        );
+        let occ = json.get("cache_occupancy").unwrap().as_arr().unwrap();
+        assert_eq!(occ.len(), r.report.cache_occupancy.len());
+        // With a disabled recorder the metric maps are empty but present.
+        assert_eq!(
+            json.get("counters").unwrap(),
+            &parra_obs::json::Value::Obj(Default::default())
+        );
     }
 
     /// Engine agreement on a CAS-heavy example.

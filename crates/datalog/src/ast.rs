@@ -349,8 +349,11 @@ impl Program {
     pub fn size(&self) -> usize {
         self.rules
             .iter()
-            .map(|r| 1 + r.body.len() + r.head.terms.len()
-                + r.body.iter().map(|a| a.terms.len()).sum::<usize>())
+            .map(|r| {
+                1 + r.body.len()
+                    + r.head.terms.len()
+                    + r.body.iter().map(|a| a.terms.len()).sum::<usize>()
+            })
             .sum()
     }
 }

@@ -40,6 +40,10 @@ pub struct CacheSchedule {
     pub steps: Vec<ScheduleStep>,
     /// The maximal cache size reached.
     pub peak: usize,
+    /// Running cache size after each step — `occupancy[i]` is the number
+    /// of cached atoms after `steps[i]`. A time series for tracing the
+    /// register-allocation profile of the schedule.
+    pub occupancy: Vec<usize>,
 }
 
 /// Computes a cache schedule for `goal` from the program's least model:
@@ -72,6 +76,7 @@ pub fn schedule_from_database(db: &Database, goal: &GroundAtom) -> Option<CacheS
     }
 
     let mut steps = Vec::new();
+    let mut occupancy = Vec::new();
     let mut in_cache: HashSet<usize> = HashSet::new();
     let mut emitted: HashSet<usize> = HashSet::new();
     let mut peak = 0usize;
@@ -103,6 +108,7 @@ pub fn schedule_from_database(db: &Database, goal: &GroundAtom) -> Option<CacheS
                 }
                 steps.push(ScheduleStep::Add(db.atoms()[i].clone()));
                 in_cache.insert(i);
+                occupancy.push(in_cache.len());
                 peak = peak.max(in_cache.len());
                 // Consume this derivation's body uses; drop exhausted atoms.
                 let (_, body) = db.derivation(i);
@@ -111,12 +117,17 @@ pub fn schedule_from_database(db: &Database, goal: &GroundAtom) -> Option<CacheS
                     *u -= 1;
                     if *u == 0 && b != goal_idx && in_cache.remove(&b) {
                         steps.push(ScheduleStep::Drop(db.atoms()[b].clone()));
+                        occupancy.push(in_cache.len());
                     }
                 }
             }
         }
     }
-    Some(CacheSchedule { steps, peak })
+    Some(CacheSchedule {
+        steps,
+        peak,
+        occupancy,
+    })
 }
 
 /// Replays a schedule under the Cache semantics, checking that every Add
@@ -405,6 +416,26 @@ mod tests {
         assert!(sched.peak <= 4, "peak = {}", sched.peak);
         assert!(verify_schedule(&p, &goal, &sched, sched.peak));
         assert!(!verify_schedule(&p, &goal, &sched, sched.peak - 1));
+    }
+
+    #[test]
+    fn occupancy_tracks_schedule() {
+        let (p, goal) = chain(6);
+        let sched = cache_schedule(&p, &goal).expect("derivable");
+        assert_eq!(sched.steps.len(), sched.occupancy.len());
+        assert_eq!(
+            sched.occupancy.iter().copied().max().unwrap_or(0),
+            sched.peak
+        );
+        // Replay: Add bumps the running size, Drop decrements it.
+        let mut n = 0usize;
+        for (step, &occ) in sched.steps.iter().zip(&sched.occupancy) {
+            match step {
+                ScheduleStep::Add(_) => n += 1,
+                ScheduleStep::Drop(_) => n -= 1,
+            }
+            assert_eq!(n, occ);
+        }
     }
 
     #[test]

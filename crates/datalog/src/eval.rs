@@ -6,6 +6,7 @@
 //! small-cache inference strategy (the paper's Lemma 4.6).
 
 use crate::ast::{Atom, Const, GroundAtom, PredId, Program, Rule, Term};
+use parra_obs::{Counter, Recorder};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The set of derived ground atoms, with one recorded derivation each.
@@ -76,6 +77,13 @@ impl Database {
 /// A variable substitution during rule matching.
 type Subst = HashMap<u32, Const>;
 
+/// The evaluator's hot-loop counters, passed by reference through the
+/// join recursion (near-no-ops when the recorder is disabled).
+struct JoinCounters<'a> {
+    fired: &'a Counter,
+    joins: &'a Counter,
+}
+
 fn match_atom(pattern: &Atom, ground: &GroundAtom, subst: &mut Subst) -> bool {
     if pattern.pred != ground.pred || pattern.terms.len() != ground.args.len() {
         return false;
@@ -137,16 +145,46 @@ fn instantiate(head: &Atom, subst: &Subst) -> GroundAtom {
 #[derive(Debug)]
 pub struct Evaluator<'p> {
     program: &'p Program,
+    rec: Recorder,
 }
 
 impl<'p> Evaluator<'p> {
     /// Creates an evaluator for `program`.
     pub fn new(program: &'p Program) -> Evaluator<'p> {
-        Evaluator { program }
+        Evaluator {
+            program,
+            rec: Recorder::disabled(),
+        }
+    }
+
+    /// The same evaluator reporting metrics through `rec`.
+    pub fn with_recorder(mut self, rec: Recorder) -> Evaluator<'p> {
+        self.rec = rec;
+        self
     }
 
     /// Computes the least model, stopping early if `stop_at` is derived.
     pub fn run_until(&self, stop_at: Option<&GroundAtom>) -> Database {
+        let db = self.run_until_inner(stop_at);
+        // Per-predicate atom counts, keyed by predicate name so traces
+        // across guesses aggregate.
+        if self.rec.is_enabled() {
+            let mut by_pred: HashMap<PredId, u64> = HashMap::new();
+            for a in db.atoms() {
+                *by_pred.entry(a.pred).or_default() += 1;
+            }
+            for (p, n) in by_pred {
+                self.rec
+                    .counter(&format!("atoms/{}", self.program.pred_name(p)))
+                    .add(n);
+            }
+        }
+        db
+    }
+
+    fn run_until_inner(&self, stop_at: Option<&GroundAtom>) -> Database {
+        let c_rules_fired = self.rec.counter("rules_fired");
+        let c_joins = self.rec.counter("join_attempts");
         let mut db = Database::default();
         let mut queue: VecDeque<usize> = VecDeque::new();
 
@@ -155,6 +193,7 @@ impl<'p> Evaluator<'p> {
             if rule.is_fact() {
                 let g = rule.head.to_ground();
                 if let Some(idx) = db.insert(g, ri, Vec::new()) {
+                    c_rules_fired.incr();
                     queue.push_back(idx);
                 }
             }
@@ -182,15 +221,22 @@ impl<'p> Evaluator<'p> {
             for &(ri, bi) in uses.clone().iter() {
                 let rule = &self.program.rules()[ri];
                 let mut subst = Subst::new();
+                c_joins.incr();
                 if !match_atom(&rule.body[bi], &new_atom, &mut subst) {
                     continue;
                 }
                 let mut used = vec![0usize; rule.body.len()];
                 used[bi] = new_idx;
-                if self.join_rest(rule, ri, bi, 0, &mut subst, &mut used, &mut db, &mut queue, stop_at)
-                    && stop_at.is_some() {
-                        return db;
-                    }
+                let ctx = JoinCounters {
+                    fired: &c_rules_fired,
+                    joins: &c_joins,
+                };
+                if self.join_rest(
+                    rule, ri, bi, 0, &mut subst, &mut used, &mut db, &mut queue, stop_at, &ctx,
+                ) && stop_at.is_some()
+                {
+                    return db;
+                }
             }
             if let Some(goal) = stop_at {
                 if db.contains(goal) {
@@ -225,6 +271,7 @@ impl<'p> Evaluator<'p> {
         db: &mut Database,
         queue: &mut VecDeque<usize>,
         stop_at: Option<&GroundAtom>,
+        counters: &JoinCounters<'_>,
     ) -> bool {
         // Find the next body index to solve.
         let mut next = from;
@@ -235,6 +282,7 @@ impl<'p> Evaluator<'p> {
             let g = instantiate(&rule.head, subst);
             let hit = stop_at.map(|s| *s == g).unwrap_or(false);
             if let Some(idx) = db.insert(g, ri, used.clone()) {
+                counters.fired.incr();
                 queue.push_back(idx);
             }
             return hit;
@@ -242,10 +290,7 @@ impl<'p> Evaluator<'p> {
         let pattern = &rule.body[next];
         // Snapshot of the per-predicate candidates: atoms added during
         // this join are matched later via their own delta turn.
-        let candidates: Vec<usize> = db
-            .by_pred
-            .get(&pattern.pred).cloned()
-            .unwrap_or_default();
+        let candidates: Vec<usize> = db.by_pred.get(&pattern.pred).cloned().unwrap_or_default();
         for idx in candidates {
             let ground = db.atoms[idx].clone();
             let before: Vec<(u32, Option<Const>)> = pattern
@@ -253,9 +298,21 @@ impl<'p> Evaluator<'p> {
                 .into_iter()
                 .map(|v| (v, subst.get(&v).copied()))
                 .collect();
+            counters.joins.incr();
             if match_atom(pattern, &ground, subst) {
                 used[next] = idx;
-                if self.join_rest(rule, ri, skip, next + 1, subst, used, db, queue, stop_at) {
+                if self.join_rest(
+                    rule,
+                    ri,
+                    skip,
+                    next + 1,
+                    subst,
+                    used,
+                    db,
+                    queue,
+                    stop_at,
+                    counters,
+                ) {
                     return true;
                 }
             }

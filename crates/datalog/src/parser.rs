@@ -25,7 +25,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "datalog parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "datalog parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -169,11 +173,7 @@ fn parse_atom(
         None => (text, None),
     };
     let name = name.trim();
-    if name.is_empty()
-        || !name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
-    {
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Err(err(format!("bad predicate name `{name}`")));
     }
     let args: Vec<String> = match rest {
@@ -205,7 +205,11 @@ fn parse_atom(
         .into_iter()
         .map(|a| {
             let a = a.trim().to_owned();
-            if a.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false) {
+            if a.chars()
+                .next()
+                .map(|c| c.is_ascii_uppercase())
+                .unwrap_or(false)
+            {
                 let n = vars.len() as u32;
                 Term::Var(*vars.entry(a).or_insert(n))
             } else {

@@ -56,10 +56,8 @@ pub fn specialize_edb(prog: &Program, edb: &HashSet<PredId>) -> Program {
         if rule.is_fact() && edb.contains(&rule.head.pred) {
             continue; // dropped
         }
-        let (edb_atoms, idb_atoms): (Vec<&Atom>, Vec<&Atom>) = rule
-            .body
-            .iter()
-            .partition(|a| edb.contains(&a.pred));
+        let (edb_atoms, idb_atoms): (Vec<&Atom>, Vec<&Atom>) =
+            rule.body.iter().partition(|a| edb.contains(&a.pred));
         if edb_atoms.is_empty() {
             out.rule(rule.head.clone(), rule.body.clone())
                 .expect("rule was valid");
@@ -100,8 +98,7 @@ pub fn specialize_edb(prog: &Program, edb: &HashSet<PredId>) -> Program {
             };
             let head = subst_atom(&rule.head);
             let body: Vec<Atom> = idb_atoms.iter().map(|a| subst_atom(a)).collect();
-            out.rule(head, body)
-                .expect("specialized rule remains safe");
+            out.rule(head, body).expect("specialized rule remains safe");
         }
     }
     out

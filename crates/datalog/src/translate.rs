@@ -222,10 +222,8 @@ pub fn cache_to_linear(
                             let mut next_var = 0u32;
                             let mut var_map = HashMap::new();
                             let mut sr = SlotRule::free(k, w, &mut next_var);
-                            let b1 =
-                                slot_content(&rule.body[0], &mut var_map, &mut next_var);
-                            let b2 =
-                                slot_content(&rule.body[1], &mut var_map, &mut next_var);
+                            let b1 = slot_content(&rule.body[0], &mut var_map, &mut next_var);
+                            let b2 = slot_content(&rule.body[1], &mut var_map, &mut next_var);
                             sr.pin(i, w, &b1, true);
                             sr.pin(j, w, &b2, true);
                             sr.pin(e, w, &empty_content, false);
@@ -340,11 +338,7 @@ fn unify_rule(rule: &Rule) -> Option<Rule> {
     }
     let apply = |atom: &Atom| Atom {
         pred: atom.pred,
-        terms: atom
-            .terms
-            .iter()
-            .map(|&t| resolve(t, &subst))
-            .collect(),
+        terms: atom.terms.iter().map(|&t| resolve(t, &subst)).collect(),
     };
     Some(Rule {
         head: apply(&rule.head),
@@ -446,7 +440,11 @@ mod tests {
         p.fact(q, vec![]).unwrap();
         p.rule(
             Atom::new(q, vec![]),
-            vec![Atom::new(q, vec![]), Atom::new(q, vec![]), Atom::new(q, vec![])],
+            vec![
+                Atom::new(q, vec![]),
+                Atom::new(q, vec![]),
+                Atom::new(q, vec![]),
+            ],
         )
         .unwrap();
         let goal = GroundAtom::new(q, vec![]);

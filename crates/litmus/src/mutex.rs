@@ -46,7 +46,12 @@ pub fn peterson_ra() -> Benchmark {
     let c1 = b.var("c1");
 
     let mut p = b.program("peterson");
-    let role = |p: &mut ProgramBuilder, my_flag: VarId, other_flag: VarId, my_turn: u32, c_me: VarId, c_other: VarId| {
+    let role = |p: &mut ProgramBuilder,
+                my_flag: VarId,
+                other_flag: VarId,
+                my_turn: u32,
+                c_me: VarId,
+                c_other: VarId| {
         let r = p.reg("r");
         p.store(my_flag, 1);
         p.store(turn, 1 - my_turn);
@@ -88,7 +93,12 @@ pub fn peterson_ra_bratosz() -> Benchmark {
     let c1 = b.var("c1");
 
     let mut p = b.program("peterson_bratosz");
-    let role = |p: &mut ProgramBuilder, my_flag: VarId, other_flag: VarId, my_turn: u32, c_me: VarId, c_other: VarId| {
+    let role = |p: &mut ProgramBuilder,
+                my_flag: VarId,
+                other_flag: VarId,
+                my_turn: u32,
+                c_me: VarId,
+                c_other: VarId| {
         let r = p.reg("r");
         p.store(my_flag, 1);
         p.store(turn, 1 - my_turn);
@@ -132,13 +142,14 @@ pub fn dekker() -> Benchmark {
     let c1 = b.var("c1");
 
     let mut p = b.program("dekker");
-    let role = |p: &mut ProgramBuilder, my_flag: VarId, other_flag: VarId, c_me: VarId, c_other: VarId| {
-        let r = p.reg("r");
-        p.store(my_flag, 1);
-        p.load(r, other_flag);
-        p.assume_eq(r, 0); // proceed straight into the CS
-        critical_section(p, c_me, c_other);
-    };
+    let role =
+        |p: &mut ProgramBuilder, my_flag: VarId, other_flag: VarId, c_me: VarId, c_other: VarId| {
+            let r = p.reg("r");
+            p.store(my_flag, 1);
+            p.load(r, other_flag);
+            p.assume_eq(r, 0); // proceed straight into the CS
+            critical_section(p, c_me, c_other);
+        };
     let r0 = p.block(|p| role(p, flag0, flag1, c0, c1));
     let r1 = p.block(|p| role(p, flag1, flag0, c1, c0));
     p.choice_of(vec![r0, r1]);

@@ -3,9 +3,9 @@
 
 use crate::{Benchmark, Expected};
 use parra_program::builder::SystemBuilder;
+use parra_program::ident::VarId;
 use parra_program::system::ParamSystem;
 use parra_program::value::Val;
-use parra_program::ident::VarId;
 
 /// Figure 1's producer/consumer as a plain system: producers (`env`) wait
 /// for `y = 1` and write `x := i`; the consumer (`dis`) publishes `y := 1`,
@@ -149,9 +149,7 @@ mod tests {
     fn producer_consumer_scales_with_z() {
         let (s1, _, _) = producer_consumer(1);
         let (s5, _, _) = producer_consumer(5);
-        assert!(
-            s5.dis[0].com().instruction_count() > s1.dis[0].com().instruction_count()
-        );
+        assert!(s5.dis[0].com().instruction_count() > s1.dis[0].com().instruction_count());
     }
 
     #[test]

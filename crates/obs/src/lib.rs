@@ -1,0 +1,435 @@
+#![warn(missing_docs)]
+
+//! # parra-obs — zero-dependency observability
+//!
+//! Metrics, spans, traces, and progress heartbeats for the verification
+//! engines, built on `std` alone (the build environment is offline). The
+//! central type is [`Recorder`]: a cheap, cloneable handle that is either
+//! *enabled* (backed by a shared registry + span store) or *disabled*
+//! (`Recorder::disabled()`, the default), in which case every operation
+//! is a branch-on-`None` no-op.
+//!
+//! | need | API |
+//! |---|---|
+//! | count events on a hot path | [`Recorder::counter`] → [`Counter::incr`] |
+//! | track a level + its peak | [`Recorder::gauge`] → [`Gauge::set`] |
+//! | distribution of a quantity | [`Recorder::histogram`] → [`Histogram::record`] |
+//! | time a phase, build the tree | [`Recorder::span`] (RAII guard) |
+//! | long-run progress on stderr | [`Recorder::heartbeat`] (rate-limited) |
+//! | `chrome://tracing` file | [`Recorder::chrome_trace`] |
+//!
+//! Level selection follows the `PARRA_LOG` environment variable
+//! (`off` | `summary` | `debug`, see [`Recorder::from_env`]); the CLI's
+//! `--stats` flag forces `summary`.
+//!
+//! # Example
+//!
+//! ```
+//! use parra_obs::{Level, Recorder};
+//!
+//! let rec = Recorder::enabled(Level::Summary);
+//! let states = rec.counter("engine/states");
+//! {
+//!     let _span = rec.span("engine:search");
+//!     states.incr();
+//!     states.incr();
+//! }
+//! assert_eq!(rec.snapshot().counters["engine/states"], 2);
+//! assert!(rec.render_tree().contains("engine:search"));
+//!
+//! // Disabled: same calls, no work, no output.
+//! let off = Recorder::disabled();
+//! off.counter("engine/states").incr();
+//! assert!(off.snapshot().counters.is_empty());
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, GaugeSnapshot, HistSnapshot, Histogram, MetricsSnapshot};
+pub use span::{ArgValue, SpanRecord};
+pub use trace::CounterSeries;
+
+use metrics::Registry;
+use span::SpanStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Observability verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Everything off (the recorder is disabled).
+    #[default]
+    Off,
+    /// Metrics, top-level spans, heartbeats.
+    Summary,
+    /// Additionally fine-grained spans (per world / per guess) and
+    /// debug logging.
+    Debug,
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Ok(Level::Off),
+            "summary" | "1" | "on" | "info" => Ok(Level::Summary),
+            "debug" | "2" | "trace" => Ok(Level::Debug),
+            other => Err(format!("unknown log level `{other}` (off|summary|debug)")),
+        }
+    }
+}
+
+/// State shared by a recorder and all its scoped views.
+#[derive(Debug)]
+struct Shared {
+    epoch: Instant,
+    metrics: Registry,
+    spans: SpanStore,
+    heartbeat_interval_us: u64,
+    heartbeat_last: AtomicU64,
+    series: Mutex<Vec<CounterSeries>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    level: Level,
+    prefix: String,
+    shared: Arc<Shared>,
+}
+
+/// The observability handle. Cloning is cheap (an `Arc`); clones share
+/// the same registry, span store, and heartbeat limiter.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A disabled recorder: every operation is a no-op.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder at `level` (`Level::Off` yields a disabled one).
+    pub fn enabled(level: Level) -> Recorder {
+        if level == Level::Off {
+            return Recorder::disabled();
+        }
+        let interval_ms = std::env::var("PARRA_HEARTBEAT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1000);
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                level,
+                prefix: String::new(),
+                shared: Arc::new(Shared {
+                    epoch: Instant::now(),
+                    metrics: Registry::default(),
+                    spans: SpanStore::new(),
+                    heartbeat_interval_us: interval_ms.saturating_mul(1000),
+                    heartbeat_last: AtomicU64::new(0),
+                    series: Mutex::new(Vec::new()),
+                }),
+            })),
+        }
+    }
+
+    /// A recorder configured from the `PARRA_LOG` environment variable
+    /// (`off` | `summary` | `debug`; unset or unparsable means off).
+    pub fn from_env() -> Recorder {
+        let level = std::env::var("PARRA_LOG")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Level::Off);
+        Recorder::enabled(level)
+    }
+
+    /// Whether the recorder records anything at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The active level ([`Level::Off`] when disabled).
+    pub fn level(&self) -> Level {
+        self.inner.as_ref().map(|i| i.level).unwrap_or(Level::Off)
+    }
+
+    /// A view of the same recorder whose metric names gain `prefix` —
+    /// used to give each engine run its own namespace while sharing one
+    /// span store and trace.
+    pub fn scoped(&self, prefix: &str) -> Recorder {
+        match &self.inner {
+            None => Recorder::disabled(),
+            Some(inner) => Recorder {
+                inner: Some(Arc::new(Inner {
+                    level: inner.level,
+                    prefix: format!("{}{}", inner.prefix, prefix),
+                    shared: Arc::clone(&inner.shared),
+                })),
+            },
+        }
+    }
+
+    /// A counter named `name` (under this recorder's scope prefix).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::default(),
+            Some(i) => i.shared.metrics.counter(&format!("{}{}", i.prefix, name)),
+        }
+    }
+
+    /// A gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::default(),
+            Some(i) => i.shared.metrics.gauge(&format!("{}{}", i.prefix, name)),
+        }
+    }
+
+    /// A histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            None => Histogram::default(),
+            Some(i) => i.shared.metrics.histogram(&format!("{}{}", i.prefix, name)),
+        }
+    }
+
+    /// Opens a span; it closes when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard { opened: None },
+            Some(i) => {
+                let idx = i.shared.spans.open(name, i.shared.epoch);
+                SpanGuard {
+                    opened: Some((Arc::clone(&i.shared), idx)),
+                }
+            }
+        }
+    }
+
+    /// Opens a span only at [`Level::Debug`] — for fine-grained phases
+    /// (per world, per guess) that would flood a summary trace.
+    pub fn span_debug(&self, name: &str) -> SpanGuard {
+        if self.level() >= Level::Debug {
+            self.span(name)
+        } else {
+            SpanGuard { opened: None }
+        }
+    }
+
+    /// Emits a rate-limited progress line to stderr; `make` is only
+    /// called when a heartbeat is actually due (at most once per
+    /// `PARRA_HEARTBEAT_MS`, default 1000).
+    #[inline]
+    pub fn heartbeat(&self, make: impl FnOnce() -> String) {
+        let Some(i) = &self.inner else { return };
+        let s = &i.shared;
+        let now = s.epoch.elapsed().as_micros() as u64;
+        let last = s.heartbeat_last.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < s.heartbeat_interval_us {
+            return;
+        }
+        if s.heartbeat_last
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            eprintln!("[parra {:>7.1}s] {}", now as f64 / 1e6, make());
+        }
+    }
+
+    /// Logs a line to stderr at `Level::Debug`.
+    pub fn debug(&self, make: impl FnOnce() -> String) {
+        if self.level() >= Level::Debug {
+            eprintln!("[parra debug] {}", make());
+        }
+    }
+
+    /// Records a named value-over-time series (rendered as Chrome counter
+    /// events in the trace and exposed in reports).
+    pub fn record_series(&self, name: &str, values: Vec<u64>) {
+        let Some(i) = &self.inner else { return };
+        let now = i.shared.epoch.elapsed().as_micros() as u64;
+        i.shared.series.lock().unwrap().push(CounterSeries {
+            name: format!("{}{}", i.prefix, name),
+            start_us: now.saturating_sub(values.len() as u64),
+            end_us: now,
+            values,
+        });
+    }
+
+    /// All recorded series.
+    pub fn series(&self) -> Vec<CounterSeries> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => i.shared.series.lock().unwrap().clone(),
+        }
+    }
+
+    /// A point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(i) => i.shared.metrics.snapshot(),
+        }
+    }
+
+    /// All finished (and still-open) spans.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => i.shared.spans.records(),
+        }
+    }
+
+    /// The indented span tree (empty string when disabled).
+    pub fn render_tree(&self) -> String {
+        match &self.inner {
+            None => String::new(),
+            Some(i) => i.shared.spans.render_tree(),
+        }
+    }
+
+    /// The full Chrome-trace JSON document (spans + counter series).
+    pub fn chrome_trace(&self) -> String {
+        trace::render_chrome_trace(&self.spans(), &self.series())
+    }
+
+    /// Writes the Chrome trace to `path`.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace())
+    }
+}
+
+/// RAII guard for an open span; the span closes when this drops.
+#[derive(Debug)]
+pub struct SpanGuard {
+    opened: Option<(Arc<Shared>, usize)>,
+}
+
+impl SpanGuard {
+    /// Attaches an integer argument to the span.
+    pub fn arg_u64(&self, key: &str, val: u64) {
+        if let Some((inner, idx)) = &self.opened {
+            inner.spans.add_arg(*idx, key, ArgValue::U64(val));
+        }
+    }
+
+    /// Attaches a string argument to the span.
+    pub fn arg_str(&self, key: &str, val: &str) {
+        if let Some((inner, idx)) = &self.opened {
+            inner
+                .spans
+                .add_arg(*idx, key, ArgValue::Str(val.to_string()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((inner, idx)) = self.opened.take() {
+            inner.spans.close(idx, inner.epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.counter("c").add(3);
+        rec.gauge("g").set(3);
+        rec.histogram("h").record(3);
+        let _g = rec.span("s");
+        rec.heartbeat(|| unreachable!("disabled recorder must not format"));
+        rec.record_series("s", vec![1]);
+        assert!(rec.snapshot().counters.is_empty());
+        assert!(rec.spans().is_empty());
+        assert!(rec.series().is_empty());
+        assert_eq!(rec.render_tree(), "");
+    }
+
+    #[test]
+    fn level_off_means_disabled() {
+        assert!(!Recorder::enabled(Level::Off).is_enabled());
+        assert!(Recorder::enabled(Level::Summary).is_enabled());
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!("summary".parse::<Level>().unwrap(), Level::Summary);
+        assert_eq!("DEBUG".parse::<Level>().unwrap(), Level::Debug);
+        assert_eq!("off".parse::<Level>().unwrap(), Level::Off);
+        assert!("loud".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn span_tree_via_recorder() {
+        let rec = Recorder::enabled(Level::Summary);
+        {
+            let verify = rec.span("verify");
+            verify.arg_str("file", "x.ra");
+            {
+                let _classify = rec.span("classify");
+            }
+            {
+                let engine = rec.span("engine:simplified-reach");
+                engine.arg_u64("states", 12);
+            }
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        let tree = rec.render_tree();
+        assert!(tree.contains("verify"));
+        assert!(tree.contains("  classify"));
+        assert!(tree.contains("states: 12"));
+        // And the chrome trace is one valid JSON document.
+        assert!(json::parse(&rec.chrome_trace()).is_ok());
+    }
+
+    #[test]
+    fn debug_spans_skipped_at_summary() {
+        let rec = Recorder::enabled(Level::Summary);
+        {
+            let _s = rec.span_debug("world-0");
+        }
+        assert!(rec.spans().is_empty());
+        let rec = Recorder::enabled(Level::Debug);
+        {
+            let _s = rec.span_debug("world-0");
+        }
+        assert_eq!(rec.spans().len(), 1);
+    }
+
+    #[test]
+    fn scoped_views_share_the_registry_under_a_prefix() {
+        let rec = Recorder::enabled(Level::Summary);
+        let scoped = rec.scoped("engine/");
+        scoped.counter("states").add(2);
+        scoped.scoped("sub/").counter("x").incr();
+        // Visible from the root recorder, under the full prefix.
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.get("engine/states"), Some(&2));
+        assert_eq!(snap.counters.get("engine/sub/x"), Some(&1));
+        // Spans from scoped views land in the same store.
+        {
+            let _s = scoped.span("from-scope");
+        }
+        assert_eq!(rec.spans().len(), 1);
+        // Counter deltas isolate a prefix.
+        let before = MetricsSnapshot::default();
+        let deltas = snap.counter_deltas(&before, "engine/");
+        assert!(deltas.contains(&("states".to_string(), 2)));
+    }
+}

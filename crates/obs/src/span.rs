@@ -1,0 +1,241 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span is opened with [`Recorder::span`](crate::Recorder::span) and
+//! closed by dropping the returned [`SpanGuard`] (RAII). Nesting is
+//! tracked per thread: a span opened while another is live on the same
+//! thread becomes its child, giving the
+//! `verify → classify → transform → engine → phase` tree the engines
+//! produce. Finished spans are kept in a central store for rendering
+//! ([`SpanStore::render_tree`]) and for the Chrome-trace emitter
+//! ([`trace`](crate::trace)).
+
+use std::cell::Cell;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// The span name, e.g. `engine:simplified-reach`.
+    pub name: String,
+    /// Start, µs since the recorder's epoch.
+    pub start_us: u64,
+    /// Duration in µs; `None` while the span is still open.
+    pub dur_us: Option<u64>,
+    /// Index of the parent span in the store.
+    pub parent: Option<usize>,
+    /// An id for the opening OS thread (dense, per recorder).
+    pub tid: u64,
+    /// Attached `key=value` arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// A span argument value.
+#[derive(Debug, Clone)]
+pub enum ArgValue {
+    /// An integer.
+    U64(u64),
+    /// A string.
+    Str(String),
+}
+
+thread_local! {
+    /// The innermost open span (store index) on this thread, plus the
+    /// identity of the store it belongs to (recorders may coexist).
+    static CURRENT: Cell<(usize, Option<usize>)> = const { Cell::new((0, None)) };
+}
+
+/// The central span store of one enabled recorder.
+#[derive(Debug, Default)]
+pub struct SpanStore {
+    /// Identity used to keep thread-local parent tracking per recorder.
+    pub(crate) id: usize,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+static NEXT_STORE_ID: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+impl SpanStore {
+    pub(crate) fn new() -> SpanStore {
+        SpanStore {
+            id: NEXT_STORE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn open(&self, name: &str, epoch: Instant) -> usize {
+        let parent = CURRENT.with(|c| {
+            let (store, idx) = c.get();
+            if store == self.id {
+                idx
+            } else {
+                None
+            }
+        });
+        let tid = current_thread_id();
+        let mut recs = self.records.lock().unwrap();
+        let idx = recs.len();
+        recs.push(SpanRecord {
+            name: name.to_string(),
+            start_us: epoch.elapsed().as_micros() as u64,
+            dur_us: None,
+            parent,
+            tid,
+            args: Vec::new(),
+        });
+        CURRENT.with(|c| c.set((self.id, Some(idx))));
+        idx
+    }
+
+    pub(crate) fn close(&self, idx: usize, epoch: Instant) {
+        let mut recs = self.records.lock().unwrap();
+        let parent = recs[idx].parent;
+        let start = recs[idx].start_us;
+        recs[idx].dur_us = Some((epoch.elapsed().as_micros() as u64).saturating_sub(start));
+        drop(recs);
+        CURRENT.with(|c| c.set((self.id, parent)));
+    }
+
+    pub(crate) fn add_arg(&self, idx: usize, key: &str, val: ArgValue) {
+        self.records.lock().unwrap()[idx]
+            .args
+            .push((key.to_string(), val));
+    }
+
+    /// A copy of all recorded spans (open spans have `dur_us == None`).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Renders the span forest as an indented tree with timings, one span
+    /// per line, children in start order.
+    pub fn render_tree(&self) -> String {
+        let recs = self.records();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); recs.len()];
+        let mut roots = Vec::new();
+        for (i, r) in recs.iter().enumerate() {
+            match r.parent {
+                Some(p) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut out = String::new();
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&r| (r, 0)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            let r = &recs[i];
+            let dur = match r.dur_us {
+                Some(us) => format_us(us),
+                None => "(open)".to_string(),
+            };
+            let mut line = format!(
+                "{:indent$}{:<width$} {:>9}",
+                "",
+                r.name,
+                dur,
+                indent = depth * 2,
+                width = 32usize.saturating_sub(depth * 2)
+            );
+            if !r.args.is_empty() {
+                line.push_str("  {");
+                for (k, (key, val)) in r.args.iter().enumerate() {
+                    if k > 0 {
+                        line.push_str(", ");
+                    }
+                    match val {
+                        ArgValue::U64(n) => line.push_str(&format!("{key}: {n}")),
+                        ArgValue::Str(s) => line.push_str(&format!("{key}: {s}")),
+                    }
+                }
+                line.push('}');
+            }
+            out.push_str(&line);
+            out.push('\n');
+            for &c in children[i].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// A dense per-process id for the current OS thread.
+pub(crate) fn current_thread_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_ordering() {
+        let store = SpanStore::new();
+        let epoch = Instant::now();
+        let a = store.open("outer", epoch);
+        let b = store.open("inner-1", epoch);
+        store.close(b, epoch);
+        let c = store.open("inner-2", epoch);
+        store.add_arg(c, "states", ArgValue::U64(7));
+        store.close(c, epoch);
+        store.close(a, epoch);
+
+        let recs = store.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].parent, None);
+        assert_eq!(recs[1].parent, Some(0));
+        assert_eq!(recs[2].parent, Some(0));
+        assert!(recs.iter().all(|r| r.dur_us.is_some()));
+
+        let tree = store.render_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("outer"));
+        assert!(lines[1].starts_with("  inner-1"));
+        assert!(lines[2].starts_with("  inner-2"));
+        assert!(lines[2].contains("states: 7"));
+    }
+
+    #[test]
+    fn sibling_after_close_attaches_to_grandparent() {
+        let store = SpanStore::new();
+        let epoch = Instant::now();
+        let root = store.open("root", epoch);
+        let child = store.open("child", epoch);
+        let grandchild = store.open("grandchild", epoch);
+        store.close(grandchild, epoch);
+        store.close(child, epoch);
+        let sibling = store.open("sibling", epoch);
+        store.close(sibling, epoch);
+        store.close(root, epoch);
+        let recs = store.records();
+        assert_eq!(recs[3].name, "sibling");
+        assert_eq!(recs[3].parent, Some(root));
+        assert_eq!(recs[2].parent, Some(child));
+    }
+
+    #[test]
+    fn two_stores_do_not_share_parents() {
+        let s1 = SpanStore::new();
+        let s2 = SpanStore::new();
+        let epoch = Instant::now();
+        let a = s1.open("a", epoch);
+        let b = s2.open("b", epoch); // different store: no parent
+        s2.close(b, epoch);
+        s1.close(a, epoch);
+        assert_eq!(s2.records()[0].parent, None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Chrome-trace / Perfetto output.
+//!
+//! Renders a [`SpanStore`] as the Trace Event Format's JSON array: one
+//! complete (`"ph":"X"`) event per finished span, one record per line, so
+//! the file both loads in `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)
+//! and greps like JSONL. Counter (`"ph":"C"`) series can be appended for
+//! recorded time series such as the Cache Datalog occupancy curve.
+
+use crate::json::{write_escaped, ObjWriter};
+use crate::span::{ArgValue, SpanRecord};
+
+/// Renders spans (and optional counter series) as a Trace Event Format
+/// JSON array, one event per line.
+pub fn render_chrome_trace(spans: &[SpanRecord], series: &[CounterSeries]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut push = |event: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&event);
+    };
+    push(process_name_event(), &mut out);
+    for span in spans {
+        let Some(dur) = span.dur_us else { continue };
+        let mut w = ObjWriter::new();
+        w.str_field("name", &span.name);
+        w.str_field("cat", "parra");
+        w.str_field("ph", "X");
+        w.num_field("ts", span.start_us);
+        w.num_field("dur", dur);
+        w.num_field("pid", 1);
+        w.num_field("tid", span.tid);
+        if !span.args.is_empty() {
+            let mut args = String::from("{");
+            for (i, (k, v)) in span.args.iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                write_escaped(&mut args, k);
+                args.push(':');
+                match v {
+                    ArgValue::U64(n) => args.push_str(&n.to_string()),
+                    ArgValue::Str(s) => write_escaped(&mut args, s),
+                }
+            }
+            args.push('}');
+            w.raw_field("args", &args);
+        }
+        push(w.finish(), &mut out);
+    }
+    for s in series {
+        // Spread the samples over the series' span so the curve is visible
+        // next to the spans that produced it.
+        let n = s.values.len().max(1) as u64;
+        let step = (s.end_us.saturating_sub(s.start_us) / n).max(1);
+        for (i, &v) in s.values.iter().enumerate() {
+            let mut w = ObjWriter::new();
+            w.str_field("name", &s.name);
+            w.str_field("ph", "C");
+            w.num_field("ts", s.start_us + i as u64 * step);
+            w.num_field("pid", 1);
+            w.raw_field("args", &format!("{{\"value\":{v}}}"));
+            push(w.finish(), &mut out);
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn process_name_event() -> String {
+    let mut w = ObjWriter::new();
+    w.str_field("name", "process_name");
+    w.str_field("ph", "M");
+    w.num_field("pid", 1);
+    w.raw_field("args", "{\"name\":\"parra\"}");
+    w.finish()
+}
+
+/// A named value-over-time series rendered as Chrome counter events.
+#[derive(Debug, Clone)]
+pub struct CounterSeries {
+    /// The counter track name.
+    pub name: String,
+    /// Timestamp (µs since epoch) of the first sample.
+    pub start_us: u64,
+    /// Timestamp of the last sample.
+    pub end_us: u64,
+    /// The samples.
+    pub values: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn trace_is_valid_json_array_of_records() {
+        let spans = vec![
+            SpanRecord {
+                name: "verify".into(),
+                start_us: 0,
+                dur_us: Some(100),
+                parent: None,
+                tid: 1,
+                args: vec![("states".into(), ArgValue::U64(4))],
+            },
+            SpanRecord {
+                name: "open-span-skipped".into(),
+                start_us: 5,
+                dur_us: None,
+                parent: Some(0),
+                tid: 1,
+                args: vec![],
+            },
+        ];
+        let series = vec![CounterSeries {
+            name: "cache".into(),
+            start_us: 10,
+            end_us: 90,
+            values: vec![1, 2, 1],
+        }];
+        let text = render_chrome_trace(&spans, &series);
+        let v = parse(&text).expect("valid JSON");
+        let events = v.as_arr().unwrap();
+        // 1 metadata + 1 finished span + 3 counter samples.
+        assert_eq!(events.len(), 5);
+        let span = &events[1];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("name").unwrap().as_str(), Some("verify"));
+        assert_eq!(span.get("dur").unwrap().as_u64(), Some(100));
+        assert_eq!(
+            span.get("args").unwrap().get("states").unwrap().as_u64(),
+            Some(4)
+        );
+        assert_eq!(events[2].get("ph").unwrap().as_str(), Some("C"));
+        // Every record sits on its own line (JSONL-greppable).
+        for line in text.lines() {
+            let trimmed = line.trim().trim_end_matches(',');
+            if trimmed == "[" || trimmed == "]" || trimmed.is_empty() {
+                continue;
+            }
+            assert!(parse(trimmed).is_ok(), "line not a record: {line}");
+        }
+    }
+}

@@ -188,10 +188,7 @@ impl Cfa {
 
     /// Whether the program is `cas`-free — the paper's `nocas` restriction.
     pub fn is_cas_free(&self) -> bool {
-        !self
-            .edges
-            .iter()
-            .any(|e| matches!(e.instr, Instr::Cas(..)))
+        !self.edges.iter().any(|e| matches!(e.instr, Instr::Cas(..)))
     }
 
     /// Whether any edge is `assert false`.
@@ -330,9 +327,7 @@ impl CfaBuilder {
             Com::Assign(r, e) => self.edge(from, Instr::Assign(*r, e.clone()), to),
             Com::Load(r, x) => self.edge(from, Instr::Load(*r, *x), to),
             Com::Store(x, e) => self.edge(from, Instr::Store(*x, e.clone()), to),
-            Com::Cas(x, e1, e2) => {
-                self.edge(from, Instr::Cas(*x, e1.clone(), e2.clone()), to)
-            }
+            Com::Cas(x, e1, e2) => self.edge(from, Instr::Cas(*x, e1.clone(), e2.clone()), to),
             Com::Seq(a, b) => {
                 let mid = self.fresh();
                 self.lower(a, from, mid);
@@ -440,10 +435,7 @@ mod tests {
 
     #[test]
     fn variables_collected() {
-        let com = Com::seq([
-            Com::Load(r(), VarId(2)),
-            Com::Store(VarId(1), Expr::val(0)),
-        ]);
+        let com = Com::seq([Com::Load(r(), VarId(2)), Com::Store(VarId(1), Expr::val(0))]);
         let cfa = Cfa::compile(&com, 1);
         assert_eq!(cfa.variables(), vec![VarId(1), VarId(2)]);
     }
@@ -452,7 +444,10 @@ mod tests {
     fn instr_memory_access() {
         assert!(Instr::Load(r(), x()).is_memory_access());
         assert!(!Instr::Skip.is_memory_access());
-        assert_eq!(Instr::Store(x(), Expr::val(0)).accessed_variable(), Some(x()));
+        assert_eq!(
+            Instr::Store(x(), Expr::val(0)).accessed_variable(),
+            Some(x())
+        );
         assert_eq!(Instr::AssertFalse.accessed_variable(), None);
     }
 

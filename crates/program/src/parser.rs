@@ -48,7 +48,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -75,8 +79,8 @@ enum Tok {
     RParen,
     Comma,
     Semi,
-    Assign,  // :=
-    Arrow,   // <-
+    Assign, // :=
+    Arrow,  // <-
     EqEq,
     NeEq,
     Le,
@@ -788,19 +792,13 @@ mod tests {
 
     #[test]
     fn variable_in_expression_rejected() {
-        let err = parse_system(
-            "system { dom 2; vars x; env e { assume x == 1; } }",
-        )
-        .unwrap_err();
+        let err = parse_system("system { dom 2; vars x; env e { assume x == 1; } }").unwrap_err();
         assert!(err.message.contains("load it into a register"));
     }
 
     #[test]
     fn name_collision_rejected() {
-        let err = parse_system(
-            "system { dom 2; vars x; env e { regs x; skip; } }",
-        )
-        .unwrap_err();
+        let err = parse_system("system { dom 2; vars x; env e { regs x; skip; } }").unwrap_err();
         assert!(err.message.contains("both"));
     }
 
@@ -812,10 +810,7 @@ mod tests {
 
     #[test]
     fn choice_requires_or() {
-        let err = parse_system(
-            "system { dom 2; env e { choice { skip; } } }",
-        )
-        .unwrap_err();
+        let err = parse_system("system { dom 2; env e { choice { skip; } } }").unwrap_err();
         assert!(err.message.contains("`or`"));
     }
 

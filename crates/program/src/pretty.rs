@@ -206,9 +206,7 @@ pub fn system_to_string(sys: &ParamSystem) -> String {
         let vars: Vec<&str> = sys.vars.iter().map(|(_, n)| n).collect();
         let _ = writeln!(s, "    vars {};", vars.join(", "));
     }
-    for block in std::iter::once(("env", &sys.env))
-        .chain(sys.dis.iter().map(|p| ("dis", p)))
-    {
+    for block in std::iter::once(("env", &sys.env)).chain(sys.dis.iter().map(|p| ("dis", p))) {
         let text = program_to_string(block.0, block.1, &sys.vars);
         for line in text.lines() {
             let _ = writeln!(s, "    {line}");

@@ -243,11 +243,7 @@ mod tests {
 
     #[test]
     fn program_compiles_on_construction() {
-        let p = Program::new(
-            "p",
-            table(&["r"]),
-            Com::Load(RegId(0), VarId(0)),
-        );
+        let p = Program::new("p", table(&["r"]), Com::Load(RegId(0), VarId(0)));
         assert_eq!(p.n_regs(), 1);
         assert!(p.cfa().is_acyclic());
         assert_eq!(p.name(), "p");

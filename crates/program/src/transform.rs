@@ -26,18 +26,13 @@ use crate::value::Val;
 pub fn unroll(com: &Com, bound: usize) -> Com {
     match com {
         Com::Seq(a, b) => Com::Seq(Box::new(unroll(a, bound)), Box::new(unroll(b, bound))),
-        Com::Choice(a, b) => {
-            Com::Choice(Box::new(unroll(a, bound)), Box::new(unroll(b, bound)))
-        }
+        Com::Choice(a, b) => Com::Choice(Box::new(unroll(a, bound)), Box::new(unroll(b, bound))),
         Com::Star(c) => {
             let body = unroll(c, bound);
             // skip ⊕ (c; (skip ⊕ (c; …))) — `bound` levels deep.
             let mut acc = Com::Skip;
             for _ in 0..bound {
-                acc = Com::choice([
-                    Com::Skip,
-                    Com::seq([body.clone(), acc]),
-                ]);
+                acc = Com::choice([Com::Skip, Com::seq([body.clone(), acc])]);
             }
             acc
         }
@@ -114,12 +109,9 @@ pub fn assert_to_goal(sys: &ParamSystem) -> GoalSystem {
     let goal_var = VarId(vars.intern(GOAL_VAR_NAME));
     let goal_val = Val(1);
 
-    let had_assert = sys.env.com().has_assert()
-        || sys.dis.iter().any(|p| p.com().has_assert());
+    let had_assert = sys.env.com().has_assert() || sys.dis.iter().any(|p| p.com().has_assert());
 
-    let rewrite_program = |p: &Program| {
-        p.with_com(replace_assert(p.com(), goal_var, goal_val))
-    };
+    let rewrite_program = |p: &Program| p.with_com(replace_assert(p.com(), goal_var, goal_val));
     let system = ParamSystem::new(
         sys.dom,
         vars,

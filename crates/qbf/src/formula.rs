@@ -115,12 +115,8 @@ impl BoolExpr {
             BoolExpr::Const(b) => Nnf::Const(!*b),
             BoolExpr::Var(v) => Nnf::Lit(*v, false),
             BoolExpr::Not(e) => e.to_nnf(),
-            BoolExpr::And(a, b) => {
-                Nnf::Or(Box::new(a.negate_nnf()), Box::new(b.negate_nnf()))
-            }
-            BoolExpr::Or(a, b) => {
-                Nnf::And(Box::new(a.negate_nnf()), Box::new(b.negate_nnf()))
-            }
+            BoolExpr::And(a, b) => Nnf::Or(Box::new(a.negate_nnf()), Box::new(b.negate_nnf())),
+            BoolExpr::Or(a, b) => Nnf::And(Box::new(a.negate_nnf()), Box::new(b.negate_nnf())),
         }
     }
 
@@ -201,7 +197,12 @@ impl Qbf {
 impl fmt::Display for Qbf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for v in self.prefix() {
-            write!(f, "{}{} ", if v.is_universal() { "∀" } else { "∃" }, v.name())?;
+            write!(
+                f,
+                "{}{} ",
+                if v.is_universal() { "∀" } else { "∃" },
+                v.name()
+            )?;
         }
         write!(f, ". {}", self.matrix)
     }

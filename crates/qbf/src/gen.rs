@@ -1,7 +1,7 @@
 //! QBF instance generators for tests and benchmarks.
 
 use crate::formula::{BoolExpr, Qbf};
-use rand::Rng;
+use crate::rng::Rng;
 
 /// `∀u₀∃e₁…∀uₙ. ⋀ᵢ (eᵢ ↔ u_{i-1})` — true: every existential can copy the
 /// preceding universal. Scales the reduction linearly in `n`.
@@ -39,17 +39,17 @@ pub fn contradiction(n: usize) -> Qbf {
 }
 
 /// A random matrix of the given depth over the prefix of `Qbf::new(n, _)`.
-pub fn random<R: Rng>(rng: &mut R, n: usize, depth: usize) -> Qbf {
+pub fn random(rng: &mut Rng, n: usize, depth: usize) -> Qbf {
     let n_vars = 2 * n + 1;
     Qbf::new(n, random_expr(rng, n_vars, depth))
 }
 
-fn random_expr<R: Rng>(rng: &mut R, n_vars: usize, depth: usize) -> BoolExpr {
+fn random_expr(rng: &mut Rng, n_vars: usize, depth: usize) -> BoolExpr {
     if depth == 0 {
-        let v = BoolExpr::var(rng.gen_range(0..n_vars));
+        let v = BoolExpr::var(rng.gen_range(n_vars));
         return if rng.gen_bool(0.5) { v } else { v.not() };
     }
-    match rng.gen_range(0..3) {
+    match rng.gen_range(3) {
         0 => random_expr(rng, n_vars, depth - 1).and(random_expr(rng, n_vars, depth - 1)),
         1 => random_expr(rng, n_vars, depth - 1).or(random_expr(rng, n_vars, depth - 1)),
         _ => random_expr(rng, n_vars, depth - 1).not(),
@@ -66,8 +66,6 @@ fn iff(a: usize, b: usize) -> BoolExpr {
 mod tests {
     use super::*;
     use crate::eval::evaluate;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn copycat_true_clairvoyant_false() {
@@ -89,7 +87,7 @@ mod tests {
 
     #[test]
     fn random_generates_valid_formulas() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         for n in 0..3 {
             for _ in 0..5 {
                 let q = random(&mut rng, n, 3);

@@ -24,7 +24,8 @@ pub mod eval;
 pub mod formula;
 pub mod gen;
 pub mod reduce;
+pub mod rng;
 
 pub use eval::evaluate;
-pub use formula::{BoolExpr, Qbf, QVar};
+pub use formula::{BoolExpr, QVar, Qbf};
 pub use reduce::{reduce_to_purera, Reduction};

@@ -60,8 +60,14 @@ pub fn reduce_to_purera(qbf: &Qbf) -> Reduction {
     let n = qbf.n;
     let mut b = SystemBuilder::new(2);
 
-    let t_vars: Vec<VarId> = qbf.prefix().map(|v| b.var(&format!("t_{}", v.name()))).collect();
-    let f_vars: Vec<VarId> = qbf.prefix().map(|v| b.var(&format!("f_{}", v.name()))).collect();
+    let t_vars: Vec<VarId> = qbf
+        .prefix()
+        .map(|v| b.var(&format!("t_{}", v.name())))
+        .collect();
+    let f_vars: Vec<VarId> = qbf
+        .prefix()
+        .map(|v| b.var(&format!("f_{}", v.name())))
+        .collect();
     let s_var = b.var("s");
     let a_vars: Vec<[VarId; 2]> = (0..=n)
         .map(|i| [b.var(&format!("a_{i}_0")), b.var(&format!("a_{i}_1"))])
@@ -88,22 +94,13 @@ pub fn reduce_to_purera(qbf: &Qbf) -> Reduction {
         }
     };
     // check(Φ): the NNF-structured readability program.
-    fn check_nnf(
-        nnf: &Nnf,
-        check_lit: &impl Fn(usize, bool) -> Com,
-    ) -> Com {
+    fn check_nnf(nnf: &Nnf, check_lit: &impl Fn(usize, bool) -> Com) -> Com {
         match nnf {
             Nnf::Const(true) => Com::Skip,
             Nnf::Const(false) => Com::Assume(Expr::val(0)),
             Nnf::Lit(v, positive) => check_lit(v.0, *positive),
-            Nnf::And(a, b) => Com::seq([
-                check_nnf(a, check_lit),
-                check_nnf(b, check_lit),
-            ]),
-            Nnf::Or(a, b) => Com::choice([
-                check_nnf(a, check_lit),
-                check_nnf(b, check_lit),
-            ]),
+            Nnf::And(a, b) => Com::seq([check_nnf(a, check_lit), check_nnf(b, check_lit)]),
+            Nnf::Or(a, b) => Com::choice([check_nnf(a, check_lit), check_nnf(b, check_lit)]),
         }
     }
     // Verify a universal variable's value and publish the a-message:
@@ -143,10 +140,7 @@ pub fn reduce_to_purera(qbf: &Qbf) -> Reduction {
             Com::seq([
                 await_eq(a_vars[i + 1][0], 1),
                 await_eq(a_vars[i + 1][1], 1),
-                Com::choice([
-                    await_eq(f_vars[e_pos], 0),
-                    await_eq(t_vars[e_pos], 0),
-                ]),
+                Com::choice([await_eq(f_vars[e_pos], 0), await_eq(t_vars[e_pos], 0)]),
                 verify_and_publish(2 * i, i),
             ])
         })

@@ -1,0 +1,76 @@
+//! A small deterministic PRNG (std-only).
+//!
+//! The offline build environment rules out the `rand` crate; the
+//! generators in [`gen`](crate::gen) and the randomized tests across the
+//! workspace need nothing more than a seedable, well-mixed `u64` stream.
+//! This is `splitmix64` (Steele, Lea, Flood: "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014) — the generator `rand`
+//! itself uses to seed from integers.
+
+/// A seedable splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`bound > 0`), by rejection-free
+    /// multiply-shift (Lemire); bias is negligible for the small bounds
+    /// used here.
+    pub fn gen_range(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_range bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// A biased coin: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respects_bound_and_covers_it() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.gen_range(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached");
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut rng = Rng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&heads), "heads = {heads}");
+    }
+}

@@ -20,6 +20,7 @@
 //! semantics (Theorem 3.4) and for the §4.3 thread-count experiments.
 
 use crate::config::{Instance, ThreadId};
+use parra_obs::Recorder;
 use parra_program::cfg::{Instr, Loc};
 use parra_program::expr::RegVal;
 use parra_program::ident::VarId;
@@ -178,16 +179,36 @@ fn join_views(a: &[u32], b: &[u32]) -> Vec<u32> {
 pub struct Explorer {
     instance: Instance,
     limits: ExploreLimits,
+    rec: Recorder,
 }
 
 impl Explorer {
     /// Creates an explorer over an instance.
     pub fn new(instance: Instance, limits: ExploreLimits) -> Explorer {
-        Explorer { instance, limits }
+        Explorer {
+            instance,
+            limits,
+            rec: Recorder::disabled(),
+        }
+    }
+
+    /// The same explorer reporting metrics/spans through `rec`.
+    pub fn with_recorder(mut self, rec: Recorder) -> Explorer {
+        self.rec = rec;
+        self
     }
 
     /// Runs the search for `target`.
     pub fn run(&self, target: Target) -> ExploreReport {
+        let span = self.rec.span("explore.run");
+        let report = self.run_inner(target);
+        span.arg_u64("states", report.states as u64);
+        span.arg_u64("transitions", report.transitions as u64);
+        span.arg_str("outcome", &format!("{:?}", report.outcome));
+        report
+    }
+
+    fn run_inner(&self, target: Target) -> ExploreReport {
         let instance = &self.instance;
         let n_env = instance.n_env();
         let dom = instance.system().dom;
@@ -213,15 +234,30 @@ impl Explorer {
             }
         }
 
+        let c_states = self.rec.counter("states");
+        let c_transitions = self.rec.counter("transitions");
+        let c_dedup = self.rec.counter("dedup_hits");
+        let g_queue = self.rec.gauge("queue_len");
+        let h_depth = self.rec.histogram("state_depth");
+
         indices.insert(init.clone(), 0);
         parents.push(None);
         depths.push(0);
         states.push(init);
+        c_states.incr();
+        h_depth.record(0);
         let mut queue: VecDeque<u32> = VecDeque::from([0]);
         let mut transitions = 0usize;
         let mut truncated = false;
 
         while let Some(si) = queue.pop_front() {
+            self.rec.heartbeat(|| {
+                format!(
+                    "explore: {} states, {transitions} transitions, queue {}",
+                    states.len(),
+                    queue.len()
+                )
+            });
             if depths[si as usize] as usize >= self.limits.max_depth {
                 truncated = true;
                 continue;
@@ -243,8 +279,7 @@ impl Explorer {
                         ),
                     };
                     // Target check: an enabled assert is a violation.
-                    if matches!(edge.instr, Instr::AssertFalse)
-                        && target == Target::AssertViolation
+                    if matches!(edge.instr, Instr::AssertFalse) && target == Target::AssertViolation
                     {
                         let mut w = self.unwind(&parents, si);
                         w.push(describe());
@@ -258,9 +293,11 @@ impl Explorer {
                     let succs = successor_states(&state, tid, &edge.instr, dom);
                     for mut next in succs {
                         transitions += 1;
+                        c_transitions.incr();
                         next.threads[tid.0].loc = edge.to;
                         next.canonicalize(n_env);
                         if indices.contains_key(&next) {
+                            c_dedup.incr();
                             continue;
                         }
                         if states.len() >= self.limits.max_states {
@@ -277,6 +314,9 @@ impl Explorer {
                         parents.push(Some((si, describe())));
                         depths.push(depths[si as usize] + 1);
                         states.push(next);
+                        c_states.incr();
+                        h_depth.record(depths[ni as usize] as u64);
+                        g_queue.record_peak(queue.len() as u64 + 1);
                         if reached {
                             let w = self.unwind(&parents, ni);
                             return ExploreReport {
@@ -304,11 +344,7 @@ impl Explorer {
         }
     }
 
-    fn unwind(
-        &self,
-        parents: &[Option<(u32, WitnessStep)>],
-        mut at: u32,
-    ) -> Vec<WitnessStep> {
+    fn unwind(&self, parents: &[Option<(u32, WitnessStep)>], mut at: u32) -> Vec<WitnessStep> {
         let mut out = Vec::new();
         while let Some((prev, step)) = &parents[at as usize] {
             out.push(step.clone());
@@ -320,7 +356,12 @@ impl Explorer {
 }
 
 /// All successor states of `state` when thread `tid` executes `instr`.
-fn successor_states(state: &CState, tid: ThreadId, instr: &Instr, dom: parra_program::value::Dom) -> Vec<CState> {
+fn successor_states(
+    state: &CState,
+    tid: ThreadId,
+    instr: &Instr,
+    dom: parra_program::value::Dom,
+) -> Vec<CState> {
     let th = &state.threads[tid.0];
     let mut out = Vec::new();
     match instr {
@@ -395,7 +436,10 @@ fn successor_states(state: &CState, tid: ThreadId, instr: &Instr, dom: parra_pro
                 let loaded_view = state.mem[xi][pos].view.clone();
                 let mut next = state.clone();
                 next.shift_positions(*x, ins);
-                let mut view = join_views(&next.threads[tid.0].view, &loaded_view_shifted(&loaded_view, xi, ins));
+                let mut view = join_views(
+                    &next.threads[tid.0].view,
+                    &loaded_view_shifted(&loaded_view, xi, ins),
+                );
                 view[xi] = ins;
                 let msg = CMsg {
                     val: new_val,
@@ -468,8 +512,8 @@ mod tests {
 
     #[test]
     fn handshake_unsafe_with_one_env_thread() {
-        let report = Explorer::new(Instance::new(handshake(), 1), limits())
-            .run(Target::AssertViolation);
+        let report =
+            Explorer::new(Instance::new(handshake(), 1), limits()).run(Target::AssertViolation);
         assert_eq!(report.outcome, ExploreOutcome::Unsafe);
         let w = report.witness.unwrap();
         assert!(!w.is_empty());
@@ -478,8 +522,8 @@ mod tests {
 
     #[test]
     fn handshake_safe_with_zero_env_threads() {
-        let report = Explorer::new(Instance::new(handshake(), 0), limits())
-            .run(Target::AssertViolation);
+        let report =
+            Explorer::new(Instance::new(handshake(), 0), limits()).run(Target::AssertViolation);
         assert_eq!(report.outcome, ExploreOutcome::SafeExhausted);
     }
 
@@ -487,8 +531,8 @@ mod tests {
     fn message_generation_target() {
         let sys = handshake();
         let x = parra_program::ident::VarId(0);
-        let report = Explorer::new(Instance::new(sys, 1), limits())
-            .run(Target::MessageGenerated(x, Val(1)));
+        let report =
+            Explorer::new(Instance::new(sys, 1), limits()).run(Target::MessageGenerated(x, Val(1)));
         assert_eq!(report.outcome, ExploreOutcome::Unsafe);
     }
 
@@ -512,8 +556,7 @@ mod tests {
             .assert_false();
         let d = d.finish();
         let sys = b.build(env, vec![d]);
-        let report =
-            Explorer::new(Instance::new(sys, 1), limits()).run(Target::AssertViolation);
+        let report = Explorer::new(Instance::new(sys, 1), limits()).run(Target::AssertViolation);
         assert_eq!(report.outcome, ExploreOutcome::SafeExhausted);
     }
 
@@ -542,8 +585,7 @@ mod tests {
             .assert_false();
         let d = d.finish();
         let sys = b.build(envb, vec![d]);
-        let report =
-            Explorer::new(Instance::new(sys, 1), limits()).run(Target::AssertViolation);
+        let report = Explorer::new(Instance::new(sys, 1), limits()).run(Target::AssertViolation);
         assert_eq!(report.outcome, ExploreOutcome::Unsafe);
     }
 
@@ -575,8 +617,7 @@ mod tests {
         let d1 = d1.finish();
         let d2 = mk_locker(&b, "locker2");
         let sys = b.build(env, vec![d1, d2]);
-        let report =
-            Explorer::new(Instance::new(sys, 0), limits()).run(Target::AssertViolation);
+        let report = Explorer::new(Instance::new(sys, 0), limits()).run(Target::AssertViolation);
         // Both CAS from 0: only one succeeds (timestamp adjacency on the
         // initial message), so dis2 can never both win the CAS and see
         // crit = 1 — dis1 must have won to set crit.
@@ -608,8 +649,7 @@ mod tests {
         let sys = b.build(env, vec![d1, d2]);
 
         // Run CAS first, then count store placements by exploring.
-        let report = Explorer::new(Instance::new(sys, 0), limits())
-            .run(Target::AssertViolation);
+        let report = Explorer::new(Instance::new(sys, 0), limits()).run(Target::AssertViolation);
         assert_eq!(report.outcome, ExploreOutcome::SafeExhausted);
         // Exactly 4 canonical states: init; after-CAS; after-store (only
         // the slot above the initial message, i.e. one placement from
@@ -651,8 +691,8 @@ mod tests {
         env.store(x, 1);
         let env = env.finish();
         let sys = b.build(env, vec![]);
-        let r2 = Explorer::new(Instance::new(sys.clone(), 2), limits())
-            .run(Target::AssertViolation);
+        let r2 =
+            Explorer::new(Instance::new(sys.clone(), 2), limits()).run(Target::AssertViolation);
         assert_eq!(r2.outcome, ExploreOutcome::SafeExhausted);
         // With symmetry, thread identity of the first storer is quotiented:
         // states: init; one-stored (x2 placements? no: both placements

@@ -178,11 +178,7 @@ impl Lifting {
 
     /// Transforms a view by `M` (`M(vw) = λx. μˣ(vw(x))`).
     pub fn lift_view(&self, view: &View) -> View {
-        View::from_times(
-            view.iter()
-                .map(|(x, t)| self.map(x, t))
-                .collect(),
-        )
+        View::from_times(view.iter().map(|(x, t)| self.map(x, t)).collect())
     }
 
     /// Transforms a message by transforming its view.
@@ -296,8 +292,7 @@ mod tests {
                     assert_eq!(lift.map(x, store), lift.map(x, load).succ());
                 }
                 // Every non-CAS-store timestamp has a free hole below it.
-                let pairs: std::collections::BTreeSet<_> =
-                    tr.cas_pairs_on(x).into_iter().collect();
+                let pairs: std::collections::BTreeSet<_> = tr.cas_pairs_on(x).into_iter().collect();
                 let image: std::collections::BTreeSet<_> = tr
                     .timestamps_on(x)
                     .into_iter()
@@ -364,7 +359,9 @@ mod tests {
             let s2 = crate::step::monotone_successors(tr.instance(), tr.last());
             let next = s2
                 .into_iter()
-                .find(|t| t.thread != tr.transitions()[0].thread && matches!(t.action, Action::Store(_)))
+                .find(|t| {
+                    t.thread != tr.transitions()[0].thread && matches!(t.action, Action::Store(_))
+                })
                 .unwrap();
             tr.push(next).unwrap();
             tr

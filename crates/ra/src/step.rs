@@ -322,7 +322,12 @@ mod tests {
             action: Action::Load(msg),
         };
         let next = apply(&inst, &cf, &t).unwrap();
-        assert_eq!(next.thread(ThreadId(0)).regs.get(parra_program::ident::RegId(0)), parra_program::value::Val(0));
+        assert_eq!(
+            next.thread(ThreadId(0))
+                .regs
+                .get(parra_program::ident::RegId(0)),
+            parra_program::value::Val(0)
+        );
         // assume r == 1 now fails
         let t2 = Transition::silent(ThreadId(0), 1);
         assert_eq!(apply(&inst, &next, &t2), Err(StepError::AssumeFailed));
@@ -333,7 +338,11 @@ mod tests {
         let inst = Instance::new(sys(), 1);
         let cf = inst.initial_config();
         // dis stores x := 1 at ts 1.
-        let store_msg = Message::new(x(), parra_program::value::Val(1), View::from_times(vec![Timestamp(1)]));
+        let store_msg = Message::new(
+            x(),
+            parra_program::value::Val(1),
+            View::from_times(vec![Timestamp(1)]),
+        );
         let t = Transition {
             thread: ThreadId(1),
             edge: 0,
@@ -410,7 +419,11 @@ mod tests {
     fn conflicting_store_rejected() {
         let inst = Instance::new(sys(), 0);
         let cf = inst.initial_config();
-        let m1 = Message::new(x(), parra_program::value::Val(1), View::from_times(vec![Timestamp(1)]));
+        let m1 = Message::new(
+            x(),
+            parra_program::value::Val(1),
+            View::from_times(vec![Timestamp(1)]),
+        );
         let cf1 = apply(
             &inst,
             &cf,
@@ -426,7 +439,11 @@ mod tests {
         let inst2 = Instance::new(sys(), 0);
         let mut cf_stale = inst2.initial_config();
         cf_stale.memory = cf1.memory.clone();
-        let m_conflict = Message::new(x(), parra_program::value::Val(1), View::from_times(vec![Timestamp(1)]));
+        let m_conflict = Message::new(
+            x(),
+            parra_program::value::Val(1),
+            View::from_times(vec![Timestamp(1)]),
+        );
         let err = apply(
             &inst2,
             &cf_stale,
@@ -448,7 +465,11 @@ mod tests {
         let inst = Instance::new(sys(), 0);
         let cf = inst.initial_config();
         // dis: x := 1 at ts 1, then cas(x, 1, 0) must store at ts 2.
-        let m1 = Message::new(x(), parra_program::value::Val(1), View::from_times(vec![Timestamp(1)]));
+        let m1 = Message::new(
+            x(),
+            parra_program::value::Val(1),
+            View::from_times(vec![Timestamp(1)]),
+        );
         let cf1 = apply(
             &inst,
             &cf,
@@ -459,8 +480,16 @@ mod tests {
             },
         )
         .unwrap();
-        let good_store = Message::new(x(), parra_program::value::Val(0), View::from_times(vec![Timestamp(2)]));
-        let bad_store = Message::new(x(), parra_program::value::Val(0), View::from_times(vec![Timestamp(3)]));
+        let good_store = Message::new(
+            x(),
+            parra_program::value::Val(0),
+            View::from_times(vec![Timestamp(2)]),
+        );
+        let bad_store = Message::new(
+            x(),
+            parra_program::value::Val(0),
+            View::from_times(vec![Timestamp(3)]),
+        );
         let bad = Transition {
             thread: ThreadId(0),
             edge: 1,

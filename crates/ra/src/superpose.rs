@@ -79,10 +79,7 @@ pub fn superpose_env(rho: &Trace, rho2: &Trace) -> Result<Trace, SuperposeError>
     if rho.instance().system() != rho2.instance().system() {
         return Err(SuperposeError::DifferentSystems);
     }
-    if !rho
-        .env_messages()
-        .non_conflicting(&rho2.env_messages())
-    {
+    if !rho.env_messages().non_conflicting(&rho2.env_messages()) {
         return Err(SuperposeError::EnvConflict);
     }
     if rho.dis_messages() != rho2.dis_messages() {
@@ -92,10 +89,7 @@ pub fn superpose_env(rho: &Trace, rho2: &Trace) -> Result<Trace, SuperposeError>
     let n_env1 = rho.instance().n_env();
     let n_env2 = rho2.instance().n_env();
     let n_env_total = n_env1 + n_env2;
-    let combined = Instance::from_arc(
-        Arc::new(rho.instance().system().clone()),
-        n_env_total,
-    );
+    let combined = Instance::from_arc(Arc::new(rho.instance().system().clone()), n_env_total);
 
     // ρ's transitions: env ids unchanged, dis ids shifted to the end.
     let part1 = remap_threads(rho.transitions(), |tid| {
@@ -188,12 +182,7 @@ mod tests {
         let dis_count = result
             .transitions()
             .iter()
-            .filter(|t| {
-                matches!(
-                    result.instance().kind(t.thread),
-                    ThreadKind::Dis(_)
-                )
-            })
+            .filter(|t| matches!(result.instance().kind(t.thread), ThreadKind::Dis(_)))
             .count();
         assert_eq!(dis_count, tr.dis_projection().len());
     }

@@ -294,11 +294,8 @@ mod tests {
     #[test]
     fn from_transitions_reports_step_index() {
         let inst = Instance::new(sys(), 1);
-        let err = Trace::from_transitions(
-            inst,
-            vec![build_store(0, 0, 1), build_store(1, 0, 1)],
-        )
-        .unwrap_err();
+        let err = Trace::from_transitions(inst, vec![build_store(0, 0, 1), build_store(1, 0, 1)])
+            .unwrap_err();
         assert_eq!(err.step, 1);
         assert_eq!(err.error, StepError::Conflict);
     }
@@ -306,11 +303,8 @@ mod tests {
     #[test]
     fn projections_and_message_attribution() {
         let inst = Instance::new(sys(), 1);
-        let tr = Trace::from_transitions(
-            inst,
-            vec![build_store(0, 0, 1), build_store(1, 0, 2)],
-        )
-        .unwrap();
+        let tr = Trace::from_transitions(inst, vec![build_store(0, 0, 1), build_store(1, 0, 2)])
+            .unwrap();
         assert_eq!(tr.env_projection().len(), 1);
         assert_eq!(tr.dis_projection().len(), 1);
         assert_eq!(tr.env_messages().len(), 1);
@@ -328,11 +322,8 @@ mod tests {
     #[test]
     fn timestamps_on_collects_nonzero() {
         let inst = Instance::new(sys(), 1);
-        let tr = Trace::from_transitions(
-            inst,
-            vec![build_store(0, 0, 3), build_store(1, 0, 7)],
-        )
-        .unwrap();
+        let tr = Trace::from_transitions(inst, vec![build_store(0, 0, 3), build_store(1, 0, 7)])
+            .unwrap();
         let ts = tr.timestamps_on(VarId(0));
         assert_eq!(ts, [Timestamp(3), Timestamp(7)].into_iter().collect());
     }
@@ -354,8 +345,7 @@ mod tests {
     #[test]
     fn config_at_boundaries() {
         let inst = Instance::new(sys(), 1);
-        let tr =
-            Trace::from_transitions(inst, vec![build_store(0, 0, 1)]).unwrap();
+        let tr = Trace::from_transitions(inst, vec![build_store(0, 0, 1)]).unwrap();
         assert_eq!(tr.config_at(0), tr.first());
         assert_eq!(tr.config_at(1), tr.last());
         assert!(tr.first().memory.len() == 1);

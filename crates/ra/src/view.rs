@@ -82,8 +82,7 @@ impl View {
 
     /// The pointwise order `vw ⊑ vw'` (every coordinate at most).
     pub fn leq(&self, other: &View) -> bool {
-        self.len() == other.len()
-            && self.times.iter().zip(&other.times).all(|(a, b)| a <= b)
+        self.len() == other.len() && self.times.iter().zip(&other.times).all(|(a, b)| a <= b)
     }
 
     /// The store relation `vw <ₓ vw'`: strictly raised on `x`, equal

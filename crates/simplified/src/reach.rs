@@ -18,6 +18,7 @@
 //! (Theorem 3.4 + Theorem 4.1).
 
 use crate::state::{Budget, DisStep, SimpState};
+use parra_obs::Recorder;
 use parra_program::classify::SystemClass;
 use parra_program::ident::VarId;
 use parra_program::system::ParamSystem;
@@ -149,6 +150,7 @@ pub struct Reachability {
     sys: ParamSystem,
     budget: Budget,
     limits: ReachLimits,
+    rec: Recorder,
 }
 
 impl Reachability {
@@ -169,7 +171,14 @@ impl Reachability {
             sys,
             budget,
             limits,
+            rec: Recorder::disabled(),
         })
+    }
+
+    /// The same engine reporting metrics/spans through `rec`.
+    pub fn with_recorder(mut self, rec: Recorder) -> Reachability {
+        self.rec = rec;
+        self
     }
 
     /// The system under verification.
@@ -184,9 +193,26 @@ impl Reachability {
 
     /// Runs the search.
     pub fn run(&self, target: SimpTarget) -> ReachReport {
+        let span = self.rec.span("reach.run");
+        let report = self.run_inner(target);
+        span.arg_u64("states", report.states as u64);
+        span.arg_u64("worlds", report.worlds as u64);
+        span.arg_str("outcome", &format!("{:?}", report.outcome));
+        report
+    }
+
+    fn run_inner(&self, target: SimpTarget) -> ReachReport {
         let sys = &self.sys;
         let budget = &self.budget;
         let limits = self.limits;
+
+        let c_worlds = self.rec.counter("worlds_explored");
+        let c_states = self.rec.counter("states");
+        let c_sat_rounds = self.rec.counter("saturation_rounds");
+        let c_sat_cfg = self.rec.counter("saturation_new_configs");
+        let c_sat_msg = self.rec.counter("saturation_new_msgs");
+        let g_msgs = self.rec.gauge("env_msgs");
+        let g_cfgs = self.rec.gauge("env_configs");
 
         let mut worlds_seen: BTreeSet<BTreeSet<(VarId, u32)>> = BTreeSet::new();
         let mut worlds_queue: VecDeque<BTreeSet<(VarId, u32)>> = VecDeque::new();
@@ -210,17 +236,26 @@ impl Reachability {
                 break;
             }
             worlds += 1;
+            c_worlds.incr();
+            self.rec.heartbeat(|| {
+                format!("reach: world {worlds}, {total_states} states, peak env msgs {peak_msg}")
+            });
 
             let mut init = SimpState::initial(sys);
             for &(x, g) in &world {
                 init.preclose(x, g);
             }
-            init.saturate(sys, budget, limits.max_env_size);
+            let (dc, dm) = init.saturate(sys, budget, limits.max_env_size);
+            c_sat_rounds.incr();
+            c_sat_cfg.add(dc as u64);
+            c_sat_msg.add(dm as u64);
             if init.env_threads.len() + init.env_msgs.len() > limits.max_env_size {
                 truncated = true;
             }
             peak_cfg = peak_cfg.max(init.env_threads.len());
             peak_msg = peak_msg.max(init.env_msgs.len());
+            g_cfgs.record_peak(init.env_threads.len() as u64);
+            g_msgs.record_peak(init.env_msgs.len() as u64);
 
             let mut states: Vec<SimpState> = Vec::new();
             let mut parents: Vec<Option<(u32, DisStep)>> = Vec::new();
@@ -242,6 +277,7 @@ impl Reachability {
             parents.push(None);
             queue.push_back(0);
             total_states += 1;
+            c_states.incr();
 
             if target_holds(&init) {
                 return ReachReport {
@@ -273,13 +309,18 @@ impl Reachability {
                     }
                 }
                 for (step, mut next) in succs.steps {
-                    next.saturate(sys, budget, limits.max_env_size);
+                    let (dc, dm) = next.saturate(sys, budget, limits.max_env_size);
+                    c_sat_rounds.incr();
+                    c_sat_cfg.add(dc as u64);
+                    c_sat_msg.add(dm as u64);
                     if next.env_threads.len() + next.env_msgs.len() > limits.max_env_size {
                         truncated = true;
                         continue;
                     }
                     peak_cfg = peak_cfg.max(next.env_threads.len());
                     peak_msg = peak_msg.max(next.env_msgs.len());
+                    g_cfgs.record_peak(next.env_threads.len() as u64);
+                    g_msgs.record_peak(next.env_msgs.len() as u64);
                     if index.contains_key(&next) {
                         continue;
                     }
@@ -293,6 +334,13 @@ impl Reachability {
                     parents.push(Some((si, step)));
                     queue.push_back(ni);
                     total_states += 1;
+                    c_states.incr();
+                    self.rec.heartbeat(|| {
+                        format!(
+                            "reach: world {worlds}, {total_states} states, \
+                             peak env msgs {peak_msg}"
+                        )
+                    });
                     if target_holds(&next) {
                         let path = unwind(&parents, ni);
                         return ReachReport {
@@ -453,7 +501,8 @@ mod tests {
         env.cas(x, 0, 1);
         let env = env.finish();
         let sys = b.build(env, vec![]);
-        let err = Reachability::new(sys.clone(), Budget::uniform_for(&sys, 1), limits()).unwrap_err();
+        let err =
+            Reachability::new(sys.clone(), Budget::uniform_for(&sys, 1), limits()).unwrap_err();
         assert_eq!(err, UnsupportedSystem::EnvHasCas);
     }
 
@@ -468,7 +517,10 @@ mod tests {
         let r = env.reg("r");
         env.star(|p| {
             p.load(r, x);
-            p.store(x, parra_program::expr::Expr::reg(r).add(parra_program::expr::Expr::val(1)));
+            p.store(
+                x,
+                parra_program::expr::Expr::reg(r).add(parra_program::expr::Expr::val(1)),
+            );
         });
         env.load(r, x).assume_eq(r, 3).store(goal, 1);
         let env = env.finish();

@@ -77,8 +77,7 @@ impl AView {
 
     /// Pointwise order.
     pub fn leq(&self, other: &AView) -> bool {
-        self.len() == other.len()
-            && self.times.iter().zip(&other.times).all(|(a, b)| a <= b)
+        self.len() == other.len() && self.times.iter().zip(&other.times).all(|(a, b)| a <= b)
     }
 
     /// Iterates over `(variable, timestamp)` pairs.
@@ -143,9 +142,6 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            v(&[ATime::Int(1), ATime::Plus(0)]).to_string(),
-            "⟨1,0⁺⟩"
-        );
+        assert_eq!(v(&[ATime::Int(1), ATime::Plus(0)]).to_string(), "⟨1,0⁺⟩");
     }
 }

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exact bounded-cache provability.
     for k in 1..=schedule.peak + 1 {
-        println!("Prog ⊢_{k} reach(n4): {}", prove_with_cache(&prog, &goal, k));
+        println!(
+            "Prog ⊢_{k} reach(n4): {}",
+            prove_with_cache(&prog, &goal, k)
+        );
     }
 
     // Lemma 4.2: the cache-bounded query as a *linear* Datalog program.

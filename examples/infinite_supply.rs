@@ -43,7 +43,10 @@ fn main() {
     // Lemma 3.1: lift by μ(t) = 3t and replay.
     let lift = Lifting::spacing(&trace, 3);
     let lifted = lift.apply(&trace).expect("Lemma 3.1: RA-valid lifting");
-    println!("\nM(ρ) with μ(t) = 3t replays: {} transitions", lifted.len());
+    println!(
+        "\nM(ρ) with μ(t) = 3t replays: {} transitions",
+        lifted.len()
+    );
     println!("last(M(ρ)).memory = {}", lifted.last().memory);
 
     // Lemma 3.3: duplicate the first env message — once adjacent, once

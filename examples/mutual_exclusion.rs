@@ -23,8 +23,8 @@ fn main() {
     for name in benchmarks {
         let bench = litmus::by_name(name).expect("benchmark exists");
         let class = SystemClass::of(&bench.system);
-        let verifier = Verifier::new(&bench.system, VerifierOptions::default())
-            .expect("decidable class");
+        let verifier =
+            Verifier::new(&bench.system, VerifierOptions::default()).expect("decidable class");
         let result = verifier.run(Engine::SimplifiedReach);
         println!(
             "{:<22} {:<14} {:<9} {:>8} {:>7} {:>12}",

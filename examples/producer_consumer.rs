@@ -4,14 +4,14 @@
 //!
 //! Run with: `cargo run --example producer_consumer`
 
+use parra::litmus::sync::producer_consumer;
 use parra::program::value::Val;
+use parra::ra::step::monotone_successors;
+use parra::ra::{Instance, Trace};
 use parra::simplified::cost::cost_of_graph;
 use parra::simplified::depgraph::DepGraph;
 use parra::simplified::reach::{ReachLimits, ReachOutcome, Reachability, SimpTarget};
 use parra::simplified::state::Budget;
-use parra::litmus::sync::producer_consumer;
-use parra::ra::step::monotone_successors;
-use parra::ra::{Instance, Trace};
 
 fn main() {
     figure1();

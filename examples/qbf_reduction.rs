@@ -12,7 +12,10 @@ use parra::qbf::reduce::reduce_to_purera;
 
 fn main() {
     let instances: Vec<(&str, Qbf)> = vec![
-        ("∀u0. u0 ∨ ¬u0", Qbf::new(0, BoolExpr::var(0).or(BoolExpr::var(0).not()))),
+        (
+            "∀u0. u0 ∨ ¬u0",
+            Qbf::new(0, BoolExpr::var(0).or(BoolExpr::var(0).not())),
+        ),
         ("∀u0. u0", Qbf::new(0, BoolExpr::var(0))),
         ("copycat(1):  ∀u0 ∃e1 ∀u1. e1 ↔ u0", gen::copycat(1)),
         ("clairvoyant(1): ∀u0 ∃e1 ∀u1. e1 ↔ u1", gen::clairvoyant(1)),

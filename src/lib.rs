@@ -21,6 +21,7 @@
 //! | [`core`] | the verifier: `makeP` encoding and engine orchestration (Section 4) |
 //! | [`qbf`] | QBF and the Figure 6 TQBF→PureRA reduction (Section 5) |
 //! | [`litmus`] | the benchmark programs the paper classifies |
+//! | [`obs`] | zero-dependency metrics, spans, heartbeats, Chrome-trace emission |
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@
 pub use parra_core as core;
 pub use parra_datalog as datalog;
 pub use parra_litmus as litmus;
+pub use parra_obs as obs;
 pub use parra_program as program;
 pub use parra_qbf as qbf;
 pub use parra_ra as ra;
@@ -67,14 +69,14 @@ pub use parra_simplified as simplified;
 /// The most common imports in one place.
 pub mod prelude {
     pub use parra_core::verify::{
-        Engine, Verdict, VerificationResult, Verifier, VerifierOptions,
+        Engine, RunReport, Verdict, VerificationResult, Verifier, VerifierOptions,
     };
     pub use parra_program::builder::{ProgramBuilder, SystemBuilder};
     pub use parra_program::classify::{Complexity, SystemClass};
     pub use parra_program::parser::parse_system;
     pub use parra_program::system::{ParamSystem, Program, ThreadKind};
     pub use parra_program::value::{Dom, Val};
-    pub use parra_simplified::reach::{Reachability, ReachLimits, SimpTarget};
+    pub use parra_simplified::reach::{ReachLimits, Reachability, SimpTarget};
     pub use parra_simplified::state::Budget;
 }
 

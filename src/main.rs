@@ -4,13 +4,24 @@
 //! parra classify <file.ra>
 //! parra verify   <file.ra> [--engine simplified|datalog|concrete]
 //!                          [--unroll N] [--all-engines] [--concretize]
+//!                          [--stats] [--json] [--trace-out FILE]
 //! parra print    <file.ra>
 //! ```
 //!
 //! Input files use the `system { … }` syntax (see the README or
 //! `examples/`). Exit code 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 64+ =
-//! usage/input errors.
+//! usage/input errors (including exact-engine disagreement under
+//! `--all-engines`).
+//!
+//! Observability: `PARRA_LOG=off|summary|debug` selects the logging level
+//! (heartbeats and debug lines go to stderr); `--stats` implies at least
+//! `summary` and prints the span tree plus metric totals to stderr after
+//! the run; `--trace-out FILE` writes a Chrome-trace JSON (load it in
+//! `chrome://tracing` or Perfetto); `--json` prints each engine's
+//! structured [`RunReport`](parra::core::verify::RunReport) as one JSON
+//! object per line on stdout instead of the human-readable report.
 
+use parra::obs::{Level, Recorder};
 use parra::prelude::*;
 use std::process::ExitCode;
 
@@ -42,17 +53,28 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn usage() -> String {
     "usage:\n  parra classify <file.ra>\n  parra verify <file.ra> \
      [--engine simplified|datalog|concrete] [--unroll N] [--all-engines] \
-     [--concretize]\n  parra print <file.ra>"
+     [--concretize] [--stats] [--json] [--trace-out FILE]\n  \
+     parra print <file.ra>\n\nPARRA_LOG=off|summary|debug selects the \
+     logging level (--stats implies summary)."
         .to_owned()
 }
 
+/// Flags whose next argument is a value, not the input path.
+const VALUE_FLAGS: &[&str] = &["--engine", "--unroll", "--trace-out"];
+
 fn load(args: &[String]) -> Result<ParamSystem, String> {
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
-        .ok_or("missing input file")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut path = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            iter.next();
+        } else if !a.starts_with("--") {
+            path = Some(a);
+            break;
+        }
+    }
+    let path = path.ok_or("missing input file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     parse_system(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -85,11 +107,24 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let unroll = flag_value(args, "--unroll")
         .map(|v| v.parse::<usize>().map_err(|e| format!("--unroll: {e}")))
         .transpose()?;
+    let json = args.iter().any(|a| a == "--json");
+    let stats_flag = args.iter().any(|a| a == "--stats");
+    let trace_out = flag_value(args, "--trace-out");
+    if args.iter().any(|a| a == "--trace-out") && trace_out.is_none() {
+        return Err("--trace-out needs a file path".into());
+    }
+
+    let mut rec = Recorder::from_env();
+    if (stats_flag || trace_out.is_some()) && !rec.is_enabled() {
+        rec = Recorder::enabled(Level::Summary);
+    }
+
     let options = VerifierOptions {
         unroll_dis: unroll,
         ..Default::default()
     };
-    let verifier = Verifier::new(&sys, options).map_err(|e| e.to_string())?;
+    let verifier =
+        Verifier::new_with_recorder(&sys, options, rec.clone()).map_err(|e| e.to_string())?;
 
     let engines: Vec<Engine> = if args.iter().any(|a| a == "--all-engines") {
         vec![
@@ -107,38 +142,85 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         vec![engine]
     };
 
-    let mut final_verdict = Verdict::Unknown;
+    let mut verdicts: Vec<(Engine, Verdict)> = Vec::new();
     for engine in engines {
         let result = verifier.run(engine);
-        println!(
-            "[{engine}] {} ({:.2?}, {} states)",
-            result.verdict, result.stats.duration, result.stats.states
-        );
-        if let Some(bound) = result.env_thread_bound {
-            println!("  env threads sufficient for the violation: {bound}");
-        }
-        for line in &result.witness_lines {
-            println!("  witness: {line}");
-        }
-        for note in &result.notes {
-            println!("  note: {note}");
-        }
-        if args.iter().any(|a| a == "--concretize") && result.verdict == Verdict::Unsafe {
-            match verifier.concretize(&result, 6) {
-                Some(w) => {
-                    println!("  concrete interleaving ({} env threads):", w.n_env);
-                    for step in &w.steps {
-                        println!("    {step}");
+        if json {
+            println!("{}", result.report.to_json());
+        } else {
+            println!(
+                "[{engine}] {} ({:.2?}, {} states)",
+                result.verdict, result.stats.duration, result.stats.states
+            );
+            if let Some(bound) = result.env_thread_bound {
+                println!("  env threads sufficient for the violation: {bound}");
+            }
+            for line in &result.witness_lines {
+                println!("  witness: {line}");
+            }
+            for note in &result.notes {
+                println!("  note: {note}");
+            }
+            if args.iter().any(|a| a == "--concretize") && result.verdict == Verdict::Unsafe {
+                match verifier.concretize(&result, 6) {
+                    Some(w) => {
+                        println!("  concrete interleaving ({} env threads):", w.n_env);
+                        for step in &w.steps {
+                            println!("    {step}");
+                        }
                     }
+                    None => println!(
+                        "  (no concrete interleaving found within 6 env threads \
+                         and default depth)"
+                    ),
                 }
-                None => println!(
-                    "  (no concrete interleaving found within 6 env threads \
-                     and default depth)"
-                ),
             }
         }
-        final_verdict = result.verdict;
+        verdicts.push((result.engine, result.verdict));
     }
+
+    if stats_flag {
+        let tree = rec.render_tree();
+        if !tree.is_empty() {
+            eprint!("{tree}");
+        }
+        let snap = rec.snapshot();
+        for (name, v) in &snap.counters {
+            eprintln!("  {name} = {v}");
+        }
+        for (name, g) in &snap.gauges {
+            eprintln!("  {name} = {} (peak {})", g.value, g.peak);
+        }
+    }
+    if let Some(path) = trace_out {
+        rec.write_chrome_trace(std::path::Path::new(&path))
+            .map_err(|e| format!("--trace-out `{path}`: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+
+    // Aggregate: an `Unsafe` from any engine is a sound witness and wins;
+    // `Safe` (only the exact engines claim it) beats `Unknown`. A Safe
+    // next to an Unsafe is a contradiction — one of the exact engines is
+    // wrong — and must surface as an error, not a silent last-run-wins.
+    let any_unsafe = verdicts.iter().any(|(_, v)| *v == Verdict::Unsafe);
+    let any_safe = verdicts.iter().any(|(_, v)| *v == Verdict::Safe);
+    if any_unsafe && any_safe {
+        let list = verdicts
+            .iter()
+            .map(|(e, v)| format!("{e}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err(format!(
+            "engines disagree ({list}); this indicates a bug in an exact engine"
+        ));
+    }
+    let final_verdict = if any_unsafe {
+        Verdict::Unsafe
+    } else if any_safe {
+        Verdict::Safe
+    } else {
+        Verdict::Unknown
+    };
     Ok(match final_verdict {
         Verdict::Safe => ExitCode::SUCCESS,
         Verdict::Unsafe => ExitCode::from(1),

@@ -1,0 +1,181 @@
+//! End-to-end tests of the `parra` binary: flag/path parsing, the
+//! observability surface (`--json`, `--stats`, `--trace-out`), and
+//! `--all-engines` verdict aggregation.
+
+use parra::obs::json;
+use parra::prelude::*;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_parra");
+
+fn example(name: &str) -> String {
+    format!("{}/examples/systems/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn json_output_parses_and_matches_legacy_stats() {
+    let input = example("handshake.ra");
+    let out = Command::new(BIN)
+        .args(["verify", "--engine", "simplified", "--json", &input])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "handshake is unsafe; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let v = json::parse(stdout.trim()).expect("stdout is one JSON object");
+    assert_eq!(v.get("engine").unwrap().as_str(), Some("simplified-reach"));
+    assert_eq!(v.get("verdict").unwrap().as_str(), Some("UNSAFE"));
+
+    // The report must agree with an in-process run of the same engine on
+    // the same input (the engine is deterministic).
+    let sys = parse_system(&std::fs::read_to_string(&input).unwrap()).unwrap();
+    let r = Verifier::new(&sys, VerifierOptions::default())
+        .unwrap()
+        .run(Engine::SimplifiedReach);
+    let stats = v.get("stats").unwrap();
+    assert_eq!(
+        stats.get("states").unwrap().as_u64(),
+        Some(r.stats.states as u64)
+    );
+    assert_eq!(
+        stats.get("worlds").unwrap().as_u64(),
+        Some(r.stats.worlds as u64)
+    );
+    assert_eq!(
+        stats.get("peak_env_msgs").unwrap().as_u64(),
+        Some(r.stats.peak_env_msgs as u64)
+    );
+    assert_eq!(
+        v.get("env_thread_bound").unwrap().as_u64(),
+        r.env_thread_bound
+    );
+    assert_eq!(
+        v.get("witness").unwrap().as_arr().unwrap().len(),
+        r.witness_lines.len()
+    );
+}
+
+#[test]
+fn json_emits_one_object_per_engine() {
+    let out = Command::new(BIN)
+        .args([
+            "verify",
+            "--all-engines",
+            "--json",
+            &example("handshake.ra"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let engines: Vec<String> = stdout
+        .lines()
+        .map(|l| {
+            json::parse(l)
+                .expect("each line is a JSON object")
+                .get("engine")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(
+        engines,
+        ["simplified-reach", "cache-datalog", "bounded-concrete"]
+    );
+}
+
+/// Regression test: `load()` used to scan for the first bare argument
+/// when locating the input path, so a flag value like `--engine datalog`
+/// or a `--trace-out` file name could be mistaken for the input file.
+#[test]
+fn flag_values_are_not_mistaken_for_the_input_path() {
+    let out = Command::new(BIN)
+        .args(["verify", "--engine", "datalog", &example("handshake.ra")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let trace = std::env::temp_dir().join("parra_cli_trace_test.json");
+    let out = Command::new(BIN)
+        .args([
+            "verify",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            &example("handshake.ra"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let events = json::parse(&text).expect("chrome trace is valid JSON");
+    assert!(events
+        .as_arr()
+        .unwrap()
+        .iter()
+        .any(|e| { e.get("name").and_then(|n| n.as_str()) == Some("engine:simplified-reach") }));
+    std::fs::remove_file(&trace).ok();
+
+    // A missing input still errors out cleanly.
+    let out = Command::new(BIN)
+        .args(["verify", "--engine", "datalog"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(64));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing input file"));
+}
+
+/// Regression test: `--all-engines` used to report the verdict of the
+/// *last* engine, so a Safe system ended Unknown because the (inherently
+/// incomplete) concrete engine runs last. Decisive verdicts must win.
+#[test]
+fn all_engines_aggregation_prefers_decisive_verdicts() {
+    let out = Command::new(BIN)
+        .args(["verify", "--all-engines", &example("barrier.ra")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "barrier is safe and exact engines prove it; stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = Command::new(BIN)
+        .args(["verify", "--all-engines", &example("handshake.ra")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "handshake is unsafe");
+}
+
+#[test]
+fn stats_flag_prints_span_tree_and_metrics() {
+    let out = Command::new(BIN)
+        .args(["verify", "--stats", &example("handshake.ra")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("engine:simplified-reach"), "stderr: {err}");
+    assert!(err.contains("reach.run"), "stderr: {err}");
+    assert!(
+        err.contains("simplified-reach/worlds_explored"),
+        "stderr: {err}"
+    );
+}

@@ -59,7 +59,12 @@ fn pipeline(sys: &ParamSystem, x: parra_program::ident::VarId, expect: bool) {
     if expect {
         // Stage 3: Lemma 4.6 — a cache schedule from the derivation.
         let schedule = cache_schedule(&specialized, &goal).expect("derivable");
-        assert!(verify_schedule(&specialized, &goal, &schedule, schedule.peak));
+        assert!(verify_schedule(
+            &specialized,
+            &goal,
+            &schedule,
+            schedule.peak
+        ));
 
         // Stage 4: exact Cache-Datalog provability at the schedule's peak.
         assert!(prove_with_cache(&specialized, &goal, schedule.peak));

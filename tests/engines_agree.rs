@@ -80,7 +80,11 @@ fn check(sys: &ParamSystem, label: &str) {
     // The concrete baseline may only strengthen Unsafe verdicts.
     let r3 = v.run(Engine::BoundedConcrete);
     if r3.verdict == Verdict::Unsafe {
-        assert_eq!(r1.verdict, Verdict::Unsafe, "{label}: concrete found a bug the parameterized engines missed");
+        assert_eq!(
+            r1.verdict,
+            Verdict::Unsafe,
+            "{label}: concrete found a bug the parameterized engines missed"
+        );
     }
 }
 

@@ -228,7 +228,10 @@ fn cas_mutual_exclusion_agrees() {
     let d1 = d1.finish();
     let mut d2 = b.program("d2");
     let r = d2.reg("r");
-    d2.cas(lock, 0, 2).load(r, flag).assume_eq(r, 1).store(goal, 1);
+    d2.cas(lock, 0, 2)
+        .load(r, flag)
+        .assume_eq(r, 1)
+        .store(goal, 1);
     let d2 = d2.finish();
     let sys = b.build(env, vec![d1, d2]);
     // d2's CAS and d1's CAS both target slot 1 from the init message: only
@@ -359,17 +362,7 @@ fn random_system(seed: u64, allow_cas: bool) -> (ParamSystem, VarId) {
     }
     let goal = b.var("goal");
     let env = random_program(&b, "env", &mut rng, n_vars, dom, 3, false, None).finish();
-    let d1 = random_program(
-        &b,
-        "d1",
-        &mut rng,
-        n_vars,
-        dom,
-        3,
-        allow_cas,
-        Some(goal),
-    )
-    .finish();
+    let d1 = random_program(&b, "d1", &mut rng, n_vars, dom, 3, allow_cas, Some(goal)).finish();
     (b.build(env, vec![d1]), goal)
 }
 
@@ -401,12 +394,9 @@ fn random_two_dis_systems_agree() {
             b.var(&format!("v{i}"));
         }
         let goal = b.var("goal");
-        let env =
-            random_program(&b, "env", &mut rng, n_vars, dom, 3, false, None).finish();
-        let d1 = random_program(&b, "d1", &mut rng, n_vars, dom, 2, true, Some(goal))
-            .finish();
-        let d2 =
-            random_program(&b, "d2", &mut rng, n_vars, dom, 2, true, None).finish();
+        let env = random_program(&b, "env", &mut rng, n_vars, dom, 3, false, None).finish();
+        let d1 = random_program(&b, "d1", &mut rng, n_vars, dom, 2, true, Some(goal)).finish();
+        let d2 = random_program(&b, "d2", &mut rng, n_vars, dom, 2, true, None).finish();
         let sys = b.build(env, vec![d1, d2]);
         check_agreement(&sys, goal, 2, &format!("random-2dis-{seed}"));
     }

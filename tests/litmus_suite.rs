@@ -36,8 +36,7 @@ fn concrete_baseline_corroborates_unsafe_benchmarks() {
         if bench.expected != Expected::Unsafe {
             continue;
         }
-        let verifier =
-            Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
+        let verifier = Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
         let result = verifier.run(Engine::BoundedConcrete);
         assert_eq!(
             result.verdict,
@@ -54,8 +53,7 @@ fn concrete_baseline_finds_nothing_in_safe_benchmarks() {
         if bench.expected != Expected::Safe {
             continue;
         }
-        let verifier =
-            Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
+        let verifier = Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
         let result = verifier.run(Engine::BoundedConcrete);
         // Parameterized safety cannot be concluded by the bounded engine,
         // but it must not find a (spurious) violation.

@@ -1,12 +1,16 @@
-//! Property-based tests (proptest) for the core data structures and the
+//! Randomized property tests for the core data structures and the
 //! executable lemmas.
-
-use proptest::prelude::*;
+//!
+//! The offline build environment rules out `proptest`, so each property
+//! is exercised over a deterministic sample sweep drawn from the in-tree
+//! splitmix64 generator ([`parra_qbf::rng::Rng`]). Failures print the
+//! iteration seed so a case can be replayed by hand.
 
 use parra_program::builder::SystemBuilder;
 use parra_program::expr::Expr;
 use parra_program::ident::VarId;
 use parra_program::system::ParamSystem;
+use parra_qbf::rng::Rng;
 use parra_ra::lifting::Lifting;
 use parra_ra::supply::{duplicate_env_message, env_store_indices, Placement};
 use parra_ra::timestamp::Timestamp;
@@ -18,56 +22,57 @@ use parra_simplified::view::AView;
 // Abstract timestamps: a total order interleaving slots and gaps
 // ---------------------------------------------------------------------
 
-fn atime_strategy() -> impl Strategy<Value = ATime> {
-    (0u32..20, prop::bool::ANY).prop_map(|(i, plus)| {
-        if plus {
-            ATime::Plus(i)
-        } else {
-            ATime::Int(i)
-        }
-    })
+fn random_atime(rng: &mut Rng) -> ATime {
+    let i = rng.gen_range(20) as u32;
+    if rng.gen_bool(0.5) {
+        ATime::Plus(i)
+    } else {
+        ATime::Int(i)
+    }
 }
 
-proptest! {
-    #[test]
-    fn atime_order_total_and_transitive(
-        a in atime_strategy(),
-        b in atime_strategy(),
-        c in atime_strategy(),
-    ) {
+#[test]
+fn atime_order_total_and_transitive() {
+    let mut rng = Rng::seed_from_u64(0xA71E);
+    for case in 0..2000 {
+        let a = random_atime(&mut rng);
+        let b = random_atime(&mut rng);
+        let c = random_atime(&mut rng);
         // Totality.
-        prop_assert!(a <= b || b <= a);
+        assert!(a <= b || b <= a, "case {case}: {a:?} vs {b:?}");
         // Antisymmetry.
         if a <= b && b <= a {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
         // Transitivity.
         if a <= b && b <= c {
-            prop_assert!(a <= c);
+            assert!(a <= c, "case {case}: {a:?} {b:?} {c:?}");
         }
         // The defining interleaving: Int(i) < Plus(i) < Int(i+1).
-        prop_assert!(ATime::Int(a.floor()) <= a);
-        prop_assert!(a <= ATime::Plus(a.floor()));
+        assert!(ATime::Int(a.floor()) <= a, "case {case}");
+        assert!(a <= ATime::Plus(a.floor()), "case {case}");
     }
+}
 
-    #[test]
-    fn aview_join_is_lattice_join(
-        xs in prop::collection::vec(atime_strategy(), 3),
-        ys in prop::collection::vec(atime_strategy(), 3),
-        zs in prop::collection::vec(atime_strategy(), 3),
-    ) {
-        let a = AView::from_times(xs);
-        let b = AView::from_times(ys);
-        let c = AView::from_times(zs);
+#[test]
+fn aview_join_is_lattice_join() {
+    let mut rng = Rng::seed_from_u64(0xA71F);
+    for case in 0..500 {
+        let draw = |rng: &mut Rng| {
+            AView::from_times((0..3).map(|_| random_atime(rng)).collect::<Vec<_>>())
+        };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        let c = draw(&mut rng);
         // Commutative, idempotent, associative.
-        prop_assert_eq!(a.join(&b), b.join(&a));
-        prop_assert_eq!(a.join(&a), a.clone());
-        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        assert_eq!(a.join(&b), b.join(&a), "case {case}");
+        assert_eq!(a.join(&a), a.clone(), "case {case}");
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)), "case {case}");
         // Least upper bound.
         let j = a.join(&b);
-        prop_assert!(a.leq(&j) && b.leq(&j));
+        assert!(a.leq(&j) && b.leq(&j), "case {case}");
         if a.leq(&c) && b.leq(&c) {
-            prop_assert!(j.leq(&c));
+            assert!(j.leq(&c), "case {case}");
         }
     }
 }
@@ -76,37 +81,43 @@ proptest! {
 // Expressions: evaluation stays in the domain
 // ---------------------------------------------------------------------
 
-fn expr_strategy(n_regs: u32, depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (0u32..8).prop_map(Expr::val),
-        (0..n_regs).prop_map(|r| Expr::reg(parra_program::ident::RegId(r))),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| e.not()),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
-        ]
-    })
-    .boxed()
+fn random_expr(rng: &mut Rng, n_regs: u32, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            Expr::val(rng.gen_range(8) as u32)
+        } else {
+            Expr::reg(parra_program::ident::RegId(
+                rng.gen_range(n_regs as usize) as u32
+            ))
+        };
+    }
+    let a = random_expr(rng, n_regs, depth - 1);
+    match rng.gen_range(5) {
+        0 => a.not(),
+        1 => a.add(random_expr(rng, n_regs, depth - 1)),
+        2 => a.eq(random_expr(rng, n_regs, depth - 1)),
+        3 => a.and(random_expr(rng, n_regs, depth - 1)),
+        _ => a.or(random_expr(rng, n_regs, depth - 1)),
+    }
 }
 
-proptest! {
-    #[test]
-    fn expr_eval_in_domain(
-        e in expr_strategy(2, 3),
-        dom_size in 1u32..6,
-        r0 in 0u32..6,
-        r1 in 0u32..6,
-    ) {
-        let dom = parra_program::value::Dom::new(dom_size);
+#[test]
+fn expr_eval_in_domain() {
+    let mut rng = Rng::seed_from_u64(0xE4A1);
+    for case in 0..500 {
+        let e = random_expr(&mut rng, 2, 3);
+        let dom = parra_program::value::Dom::new(1 + rng.gen_range(5) as u32);
         let mut rv = parra_program::expr::RegVal::new(2);
-        rv.set(parra_program::ident::RegId(0), dom.wrap(r0 as u64));
-        rv.set(parra_program::ident::RegId(1), dom.wrap(r1 as u64));
+        rv.set(
+            parra_program::ident::RegId(0),
+            dom.wrap(rng.gen_range(6) as u64),
+        );
+        rv.set(
+            parra_program::ident::RegId(1),
+            dom.wrap(rng.gen_range(6) as u64),
+        );
         let v = e.eval(&rv, dom);
-        prop_assert!(dom.contains(v), "value {v} outside {dom}");
+        assert!(dom.contains(v), "case {case}: value {v} outside {dom}");
     }
 }
 
@@ -130,126 +141,128 @@ fn test_system() -> ParamSystem {
     b.build(env, vec![d])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// The `Trace::random` chooser backed by the shared splitmix64 stream.
+fn chooser_from(seed: u64) -> impl FnMut(usize) -> usize {
+    let mut rng = Rng::seed_from_u64(seed);
+    move |k: usize| rng.gen_range(k.max(1))
+}
 
-    #[test]
-    fn lemma_3_1_valid_liftings_replay(seed in 0u64..10_000, stretch in 1u64..5) {
-        let mut s = seed;
-        let mut chooser = move |k: usize| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (s >> 33) as usize % k.max(1)
-        };
+#[test]
+fn lemma_3_1_valid_liftings_replay() {
+    for seed in 0..48u64 {
+        let mut chooser = chooser_from(seed.wrapping_mul(0x9E37_79B9));
         let trace = Trace::random(Instance::new(test_system(), 2), 18, &mut chooser);
         // A spacing lift that respects CAS pairs is RA-valid for every
         // computation; Lemma 3.1 promises the lifted run replays.
         let lift = Lifting::spacing_with_holes(&trace);
         let lifted = lift.apply(&trace);
-        prop_assert!(lifted.is_ok(), "{:?}", lifted.err());
+        assert!(lifted.is_ok(), "seed {seed}: {:?}", lifted.err());
         // Uniform stretches are valid exactly when no CAS pair occurs (the
         // validator must reject the rest up front, never at replay).
+        let stretch = 1 + (seed % 4);
         let uniform = Lifting::spacing(&trace, 1 + stretch);
         match uniform.validate(&trace) {
-            Ok(()) => prop_assert!(uniform.apply(&trace).is_ok()),
-            Err(e) => prop_assert!(
+            Ok(()) => assert!(uniform.apply(&trace).is_ok(), "seed {seed}"),
+            Err(e) => assert!(
                 matches!(e, parra_ra::lifting::LiftingError::CasPairTorn { .. }),
-                "unexpected validation error {e}"
+                "seed {seed}: unexpected validation error {e}"
             ),
         }
     }
+}
 
-    #[test]
-    fn lemma_3_3_duplication(seed in 0u64..10_000) {
-        let mut s = seed;
-        let mut chooser = move |k: usize| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (s >> 33) as usize % k.max(1)
-        };
+#[test]
+fn lemma_3_3_duplication() {
+    for seed in 0..48u64 {
+        let mut chooser = chooser_from(seed.wrapping_mul(0xC2B2_AE35));
         let trace = Trace::random(Instance::new(test_system(), 2), 22, &mut chooser);
         for idx in env_store_indices(&trace) {
             for placement in [Placement::Adjacent, Placement::High] {
-                let dup = duplicate_env_message(&trace, idx, placement);
-                let dup = match dup {
-                    Ok(d) => d,
-                    Err(e) => return Err(TestCaseError::fail(format!("idx {idx}: {e}"))),
-                };
-                prop_assert_eq!(dup.original.var, dup.clone.var);
-                prop_assert_eq!(dup.original.val, dup.clone.val);
-                prop_assert!(dup.trace.last().memory.contains(&dup.original));
-                prop_assert!(dup.trace.last().memory.contains(&dup.clone));
+                let dup = duplicate_env_message(&trace, idx, placement)
+                    .unwrap_or_else(|e| panic!("seed {seed} idx {idx}: {e}"));
+                assert_eq!(dup.original.var, dup.clone.var);
+                assert_eq!(dup.original.val, dup.clone.val);
+                assert!(dup.trace.last().memory.contains(&dup.original));
+                assert!(dup.trace.last().memory.contains(&dup.clone));
                 if placement == Placement::High {
                     // Higher than every other message on the variable.
                     for m in dup.trace.last().memory.on_var(dup.clone.var) {
                         if *m != dup.clone {
-                            prop_assert!(dup.clone.timestamp() > m.timestamp());
+                            assert!(
+                                dup.clone.timestamp() > m.timestamp(),
+                                "seed {seed} idx {idx}"
+                            );
                         }
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn concrete_view_join_monotone_along_traces(seed in 0u64..10_000) {
-        // Thread views only ever grow along a computation (the join
-        // discipline) — an invariant of the Figure 2 rules.
-        let mut s = seed;
-        let mut chooser = move |k: usize| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (s >> 33) as usize % k.max(1)
-        };
+#[test]
+fn concrete_view_join_monotone_along_traces() {
+    // Thread views only ever grow along a computation (the join
+    // discipline) — an invariant of the Figure 2 rules.
+    for seed in 0..48u64 {
+        let mut chooser = chooser_from(seed.wrapping_mul(0x1656_67B1));
         let trace = Trace::random(Instance::new(test_system(), 2), 20, &mut chooser);
         for step in 0..trace.len() {
             let before = trace.config_at(step);
             let after = trace.config_at(step + 1);
             for (b, a) in before.threads.iter().zip(&after.threads) {
-                prop_assert!(b.view.leq(&a.view), "view shrank at step {step}");
+                assert!(
+                    b.view.leq(&a.view),
+                    "seed {seed}: view shrank at step {step}"
+                );
             }
             // Memory only grows.
-            prop_assert!(after.memory.len() >= before.memory.len());
+            assert!(after.memory.len() >= before.memory.len(), "seed {seed}");
         }
-        let _ = Timestamp::ZERO;
     }
+    let _ = Timestamp::ZERO;
 }
 
 // ---------------------------------------------------------------------
 // Datalog: linear evaluator agrees with the general one
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn linear_and_general_evaluators_agree() {
+    use parra_datalog::ast::{Atom, GroundAtom, Program, Term};
+    let mut rng = Rng::seed_from_u64(0xDA7A);
+    for case in 0..64 {
+        let n_edges = 1 + rng.gen_range(11);
+        let edges: Vec<(usize, usize)> = (0..n_edges)
+            .map(|_| (rng.gen_range(6), rng.gen_range(6)))
+            .collect();
+        let start = rng.gen_range(6);
+        let goal = rng.gen_range(6);
 
-    #[test]
-    fn linear_and_general_evaluators_agree(
-        edges in prop::collection::vec((0u32..6, 0u32..6), 1..12),
-        start in 0u32..6,
-        goal in 0u32..6,
-    ) {
-        use parra_datalog::ast::{Atom, Program, Term, GroundAtom};
         let mut p = Program::new();
         let reach = p.predicate("reach", 1);
         let consts: Vec<_> = (0..6).map(|i| p.constant(&format!("n{i}"))).collect();
-        p.fact(reach, vec![consts[start as usize]]).unwrap();
+        p.fact(reach, vec![consts[start]]).unwrap();
         // One linear rule per edge: reach(b) :- reach(a).
         for (a, b) in &edges {
             p.rule(
-                Atom::new(reach, vec![Term::Const(consts[*b as usize])]),
-                vec![Atom::new(reach, vec![Term::Const(consts[*a as usize])])],
+                Atom::new(reach, vec![Term::Const(consts[*b])]),
+                vec![Atom::new(reach, vec![Term::Const(consts[*a])])],
             )
             .unwrap();
         }
-        let g = GroundAtom::new(reach, vec![consts[goal as usize]]);
+        let g = GroundAtom::new(reach, vec![consts[goal]]);
         let lin = parra_datalog::linear::LinearEvaluator::new(&p).query(&g);
         let gen = parra_datalog::eval::Evaluator::new(&p).query(&g);
-        prop_assert_eq!(lin, gen);
+        assert_eq!(lin, gen, "case {case}");
         // And both agree with plain graph reachability.
         let mut seen = [false; 6];
-        seen[start as usize] = true;
+        seen[start] = true;
         loop {
             let mut changed = false;
             for (a, b) in &edges {
-                if seen[*a as usize] && !seen[*b as usize] {
-                    seen[*b as usize] = true;
+                if seen[*a] && !seen[*b] {
+                    seen[*b] = true;
                     changed = true;
                 }
             }
@@ -257,13 +270,15 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(lin, seen[goal as usize]);
+        assert_eq!(lin, seen[goal], "case {case}");
     }
+}
 
-    #[test]
-    fn cache_schedules_verify(chain_len in 2u32..12) {
-        use parra_datalog::ast::{Atom, Program, Term, GroundAtom};
-        use parra_datalog::cache::{cache_schedule, verify_schedule};
+#[test]
+fn cache_schedules_verify() {
+    use parra_datalog::ast::{Atom, GroundAtom, Program, Term};
+    use parra_datalog::cache::{cache_schedule, verify_schedule};
+    for chain_len in 2u32..12 {
         let mut p = Program::new();
         let next = p.predicate("next", 2);
         let reach = p.predicate("reach", 1);
@@ -284,9 +299,9 @@ proptest! {
         .unwrap();
         let goal = GroundAtom::new(reach, vec![*consts.last().unwrap()]);
         let sched = cache_schedule(&p, &goal).expect("derivable");
-        prop_assert!(verify_schedule(&p, &goal, &sched, sched.peak));
+        assert!(verify_schedule(&p, &goal, &sched, sched.peak));
         // The peak stays constant in the chain length (locality).
-        prop_assert!(sched.peak <= 3, "peak {}", sched.peak);
+        assert!(sched.peak <= 3, "chain {chain_len}: peak {}", sched.peak);
     }
 }
 
@@ -294,33 +309,27 @@ proptest! {
 // Parser/pretty-printer round trip
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pretty_parse_roundtrip(seed in 0u64..100_000) {
-        // Build a random small system programmatically, print it, parse
-        // it back, and check the printed forms agree (fixed point after
-        // one round).
-        let mut s = seed;
-        let mut rng = move |k: usize| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (s >> 33) as usize % k.max(1)
-        };
+#[test]
+fn pretty_parse_roundtrip() {
+    // Build a random small system programmatically, print it, parse it
+    // back, and check the printed forms agree (fixed point after one
+    // round).
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
         let mut b = SystemBuilder::new(3);
         let vars: Vec<VarId> = (0..2).map(|i| b.var(&format!("v{i}"))).collect();
         let mut p = b.program("env");
         let r = p.reg("r0");
-        for _ in 0..rng(5) + 1 {
-            match rng(5) {
+        for _ in 0..rng.gen_range(5) + 1 {
+            match rng.gen_range(5) {
                 0 => {
-                    p.load(r, vars[rng(2)]);
+                    p.load(r, vars[rng.gen_range(2)]);
                 }
                 1 => {
-                    p.store(vars[rng(2)], Expr::val(rng(3) as u32));
+                    p.store(vars[rng.gen_range(2)], Expr::val(rng.gen_range(3) as u32));
                 }
                 2 => {
-                    p.assume(Expr::reg(r).eq(Expr::val(rng(3) as u32)));
+                    p.assume(Expr::reg(r).eq(Expr::val(rng.gen_range(3) as u32)));
                 }
                 3 => {
                     p.choice(
@@ -343,8 +352,8 @@ proptest! {
         let sys = b.build(env, vec![]);
         let printed = parra_program::pretty::system_to_string(&sys);
         let reparsed = parra_program::parser::parse_system(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
         let reprinted = parra_program::pretty::system_to_string(&reparsed);
-        prop_assert_eq!(printed, reprinted);
+        assert_eq!(printed, reprinted, "seed {seed}");
     }
 }

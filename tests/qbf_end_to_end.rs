@@ -7,8 +7,7 @@ use parra_qbf::eval::evaluate;
 use parra_qbf::formula::{BoolExpr, Qbf};
 use parra_qbf::gen;
 use parra_qbf::reduce::reduce_to_purera;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use parra_qbf::rng::Rng;
 
 fn check(qbf: &Qbf, label: &str) {
     let truth = evaluate(qbf);
@@ -16,7 +15,11 @@ fn check(qbf: &Qbf, label: &str) {
     let verifier =
         Verifier::new(&reduction.system, VerifierOptions::default()).expect("PureRA class");
     let result = verifier.run(Engine::SimplifiedReach);
-    let expected = if truth { Verdict::Unsafe } else { Verdict::Safe };
+    let expected = if truth {
+        Verdict::Unsafe
+    } else {
+        Verdict::Safe
+    };
     assert_eq!(
         result.verdict, expected,
         "{label}: Ψ = {qbf} is {truth} but the reduced program is {:?}",
@@ -90,7 +93,7 @@ fn n2_clairvoyant() {
 
 #[test]
 fn random_small_instances() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     for i in 0..8 {
         let q = gen::random(&mut rng, 1, 2);
         check(&q, &format!("random-n1-{i}"));
@@ -99,7 +102,7 @@ fn random_small_instances() {
 
 #[test]
 fn random_depth_two_instances() {
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     for i in 0..4 {
         let q = gen::random(&mut rng, 2, 2);
         check(&q, &format!("random-n2-{i}"));

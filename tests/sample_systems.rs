@@ -9,8 +9,8 @@ fn check(source: &str, name: &str, expected: Verdict) {
     let sys = parse_system(source).unwrap_or_else(|e| panic!("{name}: {e}"));
     let class = SystemClass::of(&sys);
     assert!(class.is_decidable_fragment(), "{name}: {class}");
-    let verifier = Verifier::new(&sys, VerifierOptions::default())
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let verifier =
+        Verifier::new(&sys, VerifierOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
     let result = verifier.run(Engine::SimplifiedReach);
     assert_eq!(result.verdict, expected, "{name}");
 }
@@ -64,7 +64,10 @@ fn barrier_sample() {
 #[test]
 fn samples_roundtrip_through_pretty() {
     for (name, source) in [
-        ("handshake", include_str!("../examples/systems/handshake.ra")),
+        (
+            "handshake",
+            include_str!("../examples/systems/handshake.ra"),
+        ),
         ("peterson", include_str!("../examples/systems/peterson.ra")),
         ("rcu", include_str!("../examples/systems/rcu.ra")),
         ("spinlock", include_str!("../examples/systems/spinlock.ra")),

@@ -109,8 +109,7 @@ fn equivalence_wide_sweep() {
     for seed in 0..400u64 {
         let (sys, goal) = random_system(seed, 3, 3, 4, 3, 1, true, Ending::GoalStore);
         let budget = Budget::exact(&sys).unwrap();
-        let engine = Reachability::new(sys.clone(), budget, ReachLimits::default())
-            .unwrap();
+        let engine = Reachability::new(sys.clone(), budget, ReachLimits::default()).unwrap();
         let simp = engine.run(SimpTarget::MessageGenerated(goal, Val(1)));
         assert_ne!(simp.outcome, ReachOutcome::Truncated, "seed {seed}");
 
