@@ -1,0 +1,71 @@
+//! Thread-scaling ablation: both state-space engines with 1/2/4 workers
+//! on mutex benchmarks and QBF-reduction workloads. The verdicts and
+//! state counts are identical across worker counts (the searches are
+//! deterministic); only the wall-clock changes — this bench measures by
+//! how much. Results are recorded in EXPERIMENTS.md.
+//!
+//! The concrete workloads bound `concrete_max_env` below the default 4:
+//! the env-4 instances of the QBF reductions take half a minute each,
+//! which is macro-benchmark territory, not a scaling probe.
+
+use parra_bench::micro::Harness;
+use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_litmus::by_name;
+use parra_qbf::gen;
+use parra_qbf::reduce::reduce_to_purera;
+
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("threads");
+    group.sample_size(5);
+
+    let workloads = [
+        (
+            "mutex/peterson",
+            by_name("peterson-ra").expect("suite has peterson").system,
+            Engine::SimplifiedReach,
+            4usize,
+        ),
+        (
+            "mutex/dekker",
+            by_name("dekker").expect("suite has dekker").system,
+            Engine::SimplifiedReach,
+            4,
+        ),
+        (
+            "qbf/clairvoyant2",
+            reduce_to_purera(&gen::clairvoyant(2)).system,
+            Engine::SimplifiedReach,
+            4,
+        ),
+        (
+            "qbf/clairvoyant1-concrete",
+            reduce_to_purera(&gen::clairvoyant(1)).system,
+            Engine::BoundedConcrete,
+            3,
+        ),
+        (
+            "qbf/copycat2-concrete",
+            reduce_to_purera(&gen::copycat(2)).system,
+            Engine::BoundedConcrete,
+            2,
+        ),
+    ];
+    for (name, sys, engine, max_env) in workloads {
+        for threads in [1usize, 2, 4] {
+            let verifier = Verifier::new(
+                &sys,
+                VerifierOptions {
+                    threads,
+                    concrete_max_env: max_env,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            group.bench_function(&format!("{name}/{engine}/t{threads}"), |b| {
+                b.iter(|| std::hint::black_box(verifier.run(engine).verdict))
+            });
+        }
+    }
+    group.finish();
+}

@@ -1,0 +1,56 @@
+//! One-shot timing probe for thread-scaling workload selection:
+//! `probe_threads <workload> <engine> <threads>` runs the verifier once
+//! and prints the verdict, state count, and wall-clock time.
+
+use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_litmus::by_name;
+use parra_qbf::gen;
+use parra_qbf::reduce::reduce_to_purera;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [workload, engine, threads, rest @ ..] = args.as_slice() else {
+        eprintln!("usage: probe_threads <workload> <engine> <threads> [max_env] [max_states]");
+        std::process::exit(64);
+    };
+    let sys = match workload.as_str() {
+        "copycat1" => reduce_to_purera(&gen::copycat(1)).system,
+        "copycat2" => reduce_to_purera(&gen::copycat(2)).system,
+        "copycat3" => reduce_to_purera(&gen::copycat(3)).system,
+        "clairvoyant1" => reduce_to_purera(&gen::clairvoyant(1)).system,
+        "clairvoyant2" => reduce_to_purera(&gen::clairvoyant(2)).system,
+        "clairvoyant3" => reduce_to_purera(&gen::clairvoyant(3)).system,
+        "clairvoyant4" => reduce_to_purera(&gen::clairvoyant(4)).system,
+        name => {
+            by_name(name)
+                .unwrap_or_else(|| panic!("unknown workload {name}"))
+                .system
+        }
+    };
+    let engine = match engine.as_str() {
+        "simplified" => Engine::SimplifiedReach,
+        "concrete" => Engine::BoundedConcrete,
+        other => panic!("unknown engine {other}"),
+    };
+    let threads: usize = threads.parse().unwrap();
+    let mut options = VerifierOptions {
+        threads,
+        ..Default::default()
+    };
+    if let Some(max_env) = rest.first() {
+        options.concrete_max_env = max_env.parse().unwrap();
+    }
+    if let Some(max_states) = rest.get(1) {
+        options.concrete_limits.max_states = max_states.parse().unwrap();
+    }
+    let verifier = Verifier::new(&sys, options).unwrap();
+    let t0 = Instant::now();
+    let report = verifier.run(engine);
+    println!(
+        "{workload}/{engine}/t{threads}: {:?} states={} in {:.3}s",
+        report.verdict,
+        report.stats.states,
+        t0.elapsed().as_secs_f64()
+    );
+}

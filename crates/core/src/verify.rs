@@ -11,6 +11,7 @@ use parra_program::system::ParamSystem;
 use parra_program::transform;
 use parra_ra::explore::{ExploreLimits, ExploreOutcome, Explorer, Target};
 use parra_ra::Instance;
+use parra_search::Threads;
 use parra_simplified::cost::cost_of_graph;
 use parra_simplified::depgraph::DepGraph;
 use parra_simplified::reach::{ReachLimits, ReachOutcome, Reachability, SimpTarget};
@@ -228,6 +229,12 @@ pub struct VerifierOptions {
     pub concrete_max_env: usize,
     /// Concrete exploration limits.
     pub concrete_limits: ExploreLimits,
+    /// Worker threads for the state-space engines and the Datalog guess
+    /// fleet. Reports are identical for every value (the searches commit
+    /// results in a deterministic merge order); `1` is the sequential
+    /// legacy path. Defaults to [`Threads::resolve`]`(None)`:
+    /// `PARRA_THREADS` if set, else the machine's parallelism.
+    pub threads: usize,
 }
 
 impl Default for VerifierOptions {
@@ -238,6 +245,7 @@ impl Default for VerifierOptions {
             makep_limits: MakePLimits::default(),
             concrete_max_env: 4,
             concrete_limits: ExploreLimits::default(),
+            threads: Threads::resolve(None).get(),
         }
     }
 }
@@ -429,7 +437,8 @@ impl Verifier {
         let sys = &self.goal.system;
         let engine = Reachability::new(sys.clone(), self.budget.clone(), self.options.reach_limits)
             .expect("env CAS-freedom checked in Verifier::new")
-            .with_recorder(rec.clone());
+            .with_recorder(rec.clone())
+            .with_threads(self.options.threads);
         let target = SimpTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
         let report = engine.run(target);
         let mut notes = Vec::new();
@@ -521,9 +530,7 @@ impl Verifier {
 
         // Guesses are independent query instances: evaluate them in
         // parallel, stopping the fleet as soon as one derives the goal.
-        let n_workers = std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(1);
+        let n_workers = self.options.threads.max(1);
         struct GuessOutcome {
             rules: usize,
             atoms: usize,
@@ -644,7 +651,8 @@ impl Verifier {
                 Instance::new(sys.clone(), n_env),
                 self.options.concrete_limits,
             )
-            .with_recorder(rec.clone());
+            .with_recorder(rec.clone())
+            .with_threads(self.options.threads);
             let report = explorer.run(Target::MessageGenerated(
                 self.goal.goal_var,
                 self.goal.goal_val,
@@ -717,7 +725,8 @@ impl Verifier {
             let explorer = Explorer::new(
                 Instance::new(sys.clone(), n_env),
                 self.options.concrete_limits,
-            );
+            )
+            .with_threads(self.options.threads);
             let report = explorer.run(Target::MessageGenerated(
                 self.goal.goal_var,
                 self.goal.goal_val,
@@ -745,6 +754,39 @@ pub struct ConcreteWitness {
     pub n_env: usize,
     /// The interleaving, one rendered instruction per step.
     pub steps: Vec<String>,
+}
+
+/// Combines per-engine verdicts (`--all-engines`) into one.
+///
+/// An `Unsafe` from any engine is a sound witness and wins; `Safe` (only
+/// the exact engines claim it) beats `Unknown`; all-`Unknown` stays
+/// `Unknown` — a bounded or truncated run is never promoted to `Safe`.
+///
+/// # Errors
+///
+/// A `Safe` next to an `Unsafe` is a contradiction — one of the exact
+/// engines is wrong — and surfaces as an error naming the disagreeing
+/// engines, never as a silent last-run-wins.
+pub fn aggregate_verdicts(verdicts: &[(Engine, Verdict)]) -> Result<Verdict, String> {
+    let any_unsafe = verdicts.iter().any(|(_, v)| *v == Verdict::Unsafe);
+    let any_safe = verdicts.iter().any(|(_, v)| *v == Verdict::Safe);
+    if any_unsafe && any_safe {
+        let list = verdicts
+            .iter()
+            .map(|(e, v)| format!("{e}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err(format!(
+            "engines disagree ({list}); this indicates a bug in an exact engine"
+        ));
+    }
+    Ok(if any_unsafe {
+        Verdict::Unsafe
+    } else if any_safe {
+        Verdict::Safe
+    } else {
+        Verdict::Unknown
+    })
 }
 
 #[cfg(test)]
@@ -952,5 +994,106 @@ mod tests {
         let r2 = v.run(Engine::CacheDatalog);
         assert_eq!(r1.verdict, Verdict::Unsafe);
         assert_eq!(r2.verdict, Verdict::Unsafe);
+    }
+
+    /// Soundness of reporting: a bounded/truncated run maps to `Unknown`,
+    /// never `Safe` — in the verdict, the `RunReport`, and the notes.
+    #[test]
+    fn truncated_runs_report_unknown_not_safe() {
+        let sys = handshake(true); // genuinely safe: any Safe claim would be a lie under bounds
+        let tight = VerifierOptions {
+            reach_limits: ReachLimits {
+                max_states: 1,
+                max_env_size: 200_000,
+                max_worlds: 256,
+            },
+            ..Default::default()
+        };
+        let v = Verifier::new(&sys, tight).unwrap();
+        let r = v.run(Engine::SimplifiedReach);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert_eq!(r.report.verdict, Verdict::Unknown);
+        assert!(r.notes.iter().any(|n| n.contains("limits hit")));
+
+        // The concrete engine under a depth bound that is hit: bounded
+        // safety is `Unknown`, with a bounds-hit note.
+        let shallow = VerifierOptions {
+            concrete_limits: ExploreLimits {
+                max_depth: 1,
+                max_states: 200_000,
+            },
+            ..Default::default()
+        };
+        let v = Verifier::new(&sys, shallow).unwrap();
+        let r = v.run(Engine::BoundedConcrete);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert_eq!(r.report.verdict, Verdict::Unknown);
+        assert!(r.notes.iter().any(|n| n.contains("bounds hit")));
+    }
+
+    #[test]
+    fn aggregation_unsafe_wins_and_unknown_never_promotes() {
+        use Engine::*;
+        use Verdict::*;
+        assert_eq!(
+            aggregate_verdicts(&[(SimplifiedReach, Unsafe), (BoundedConcrete, Unknown)]),
+            Ok(Unsafe)
+        );
+        assert_eq!(
+            aggregate_verdicts(&[(SimplifiedReach, Safe), (BoundedConcrete, Unknown)]),
+            Ok(Safe)
+        );
+        // Bounded-safe results (Unknown) never aggregate to Safe.
+        assert_eq!(
+            aggregate_verdicts(&[(BoundedConcrete, Unknown), (CacheDatalog, Unknown)]),
+            Ok(Unknown)
+        );
+        assert_eq!(aggregate_verdicts(&[]), Ok(Unknown));
+        let err =
+            aggregate_verdicts(&[(SimplifiedReach, Safe), (CacheDatalog, Unsafe)]).unwrap_err();
+        assert!(err.contains("disagree"));
+        assert!(err.contains("simplified-reach=SAFE"));
+        assert!(err.contains("cache-datalog=UNSAFE"));
+    }
+
+    /// The thread count is plumbed through every engine and never changes
+    /// a verdict or the deterministic stats.
+    #[test]
+    fn verifier_reports_identical_across_thread_counts() {
+        for safe in [false, true] {
+            let sys = handshake(safe);
+            let base = Verifier::new(
+                &sys,
+                VerifierOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let par = Verifier::new(
+                &sys,
+                VerifierOptions {
+                    threads: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for engine in [Engine::SimplifiedReach, Engine::BoundedConcrete] {
+                let a = base.run(engine);
+                let b = par.run(engine);
+                assert_eq!(a.verdict, b.verdict, "{engine}, safe={safe}");
+                assert_eq!(a.stats.states, b.stats.states, "{engine}, safe={safe}");
+                assert_eq!(a.stats.worlds, b.stats.worlds, "{engine}, safe={safe}");
+                assert_eq!(a.witness_lines, b.witness_lines, "{engine}, safe={safe}");
+                assert_eq!(a.env_thread_bound, b.env_thread_bound, "{engine}");
+            }
+            // The datalog fleet races guesses, so only the verdict is
+            // pinned there.
+            assert_eq!(
+                base.run(Engine::CacheDatalog).verdict,
+                par.run(Engine::CacheDatalog).verdict,
+                "safe={safe}"
+            );
+        }
     }
 }

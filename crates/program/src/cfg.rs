@@ -160,6 +160,15 @@ impl Cfa {
         self.out[l.index()].iter().map(|&i| &self.edges[i as usize])
     }
 
+    /// Edges leaving location `l`, paired with their index into
+    /// [`edges`](Self::edges) — the compact label the explorer stores per
+    /// search-graph parent instead of a formatted description.
+    pub fn outgoing_indexed(&self, l: Loc) -> impl Iterator<Item = (u32, &Edge)> {
+        self.out[l.index()]
+            .iter()
+            .map(|&i| (i, &self.edges[i as usize]))
+    }
+
     /// Whether the control-flow graph is acyclic — the paper's `acyc`
     /// restriction. Compiled `Com` only produces cycles for `c*`, but we
     /// check the graph itself so the property holds by construction for any

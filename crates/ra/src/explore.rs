@@ -15,6 +15,15 @@
 //! (thread identities never appear in messages), which prunes the
 //! factorial-size symmetric part of the state space.
 //!
+//! The search runs in **batched rounds over a sharded frontier**
+//! (`parra-search`): each round, the frontier is expanded in parallel by
+//! [`Explorer::with_threads`] workers — successor generation and
+//! canonicalization, the clone-heavy hot path, run off-thread — and the
+//! results are merged sequentially *in frontier order*, so state ids,
+//! counts, truncation, and witnesses are identical to the sequential run
+//! whatever the worker count. `threads == 1` never spawns a thread and
+//! streams states one at a time (the legacy code path).
+//!
 //! The explorer is the paper's baseline: exact for a fixed instance and
 //! bounded depth, and the reference point for validating the simplified
 //! semantics (Theorem 3.4) and for the §4.3 thread-count experiments.
@@ -26,7 +35,7 @@ use parra_program::expr::RegVal;
 use parra_program::ident::VarId;
 use parra_program::pretty::{instr_to_string, Names};
 use parra_program::value::Val;
-use std::collections::{HashMap, VecDeque};
+use parra_search::{ordered_map, SearchGraph, Threads};
 
 /// Search limits.
 #[derive(Debug, Clone, Copy)]
@@ -174,27 +183,57 @@ fn join_views(a: &[u32], b: &[u32]) -> Vec<u32> {
     a.iter().zip(b).map(|(&p, &q)| p.max(q)).collect()
 }
 
+/// A compact parent-edge label: the acting thread and the index of the
+/// taken edge in its program's CFA. Formatted into a [`WitnessStep`] only
+/// during unwinding — never on the hot path.
+type StepLabel = (ThreadId, u32);
+
+/// One output item of expanding a single state (produced by workers,
+/// consumed by the sequential merge, in generation order).
+enum ExpandEvent {
+    /// An enabled `assert false` edge (only emitted when the target is
+    /// [`Target::AssertViolation`]); the sequential search stops here.
+    AssertHit(ThreadId, u32),
+    /// A canonicalized successor reached by `thread` taking `edge`.
+    Succ {
+        thread: ThreadId,
+        edge: u32,
+        state: CState,
+    },
+}
+
 /// The bounded model checker.
 #[derive(Debug, Clone)]
 pub struct Explorer {
     instance: Instance,
     limits: ExploreLimits,
     rec: Recorder,
+    threads: Threads,
 }
 
 impl Explorer {
-    /// Creates an explorer over an instance.
+    /// Creates an explorer over an instance (sequential; see
+    /// [`Explorer::with_threads`]).
     pub fn new(instance: Instance, limits: ExploreLimits) -> Explorer {
         Explorer {
             instance,
             limits,
             rec: Recorder::disabled(),
+            threads: Threads::exact(1),
         }
     }
 
     /// The same explorer reporting metrics/spans through `rec`.
     pub fn with_recorder(mut self, rec: Recorder) -> Explorer {
         self.rec = rec;
+        self
+    }
+
+    /// The same explorer expanding each frontier with `n` worker threads
+    /// (clamped to at least 1). Results are bit-identical for every `n`;
+    /// `1` is the sequential legacy path.
+    pub fn with_threads(mut self, n: usize) -> Explorer {
+        self.threads = Threads::exact(n);
         self
     }
 
@@ -211,16 +250,10 @@ impl Explorer {
     fn run_inner(&self, target: Target) -> ExploreReport {
         let instance = &self.instance;
         let n_env = instance.n_env();
-        let dom = instance.system().dom;
+        let n_workers = self.threads.get();
 
         let mut init = CState::initial(instance);
         init.canonicalize(n_env);
-
-        // Visited set and BFS bookkeeping; parents for witness extraction.
-        let mut indices: HashMap<CState, u32> = HashMap::new();
-        let mut parents: Vec<Option<(u32, WitnessStep)>> = Vec::new();
-        let mut depths: Vec<u32> = Vec::new();
-        let mut states: Vec<CState> = Vec::new();
 
         // Immediate check on the initial state.
         if let Target::MessageGenerated(x, d) = target {
@@ -237,96 +270,136 @@ impl Explorer {
         let c_states = self.rec.counter("states");
         let c_transitions = self.rec.counter("transitions");
         let c_dedup = self.rec.counter("dedup_hits");
+        let c_rounds = self.rec.counter("rounds");
         let g_queue = self.rec.gauge("queue_len");
+        let g_frontier = self.rec.gauge("frontier_size");
         let h_depth = self.rec.histogram("state_depth");
+        let worker_expanded: Vec<_> = (0..n_workers)
+            .map(|w| self.rec.counter(&format!("worker{w}_expanded")))
+            .collect();
 
-        indices.insert(init.clone(), 0);
-        parents.push(None);
+        // The search graph assigns ids in merge order — identical for
+        // every worker count; `depths[id]` tracks the BFS level.
+        let mut graph: SearchGraph<CState, StepLabel> = SearchGraph::new(n_workers);
+        let mut depths: Vec<u32> = Vec::new();
+        graph.insert(init, None);
         depths.push(0);
-        states.push(init);
         c_states.incr();
         h_depth.record(0);
-        let mut queue: VecDeque<u32> = VecDeque::from([0]);
+
+        let mut frontier: Vec<u32> = vec![0];
         let mut transitions = 0usize;
         let mut truncated = false;
+        let mut round = 0u64;
 
-        while let Some(si) = queue.pop_front() {
+        while !frontier.is_empty() {
             self.rec.heartbeat(|| {
                 format!(
-                    "explore: {} states, {transitions} transitions, queue {}",
-                    states.len(),
-                    queue.len()
+                    "explore: {} states, {transitions} transitions, frontier {} \
+                     ({n_workers} workers)",
+                    graph.len(),
+                    frontier.len()
                 )
             });
-            if depths[si as usize] as usize >= self.limits.max_depth {
-                truncated = true;
-                continue;
-            }
-            let state = states[si as usize].clone();
-            for tid in instance.threads() {
-                let program = instance.program(tid);
-                let cfa = program.cfa();
-                let th = &state.threads[tid.0];
-                for edge in cfa.outgoing(th.loc) {
-                    let names = Names::for_program(&instance.system().vars, program);
-                    let describe = || WitnessStep {
-                        thread: tid,
-                        description: format!(
-                            "{} ({}): {}",
-                            tid,
-                            instance.kind(tid),
-                            instr_to_string(&edge.instr, names)
-                        ),
-                    };
-                    // Target check: an enabled assert is a violation.
-                    if matches!(edge.instr, Instr::AssertFalse) && target == Target::AssertViolation
-                    {
-                        let mut w = self.unwind(&parents, si);
-                        w.push(describe());
-                        return ExploreReport {
-                            outcome: ExploreOutcome::Unsafe,
-                            states: states.len(),
-                            transitions,
-                            witness: Some(w),
-                        };
+            g_frontier.set(frontier.len() as u64);
+            let round_span = self.rec.span_debug("explore.round");
+            round_span.arg_u64("round", round);
+            round_span.arg_u64("frontier", frontier.len() as u64);
+            round += 1;
+            c_rounds.incr();
+
+            // The depth bound cuts states off before expansion.
+            let expandable: Vec<u32> = frontier
+                .iter()
+                .copied()
+                .filter(|&si| {
+                    if depths[si as usize] as usize >= self.limits.max_depth {
+                        truncated = true;
+                        false
+                    } else {
+                        true
                     }
-                    let succs = successor_states(&state, tid, &edge.instr, dom);
-                    for mut next in succs {
-                        transitions += 1;
-                        c_transitions.incr();
-                        next.threads[tid.0].loc = edge.to;
-                        next.canonicalize(n_env);
-                        if indices.contains_key(&next) {
-                            c_dedup.incr();
-                            continue;
+                })
+                .collect();
+            frontier.clear();
+
+            // Expansion phase: successor generation + canonicalization
+            // (the clone-heavy part) fans out across the workers in
+            // frontier-order chunks; the graph is frozen (shared borrow)
+            // while a chunk runs, so the buffered successors stay
+            // O(chunk × branching) however large the frontier is.
+            // Sequential mode streams one state at a time instead.
+            for chunk in expandable.chunks(parra_search::round_chunk(n_workers)) {
+                let mut expanded: Vec<Vec<ExpandEvent>> = if n_workers > 1 && chunk.len() > 1 {
+                    let states = graph.states();
+                    ordered_map(n_workers, chunk, |w, _, &si| {
+                        worker_expanded[w].incr();
+                        self.expand_state(&states[si as usize], target)
+                    })
+                } else {
+                    Vec::new()
+                };
+
+                // Merge phase: sequential, in frontier order — id assignment,
+                // dedup, limits, and target checks happen here and only here.
+                for (pos, &si) in chunk.iter().enumerate() {
+                    let events = if expanded.is_empty() {
+                        worker_expanded[0].incr();
+                        self.expand_state(graph.state(si), target)
+                    } else {
+                        std::mem::take(&mut expanded[pos])
+                    };
+                    for event in events {
+                        match event {
+                            ExpandEvent::AssertHit(tid, edge) => {
+                                let mut w = self.witness(&graph, si);
+                                w.push(self.describe(tid, edge));
+                                return ExploreReport {
+                                    outcome: ExploreOutcome::Unsafe,
+                                    states: graph.len(),
+                                    transitions,
+                                    witness: Some(w),
+                                };
+                            }
+                            ExpandEvent::Succ {
+                                thread,
+                                edge,
+                                state,
+                            } => {
+                                transitions += 1;
+                                c_transitions.incr();
+                                if graph.contains(&state) {
+                                    c_dedup.incr();
+                                    continue;
+                                }
+                                // Goal message check on the new state —
+                                // evaluated BEFORE the capacity drop, so a
+                                // full state table can never mask an Unsafe
+                                // verdict as SafeWithinBounds.
+                                let reached = match target {
+                                    Target::MessageGenerated(x, d) => state.has_message(x, d),
+                                    Target::AssertViolation => false,
+                                };
+                                if !reached && graph.len() >= self.limits.max_states {
+                                    truncated = true;
+                                    continue;
+                                }
+                                let ni = graph.insert(state, Some((si, (thread, edge))));
+                                depths.push(depths[si as usize] + 1);
+                                c_states.incr();
+                                h_depth.record(depths[ni as usize] as u64);
+                                g_queue.record_peak(frontier.len() as u64 + 1);
+                                if reached {
+                                    return ExploreReport {
+                                        outcome: ExploreOutcome::Unsafe,
+                                        states: graph.len(),
+                                        transitions,
+                                        witness: Some(self.witness(&graph, ni)),
+                                    };
+                                }
+                                frontier.push(ni);
+                            }
                         }
-                        if states.len() >= self.limits.max_states {
-                            truncated = true;
-                            continue;
-                        }
-                        // Goal message check on the new state.
-                        let reached = match target {
-                            Target::MessageGenerated(x, d) => next.has_message(x, d),
-                            Target::AssertViolation => false,
-                        };
-                        let ni = states.len() as u32;
-                        indices.insert(next.clone(), ni);
-                        parents.push(Some((si, describe())));
-                        depths.push(depths[si as usize] + 1);
-                        states.push(next);
-                        c_states.incr();
-                        h_depth.record(depths[ni as usize] as u64);
-                        g_queue.record_peak(queue.len() as u64 + 1);
-                        if reached {
-                            let w = self.unwind(&parents, ni);
-                            return ExploreReport {
-                                outcome: ExploreOutcome::Unsafe,
-                                states: states.len(),
-                                transitions,
-                                witness: Some(w),
-                            };
-                        }
-                        queue.push_back(ni);
                     }
                 }
             }
@@ -338,20 +411,69 @@ impl Explorer {
             } else {
                 ExploreOutcome::SafeExhausted
             },
-            states: states.len(),
+            states: graph.len(),
             transitions,
             witness: None,
         }
     }
 
-    fn unwind(&self, parents: &[Option<(u32, WitnessStep)>], mut at: u32) -> Vec<WitnessStep> {
-        let mut out = Vec::new();
-        while let Some((prev, step)) = &parents[at as usize] {
-            out.push(step.clone());
-            at = *prev;
+    /// All expansion events of one state, in the deterministic order the
+    /// sequential search would produce them (thread id, then edge order,
+    /// then successor order). Pure with respect to the search state — safe
+    /// to run on any worker.
+    fn expand_state(&self, state: &CState, target: Target) -> Vec<ExpandEvent> {
+        let instance = &self.instance;
+        let n_env = instance.n_env();
+        let dom = instance.system().dom;
+        let mut events = Vec::new();
+        for tid in instance.threads() {
+            let cfa = instance.program(tid).cfa();
+            let th = &state.threads[tid.0];
+            for (ei, edge) in cfa.outgoing_indexed(th.loc) {
+                // Target check: an enabled assert is a violation; the
+                // merge stops at this event, so nothing after it matters.
+                if matches!(edge.instr, Instr::AssertFalse) && target == Target::AssertViolation {
+                    events.push(ExpandEvent::AssertHit(tid, ei));
+                    return events;
+                }
+                for mut next in successor_states(state, tid, &edge.instr, dom) {
+                    next.threads[tid.0].loc = edge.to;
+                    next.canonicalize(n_env);
+                    events.push(ExpandEvent::Succ {
+                        thread: tid,
+                        edge: ei,
+                        state: next,
+                    });
+                }
+            }
         }
-        out.reverse();
-        out
+        events
+    }
+
+    /// Renders the witness path to `at` — the parents store only compact
+    /// `(thread, edge)` labels, so the description strings are formatted
+    /// here, once per witness, instead of once per stored state.
+    fn witness(&self, graph: &SearchGraph<CState, StepLabel>, at: u32) -> Vec<WitnessStep> {
+        graph
+            .unwind(at)
+            .into_iter()
+            .map(|(tid, edge)| self.describe(tid, edge))
+            .collect()
+    }
+
+    fn describe(&self, tid: ThreadId, edge: u32) -> WitnessStep {
+        let program = self.instance.program(tid);
+        let names = Names::for_program(&self.instance.system().vars, program);
+        let instr = &program.cfa().edges()[edge as usize].instr;
+        WitnessStep {
+            thread: tid,
+            description: format!(
+                "{} ({}): {}",
+                tid,
+                self.instance.kind(tid),
+                instr_to_string(instr, names)
+            ),
+        }
     }
 }
 
@@ -679,6 +801,92 @@ mod tests {
         )
         .run(Target::AssertViolation);
         assert_eq!(report.outcome, ExploreOutcome::SafeWithinBounds);
+    }
+
+    /// Regression (soundness of reporting): a successor that exhibits the
+    /// target and lands exactly at the `max_states` boundary must still
+    /// yield `Unsafe` — the pre-fix code `continue`d on the capacity check
+    /// before evaluating the target, silently dropping the bug-exhibiting
+    /// state and reporting `SafeWithinBounds`.
+    #[test]
+    fn target_at_state_capacity_boundary_is_unsafe() {
+        let sys = handshake();
+        let x = parra_program::ident::VarId(0);
+        // Unbounded run: the search stops at the goal state, so it is the
+        // last insertion — discovered when exactly `states - 1` states
+        // were already stored.
+        let full = Explorer::new(Instance::new(sys.clone(), 1), limits())
+            .run(Target::MessageGenerated(x, Val(1)));
+        assert_eq!(full.outcome, ExploreOutcome::Unsafe);
+        assert!(full.states >= 2);
+        let tight = ExploreLimits {
+            max_depth: 32,
+            max_states: full.states - 1,
+        };
+        for n_threads in [1, 4] {
+            let report = Explorer::new(Instance::new(sys.clone(), 1), tight)
+                .with_threads(n_threads)
+                .run(Target::MessageGenerated(x, Val(1)));
+            assert_eq!(
+                report.outcome,
+                ExploreOutcome::Unsafe,
+                "max_states boundary masked the violation ({n_threads} threads)"
+            );
+            assert!(report.witness.is_some());
+            assert_eq!(report.states, full.states);
+        }
+    }
+
+    /// The deterministic-parallelism invariant: every worker count yields
+    /// the same outcome, state count, transition count, and witness.
+    #[test]
+    fn worker_count_does_not_change_reports() {
+        let sys = handshake();
+        let x = parra_program::ident::VarId(0);
+        for target in [
+            Target::AssertViolation,
+            Target::MessageGenerated(x, Val(1)),
+            Target::MessageGenerated(x, Val(7)), // unreachable: exhausts
+        ] {
+            let base = Explorer::new(Instance::new(sys.clone(), 1), limits()).run(target);
+            for n in [2, 3, 8] {
+                let par = Explorer::new(Instance::new(sys.clone(), 1), limits())
+                    .with_threads(n)
+                    .run(target);
+                assert_eq!(par.outcome, base.outcome, "{target:?} with {n} threads");
+                assert_eq!(par.states, base.states, "{target:?} with {n} threads");
+                assert_eq!(
+                    par.transitions, base.transitions,
+                    "{target:?} with {n} threads"
+                );
+                assert_eq!(par.witness, base.witness, "{target:?} with {n} threads");
+            }
+        }
+    }
+
+    /// Depth truncation is reported identically under parallel expansion.
+    #[test]
+    fn depth_bound_parallel_matches_sequential() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("looper");
+        env.star(|p| {
+            p.store(x, 1);
+        });
+        let env = env.finish();
+        let sys = b.build(env, vec![]);
+        let lim = ExploreLimits {
+            max_depth: 4,
+            max_states: 10_000,
+        };
+        let seq = Explorer::new(Instance::new(sys.clone(), 2), lim).run(Target::AssertViolation);
+        let par = Explorer::new(Instance::new(sys, 2), lim)
+            .with_threads(4)
+            .run(Target::AssertViolation);
+        assert_eq!(seq.outcome, ExploreOutcome::SafeWithinBounds);
+        assert_eq!(par.outcome, seq.outcome);
+        assert_eq!(par.states, seq.states);
+        assert_eq!(par.transitions, seq.transitions);
     }
 
     #[test]

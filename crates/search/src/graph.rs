@@ -1,0 +1,104 @@
+//! The search graph: states, parent edges, dedup index, witness unwind.
+
+use crate::shard::ShardedIndex;
+use std::hash::Hash;
+
+/// The bookkeeping both engines share: a dense vector of discovered
+/// states, a parent pointer + edge label per state (for witness
+/// reconstruction), and a [`ShardedIndex`] for dedup.
+///
+/// Ids are assigned in insertion order, and insertions happen only in the
+/// engines' sequential merge phases — in frontier order — so ids, parents,
+/// and therefore unwound witnesses are identical however many workers
+/// expanded the frontier.
+#[derive(Debug, Clone)]
+pub struct SearchGraph<S, L> {
+    states: Vec<S>,
+    parents: Vec<Option<(u32, L)>>,
+    index: ShardedIndex<S>,
+}
+
+impl<S: Clone + Hash + Eq, L: Clone> SearchGraph<S, L> {
+    /// An empty graph whose index uses at least `n_shards` shards.
+    pub fn new(n_shards: usize) -> SearchGraph<S, L> {
+        SearchGraph {
+            states: Vec::new(),
+            parents: Vec::new(),
+            index: ShardedIndex::new(n_shards),
+        }
+    }
+
+    /// Number of states discovered.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no state has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The discovered states, in id order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// The state with id `id`.
+    pub fn state(&self, id: u32) -> &S {
+        &self.states[id as usize]
+    }
+
+    /// Whether `s` has been discovered. Safe to call from expansion
+    /// workers (they hold `&SearchGraph`; the index is frozen while they
+    /// run).
+    pub fn contains(&self, s: &S) -> bool {
+        self.index.contains(s)
+    }
+
+    /// Inserts a new state with its parent edge, returning the assigned
+    /// id. The caller must have ruled out duplicates via
+    /// [`contains`](Self::contains).
+    pub fn insert(&mut self, s: S, parent: Option<(u32, L)>) -> u32 {
+        debug_assert!(!self.index.contains(&s), "insert of a duplicate state");
+        let id = self.states.len() as u32;
+        self.index.insert(s.clone(), id);
+        self.states.push(s);
+        self.parents.push(parent);
+        id
+    }
+
+    /// The edge labels from the root to state `at`, in execution order —
+    /// the witness path.
+    pub fn unwind(&self, mut at: u32) -> Vec<L> {
+        let mut path = Vec::new();
+        while let Some((prev, label)) = &self.parents[at as usize] {
+            path.push(label.clone());
+            at = *prev;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_insertion_order_and_unwind_reverses_parents() {
+        let mut g: SearchGraph<&'static str, char> = SearchGraph::new(2);
+        let root = g.insert("root", None);
+        assert_eq!(root, 0);
+        let a = g.insert("a", Some((root, 'a')));
+        let b = g.insert("b", Some((root, 'b')));
+        let ab = g.insert("ab", Some((a, 'b')));
+        assert_eq!((a, b, ab), (1, 2, 3));
+        assert_eq!(g.len(), 4);
+        assert!(g.contains(&"ab"));
+        assert!(!g.contains(&"ba"));
+        assert_eq!(g.unwind(ab), vec!['a', 'b']);
+        assert_eq!(g.unwind(b), vec!['b']);
+        assert_eq!(g.unwind(root), Vec::<char>::new());
+        assert_eq!(*g.state(ab), "ab");
+    }
+}

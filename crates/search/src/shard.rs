@@ -1,0 +1,111 @@
+//! A hash-keyed sharded map from states to dense ids.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A visited-set index split into `2^k` hash-keyed shards.
+///
+/// Shard routing uses the state's hash, so a state always lands in the
+/// same shard regardless of which worker discovered it. The borrow
+/// discipline gives race-freedom for free: during the parallel expansion
+/// phase workers hold `&ShardedIndex` and may only [`get`](Self::get)
+/// (membership pre-checks); insertions go through `&mut self` in the
+/// sequential merge. No locks, no atomics.
+///
+/// Splitting the table also keeps rehash pauses per-shard and is the
+/// routing structure a future parallel merge (per-shard ownership) slots
+/// into.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex<S> {
+    shards: Vec<HashMap<S, u32>>,
+    mask: u64,
+    len: usize,
+}
+
+impl<S: Hash + Eq> ShardedIndex<S> {
+    /// An empty index with at least `n_shards` shards (rounded up to a
+    /// power of two, minimum 1).
+    pub fn new(n_shards: usize) -> ShardedIndex<S> {
+        let n = n_shards.max(1).next_power_of_two();
+        ShardedIndex {
+            shards: (0..n).map(|_| HashMap::new()).collect(),
+            mask: (n - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// The shard a state routes to.
+    pub fn shard_of(&self, s: &S) -> usize {
+        let mut h = DefaultHasher::new();
+        s.hash(&mut h);
+        (h.finish() & self.mask) as usize
+    }
+
+    /// The id of `s`, if present.
+    pub fn get(&self, s: &S) -> Option<u32> {
+        self.shards[self.shard_of(s)].get(s).copied()
+    }
+
+    /// Whether `s` is present.
+    pub fn contains(&self, s: &S) -> bool {
+        self.get(s).is_some()
+    }
+
+    /// Inserts `s ↦ id` into its owning shard. Returns the previous id if
+    /// `s` was already present (callers treating this as a set should
+    /// check [`contains`](Self::contains) first).
+    pub fn insert(&mut self, s: S, id: u32) -> Option<u32> {
+        let shard = self.shard_of(&s);
+        let prev = self.shards[shard].insert(s, id);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Number of states indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedIndex::<u32>::new(0).n_shards(), 1);
+        assert_eq!(ShardedIndex::<u32>::new(1).n_shards(), 1);
+        assert_eq!(ShardedIndex::<u32>::new(3).n_shards(), 4);
+        assert_eq!(ShardedIndex::<u32>::new(8).n_shards(), 8);
+    }
+
+    #[test]
+    fn insert_get_roundtrip_across_shards() {
+        let mut idx = ShardedIndex::new(4);
+        for i in 0..1000u32 {
+            assert!(!idx.contains(&i));
+            assert_eq!(idx.insert(i, i * 2), None);
+        }
+        assert_eq!(idx.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(idx.get(&i), Some(i * 2));
+        }
+        // Routing is stable: re-insert hits the same shard and reports
+        // the previous id.
+        assert_eq!(idx.insert(7, 99), Some(14));
+        assert_eq!(idx.len(), 1000);
+    }
+}

@@ -1,0 +1,82 @@
+//! Worker-count resolution: CLI flag > `PARRA_THREADS` > hardware.
+
+use std::num::NonZeroUsize;
+
+/// A resolved worker count for the parallel search layer.
+///
+/// `1` means *sequential*: engines take their exact legacy code path (no
+/// worker threads are ever spawned). Anything larger enables
+/// sharded-frontier parallel expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threads(NonZeroUsize);
+
+impl Threads {
+    /// Resolves a worker count with the standard precedence:
+    ///
+    /// 1. `explicit` (the `--threads N` CLI flag), when given;
+    /// 2. the `PARRA_THREADS` environment variable, when parsable;
+    /// 3. [`std::thread::available_parallelism`], falling back to 1.
+    ///
+    /// Zero (from any source) is clamped to 1.
+    pub fn resolve(explicit: Option<usize>) -> Threads {
+        let n = explicit
+            .or_else(|| {
+                std::env::var("PARRA_THREADS")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Threads(NonZeroUsize::new(n.max(1)).expect("clamped to >= 1"))
+    }
+
+    /// An explicit worker count (clamped to at least 1).
+    pub fn exact(n: usize) -> Threads {
+        Threads(NonZeroUsize::new(n.max(1)).expect("clamped to >= 1"))
+    }
+
+    /// The number of workers.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// Whether this is the sequential (legacy code path) setting.
+    pub fn is_sequential(self) -> bool {
+        self.get() == 1
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Threads {
+        Threads::resolve(None)
+    }
+}
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_wins_and_zero_clamps() {
+        assert_eq!(Threads::resolve(Some(3)).get(), 3);
+        assert_eq!(Threads::resolve(Some(0)).get(), 1);
+        assert_eq!(Threads::exact(0).get(), 1);
+        assert!(Threads::exact(1).is_sequential());
+        assert!(!Threads::exact(2).is_sequential());
+    }
+
+    #[test]
+    fn resolution_yields_at_least_one() {
+        // Whatever the environment says, the result is a valid count.
+        assert!(Threads::resolve(None).get() >= 1);
+    }
+}

@@ -16,15 +16,38 @@
 //! exhaustive, un-truncated search is a *decision*: `Unsafe` comes with a
 //! witness, `Safe` means no instance of any size reaches the target
 //! (Theorem 3.4 + Theorem 4.1).
+//!
+//! # Parallelism
+//!
+//! The engine is parallel on two axes, both built on
+//! [`parra_search::ordered_map`] and both *deterministic*: reports are
+//! identical to the sequential engine's for any thread count.
+//!
+//! * **Worlds**: each round of the outer loop pops a *wave* of up to one
+//!   queued pre-closure world per thread and searches them concurrently.
+//!   Results are committed strictly in pop order — totals, spawned-world
+//!   enqueueing, and the `Unsafe` short-circuit all replay the sequential
+//!   schedule. A world whose result a witness from an *earlier* world
+//!   would discard cancels itself ([`WaveCancel`]).
+//! * **Frontier**: within a world, the BFS runs in batched rounds. Workers
+//!   expand frontier states (successor generation + saturation — the hot
+//!   part) against a frozen [`SearchGraph`]; a sequential merge then walks
+//!   the results in frontier order, doing dedup, target checks, capacity
+//!   accounting, and id assignment.
+//!
+//! With one thread (`--threads 1`) no worker thread is ever spawned and
+//! the engine streams state-by-state exactly like the legacy loop.
 
 use crate::state::{Budget, DisStep, SimpState};
-use parra_obs::Recorder;
+use parra_obs::{Counter, Gauge, Recorder};
 use parra_program::classify::SystemClass;
 use parra_program::ident::VarId;
 use parra_program::system::ParamSystem;
 use parra_program::value::Val;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use parra_search::{ordered_map, SearchGraph, Threads};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Search limits (safety nets; the abstract domain is finite).
 #[derive(Debug, Clone, Copy)]
@@ -151,10 +174,12 @@ pub struct Reachability {
     budget: Budget,
     limits: ReachLimits,
     rec: Recorder,
+    threads: Threads,
 }
 
 impl Reachability {
-    /// Creates an engine.
+    /// Creates an engine (sequential by default; see
+    /// [`with_threads`](Self::with_threads)).
     ///
     /// # Errors
     ///
@@ -172,12 +197,21 @@ impl Reachability {
             budget,
             limits,
             rec: Recorder::disabled(),
+            threads: Threads::exact(1),
         })
     }
 
     /// The same engine reporting metrics/spans through `rec`.
     pub fn with_recorder(mut self, rec: Recorder) -> Reachability {
         self.rec = rec;
+        self
+    }
+
+    /// The same engine searching with `n` worker threads (clamped to at
+    /// least 1). The report is identical for every `n`; only wall-clock
+    /// time changes.
+    pub fn with_threads(mut self, n: usize) -> Reachability {
+        self.threads = Threads::exact(n);
         self
     }
 
@@ -202,17 +236,23 @@ impl Reachability {
     }
 
     fn run_inner(&self, target: SimpTarget) -> ReachReport {
-        let sys = &self.sys;
-        let budget = &self.budget;
         let limits = self.limits;
+        let n_workers = self.threads.get();
 
+        let metrics = ReachMetrics {
+            c_states: self.rec.counter("states"),
+            c_sat_rounds: self.rec.counter("saturation_rounds"),
+            c_sat_cfg: self.rec.counter("saturation_new_configs"),
+            c_sat_msg: self.rec.counter("saturation_new_msgs"),
+            c_rounds: self.rec.counter("rounds"),
+            g_msgs: self.rec.gauge("env_msgs"),
+            g_cfgs: self.rec.gauge("env_configs"),
+            g_frontier: self.rec.gauge("frontier_size"),
+            worker_expanded: (0..n_workers)
+                .map(|w| self.rec.counter(&format!("worker{w}_expanded")))
+                .collect(),
+        };
         let c_worlds = self.rec.counter("worlds_explored");
-        let c_states = self.rec.counter("states");
-        let c_sat_rounds = self.rec.counter("saturation_rounds");
-        let c_sat_cfg = self.rec.counter("saturation_new_configs");
-        let c_sat_msg = self.rec.counter("saturation_new_msgs");
-        let g_msgs = self.rec.gauge("env_msgs");
-        let g_cfgs = self.rec.gauge("env_configs");
 
         let mut worlds_seen: BTreeSet<BTreeSet<(VarId, u32)>> = BTreeSet::new();
         let mut worlds_queue: VecDeque<BTreeSet<(VarId, u32)>> = VecDeque::new();
@@ -225,136 +265,56 @@ impl Reachability {
         let mut peak_msg = 0usize;
         let mut truncated = false;
 
-        let target_holds = |st: &SimpState| match target {
-            SimpTarget::AssertViolation => st.assert_enabled(sys),
-            SimpTarget::MessageGenerated(x, d) => st.has_message(x, d),
-        };
-
-        while let Some(world) = worlds_queue.pop_front() {
-            if worlds >= limits.max_worlds {
+        while !worlds_queue.is_empty() {
+            let remaining = limits.max_worlds.saturating_sub(worlds);
+            if remaining == 0 {
                 truncated = true;
                 break;
             }
-            worlds += 1;
-            c_worlds.incr();
-            self.rec.heartbeat(|| {
-                format!("reach: world {worlds}, {total_states} states, peak env msgs {peak_msg}")
+            // A wave: up to one queued world per thread, never past the
+            // world cap. Threads are split between the two axes — a
+            // single-world wave gets every worker for its frontier, a
+            // full wave runs one near-sequential search per worker.
+            let wave_len = worlds_queue.len().min(remaining).min(n_workers);
+            let wave: Vec<BTreeSet<(VarId, u32)>> = worlds_queue.drain(..wave_len).collect();
+            let inner_workers = (n_workers / wave_len).max(1);
+            let cancel = WaveCancel::new();
+            let results: Vec<WorldResult> = ordered_map(wave_len, &wave, |_, pos, world| {
+                self.search_world(world, target, inner_workers, &metrics, &cancel, pos)
             });
 
-            let mut init = SimpState::initial(sys);
-            for &(x, g) in &world {
-                init.preclose(x, g);
-            }
-            let (dc, dm) = init.saturate(sys, budget, limits.max_env_size);
-            c_sat_rounds.incr();
-            c_sat_cfg.add(dc as u64);
-            c_sat_msg.add(dm as u64);
-            if init.env_threads.len() + init.env_msgs.len() > limits.max_env_size {
-                truncated = true;
-            }
-            peak_cfg = peak_cfg.max(init.env_threads.len());
-            peak_msg = peak_msg.max(init.env_msgs.len());
-            g_cfgs.record_peak(init.env_threads.len() as u64);
-            g_msgs.record_peak(init.env_msgs.len() as u64);
-
-            let mut states: Vec<SimpState> = Vec::new();
-            let mut parents: Vec<Option<(u32, DisStep)>> = Vec::new();
-            let mut index: HashMap<SimpState, u32> = HashMap::new();
-            let mut queue: VecDeque<u32> = VecDeque::new();
-
-            let unwind = |parents: &[Option<(u32, DisStep)>], mut at: u32| {
-                let mut path = Vec::new();
-                while let Some((prev, step)) = &parents[at as usize] {
-                    path.push(step.clone());
-                    at = *prev;
+            // Commit strictly in pop order: totals, spawned-world
+            // enqueueing, and the unsafe short-circuit replay the
+            // sequential schedule, so the report is thread-count
+            // independent.
+            for (world, res) in wave.iter().zip(results) {
+                worlds += 1;
+                c_worlds.incr();
+                total_states += res.states;
+                peak_cfg = peak_cfg.max(res.peak_cfg);
+                peak_msg = peak_msg.max(res.peak_msg);
+                truncated |= res.truncated;
+                self.rec.heartbeat(|| {
+                    format!(
+                        "reach: world {worlds}, {total_states} states, \
+                         peak env msgs {peak_msg}"
+                    )
+                });
+                if res.witness.is_some() {
+                    return ReachReport {
+                        outcome: ReachOutcome::Unsafe,
+                        states: total_states,
+                        worlds,
+                        peak_env_configs: peak_cfg,
+                        peak_env_msgs: peak_msg,
+                        witness: res.witness,
+                    };
                 }
-                path.reverse();
-                path
-            };
-
-            index.insert(init.clone(), 0);
-            states.push(init.clone());
-            parents.push(None);
-            queue.push_back(0);
-            total_states += 1;
-            c_states.incr();
-
-            if target_holds(&init) {
-                return ReachReport {
-                    outcome: ReachOutcome::Unsafe,
-                    states: total_states,
-                    worlds,
-                    peak_env_configs: peak_cfg,
-                    peak_env_msgs: peak_msg,
-                    witness: Some(Witness {
-                        preclosed: world.iter().copied().collect(),
-                        dis_path: Vec::new(),
-                        final_state: init,
-                    }),
-                };
-            }
-
-            while let Some(si) = queue.pop_front() {
-                let state = states[si as usize].clone();
-                let succs = state.dis_successors(sys, budget);
-                // Blocked CAS gaps spawn new pre-closure worlds.
-                for (x, g) in succs.blocked_gaps {
-                    if world.contains(&(x, g)) {
-                        continue;
-                    }
+                for gap in res.spawned {
                     let mut w2 = world.clone();
-                    w2.insert((x, g));
+                    w2.insert(gap);
                     if worlds_seen.insert(w2.clone()) {
                         worlds_queue.push_back(w2);
-                    }
-                }
-                for (step, mut next) in succs.steps {
-                    let (dc, dm) = next.saturate(sys, budget, limits.max_env_size);
-                    c_sat_rounds.incr();
-                    c_sat_cfg.add(dc as u64);
-                    c_sat_msg.add(dm as u64);
-                    if next.env_threads.len() + next.env_msgs.len() > limits.max_env_size {
-                        truncated = true;
-                        continue;
-                    }
-                    peak_cfg = peak_cfg.max(next.env_threads.len());
-                    peak_msg = peak_msg.max(next.env_msgs.len());
-                    g_cfgs.record_peak(next.env_threads.len() as u64);
-                    g_msgs.record_peak(next.env_msgs.len() as u64);
-                    if index.contains_key(&next) {
-                        continue;
-                    }
-                    if states.len() >= limits.max_states {
-                        truncated = true;
-                        continue;
-                    }
-                    let ni = states.len() as u32;
-                    index.insert(next.clone(), ni);
-                    states.push(next.clone());
-                    parents.push(Some((si, step)));
-                    queue.push_back(ni);
-                    total_states += 1;
-                    c_states.incr();
-                    self.rec.heartbeat(|| {
-                        format!(
-                            "reach: world {worlds}, {total_states} states, \
-                             peak env msgs {peak_msg}"
-                        )
-                    });
-                    if target_holds(&next) {
-                        let path = unwind(&parents, ni);
-                        return ReachReport {
-                            outcome: ReachOutcome::Unsafe,
-                            states: total_states,
-                            worlds,
-                            peak_env_configs: peak_cfg,
-                            peak_env_msgs: peak_msg,
-                            witness: Some(Witness {
-                                preclosed: world.iter().copied().collect(),
-                                dis_path: path,
-                                final_state: next,
-                            }),
-                        };
                     }
                 }
             }
@@ -372,6 +332,241 @@ impl Reachability {
             peak_env_msgs: peak_msg,
             witness: None,
         }
+    }
+
+    /// Searches one pre-closure world. Pure with respect to the run's
+    /// shared accumulators: everything it learns comes back in the
+    /// [`WorldResult`], which the caller commits in world pop order.
+    fn search_world(
+        &self,
+        world: &BTreeSet<(VarId, u32)>,
+        target: SimpTarget,
+        workers: usize,
+        m: &ReachMetrics,
+        cancel: &WaveCancel,
+        pos: usize,
+    ) -> WorldResult {
+        let sys = &self.sys;
+        let budget = &self.budget;
+        let limits = self.limits;
+        let span = self.rec.span_debug("reach.world");
+        span.arg_u64("preclosed", world.len() as u64);
+
+        let target_holds = |st: &SimpState| match target {
+            SimpTarget::AssertViolation => st.assert_enabled(sys),
+            SimpTarget::MessageGenerated(x, d) => st.has_message(x, d),
+        };
+
+        let mut result = WorldResult {
+            states: 0,
+            truncated: false,
+            peak_cfg: 0,
+            peak_msg: 0,
+            spawned: Vec::new(),
+            witness: None,
+        };
+
+        let mut init = SimpState::initial(sys);
+        for &(x, g) in world {
+            init.preclose(x, g);
+        }
+        let (dc, dm) = init.saturate(sys, budget, limits.max_env_size);
+        m.c_sat_rounds.incr();
+        m.c_sat_cfg.add(dc as u64);
+        m.c_sat_msg.add(dm as u64);
+        if init.env_threads.len() + init.env_msgs.len() > limits.max_env_size {
+            result.truncated = true;
+        }
+        result.peak_cfg = init.env_threads.len();
+        result.peak_msg = init.env_msgs.len();
+        m.g_cfgs.record_peak(init.env_threads.len() as u64);
+        m.g_msgs.record_peak(init.env_msgs.len() as u64);
+
+        let hit_init = target_holds(&init);
+        let mut graph: SearchGraph<SimpState, DisStep> = SearchGraph::new(workers);
+        graph.insert(init, None);
+        result.states = 1;
+        m.c_states.incr();
+        if hit_init {
+            result.witness = Some(Witness {
+                preclosed: world.iter().copied().collect(),
+                dis_path: Vec::new(),
+                final_state: graph.state(0).clone(),
+            });
+            cancel.found(pos);
+            return result;
+        }
+
+        // One expansion = everything derivable from a frontier state
+        // without touching the shared graph: `dis` successors plus the
+        // (hot) env saturation of each one. This is what workers fan out.
+        let expand = |w: usize, si: u32, states: &[SimpState]| -> Expansion {
+            m.worker_expanded[w].incr();
+            let succs = states[si as usize].dis_successors(sys, budget);
+            let blocked: Vec<(VarId, u32)> = succs
+                .blocked_gaps
+                .into_iter()
+                .filter(|g| !world.contains(g))
+                .collect();
+            let mut steps = Vec::with_capacity(succs.steps.len());
+            for (step, mut next) in succs.steps {
+                let (dc, dm) = next.saturate(sys, budget, limits.max_env_size);
+                m.c_sat_rounds.incr();
+                m.c_sat_cfg.add(dc as u64);
+                m.c_sat_msg.add(dm as u64);
+                let env_ok = next.env_threads.len() + next.env_msgs.len() <= limits.max_env_size;
+                steps.push((step, next, env_ok));
+            }
+            Expansion { blocked, steps }
+        };
+
+        let mut spawned_here: BTreeSet<(VarId, u32)> = BTreeSet::new();
+        let mut frontier: Vec<u32> = vec![0];
+        while !frontier.is_empty() {
+            if cancel.superseded(pos) {
+                // A world earlier in pop order found a witness; this
+                // world's result will be discarded, so stop searching.
+                return result;
+            }
+            m.c_rounds.incr();
+            m.g_frontier.set(frontier.len() as u64);
+            let round_span = self.rec.span_debug("reach.round");
+            round_span.arg_u64("frontier", frontier.len() as u64);
+
+            let current = std::mem::take(&mut frontier);
+            // Parallel mode buffers expansions one bounded chunk at a
+            // time (memory stays O(chunk × branching), not O(frontier));
+            // sequential mode streams one state at a time through the
+            // same merge code.
+            for chunk in current.chunks(parra_search::round_chunk(workers)) {
+                let mut expansions: Vec<Expansion> = if workers > 1 && chunk.len() > 1 {
+                    ordered_map(workers, chunk, |w, _, &si| expand(w, si, graph.states()))
+                } else {
+                    Vec::new()
+                };
+
+                for (i, &si) in chunk.iter().enumerate() {
+                    let exp = if expansions.is_empty() {
+                        expand(0, si, graph.states())
+                    } else {
+                        std::mem::take(&mut expansions[i])
+                    };
+                    // Blocked CAS gaps propose new pre-closure worlds; the
+                    // outer loop dedups against globally-seen worlds when it
+                    // commits this result.
+                    for gap in exp.blocked {
+                        if spawned_here.insert(gap) {
+                            result.spawned.push(gap);
+                        }
+                    }
+                    for (step, next, env_ok) in exp.steps {
+                        if !env_ok {
+                            result.truncated = true;
+                            continue;
+                        }
+                        result.peak_cfg = result.peak_cfg.max(next.env_threads.len());
+                        result.peak_msg = result.peak_msg.max(next.env_msgs.len());
+                        m.g_cfgs.record_peak(next.env_threads.len() as u64);
+                        m.g_msgs.record_peak(next.env_msgs.len() as u64);
+                        if graph.contains(&next) {
+                            continue;
+                        }
+                        // Evaluate the target *before* the capacity check: a
+                        // truncated search must never drop the successor that
+                        // witnesses unsafety (it may be stored one past
+                        // `max_states`).
+                        let hit = target_holds(&next);
+                        if !hit && graph.len() >= limits.max_states {
+                            result.truncated = true;
+                            continue;
+                        }
+                        let ni = graph.insert(next, Some((si, step)));
+                        result.states += 1;
+                        m.c_states.incr();
+                        self.rec.heartbeat(|| {
+                            format!(
+                                "reach: world {}, {} states in world, peak env msgs {}",
+                                pos + 1,
+                                result.states,
+                                result.peak_msg
+                            )
+                        });
+                        if hit {
+                            result.witness = Some(Witness {
+                                preclosed: world.iter().copied().collect(),
+                                dis_path: graph.unwind(ni),
+                                final_state: graph.state(ni).clone(),
+                            });
+                            cancel.found(pos);
+                            return result;
+                        }
+                        frontier.push(ni);
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Metric handles shared by the per-world searches (counters and gauges
+/// are atomic; see `parra-obs`).
+struct ReachMetrics {
+    c_states: Counter,
+    c_sat_rounds: Counter,
+    c_sat_cfg: Counter,
+    c_sat_msg: Counter,
+    c_rounds: Counter,
+    g_msgs: Gauge,
+    g_cfgs: Gauge,
+    g_frontier: Gauge,
+    worker_expanded: Vec<Counter>,
+}
+
+/// Everything one world's search produces. Committed to the run totals
+/// strictly in world pop order.
+struct WorldResult {
+    states: usize,
+    truncated: bool,
+    peak_cfg: usize,
+    peak_msg: usize,
+    /// Blocked CAS gaps, in first-discovery order, each proposing the
+    /// world extended by that gap.
+    spawned: Vec<(VarId, u32)>,
+    witness: Option<Witness>,
+}
+
+/// The buffered output of expanding one frontier state.
+#[derive(Default)]
+struct Expansion {
+    blocked: Vec<(VarId, u32)>,
+    steps: Vec<(DisStep, SimpState, bool)>,
+}
+
+/// Cross-world cancellation for a wave searched in parallel. A world may
+/// abandon its search once a world *earlier in pop order* has found a
+/// witness — the in-order commit would discard its result anyway. A world
+/// never aborts because of a *later* witness, so the committed report is
+/// unaffected by cancellation timing.
+struct WaveCancel {
+    earliest_witness: AtomicUsize,
+}
+
+impl WaveCancel {
+    fn new() -> WaveCancel {
+        WaveCancel {
+            earliest_witness: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Records that the world at wave position `pos` found a witness.
+    fn found(&self, pos: usize) {
+        self.earliest_witness.fetch_min(pos, Ordering::Relaxed);
+    }
+
+    /// Whether a world strictly before `pos` has found a witness.
+    fn superseded(&self, pos: usize) -> bool {
+        self.earliest_witness.load(Ordering::Relaxed) < pos
     }
 }
 
@@ -459,10 +654,10 @@ mod tests {
         assert_eq!(report.outcome, ReachOutcome::Safe);
     }
 
-    /// CAS blocked by env messages in the base world succeeds in the
-    /// pre-closed world: dis needs the CAS *and* an env message.
-    #[test]
-    fn world_restart_enables_cas() {
+    /// A system whose violation needs a pre-closed CAS gap, i.e. more
+    /// than one world: env writes x := 2, dis CAS-es x 0→1 and must still
+    /// read the env message.
+    fn cas_world_system() -> (ParamSystem, VarId) {
         let mut b = SystemBuilder::new(3);
         let x = b.var("x");
         let f = b.var("f");
@@ -479,7 +674,14 @@ mod tests {
         let s = d2.reg("s");
         d2.load(s, f).assume_eq(s, 1).assert_false();
         let d2 = d2.finish();
-        let sys = b.build(env, vec![d, d2]);
+        (b.build(env, vec![d, d2]), x)
+    }
+
+    /// CAS blocked by env messages in the base world succeeds in the
+    /// pre-closed world: dis needs the CAS *and* an env message.
+    #[test]
+    fn world_restart_enables_cas() {
+        let (sys, x) = cas_world_system();
         let budget = Budget::exact(&sys).unwrap();
         let engine = Reachability::new(sys, budget, limits()).unwrap();
         let report = engine.run(SimpTarget::AssertViolation);
@@ -531,9 +733,9 @@ mod tests {
         assert_eq!(report.outcome, ReachOutcome::Unsafe);
     }
 
-    /// Exhausting the state cap yields Truncated, never a silent Safe.
-    #[test]
-    fn tight_limits_truncate() {
+    /// A state-churning system (no reachable violation) for truncation
+    /// tests: dis writes and reads x while env also writes it.
+    fn churn_system() -> (ParamSystem, VarId) {
         let mut b = SystemBuilder::new(3);
         let x = b.var("x");
         let mut env = b.program("env");
@@ -543,7 +745,13 @@ mod tests {
         let r = d.reg("r");
         d.store(x, 2).load(r, x).store(x, 1);
         let d = d.finish();
-        let sys = b.build(env, vec![d]);
+        (b.build(env, vec![d]), x)
+    }
+
+    /// Exhausting the state cap yields Truncated, never a silent Safe.
+    #[test]
+    fn tight_limits_truncate() {
+        let (sys, x) = churn_system();
         let budget = Budget::exact(&sys).unwrap();
         let tight = ReachLimits {
             max_states: 2,
@@ -599,5 +807,136 @@ mod tests {
         let engine = Reachability::new(sys, budget, limits()).unwrap();
         let report = engine.run(SimpTarget::AssertViolation);
         assert_eq!(report.outcome, ReachOutcome::Unsafe);
+    }
+
+    /// Regression: the capacity check must not mask an `Unsafe` verdict.
+    ///
+    /// The goal state is the last insertion of an unbounded run, so with
+    /// `max_states = states - 1` it arrives exactly at the capacity
+    /// boundary. The old engine dropped it there (`continue` before the
+    /// target check) and kept searching, reporting `Truncated`; the fixed
+    /// engine evaluates the target first and returns `Unsafe`.
+    #[test]
+    fn target_at_state_capacity_boundary_is_unsafe() {
+        let sys = handshake();
+        let budget = Budget::exact(&sys).unwrap();
+        let full = Reachability::new(sys.clone(), budget.clone(), limits())
+            .unwrap()
+            .run(SimpTarget::AssertViolation);
+        assert_eq!(full.outcome, ReachOutcome::Unsafe);
+        assert!(full.states >= 2, "need a non-initial goal state");
+        let tight = ReachLimits {
+            max_states: full.states - 1,
+            ..limits()
+        };
+        for threads in [1, 4] {
+            let report = Reachability::new(sys.clone(), budget.clone(), tight)
+                .unwrap()
+                .with_threads(threads)
+                .run(SimpTarget::AssertViolation);
+            assert_eq!(
+                report.outcome,
+                ReachOutcome::Unsafe,
+                "goal at the capacity boundary must stay Unsafe (threads {threads})"
+            );
+            assert_eq!(report.states, full.states);
+            assert!(report.witness.is_some());
+        }
+    }
+
+    /// Same regression in a multi-world search: the violating world of
+    /// [`cas_world_system`] is not the first, so the boundary hits after
+    /// earlier worlds already contributed states.
+    #[test]
+    fn world_search_capacity_boundary_is_unsafe() {
+        let (sys, _) = cas_world_system();
+        let budget = Budget::exact(&sys).unwrap();
+        let full = Reachability::new(sys.clone(), budget.clone(), limits())
+            .unwrap()
+            .run(SimpTarget::AssertViolation);
+        assert_eq!(full.outcome, ReachOutcome::Unsafe);
+        assert!(full.worlds > 1);
+        // States contributed by the worlds explored *before* the
+        // violating one: cap the world count just below it — the FIFO
+        // prefix is identical, so the difference is the violating world's
+        // own state count, whose last insertion is the goal.
+        let prefix = Reachability::new(
+            sys.clone(),
+            budget.clone(),
+            ReachLimits {
+                max_worlds: full.worlds - 1,
+                ..limits()
+            },
+        )
+        .unwrap()
+        .run(SimpTarget::AssertViolation);
+        assert_eq!(prefix.outcome, ReachOutcome::Truncated);
+        let goal_world_states = full.states - prefix.states;
+        assert!(
+            goal_world_states >= 2,
+            "goal world needs a non-initial goal"
+        );
+        let tight = ReachLimits {
+            max_states: goal_world_states - 1,
+            ..limits()
+        };
+        for threads in [1, 4] {
+            let report = Reachability::new(sys.clone(), budget.clone(), tight)
+                .unwrap()
+                .with_threads(threads)
+                .run(SimpTarget::AssertViolation);
+            assert_eq!(
+                report.outcome,
+                ReachOutcome::Unsafe,
+                "goal at the per-world capacity boundary must stay Unsafe \
+                 (threads {threads})"
+            );
+        }
+    }
+
+    /// Worker count must not change any observable part of the report:
+    /// verdict, state/world counts, peaks, or the witness.
+    #[test]
+    fn worker_count_does_not_change_reports() {
+        let cases: Vec<(ParamSystem, SimpTarget, ReachLimits)> = vec![
+            (handshake(), SimpTarget::AssertViolation, limits()),
+            (cas_world_system().0, SimpTarget::AssertViolation, limits()),
+            (
+                churn_system().0,
+                SimpTarget::MessageGenerated(churn_system().1, Val(7)),
+                limits(),
+            ),
+            // Truncated runs must be deterministic too.
+            (
+                churn_system().0,
+                SimpTarget::MessageGenerated(churn_system().1, Val(7)),
+                ReachLimits {
+                    max_states: 2,
+                    ..limits()
+                },
+            ),
+        ];
+        for (case, (sys, target, lim)) in cases.into_iter().enumerate() {
+            let budget = Budget::exact(&sys).unwrap();
+            let base = Reachability::new(sys.clone(), budget.clone(), lim)
+                .unwrap()
+                .run(target);
+            for threads in [2, 3, 8] {
+                let r = Reachability::new(sys.clone(), budget.clone(), lim)
+                    .unwrap()
+                    .with_threads(threads)
+                    .run(target);
+                assert_eq!(r.outcome, base.outcome, "case {case}, threads {threads}");
+                assert_eq!(r.states, base.states, "case {case}, threads {threads}");
+                assert_eq!(r.worlds, base.worlds, "case {case}, threads {threads}");
+                assert_eq!(r.peak_env_configs, base.peak_env_configs, "case {case}");
+                assert_eq!(r.peak_env_msgs, base.peak_env_msgs, "case {case}");
+                assert_eq!(
+                    format!("{:?}", r.witness),
+                    format!("{:?}", base.witness),
+                    "case {case}, threads {threads}"
+                );
+            }
+        }
     }
 }

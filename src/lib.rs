@@ -22,6 +22,7 @@
 //! | [`qbf`] | QBF and the Figure 6 TQBF→PureRA reduction (Section 5) |
 //! | [`litmus`] | the benchmark programs the paper classifies |
 //! | [`obs`] | zero-dependency metrics, spans, heartbeats, Chrome-trace emission |
+//! | [`search`] | deterministic parallel-search layer shared by the state-space engines |
 //!
 //! # Quickstart
 //!
@@ -64,18 +65,21 @@ pub use parra_obs as obs;
 pub use parra_program as program;
 pub use parra_qbf as qbf;
 pub use parra_ra as ra;
+pub use parra_search as search;
 pub use parra_simplified as simplified;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use parra_core::verify::{
-        Engine, RunReport, Verdict, VerificationResult, Verifier, VerifierOptions,
+        aggregate_verdicts, Engine, RunReport, Verdict, VerificationResult, Verifier,
+        VerifierOptions,
     };
     pub use parra_program::builder::{ProgramBuilder, SystemBuilder};
     pub use parra_program::classify::{Complexity, SystemClass};
     pub use parra_program::parser::parse_system;
     pub use parra_program::system::{ParamSystem, Program, ThreadKind};
     pub use parra_program::value::{Dom, Val};
+    pub use parra_search::Threads;
     pub use parra_simplified::reach::{ReachLimits, Reachability, SimpTarget};
     pub use parra_simplified::state::Budget;
 }

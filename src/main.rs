@@ -53,14 +53,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn usage() -> String {
     "usage:\n  parra classify <file.ra>\n  parra verify <file.ra> \
      [--engine simplified|datalog|concrete] [--unroll N] [--all-engines] \
-     [--concretize] [--stats] [--json] [--trace-out FILE]\n  \
+     [--concretize] [--threads N] [--stats] [--json] [--trace-out FILE]\n  \
      parra print <file.ra>\n\nPARRA_LOG=off|summary|debug selects the \
-     logging level (--stats implies summary)."
+     logging level (--stats implies summary). --threads defaults to \
+     PARRA_THREADS or the machine's parallelism; reports are identical \
+     for every thread count."
         .to_owned()
 }
 
 /// Flags whose next argument is a value, not the input path.
-const VALUE_FLAGS: &[&str] = &["--engine", "--unroll", "--trace-out"];
+const VALUE_FLAGS: &[&str] = &["--engine", "--unroll", "--trace-out", "--threads"];
 
 fn load(args: &[String]) -> Result<ParamSystem, String> {
     let mut path = None;
@@ -113,6 +115,10 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     if args.iter().any(|a| a == "--trace-out") && trace_out.is_none() {
         return Err("--trace-out needs a file path".into());
     }
+    let threads = flag_value(args, "--threads")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+        .transpose()?;
+    let threads = parra::search::Threads::resolve(threads).get();
 
     let mut rec = Recorder::from_env();
     if (stats_flag || trace_out.is_some()) && !rec.is_enabled() {
@@ -121,6 +127,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
 
     let options = VerifierOptions {
         unroll_dis: unroll,
+        threads,
         ..Default::default()
     };
     let verifier =
@@ -198,29 +205,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("trace written to {path}");
     }
 
-    // Aggregate: an `Unsafe` from any engine is a sound witness and wins;
-    // `Safe` (only the exact engines claim it) beats `Unknown`. A Safe
-    // next to an Unsafe is a contradiction — one of the exact engines is
-    // wrong — and must surface as an error, not a silent last-run-wins.
-    let any_unsafe = verdicts.iter().any(|(_, v)| *v == Verdict::Unsafe);
-    let any_safe = verdicts.iter().any(|(_, v)| *v == Verdict::Safe);
-    if any_unsafe && any_safe {
-        let list = verdicts
-            .iter()
-            .map(|(e, v)| format!("{e}={v}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        return Err(format!(
-            "engines disagree ({list}); this indicates a bug in an exact engine"
-        ));
-    }
-    let final_verdict = if any_unsafe {
-        Verdict::Unsafe
-    } else if any_safe {
-        Verdict::Safe
-    } else {
-        Verdict::Unknown
-    };
+    let final_verdict = aggregate_verdicts(&verdicts)?;
     Ok(match final_verdict {
         Verdict::Safe => ExitCode::SUCCESS,
         Verdict::Unsafe => ExitCode::from(1),

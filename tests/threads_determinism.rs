@@ -1,0 +1,52 @@
+//! Parallel search must be invisible in the reports: for every litmus
+//! benchmark and both state-space engines, running with 1 and 4 worker
+//! threads yields byte-identical verdicts, statistics, and witnesses.
+
+use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_litmus::all;
+
+fn options(threads: usize) -> VerifierOptions {
+    VerifierOptions {
+        threads,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn litmus_suite_reports_identical_across_thread_counts() {
+    for bench in all() {
+        let seq = Verifier::new(&bench.system, options(1))
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let par = Verifier::new(&bench.system, options(4)).unwrap();
+        for engine in [Engine::SimplifiedReach, Engine::BoundedConcrete] {
+            let a = seq.run(engine);
+            let b = par.run(engine);
+            assert_eq!(a.verdict, b.verdict, "{} / {engine}", bench.name);
+            assert_eq!(
+                a.stats.states, b.stats.states,
+                "{} / {engine}: state counts diverge",
+                bench.name
+            );
+            assert_eq!(
+                a.stats.worlds, b.stats.worlds,
+                "{} / {engine}: world counts diverge",
+                bench.name
+            );
+            assert_eq!(
+                a.stats.peak_env_msgs, b.stats.peak_env_msgs,
+                "{} / {engine}: peaks diverge",
+                bench.name
+            );
+            assert_eq!(
+                a.witness_lines, b.witness_lines,
+                "{} / {engine}: witnesses diverge",
+                bench.name
+            );
+            assert_eq!(
+                a.env_thread_bound, b.env_thread_bound,
+                "{} / {engine}: §4.3 bounds diverge",
+                bench.name
+            );
+        }
+    }
+}
