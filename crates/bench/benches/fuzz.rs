@@ -1,0 +1,36 @@
+//! A5: differential-fuzzing throughput — cases per second for each
+//! oracle, over its own generator family. The per-case cost is what the
+//! `cases_per_second` constants in `parra_fuzz::oracle` budget for, so
+//! this bench doubles as the calibration source for those constants.
+
+use parra_bench::micro::Harness;
+use parra_fuzz::gen::SystemGen;
+use parra_fuzz::oracle::all_oracles;
+
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("fuzz");
+    group.sample_size(10);
+    for oracle in all_oracles() {
+        let gen = SystemGen::new(oracle.gen_config());
+        // A fixed window of seeds per iteration smooths over per-seed
+        // variance (some cases are skipped, some explore more states).
+        group.bench_function(&format!("{}/10_cases", oracle.name()), |b| {
+            let mut next = 0u64;
+            b.iter(|| {
+                let base = next;
+                next = next.wrapping_add(10);
+                let mut fails = 0u32;
+                for seed in base..base + 10 {
+                    let case = gen.case(seed);
+                    if oracle.check(&case.sys).is_fail() {
+                        fails += 1;
+                    }
+                }
+                assert_eq!(fails, 0, "{}: oracle failed in bench", oracle.name());
+                std::hint::black_box(fails)
+            })
+        });
+    }
+    group.finish();
+}

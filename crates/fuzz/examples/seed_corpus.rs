@@ -1,0 +1,30 @@
+//! Regenerates the seed entries of the repository's `corpus/` directory:
+//! one representative of each oracle's generator family, saved with the
+//! standard provenance header so `parra fuzz --minimize` and the corpus
+//! replay test can pick the right oracle from the file name.
+//!
+//! ```text
+//! cargo run -p parra-fuzz --example seed_corpus -- corpus/
+//! ```
+//!
+//! Hand-written corpus entries (files whose stem extends an oracle name
+//! with a suffix, e.g. `engines-agree-cas-mutex.ra`) are left untouched.
+
+use parra_fuzz::gen::SystemGen;
+use parra_fuzz::{corpus, oracle};
+use std::path::Path;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "corpus".into());
+    let dir = Path::new(&arg);
+    // One fixed representative seed per oracle family. 7 is arbitrary but
+    // load-bearing once chosen: the files double as regression inputs.
+    let seed = 7u64;
+    for o in oracle::all_oracles() {
+        let case = SystemGen::new(o.gen_config()).case(seed);
+        let detail = format!("seed corpus: representative of the `{}` family", o.name());
+        let path = corpus::save(dir, o.name(), seed, &detail, &case.sys)
+            .unwrap_or_else(|e| panic!("writing {} entry: {e}", o.name()));
+        println!("wrote {}", path.display());
+    }
+}

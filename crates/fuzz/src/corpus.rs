@@ -1,0 +1,132 @@
+//! Persistent regression corpus: failing (or otherwise interesting)
+//! systems saved as `.ra` files that `cargo test` replays on every run.
+//!
+//! Entries are plain [`parse_system`] syntax with a `// parra-fuzz:`
+//! provenance header (the oracle and seed that produced them), so a
+//! corpus file is simultaneously a regression input, a bug report, and a
+//! replayable command line.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use parra_program::parser::parse_system;
+use parra_program::pretty;
+use parra_program::system::ParamSystem;
+
+/// One parsed corpus file.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Where the entry lives.
+    pub path: PathBuf,
+    /// The parsed system.
+    pub sys: ParamSystem,
+}
+
+/// Loads every `.ra` file in `dir`, sorted by file name (deterministic
+/// replay order). A missing directory is an empty corpus, not an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than "directory does not exist"; a file
+/// that fails to parse is reported as [`io::ErrorKind::InvalidData`] with
+/// the parse error and path in the message.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ra"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let sys = parse_system(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        out.push(CorpusEntry { path, sys });
+    }
+    Ok(out)
+}
+
+/// Saves `sys` into `dir` as `<oracle>-<seed as 16 hex digits>.ra` with a
+/// provenance header, creating `dir` if needed. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn save(
+    dir: &Path,
+    oracle: &str,
+    seed: u64,
+    detail: &str,
+    sys: &ParamSystem,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{oracle}-{seed:016x}.ra"));
+    let mut text = String::new();
+    text.push_str(&format!(
+        "// parra-fuzz: oracle={oracle} seed={seed}\n// replay: parra fuzz --oracle {oracle} --seed {seed} --cases 1\n"
+    ));
+    for line in detail.lines() {
+        text.push_str(&format!("// {line}\n"));
+    }
+    text.push_str(&pretty::system_to_string(sys));
+    fs::write(&path, &text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, SystemGen};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("parra-fuzz-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let gen = SystemGen::new(GenConfig::agreement());
+        let a = gen.case(1).sys;
+        let b = gen.case(2).sys;
+        save(&dir, "engines-agree", 1, "verdicts differ", &a).unwrap();
+        save(&dir, "round-trip", 2, "", &b).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        // Sorted by file name: engines-agree-… before round-trip-….
+        assert_eq!(loaded[0].sys, a);
+        assert_eq!(loaded[1].sys, b);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let loaded = load_dir(Path::new("/nonexistent/parra-fuzz-corpus")).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn unparseable_entry_is_reported_with_its_path() {
+        let dir = tmp_dir("bad");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.ra"), "system { this is not ra }").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad.ra"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

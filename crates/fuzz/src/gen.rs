@@ -1,0 +1,324 @@
+//! Seed-deterministic random system generation.
+//!
+//! One configurable generator subsumes the ad-hoc `random_system` helpers
+//! that used to be copy-pasted across the integration tests. A
+//! [`GenConfig`] fixes the *shape* of the family (variables, domain,
+//! program lengths, CAS, loops, how the first `dis` thread signals the
+//! goal); a [`SystemGen`] then maps any `u64` seed to one concrete
+//! [`ParamSystem`], deterministically — the same `(config, seed)` pair
+//! always yields the same system, so every failure is replayable from two
+//! integers.
+
+use crate::rng::Rng;
+use parra_program::builder::{ProgramBuilder, SystemBuilder};
+use parra_program::expr::Expr;
+use parra_program::ident::VarId;
+use parra_program::system::ParamSystem;
+
+/// How the first `dis` program ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ending {
+    /// `goal := 1` — for Message Generation targets (Theorem 3.4 checks).
+    GoalStore,
+    /// `assert false` — for the [`Verifier`](parra_core::verify::Verifier),
+    /// which works on assertions.
+    Assert,
+    /// Nothing is appended; the raw random program is used as-is.
+    None,
+}
+
+/// The shape of a random-system family (the generator's knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Shared variables (`v0 … v{n-1}`) in addition to the goal variable.
+    pub n_vars: u32,
+    /// Data domain size.
+    pub dom: u32,
+    /// Instructions per `env` program.
+    pub env_len: usize,
+    /// Instructions per `dis` program.
+    pub dis_len: usize,
+    /// Number of distinguished threads.
+    pub n_dis: usize,
+    /// Allow `cas` in `dis` programs (CAS in `env` leaves the decidable
+    /// fragment, Theorem 1.1, so there is no knob for it).
+    pub dis_cas: bool,
+    /// Allow `choice { … } or { … }` blocks in `env`.
+    pub env_choice: bool,
+    /// Allow `loop { … }` blocks in `env` (env loops stay decidable).
+    pub env_loops: bool,
+    /// Allow `loop { … }` blocks in `dis` (leaves the acyclic fragment;
+    /// verification then needs unrolling — used by the monotonicity
+    /// oracle).
+    pub dis_loops: bool,
+    /// How the first `dis` program ends.
+    pub ending: Ending,
+}
+
+impl GenConfig {
+    /// The family the engine-agreement sweeps use: small systems with
+    /// asserts, CAS allowed, inside the PSPACE fragment of Table 1.
+    pub fn agreement() -> GenConfig {
+        GenConfig {
+            n_vars: 2,
+            dom: 2,
+            env_len: 3,
+            dis_len: 2,
+            n_dis: 1,
+            dis_cas: true,
+            env_choice: true,
+            env_loops: false,
+            dis_loops: false,
+            ending: Ending::Assert,
+        }
+    }
+
+    /// The family the Theorem 3.4 equivalence sweeps use: goal-store
+    /// endings so both the simplified engine and the concrete explorer can
+    /// chase the same message.
+    pub fn equivalence() -> GenConfig {
+        GenConfig {
+            n_vars: 2,
+            dom: 3,
+            env_len: 3,
+            dis_len: 3,
+            n_dis: 1,
+            dis_cas: true,
+            env_choice: true,
+            env_loops: false,
+            dis_loops: false,
+            ending: Ending::GoalStore,
+        }
+    }
+
+    /// A wider, heavier family (the old `stress.rs` shapes): more
+    /// variables, larger domain, longer programs, two dis threads.
+    pub fn wide() -> GenConfig {
+        GenConfig {
+            n_vars: 3,
+            dom: 3,
+            env_len: 4,
+            dis_len: 3,
+            n_dis: 2,
+            dis_cas: true,
+            env_choice: true,
+            env_loops: false,
+            dis_loops: false,
+            ending: Ending::Assert,
+        }
+    }
+
+    /// A family with loops in `dis` — outside the acyclic fragment, so
+    /// engines need `unroll_dis`; used by the monotonicity oracle.
+    pub fn looping_dis() -> GenConfig {
+        GenConfig {
+            dis_loops: true,
+            ..GenConfig::agreement()
+        }
+    }
+
+    /// Returns the config with `ending` replaced.
+    pub fn with_ending(self, ending: Ending) -> GenConfig {
+        GenConfig { ending, ..self }
+    }
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig::agreement()
+    }
+}
+
+/// One generated fuzz case: the system plus the metadata needed to replay
+/// and to run goal-based oracles.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The generated system.
+    pub sys: ParamSystem,
+    /// The goal variable (`goal`), present for every generated case.
+    pub goal: VarId,
+    /// The seed that produced this case.
+    pub seed: u64,
+}
+
+/// A deterministic system generator: `(config, seed) → ParamSystem`.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemGen {
+    cfg: GenConfig,
+}
+
+impl SystemGen {
+    /// A generator for the family `cfg`.
+    pub fn new(cfg: GenConfig) -> SystemGen {
+        SystemGen { cfg }
+    }
+
+    /// The family configuration.
+    pub fn config(&self) -> &GenConfig {
+        &self.cfg
+    }
+
+    /// Generates the system for `seed`. Identical `(config, seed)` pairs
+    /// yield identical systems.
+    pub fn case(&self, seed: u64) -> FuzzCase {
+        let cfg = &self.cfg;
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut b = SystemBuilder::new(cfg.dom);
+        for i in 0..cfg.n_vars {
+            b.var(&format!("v{i}"));
+        }
+        let goal = b.var("goal");
+        let env = self.program(&b, "env", &mut rng, cfg.env_len, false, cfg.env_loops, None);
+        let dis: Vec<_> = (0..cfg.n_dis)
+            .map(|i| {
+                let ending = if i == 0 { cfg.ending } else { Ending::None };
+                self.program(
+                    &b,
+                    &format!("d{i}"),
+                    &mut rng,
+                    cfg.dis_len,
+                    cfg.dis_cas,
+                    cfg.dis_loops,
+                    Some((goal, ending)),
+                )
+            })
+            .collect();
+        FuzzCase {
+            sys: b.build(env, dis),
+            goal,
+            seed,
+        }
+    }
+
+    /// One random program. `goal` is `Some` for dis programs (carrying the
+    /// requested ending); loops/choices nest one level deep to keep state
+    /// spaces explorable.
+    #[allow(clippy::too_many_arguments)]
+    fn program(
+        &self,
+        b: &SystemBuilder,
+        name: &str,
+        rng: &mut Rng,
+        len: usize,
+        cas: bool,
+        loops: bool,
+        goal: Option<(VarId, Ending)>,
+    ) -> parra_program::system::Program {
+        let cfg = &self.cfg;
+        let mut p = b.program(name);
+        let r0 = p.reg("r0");
+        let r1 = p.reg("r1");
+        let is_env = goal.is_none();
+        let emit = |p: &mut ProgramBuilder, rng: &mut Rng| {
+            let x = VarId(rng.gen_range(cfg.n_vars.max(1) as usize) as u32);
+            let reg = if rng.gen_range(2) == 0 { r0 } else { r1 };
+            let kinds = 5 + usize::from(cas);
+            match rng.gen_range(kinds) {
+                0 => {
+                    p.load(reg, x);
+                }
+                1 => {
+                    p.store(x, Expr::val(rng.gen_range(cfg.dom as usize) as u32));
+                }
+                2 => {
+                    p.assume(Expr::reg(reg).eq(Expr::val(rng.gen_range(cfg.dom as usize) as u32)));
+                }
+                3 => {
+                    p.store(x, Expr::reg(reg));
+                }
+                4 => {
+                    p.assign(reg, Expr::val(rng.gen_range(cfg.dom as usize) as u32));
+                }
+                _ => {
+                    let v1 = rng.gen_range(cfg.dom as usize) as u32;
+                    let v2 = rng.gen_range(cfg.dom as usize) as u32;
+                    p.cas(x, Expr::val(v1), Expr::val(v2));
+                }
+            }
+        };
+        let mut i = 0;
+        while i < len {
+            // Occasionally wrap the next instructions in a structured
+            // block instead of emitting them straight-line.
+            let structured = rng.gen_range(5) == 0;
+            if structured && is_env && cfg.env_choice {
+                let l = p.block(|p| emit(p, rng));
+                let r = p.block(|p| emit(p, rng));
+                p.choice_of(vec![l, r]);
+                i += 2;
+            } else if structured && loops {
+                let body = p.block(|p| emit(p, rng));
+                p.push(parra_program::stmt::Com::star(body));
+                i += 1;
+            } else {
+                emit(&mut p, rng);
+                i += 1;
+            }
+        }
+        match goal {
+            Some((g, Ending::GoalStore)) => {
+                p.store(g, Expr::val(1));
+            }
+            Some((_, Ending::Assert)) => {
+                p.assert_false();
+            }
+            _ => {}
+        }
+        p.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parra_program::classify::SystemClass;
+
+    #[test]
+    fn same_seed_same_system() {
+        let g = SystemGen::new(GenConfig::agreement());
+        for seed in 0..50 {
+            assert_eq!(g.case(seed).sys, g.case(seed).sys, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let g = SystemGen::new(GenConfig::agreement());
+        let distinct = (0..20)
+            .map(|s| parra_program::pretty::system_to_string(&g.case(s).sys))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct systems",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn agreement_family_stays_in_the_decidable_fragment() {
+        let g = SystemGen::new(GenConfig::agreement());
+        for seed in 0..50 {
+            let case = g.case(seed);
+            let class = SystemClass::of(&case.sys);
+            assert!(class.is_decidable_fragment(), "seed {seed}: {class}");
+            assert!(case.sys.dis[0].com().has_assert(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn looping_family_produces_dis_loops_somewhere() {
+        let g = SystemGen::new(GenConfig::looping_dis());
+        let any_loop = (0..200).any(|s| {
+            let case = g.case(s);
+            case.sys.dis.iter().any(|p| p.com().has_star())
+        });
+        assert!(any_loop, "no seed in 0..200 produced a dis loop");
+    }
+
+    #[test]
+    fn goal_store_family_targets_the_goal_variable() {
+        let g = SystemGen::new(GenConfig::equivalence());
+        let case = g.case(7);
+        assert!(case.sys.dis[0].com().variables().contains(&case.goal));
+    }
+}

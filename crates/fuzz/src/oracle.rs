@@ -1,0 +1,553 @@
+//! Differential oracles: executable statements of the repo's correctness
+//! criteria, each checkable on an arbitrary [`ParamSystem`].
+//!
+//! | oracle | checks | theorem |
+//! |---|---|---|
+//! | [`EnginesAgree`] | simplified-reach ≡ cache-datalog verdicts, concrete only strengthens | Thm 4.1 / Lemma 4.3 |
+//! | [`Equivalence`] | simplified ≡ bounded concrete RA on small instances | Thm 3.4 |
+//! | [`ThreadDeterminism`] | 1-thread and N-thread reports are identical | §7c determinism |
+//! | [`RoundTrip`] | `pretty → parse_system` reproduces the system | parser/printer drift |
+//! | [`Monotonicity`] | verdicts persist under larger `max_states` / deeper unrolling | search soundness |
+//!
+//! An oracle returns [`OracleOutcome::Skip`] when the system is outside
+//! its preconditions (undecidable class, truncated search, no target) —
+//! a skip is not a pass, and the fuzz summary counts them separately.
+
+use crate::gen::GenConfig;
+use parra_core::verify::{Engine, Verdict, Verifier, VerifierError, VerifierOptions};
+use parra_program::parser::parse_system;
+use parra_program::pretty;
+use parra_program::system::ParamSystem;
+use parra_program::transform;
+use parra_program::value::Val;
+use parra_ra::explore::{ExploreLimits, ExploreOutcome, Explorer, Target};
+use parra_ra::Instance;
+use parra_simplified::cost::cost_of_graph;
+use parra_simplified::depgraph::DepGraph;
+use parra_simplified::reach::{ReachLimits, ReachOutcome, Reachability, SimpTarget};
+use parra_simplified::state::Budget;
+
+/// The result of one oracle check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleOutcome {
+    /// The property holds on this system.
+    Pass,
+    /// The property is violated — a bug in an engine, the printer, or the
+    /// parser. The string describes the disagreement.
+    Fail(String),
+    /// The system is outside the oracle's preconditions; nothing was
+    /// checked. The string names the precondition.
+    Skip(String),
+}
+
+impl OracleOutcome {
+    /// Whether this outcome is a failure.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, OracleOutcome::Fail(_))
+    }
+}
+
+/// A differential-fuzzing oracle: a correctness property checkable on any
+/// system, plus the generator family that exercises it best.
+pub trait Oracle: Sync {
+    /// Stable kebab-case name (the CLI's `--oracle` values).
+    fn name(&self) -> &'static str;
+    /// The generator family tailored to this oracle.
+    fn gen_config(&self) -> GenConfig;
+    /// Deterministic case budget per second of `--seconds` (calibrated
+    /// conservatively; see `FuzzConfig`'s docs for why the budget is a
+    /// case count, not a wall clock).
+    fn cases_per_second(&self) -> u64;
+    /// Checks the property on `sys`.
+    fn check(&self, sys: &ParamSystem) -> OracleOutcome;
+}
+
+/// Every built-in oracle, in CLI order.
+pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(EnginesAgree),
+        Box::new(Equivalence),
+        Box::new(ThreadDeterminism),
+        Box::new(RoundTrip),
+        Box::new(Monotonicity),
+    ]
+}
+
+/// Looks an oracle up by its CLI name.
+pub fn oracle_by_name(name: &str) -> Option<Box<dyn Oracle>> {
+    all_oracles().into_iter().find(|o| o.name() == name)
+}
+
+fn verifier_for(sys: &ParamSystem, options: VerifierOptions) -> Result<Verifier, OracleOutcome> {
+    match Verifier::new(sys, options) {
+        Ok(v) => Ok(v),
+        Err(VerifierError::NeedsUnrolling) => Verifier::new(
+            sys,
+            VerifierOptions {
+                unroll_dis: Some(2),
+                ..options
+            },
+        )
+        .map_err(|e| OracleOutcome::Skip(format!("verifier rejected system: {e}"))),
+        Err(e) => Err(OracleOutcome::Skip(format!(
+            "verifier rejected system: {e}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Cross-engine verdict agreement
+// ---------------------------------------------------------------------
+
+/// The direct simplified-semantics search and the `makeP` Datalog encoding
+/// are two implementations of one decision procedure (Theorem 4.1 / Lemma
+/// 4.3): their verdicts must agree, and the bounded concrete baseline may
+/// only strengthen `Unsafe`.
+pub struct EnginesAgree;
+
+impl Oracle for EnginesAgree {
+    fn name(&self) -> &'static str {
+        "engines-agree"
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        GenConfig::agreement()
+    }
+
+    fn cases_per_second(&self) -> u64 {
+        25
+    }
+
+    fn check(&self, sys: &ParamSystem) -> OracleOutcome {
+        let v = match verifier_for(sys, VerifierOptions::default()) {
+            Ok(v) => v,
+            Err(skip) => return skip,
+        };
+        let r1 = v.run(Engine::SimplifiedReach);
+        let r2 = v.run(Engine::CacheDatalog);
+        if r1.verdict == Verdict::Unknown || r2.verdict == Verdict::Unknown {
+            return OracleOutcome::Skip("an exact engine hit its search limits".into());
+        }
+        if r1.verdict != r2.verdict {
+            return OracleOutcome::Fail(format!(
+                "simplified-reach={} but cache-datalog={}",
+                r1.verdict, r2.verdict
+            ));
+        }
+        let r3 = v.run(Engine::BoundedConcrete);
+        if r3.verdict == Verdict::Unsafe && r1.verdict != Verdict::Unsafe {
+            return OracleOutcome::Fail(format!(
+                "bounded-concrete found a violation but the exact engines say {}",
+                r1.verdict
+            ));
+        }
+        OracleOutcome::Pass
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Simplified ≡ concrete (Theorem 3.4)
+// ---------------------------------------------------------------------
+
+/// Theorem 3.4 on small instances: a goal message is generable under the
+/// simplified semantics iff some concrete-RA instance generates it.
+/// Completeness is checked exactly (a concrete hit forces `Unsafe`);
+/// soundness is checked when the tested instances were exhausted and the
+/// §4.3 cost bound says they suffice.
+pub struct Equivalence;
+
+/// Instances tested by the concrete side of [`Equivalence`].
+const EQUIV_MAX_ENV: usize = 3;
+
+impl Oracle for Equivalence {
+    fn name(&self) -> &'static str {
+        "equivalence"
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        GenConfig::equivalence()
+    }
+
+    fn cases_per_second(&self) -> u64 {
+        10
+    }
+
+    fn check(&self, sys: &ParamSystem) -> OracleOutcome {
+        if sys.dom.size() < 2 {
+            return OracleOutcome::Skip("goal transformation needs |Dom| >= 2".into());
+        }
+        // Resolve the goal message: prefer the assert-based reduction;
+        // fall back to a variable literally named `goal` (the generator's
+        // Message Generation families).
+        let (sys, goal, goal_val) =
+            if sys.env.com().has_assert() || sys.dis.iter().any(|p| p.com().has_assert()) {
+                let g = transform::assert_to_goal(sys);
+                (g.system, g.goal_var, g.goal_val)
+            } else if let Some(i) = sys.vars.lookup("goal") {
+                (sys.clone(), parra_program::ident::VarId(i), Val(1))
+            } else {
+                return OracleOutcome::Skip("no assert and no `goal` variable to target".into());
+            };
+        let budget = match Budget::exact(&sys) {
+            Some(b) => b,
+            None => return OracleOutcome::Skip("dis threads have loops (no exact budget)".into()),
+        };
+        let engine = match Reachability::new(sys.clone(), budget.clone(), ReachLimits::default()) {
+            Ok(e) => e,
+            Err(e) => return OracleOutcome::Skip(format!("simplified engine rejected: {e}")),
+        };
+        let report = engine.run(SimpTarget::MessageGenerated(goal, goal_val));
+        if report.outcome == ReachOutcome::Truncated {
+            return OracleOutcome::Skip("simplified search truncated".into());
+        }
+        let cost_bound = report.witness.as_ref().and_then(|w| {
+            let g = DepGraph::build(&sys, &budget, w);
+            g.find_message(goal, goal_val).map(|n| cost_of_graph(&g, n))
+        });
+
+        let mut concrete_hit = None;
+        let mut concrete_exact = true;
+        for n_env in 0..=EQUIV_MAX_ENV {
+            let limits = ExploreLimits {
+                max_depth: 40,
+                max_states: 400_000,
+            };
+            let rep = Explorer::new(Instance::new(sys.clone(), n_env), limits)
+                .run(Target::MessageGenerated(goal, goal_val));
+            match rep.outcome {
+                ExploreOutcome::Unsafe => {
+                    concrete_hit = Some(n_env);
+                    break;
+                }
+                ExploreOutcome::SafeExhausted => {}
+                ExploreOutcome::SafeWithinBounds => concrete_exact = false,
+            }
+        }
+        match (report.outcome, concrete_hit) {
+            (ReachOutcome::Unsafe, Some(_)) | (ReachOutcome::Safe, None) => OracleOutcome::Pass,
+            (ReachOutcome::Safe, Some(n)) => OracleOutcome::Fail(format!(
+                "completeness violation: concrete instance with {n} env threads \
+                 generates the goal but the simplified semantics says Safe"
+            )),
+            (ReachOutcome::Unsafe, None) => {
+                let enough = cost_bound
+                    .map(|c| c <= EQUIV_MAX_ENV as u64)
+                    .unwrap_or(false);
+                if concrete_exact && enough {
+                    OracleOutcome::Fail(format!(
+                        "soundness violation: simplified says Unsafe (cost bound \
+                         {cost_bound:?}) but no concrete instance up to \
+                         {EQUIV_MAX_ENV} env threads generates the goal"
+                    ))
+                } else {
+                    // The concrete search is bounded; nothing refutable.
+                    OracleOutcome::Pass
+                }
+            }
+            (ReachOutcome::Truncated, _) => unreachable!("handled above"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Thread-count determinism
+// ---------------------------------------------------------------------
+
+/// The sharded parallel searches commit results in a deterministic merge
+/// order: every report field (verdict, state counts, witness, §4.3 bound)
+/// must be byte-identical between a 1-worker and an N-worker run.
+pub struct ThreadDeterminism;
+
+impl Oracle for ThreadDeterminism {
+    fn name(&self) -> &'static str {
+        "thread-determinism"
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        GenConfig::agreement()
+    }
+
+    fn cases_per_second(&self) -> u64 {
+        10
+    }
+
+    fn check(&self, sys: &ParamSystem) -> OracleOutcome {
+        let mk = |threads: usize| {
+            verifier_for(
+                sys,
+                VerifierOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+        };
+        let (seq, par) = match (mk(1), mk(4)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(skip), _) | (_, Err(skip)) => return skip,
+        };
+        for engine in [Engine::SimplifiedReach, Engine::BoundedConcrete] {
+            let a = seq.run(engine);
+            let b = par.run(engine);
+            let mismatch = |field: &str| {
+                OracleOutcome::Fail(format!(
+                    "{engine}: {field} differs between 1 and 4 worker threads"
+                ))
+            };
+            if a.verdict != b.verdict {
+                return mismatch("verdict");
+            }
+            if a.stats.states != b.stats.states {
+                return mismatch("stats.states");
+            }
+            if a.stats.worlds != b.stats.worlds {
+                return mismatch("stats.worlds");
+            }
+            if a.witness_lines != b.witness_lines {
+                return mismatch("witness");
+            }
+            if a.env_thread_bound != b.env_thread_bound {
+                return mismatch("env_thread_bound");
+            }
+        }
+        OracleOutcome::Pass
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Pretty-printer / parser round-trip
+// ---------------------------------------------------------------------
+
+/// `parse_system(pretty(sys))` must reproduce `sys` exactly — same symbol
+/// tables, same statement trees, same compiled CFAs — and printing the
+/// reparsed system must reproduce the text (idempotence). Catches silent
+/// printer/parser drift.
+pub struct RoundTrip;
+
+impl Oracle for RoundTrip {
+    fn name(&self) -> &'static str {
+        "round-trip"
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        GenConfig {
+            env_loops: true,
+            ..GenConfig::wide()
+        }
+    }
+
+    fn cases_per_second(&self) -> u64 {
+        400
+    }
+
+    fn check(&self, sys: &ParamSystem) -> OracleOutcome {
+        let printed = pretty::system_to_string(sys);
+        let reparsed = match parse_system(&printed) {
+            Ok(s) => s,
+            Err(e) => {
+                return OracleOutcome::Fail(format!(
+                    "pretty-printed system does not parse: {e}\n{printed}"
+                ))
+            }
+        };
+        if &reparsed != sys {
+            return OracleOutcome::Fail(format!(
+                "parse(pretty(sys)) differs from sys\nprinted:\n{printed}"
+            ));
+        }
+        let reprinted = pretty::system_to_string(&reparsed);
+        if reprinted != printed {
+            return OracleOutcome::Fail(format!(
+                "pretty-printing is not idempotent\nfirst:\n{printed}\nsecond:\n{reprinted}"
+            ));
+        }
+        OracleOutcome::Pass
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. Verdict monotonicity
+// ---------------------------------------------------------------------
+
+/// Growing a search budget can only refine a verdict, never flip it:
+///
+/// * once `SimplifiedReach` decides (Safe/Unsafe) under a `max_states`
+///   cap, every larger cap must yield the same verdict;
+/// * `Unsafe` under `unroll_dis = k` must persist for every deeper
+///   unrolling (deeper unrolling only adds behaviours).
+pub struct Monotonicity;
+
+impl Oracle for Monotonicity {
+    fn name(&self) -> &'static str {
+        "monotonicity"
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        GenConfig::looping_dis()
+    }
+
+    fn cases_per_second(&self) -> u64 {
+        10
+    }
+
+    fn check(&self, sys: &ParamSystem) -> OracleOutcome {
+        // (a) max_states ladder.
+        let ladder = [200usize, 2_000, ReachLimits::default().max_states];
+        let mut decided: Option<(usize, Verdict)> = None;
+        for cap in ladder {
+            let opts = VerifierOptions {
+                reach_limits: ReachLimits {
+                    max_states: cap,
+                    ..ReachLimits::default()
+                },
+                ..Default::default()
+            };
+            let v = match verifier_for(sys, opts) {
+                Ok(v) => v,
+                Err(skip) => return skip,
+            };
+            let r = v.run(Engine::SimplifiedReach);
+            if let Some((prev_cap, prev)) = decided {
+                if r.verdict != Verdict::Unknown && r.verdict != prev {
+                    return OracleOutcome::Fail(format!(
+                        "simplified-reach verdict flipped from {prev} (max_states \
+                         {prev_cap}) to {} (max_states {cap})",
+                        r.verdict
+                    ));
+                }
+                if r.verdict == Verdict::Unknown {
+                    return OracleOutcome::Fail(format!(
+                        "simplified-reach regressed from {prev} (max_states \
+                         {prev_cap}) to Unknown at the larger cap {cap}"
+                    ));
+                }
+            } else if r.verdict != Verdict::Unknown {
+                decided = Some((cap, r.verdict));
+            }
+        }
+
+        // (b) unrolling-depth ladder, for systems with dis loops.
+        if sys.dis.iter().any(|p| p.com().has_star()) {
+            let mut unsafe_at: Option<usize> = None;
+            for depth in 1..=3usize {
+                let opts = VerifierOptions {
+                    unroll_dis: Some(depth),
+                    ..Default::default()
+                };
+                let v = match Verifier::new(sys, opts) {
+                    Ok(v) => v,
+                    Err(e) => return OracleOutcome::Skip(format!("verifier rejected system: {e}")),
+                };
+                let r = v.run(Engine::SimplifiedReach);
+                match (unsafe_at, r.verdict) {
+                    (Some(k), verdict) if verdict != Verdict::Unsafe => {
+                        return OracleOutcome::Fail(format!(
+                            "Unsafe under unroll depth {k} became {verdict} at \
+                             depth {depth}: unrolling deeper only adds behaviours"
+                        ));
+                    }
+                    (None, Verdict::Unsafe) => unsafe_at = Some(depth),
+                    _ => {}
+                }
+            }
+        }
+        OracleOutcome::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::SystemGen;
+    use parra_program::builder::SystemBuilder;
+    use parra_program::expr::Expr;
+
+    fn handshake(unsafe_variant: bool) -> ParamSystem {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let y = b.var("y");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.load(r, y).assume_eq(r, 1).store(x, Expr::val(1));
+        let env = env.finish();
+        let mut d = b.program("d");
+        let s = d.reg("s");
+        if unsafe_variant {
+            d.store(y, Expr::val(1));
+        }
+        d.load(s, x).assume_eq(s, 1).assert_false();
+        let d = d.finish();
+        b.build(env, vec![d])
+    }
+
+    #[test]
+    fn oracle_registry_is_complete_and_named() {
+        let names: Vec<_> = all_oracles().iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "engines-agree",
+                "equivalence",
+                "thread-determinism",
+                "round-trip",
+                "monotonicity"
+            ]
+        );
+        for n in names {
+            assert!(oracle_by_name(n).is_some());
+        }
+        assert!(oracle_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_oracles_pass_on_the_handshake() {
+        for unsafe_variant in [false, true] {
+            let sys = handshake(unsafe_variant);
+            for o in all_oracles() {
+                assert_eq!(
+                    o.check(&sys),
+                    OracleOutcome::Pass,
+                    "oracle {} on handshake(unsafe={unsafe_variant})",
+                    o.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracles_pass_on_their_own_families() {
+        for o in all_oracles() {
+            let gen = SystemGen::new(o.gen_config());
+            let mut checked = 0;
+            for seed in 0..8u64 {
+                match o.check(&gen.case(seed).sys) {
+                    OracleOutcome::Pass => checked += 1,
+                    OracleOutcome::Skip(_) => {}
+                    OracleOutcome::Fail(msg) => {
+                        panic!("oracle {} failed on seed {seed}: {msg}", o.name())
+                    }
+                }
+            }
+            assert!(checked > 0, "oracle {} skipped every seed", o.name());
+        }
+    }
+
+    #[test]
+    fn undecidable_systems_are_skipped_not_failed() {
+        let mut b = SystemBuilder::new(2);
+        let x = b.var("x");
+        let mut env = b.program("env");
+        env.cas(x, 0, 1).assert_false();
+        let env = env.finish();
+        let sys = b.build(env, vec![]);
+        for o in all_oracles() {
+            if o.name() == "round-trip" {
+                continue; // round-trip has no decidability precondition
+            }
+            assert!(
+                matches!(o.check(&sys), OracleOutcome::Skip(_)),
+                "oracle {} should skip an undecidable system",
+                o.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Delta-debugging shrinker: minimizes a failing [`ParamSystem`] while
+//! re-checking the failure after every candidate edit.
+//!
+//! The shrinker is greedy: it repeatedly tries candidate reductions —
+//! drop a `dis` thread, replace a statement subtree with `skip`, commit
+//! to one branch of a `choice`, peel a `loop` to its body, shrink the
+//! data domain to the literals actually used — and accepts a candidate
+//! only if it is strictly smaller *and* the failure predicate still
+//! holds on it (guarding against "fixing" the bug away). It runs to a
+//! fixpoint: the result fails the oracle and no single candidate edit
+//! both shrinks it and preserves the failure.
+
+use parra_program::expr::Expr;
+use parra_program::stmt::Com;
+use parra_program::system::ParamSystem;
+use parra_program::value::Dom;
+
+use crate::oracle::Oracle;
+
+/// The outcome of shrinking one failing system.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized system (still failing the predicate).
+    pub sys: ParamSystem,
+    /// Accepted shrink steps (0 means the input was already minimal).
+    pub steps: usize,
+    /// Candidate edits evaluated (accepted or not).
+    pub candidates_tried: usize,
+}
+
+/// A delta-debugging minimizer over a failure predicate.
+///
+/// The predicate returns `true` while the system still exhibits the bug;
+/// wrap an [`Oracle`] with [`Shrinker::for_oracle`] for the common case.
+pub struct Shrinker<'a> {
+    fails: Box<dyn Fn(&ParamSystem) -> bool + 'a>,
+}
+
+impl<'a> Shrinker<'a> {
+    /// A shrinker over an arbitrary failure predicate.
+    pub fn new(fails: impl Fn(&ParamSystem) -> bool + 'a) -> Shrinker<'a> {
+        Shrinker {
+            fails: Box::new(fails),
+        }
+    }
+
+    /// A shrinker that preserves "`oracle` reports `Fail`".
+    pub fn for_oracle(oracle: &'a dyn Oracle) -> Shrinker<'a> {
+        Shrinker::new(move |sys| oracle.check(sys).is_fail())
+    }
+
+    /// Minimizes `sys`. If `sys` does not fail the predicate, this is a
+    /// no-op (`steps == 0` and the system is returned unchanged).
+    pub fn shrink(&self, sys: &ParamSystem) -> ShrinkResult {
+        let mut current = sys.clone();
+        let mut steps = 0;
+        let mut candidates_tried = 0;
+        if !(self.fails)(&current) {
+            return ShrinkResult {
+                sys: current,
+                steps,
+                candidates_tried,
+            };
+        }
+        loop {
+            let size = system_size(&current);
+            let mut advanced = false;
+            for candidate in candidates(&current) {
+                if system_size(&candidate) >= size {
+                    continue;
+                }
+                candidates_tried += 1;
+                if (self.fails)(&candidate) {
+                    current = candidate;
+                    steps += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        ShrinkResult {
+            sys: current,
+            steps,
+            candidates_tried,
+        }
+    }
+}
+
+/// The size metric minimized by the shrinker: total statement-tree weight
+/// plus the domain size (so domain shrinks count as progress).
+///
+/// This is *not* [`Com::instruction_count`] — that metric takes the `max`
+/// over `choice` branches (its job is timestamp budgeting), under which
+/// collapsing a choice to its longer branch is not progress. Here every
+/// non-`skip` leaf weighs 1 and `choice`/`loop` structure weighs 1, so
+/// each candidate edit strictly decreases the metric.
+pub fn system_size(sys: &ParamSystem) -> usize {
+    fn weight(c: &Com) -> usize {
+        match c {
+            Com::Skip => 0,
+            Com::Seq(a, b) => weight(a) + weight(b),
+            Com::Choice(a, b) => 1 + weight(a) + weight(b),
+            Com::Star(b) => 1 + weight(b),
+            _ => 1,
+        }
+    }
+    let stmts: usize = std::iter::once(&sys.env)
+        .chain(sys.dis.iter())
+        .map(|p| weight(p.com()))
+        .sum();
+    stmts + sys.dom.size() as usize
+}
+
+/// All single-edit reduction candidates of `sys`, cheapest-first: thread
+/// drops, then domain shrink, then per-program statement reductions.
+fn candidates(sys: &ParamSystem) -> Vec<ParamSystem> {
+    let mut out = Vec::new();
+    // Drop one dis thread.
+    for i in 0..sys.dis.len() {
+        let mut dis = sys.dis.clone();
+        dis.remove(i);
+        out.push(ParamSystem::new(
+            sys.dom,
+            sys.vars.clone(),
+            sys.env.clone(),
+            dis,
+        ));
+    }
+    // Shrink the domain to the literals actually used (init 0 and the
+    // largest constant mentioned anywhere; at least 2 so asserts keep a
+    // goal value available).
+    let used = max_literal(sys);
+    let wanted = (used + 1).max(2);
+    if wanted < sys.dom.size() {
+        out.push(ParamSystem::new(
+            Dom::new(wanted),
+            sys.vars.clone(),
+            sys.env.clone(),
+            sys.dis.clone(),
+        ));
+    }
+    // Statement-level reductions, one program at a time.
+    for (idx, p) in std::iter::once(&sys.env).chain(sys.dis.iter()).enumerate() {
+        for com in com_variants(p.com()) {
+            let reduced = p.with_com(cleanup(com));
+            let (env, dis) = if idx == 0 {
+                (reduced, sys.dis.clone())
+            } else {
+                let mut dis = sys.dis.clone();
+                dis[idx - 1] = reduced;
+                (sys.env.clone(), dis)
+            };
+            out.push(ParamSystem::new(sys.dom, sys.vars.clone(), env, dis));
+        }
+    }
+    out
+}
+
+/// The largest constant mentioned in any program of `sys`.
+fn max_literal(sys: &ParamSystem) -> u32 {
+    fn in_expr(e: &Expr, max: &mut u32) {
+        match e {
+            Expr::Const(v) => *max = (*max).max(v.0),
+            Expr::Reg(_) => {}
+            Expr::Unop(_, a) => in_expr(a, max),
+            Expr::Binop(_, a, b) => {
+                in_expr(a, max);
+                in_expr(b, max);
+            }
+        }
+    }
+    fn in_com(c: &Com, max: &mut u32) {
+        match c {
+            Com::Skip | Com::AssertFalse | Com::Load(_, _) => {}
+            Com::Assume(e) | Com::Assign(_, e) | Com::Store(_, e) => in_expr(e, max),
+            Com::Cas(_, e1, e2) => {
+                in_expr(e1, max);
+                in_expr(e2, max);
+            }
+            Com::Seq(a, b) | Com::Choice(a, b) => {
+                in_com(a, max);
+                in_com(b, max);
+            }
+            Com::Star(b) => in_com(b, max),
+        }
+    }
+    let mut max = 0;
+    for p in std::iter::once(&sys.env).chain(sys.dis.iter()) {
+        in_com(p.com(), &mut max);
+    }
+    max
+}
+
+/// Every statement tree obtained from `c` by one local reduction:
+/// any subtree to `skip`, a `choice` to either branch, a `loop` to its
+/// body.
+fn com_variants(c: &Com) -> Vec<Com> {
+    let mut out = Vec::new();
+    if !matches!(c, Com::Skip) {
+        out.push(Com::Skip);
+    }
+    match c {
+        Com::Seq(a, b) => {
+            for v in com_variants(a) {
+                out.push(Com::Seq(Box::new(v), b.clone()));
+            }
+            for v in com_variants(b) {
+                out.push(Com::Seq(a.clone(), Box::new(v)));
+            }
+        }
+        Com::Choice(l, r) => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+            for v in com_variants(l) {
+                out.push(Com::Choice(Box::new(v), r.clone()));
+            }
+            for v in com_variants(r) {
+                out.push(Com::Choice(l.clone(), Box::new(v)));
+            }
+        }
+        Com::Star(b) => {
+            out.push((**b).clone());
+            for v in com_variants(b) {
+                out.push(Com::Star(Box::new(v)));
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Removes `skip` detritus left by subtree replacement: `skip; c → c`,
+/// `c; skip → c`, `loop { skip } → skip`, `choice` of two `skip`s →
+/// `skip`.
+fn cleanup(c: Com) -> Com {
+    match c {
+        Com::Seq(a, b) => match (cleanup(*a), cleanup(*b)) {
+            (Com::Skip, x) | (x, Com::Skip) => x,
+            (a, b) => Com::Seq(Box::new(a), Box::new(b)),
+        },
+        Com::Choice(l, r) => match (cleanup(*l), cleanup(*r)) {
+            (Com::Skip, Com::Skip) => Com::Skip,
+            (l, r) => Com::Choice(Box::new(l), Box::new(r)),
+        },
+        Com::Star(b) => match cleanup(*b) {
+            Com::Skip => Com::Skip,
+            b => Com::Star(Box::new(b)),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parra_program::builder::SystemBuilder;
+    use parra_program::ident::VarId;
+
+    /// A cluttered system whose "bug" is: some dis thread stores 1 to v0.
+    fn cluttered() -> ParamSystem {
+        let mut b = SystemBuilder::new(4);
+        let v0 = b.var("v0");
+        let v1 = b.var("v1");
+        let mut env = b.program("env");
+        let r = env.reg("r");
+        env.load(r, v1).store(v1, Expr::val(2)).assume_eq(r, 3);
+        let env = env.finish();
+        let mut d0 = b.program("d0");
+        d0.store(v1, Expr::val(3)).skip();
+        let d0 = d0.finish();
+        let mut d1 = b.program("d1");
+        let s = d1.reg("s");
+        d1.load(s, v1);
+        d1.if_then_else(
+            Expr::reg(s).eq(Expr::val(2)),
+            |d| {
+                d.store(v0, Expr::val(1));
+            },
+            |d| {
+                d.store(v0, Expr::val(2));
+            },
+        );
+        let d1 = d1.finish();
+        b.build(env, vec![d0, d1])
+    }
+
+    fn stores_one_to(sys: &ParamSystem, var: VarId) -> bool {
+        fn in_com(c: &Com, var: VarId) -> bool {
+            match c {
+                Com::Store(x, Expr::Const(v)) => *x == var && v.0 == 1,
+                Com::Seq(a, b) | Com::Choice(a, b) => in_com(a, var) || in_com(b, var),
+                Com::Star(b) => in_com(b, var),
+                _ => false,
+            }
+        }
+        sys.dis.iter().any(|p| in_com(p.com(), var))
+    }
+
+    #[test]
+    fn seeded_failure_shrinks_to_the_known_minimum() {
+        let sys = cluttered();
+        let v0 = VarId(sys.vars.lookup("v0").unwrap());
+        let shrinker = Shrinker::new(|s: &ParamSystem| stores_one_to(s, v0));
+        let result = shrinker.shrink(&sys);
+        assert!(result.steps > 0, "nothing was shrunk");
+        assert!(stores_one_to(&result.sys, v0), "shrinker lost the bug");
+        // Known minimum: empty env, one dis thread holding only `v0 := 1`,
+        // domain shrunk to {0, 1}.
+        assert_eq!(result.sys.env.com().instruction_count(), 0);
+        assert_eq!(result.sys.dis.len(), 1);
+        assert_eq!(result.sys.dis[0].com(), &Com::Store(v0, Expr::val(1)));
+        assert_eq!(result.sys.dom.size(), 2);
+    }
+
+    #[test]
+    fn passing_system_is_a_no_op() {
+        let sys = cluttered();
+        let shrinker = Shrinker::new(|_: &ParamSystem| false);
+        let result = shrinker.shrink(&sys);
+        assert_eq!(result.steps, 0);
+        assert_eq!(result.candidates_tried, 0);
+        assert_eq!(result.sys, sys);
+    }
+
+    #[test]
+    fn shrunk_system_is_a_fixpoint() {
+        let sys = cluttered();
+        let v0 = VarId(sys.vars.lookup("v0").unwrap());
+        let fails = |s: &ParamSystem| stores_one_to(s, v0);
+        let once = Shrinker::new(fails).shrink(&sys);
+        let twice = Shrinker::new(fails).shrink(&once.sys);
+        assert_eq!(twice.steps, 0, "shrinking was not idempotent");
+        assert_eq!(twice.sys, once.sys);
+    }
+}

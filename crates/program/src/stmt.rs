@@ -49,13 +49,23 @@ pub enum Com {
 impl Com {
     /// Sequential composition of any number of statements.
     /// `Com::seq([])` is `skip`.
+    ///
+    /// Nested `Seq` parts are flattened into the left fold, so the result
+    /// is always in the canonical left-associated shape the parser
+    /// produces for a statement list. This makes multi-statement derived
+    /// forms (notably the `await` desugaring, a `load; assume` pair)
+    /// structurally equal to their pretty-printed-and-reparsed selves.
     pub fn seq<I: IntoIterator<Item = Com>>(parts: I) -> Com {
-        let mut iter = parts.into_iter();
-        let first = match iter.next() {
-            Some(c) => c,
-            None => return Com::Skip,
-        };
-        iter.fold(first, |acc, c| Com::Seq(Box::new(acc), Box::new(c)))
+        fn append(acc: Option<Com>, c: Com) -> Option<Com> {
+            match c {
+                Com::Seq(a, b) => append(append(acc, *a), *b),
+                c => Some(match acc {
+                    None => c,
+                    Some(acc) => Com::Seq(Box::new(acc), Box::new(c)),
+                }),
+            }
+        }
+        parts.into_iter().fold(None, append).unwrap_or(Com::Skip)
     }
 
     /// Non-deterministic choice among any number of alternatives.
@@ -275,6 +285,27 @@ mod tests {
     fn derived_while_has_star() {
         let c = Com::while_loop(Expr::truth(), Com::Skip);
         assert!(c.has_star());
+    }
+
+    #[test]
+    fn seq_flattens_nested_seqs_into_the_left_fold() {
+        // seq([Store, Seq(Load, Assume)]) — the shape the await desugaring
+        // feeds into a statement list — must equal the flat left fold that
+        // reparsing the pretty-printed statements produces.
+        let nested = Com::seq([
+            Com::Store(x(), Expr::Const(Val(1))),
+            Com::seq([Com::Load(r(), x()), Com::Assume(Expr::truth())]),
+        ]);
+        let flat = Com::seq([
+            Com::Store(x(), Expr::Const(Val(1))),
+            Com::Load(r(), x()),
+            Com::Assume(Expr::truth()),
+        ]);
+        assert_eq!(nested, flat);
+        match &flat {
+            Com::Seq(a, _) => assert!(matches!(**a, Com::Seq(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

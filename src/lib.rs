@@ -23,6 +23,7 @@
 //! | [`litmus`] | the benchmark programs the paper classifies |
 //! | [`obs`] | zero-dependency metrics, spans, heartbeats, Chrome-trace emission |
 //! | [`search`] | deterministic parallel-search layer shared by the state-space engines |
+//! | [`fuzz`] | differential fuzzing: system generator, cross-engine oracles, shrinker, corpus |
 //!
 //! # Quickstart
 //!
@@ -60,6 +61,7 @@
 
 pub use parra_core as core;
 pub use parra_datalog as datalog;
+pub use parra_fuzz as fuzz;
 pub use parra_litmus as litmus;
 pub use parra_obs as obs;
 pub use parra_program as program;

@@ -6,6 +6,8 @@
 //!                          [--unroll N] [--all-engines] [--concretize]
 //!                          [--stats] [--json] [--trace-out FILE]
 //! parra print    <file.ra>
+//! parra fuzz     [--oracle NAME] [--seconds N | --cases N] [--seed N]
+//!                [--corpus DIR] [--minimize FILE] [--json]
 //! ```
 //!
 //! Input files use the `system { … }` syntax (see the README or
@@ -42,6 +44,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "classify" => classify(rest),
         "verify" => verify(rest),
         "print" => print_system(rest),
+        "fuzz" => fuzz(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -54,15 +57,32 @@ fn usage() -> String {
     "usage:\n  parra classify <file.ra>\n  parra verify <file.ra> \
      [--engine simplified|datalog|concrete] [--unroll N] [--all-engines] \
      [--concretize] [--threads N] [--stats] [--json] [--trace-out FILE]\n  \
-     parra print <file.ra>\n\nPARRA_LOG=off|summary|debug selects the \
-     logging level (--stats implies summary). --threads defaults to \
-     PARRA_THREADS or the machine's parallelism; reports are identical \
-     for every thread count."
+     parra print <file.ra>\n  parra fuzz [--oracle NAME] [--seconds N | \
+     --cases N] [--seed N] [--corpus DIR] [--minimize FILE] [--json]\n\n\
+     PARRA_LOG=off|summary|debug selects the logging level (--stats \
+     implies summary). --threads defaults to PARRA_THREADS or the \
+     machine's parallelism; reports are identical for every thread \
+     count.\n\nfuzz oracles: engines-agree, equivalence, \
+     thread-determinism, round-trip, monotonicity (default: all). A \
+     --seconds budget is a deterministic case target (seconds x the \
+     oracle's calibrated cases/sec), so repeated runs are identical; \
+     failures are minimized and, with --corpus DIR, saved as .ra files."
         .to_owned()
 }
 
 /// Flags whose next argument is a value, not the input path.
-const VALUE_FLAGS: &[&str] = &["--engine", "--unroll", "--trace-out", "--threads"];
+const VALUE_FLAGS: &[&str] = &[
+    "--engine",
+    "--unroll",
+    "--trace-out",
+    "--threads",
+    "--oracle",
+    "--seconds",
+    "--cases",
+    "--seed",
+    "--corpus",
+    "--minimize",
+];
 
 fn load(args: &[String]) -> Result<ParamSystem, String> {
     let mut path = None;
@@ -217,4 +237,118 @@ fn print_system(args: &[String]) -> Result<ExitCode, String> {
     let sys = load(args)?;
     print!("{}", parra::program::pretty::system_to_string(&sys));
     Ok(ExitCode::SUCCESS)
+}
+
+fn fuzz(args: &[String]) -> Result<ExitCode, String> {
+    use parra::fuzz::oracle::{all_oracles, oracle_by_name, Oracle, OracleOutcome};
+    use parra::fuzz::runner::{self, FuzzBudget, FuzzConfig, MinimizeOutcome};
+
+    let json = args.iter().any(|a| a == "--json");
+    let seed = flag_value(args, "--seed")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let cases = flag_value(args, "--cases")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--cases: {e}")))
+        .transpose()?;
+    let seconds = flag_value(args, "--seconds")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--seconds: {e}")))
+        .transpose()?;
+    let budget = match (cases, seconds) {
+        (Some(n), _) => FuzzBudget::Cases(n),
+        (None, Some(s)) => FuzzBudget::Seconds(s),
+        (None, None) => FuzzBudget::Seconds(1),
+    };
+    let corpus_dir = flag_value(args, "--corpus").map(std::path::PathBuf::from);
+    let oracles: Vec<Box<dyn Oracle>> = match flag_value(args, "--oracle").as_deref() {
+        None | Some("all") => all_oracles(),
+        Some(name) => vec![oracle_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown oracle `{name}` (expected one of: {}, or all)",
+                all_oracles()
+                    .iter()
+                    .map(|o| o.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?],
+    };
+
+    if let Some(path) = flag_value(args, "--minimize") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let sys = parse_system(&text).map_err(|e| format!("{path}: {e}"))?;
+        let mut any_failure = false;
+        for oracle in &oracles {
+            match runner::minimize(oracle.as_ref(), &sys) {
+                MinimizeOutcome::NotFailing(OracleOutcome::Pass) => {
+                    println!("[{}] passes; nothing to minimize", oracle.name());
+                }
+                MinimizeOutcome::NotFailing(OracleOutcome::Skip(why)) => {
+                    println!("[{}] skipped: {why}", oracle.name());
+                }
+                MinimizeOutcome::NotFailing(OracleOutcome::Fail(_)) => unreachable!(),
+                MinimizeOutcome::Minimized { message, result } => {
+                    any_failure = true;
+                    println!("[{}] FAIL: {message}", oracle.name());
+                    println!(
+                        "minimized in {} steps ({} candidates tried):",
+                        result.steps, result.candidates_tried
+                    );
+                    print!("{}", parra::program::pretty::system_to_string(&result.sys));
+                    if let Some(dir) = &corpus_dir {
+                        let saved = parra::fuzz::corpus::save(
+                            dir,
+                            oracle.name(),
+                            seed,
+                            &message,
+                            &result.sys,
+                        )
+                        .map_err(|e| format!("--corpus: {e}"))?;
+                        println!("saved to {}", saved.display());
+                    }
+                }
+            }
+        }
+        return Ok(if any_failure {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+
+    let rec = Recorder::from_env();
+    let cfg = FuzzConfig {
+        seed,
+        budget,
+        corpus_dir,
+    };
+    let mut any_failure = false;
+    for oracle in &oracles {
+        let summary = runner::run(oracle.as_ref(), &cfg, &rec);
+        any_failure |= !summary.failures.is_empty();
+        if json {
+            println!("{}", summary.to_json());
+        } else {
+            println!("{}", summary.render());
+            for f in &summary.failures {
+                println!("  seed {}: {}", f.seed, f.message);
+                println!(
+                    "  minimized ({} shrink steps, size {}):",
+                    f.shrink_steps, f.minimized_size
+                );
+                for line in parra::program::pretty::system_to_string(&f.minimized).lines() {
+                    println!("    {line}");
+                }
+                if let Some(path) = &f.saved_to {
+                    println!("  saved to {}", path.display());
+                }
+            }
+        }
+    }
+    Ok(if any_failure {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }

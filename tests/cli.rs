@@ -213,6 +213,104 @@ fn threads_flag_is_parsed_and_does_not_change_reports() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
 }
 
+/// `parra fuzz` with a fixed seed and case budget is bit-for-bit
+/// deterministic: two invocations print the same summary, and `--json`
+/// reports the same case/failure counts (wall-clock duration aside).
+#[test]
+fn fuzz_subcommand_is_deterministic_across_invocations() {
+    let run = || {
+        Command::new(BIN)
+            .args([
+                "fuzz",
+                "--oracle",
+                "engines-agree",
+                "--cases",
+                "25",
+                "--seed",
+                "7",
+            ])
+            .output()
+            .expect("binary runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    assert_eq!(a.stdout, b.stdout, "fuzz summary must be reproducible");
+    let line = String::from_utf8(a.stdout).unwrap();
+    assert!(
+        line.contains("oracle=engines-agree")
+            && line.contains("seed=7")
+            && line.contains("cases=25")
+            && line.contains("failures=0"),
+        "unexpected summary: {line}"
+    );
+
+    let out = Command::new(BIN)
+        .args([
+            "fuzz",
+            "--oracle",
+            "round-trip",
+            "--cases",
+            "10",
+            "--seed",
+            "3",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let v = json::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("stdout is one JSON object");
+    assert_eq!(v.get("oracle").unwrap().as_str(), Some("round-trip"));
+    assert_eq!(v.get("cases").unwrap().as_u64(), Some(10));
+    assert_eq!(v.get("failures").unwrap().as_u64(), Some(0));
+}
+
+/// `parra fuzz --minimize` on a passing corpus entry reports "nothing to
+/// minimize" per oracle and exits 0; an unknown oracle is a usage error.
+#[test]
+fn fuzz_minimize_and_oracle_flag_validation() {
+    let corpus_file = format!(
+        "{}/corpus/engines-agree-cas-mutex.ra",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let out = Command::new(BIN)
+        .args([
+            "fuzz",
+            "--oracle",
+            "engines-agree",
+            "--minimize",
+            &corpus_file,
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("passes; nothing to minimize"),
+        "stdout: {stdout}"
+    );
+
+    let out = Command::new(BIN)
+        .args(["fuzz", "--oracle", "no-such-oracle", "--cases", "1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(64));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown oracle"), "stderr: {err}");
+    assert!(err.contains("engines-agree"), "stderr: {err}");
+}
+
 #[test]
 fn stats_flag_prints_span_tree_and_metrics() {
     let out = Command::new(BIN)

@@ -2,112 +2,66 @@
 //! `makeP` Datalog encoding are two implementations of the same decision
 //! procedure (Theorem 3.4 + Theorem 4.1/Lemma 4.3) and must produce the
 //! same verdict on every system in the decidable class.
+//!
+//! Thin driver over `parra-fuzz`: generation lives in
+//! [`parra_fuzz::gen::SystemGen`], the property in
+//! [`parra_fuzz::oracle::EnginesAgree`] (verdict equality plus the
+//! bounded-concrete engine only ever strengthening to `Unsafe`). A
+//! failing seed is replayable with
+//! `parra fuzz --oracle engines-agree --seed <seed> --cases 1`.
 
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
-use parra_program::builder::SystemBuilder;
-use parra_program::expr::Expr;
-use parra_program::ident::VarId;
-use parra_program::system::ParamSystem;
+use parra_fuzz::gen::{GenConfig, SystemGen};
+use parra_fuzz::oracle::{EnginesAgree, Oracle, OracleOutcome};
 
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self, k: usize) -> usize {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
-        ((self.0 >> 33) as usize) % k.max(1)
-    }
-}
-
-fn random_system(seed: u64, allow_cas: bool, n_dis: usize) -> ParamSystem {
-    let mut rng = Lcg(seed);
-    let n_vars = 2u32;
-    let dom = 2u32;
-    let mut b = SystemBuilder::new(dom);
-    for i in 0..n_vars {
-        b.var(&format!("v{i}"));
-    }
-    let mut build_program = |name: &str, len: usize, cas: bool, with_assert: bool| {
-        let mut p = b.program(name);
-        let r0 = p.reg("r0");
-        for _ in 0..len {
-            let x = VarId(rng.next(n_vars as usize) as u32);
-            match rng.next(if cas { 5 } else { 4 }) {
-                0 => {
-                    p.load(r0, x);
-                }
-                1 => {
-                    let v = rng.next(dom as usize) as u32;
-                    p.store(x, Expr::val(v));
-                }
-                2 => {
-                    let v = rng.next(dom as usize) as u32;
-                    p.assume(Expr::reg(r0).eq(Expr::val(v)));
-                }
-                3 => {
-                    p.store(x, Expr::reg(r0));
-                }
-                _ => {
-                    let v1 = rng.next(dom as usize) as u32;
-                    let v2 = rng.next(dom as usize) as u32;
-                    p.cas(x, Expr::val(v1), Expr::val(v2));
-                }
+/// Checks `n` seeds of the family `cfg`. These families stay inside the
+/// decidable fragment with search limits never hit, so `Skip` fails
+/// loudly rather than silently shrinking coverage.
+fn sweep(cfg: GenConfig, n: u64, label: &str) {
+    let gen = SystemGen::new(cfg);
+    let oracle = EnginesAgree;
+    for seed in 0..n {
+        let case = gen.case(seed);
+        match oracle.check(&case.sys) {
+            OracleOutcome::Pass => {}
+            OracleOutcome::Skip(why) => {
+                panic!("{label}-{seed}: oracle skipped ({why}) — family out of spec")
             }
+            OracleOutcome::Fail(msg) => panic!(
+                "{label}-{seed}: {msg}\nsystem:\n{}",
+                parra_program::pretty::system_to_string(&case.sys)
+            ),
         }
-        if with_assert {
-            p.assert_false();
-        }
-        p.finish()
-    };
-    let env = build_program("env", 3, false, false);
-    let dis: Vec<_> = (0..n_dis)
-        .map(|i| build_program(&format!("d{i}"), 2, allow_cas, i == 0))
-        .collect();
-    b.build(env, dis)
-}
-
-fn check(sys: &ParamSystem, label: &str) {
-    let v = Verifier::new(sys, VerifierOptions::default()).expect("decidable class");
-    let r1 = v.run(Engine::SimplifiedReach);
-    let r2 = v.run(Engine::CacheDatalog);
-    assert_ne!(r1.verdict, Verdict::Unknown, "{label}: reach truncated");
-    assert_ne!(r2.verdict, Verdict::Unknown, "{label}: datalog truncated");
-    assert_eq!(
-        r1.verdict,
-        r2.verdict,
-        "{label}: engines disagree\nsystem:\n{}",
-        parra_program::pretty::system_to_string(sys)
-    );
-    // The concrete baseline may only strengthen Unsafe verdicts.
-    let r3 = v.run(Engine::BoundedConcrete);
-    if r3.verdict == Verdict::Unsafe {
-        assert_eq!(
-            r1.verdict,
-            Verdict::Unsafe,
-            "{label}: concrete found a bug the parameterized engines missed"
-        );
     }
 }
 
 #[test]
 fn random_cas_free_systems() {
-    for seed in 0..40 {
-        let sys = random_system(seed, false, 1);
-        check(&sys, &format!("nocas-{seed}"));
-    }
+    sweep(
+        GenConfig {
+            dis_cas: false,
+            ..GenConfig::agreement()
+        },
+        40,
+        "nocas",
+    );
 }
 
 #[test]
 fn random_cas_systems() {
-    for seed in 0..40 {
-        let sys = random_system(2000 + seed, true, 1);
-        check(&sys, &format!("cas-{seed}"));
-    }
+    sweep(GenConfig::agreement(), 40, "cas");
 }
 
 #[test]
 fn random_two_dis_systems() {
-    for seed in 0..25 {
-        let sys = random_system(9000 + seed, true, 2);
-        check(&sys, &format!("2dis-{seed}"));
-    }
+    // Straight-line env (no choice blocks): with two CAS-capable dis
+    // threads the product state space is already the expensive axis.
+    sweep(
+        GenConfig {
+            n_dis: 2,
+            env_choice: false,
+            ..GenConfig::agreement()
+        },
+        25,
+        "2dis",
+    );
 }

@@ -11,8 +11,7 @@
 //! Both directions are exercised on hand-picked corner systems and on a
 //! pseudo-random family of small programs.
 
-use parra_program::builder::{ProgramBuilder, SystemBuilder};
-use parra_program::expr::Expr;
+use parra_program::builder::SystemBuilder;
 use parra_program::ident::VarId;
 use parra_program::system::ParamSystem;
 use parra_program::value::Val;
@@ -289,115 +288,62 @@ fn env_chain_agrees() {
 }
 
 // ---------------------------------------------------------------------
-// Pseudo-random small systems
+// Pseudo-random small systems (thin driver over parra-fuzz)
 // ---------------------------------------------------------------------
 
-struct Lcg(u64);
+use parra_fuzz::gen::{GenConfig, SystemGen};
+use parra_fuzz::oracle::{Equivalence, Oracle, OracleOutcome};
 
-impl Lcg {
-    fn next(&mut self, k: usize) -> usize {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
-        ((self.0 >> 33) as usize) % k.max(1)
-    }
-}
-
-/// Generates a random straight-line program over `n_vars` variables and
-/// 2 registers, of `len` instructions; `allow_cas` gates CAS.
-#[allow(clippy::too_many_arguments)]
-fn random_program(
-    b: &SystemBuilder,
-    name: &str,
-    rng: &mut Lcg,
-    n_vars: u32,
-    dom: u32,
-    len: usize,
-    allow_cas: bool,
-    goal: Option<VarId>,
-) -> ProgramBuilder {
-    let mut p = b.program(name);
-    let r0 = p.reg("r0");
-    let r1 = p.reg("r1");
-    for _ in 0..len {
-        let x = VarId(rng.next(n_vars as usize) as u32);
-        let reg = if rng.next(2) == 0 { r0 } else { r1 };
-        match rng.next(if allow_cas { 6 } else { 5 }) {
-            0 => {
-                p.load(reg, x);
+/// Runs the Theorem 3.4 oracle over `n` seeds of the family `cfg`. The
+/// oracle's preconditions (loop-free dis, CAS-free env, non-truncated
+/// search) hold for every family used here, so a `Skip` is a test bug and
+/// fails loudly.
+fn sweep(cfg: GenConfig, n: u64, label: &str) {
+    let gen = SystemGen::new(cfg);
+    let oracle = Equivalence;
+    for seed in 0..n {
+        let case = gen.case(seed);
+        match oracle.check(&case.sys) {
+            OracleOutcome::Pass => {}
+            OracleOutcome::Skip(why) => {
+                panic!("{label}-{seed}: oracle skipped ({why}) — family out of spec")
             }
-            1 => {
-                let v = rng.next(dom as usize) as u32;
-                p.store(x, Expr::val(v));
-            }
-            2 => {
-                let v = rng.next(dom as usize) as u32;
-                p.assume(Expr::reg(reg).eq(Expr::val(v)));
-            }
-            3 => {
-                let v = rng.next(dom as usize) as u32;
-                p.assign(reg, Expr::val(v));
-            }
-            4 => {
-                p.store(x, Expr::reg(reg));
-            }
-            _ => {
-                let v1 = rng.next(dom as usize) as u32;
-                let v2 = rng.next(dom as usize) as u32;
-                p.cas(x, Expr::val(v1), Expr::val(v2));
-            }
+            OracleOutcome::Fail(msg) => panic!(
+                "{label}-{seed}: {msg}\nsystem:\n{}",
+                parra_program::pretty::system_to_string(&case.sys)
+            ),
         }
     }
-    if let Some(g) = goal {
-        p.store(g, Expr::val(1));
-    }
-    p
-}
-
-fn random_system(seed: u64, allow_cas: bool) -> (ParamSystem, VarId) {
-    let mut rng = Lcg(seed);
-    let n_vars = 2;
-    let dom = 3;
-    let mut b = SystemBuilder::new(dom);
-    for i in 0..n_vars {
-        b.var(&format!("v{i}"));
-    }
-    let goal = b.var("goal");
-    let env = random_program(&b, "env", &mut rng, n_vars, dom, 3, false, None).finish();
-    let d1 = random_program(&b, "d1", &mut rng, n_vars, dom, 3, allow_cas, Some(goal)).finish();
-    (b.build(env, vec![d1]), goal)
 }
 
 #[test]
 fn random_cas_free_systems_agree() {
-    for seed in 0..60 {
-        let (sys, goal) = random_system(seed, false);
-        check_agreement(&sys, goal, 3, &format!("random-nocas-{seed}"));
-    }
+    sweep(
+        GenConfig {
+            dis_cas: false,
+            ..GenConfig::equivalence()
+        },
+        60,
+        "random-nocas",
+    );
 }
 
 #[test]
 fn random_cas_systems_agree() {
-    for seed in 0..60 {
-        let (sys, goal) = random_system(1000 + seed, true);
-        check_agreement(&sys, goal, 3, &format!("random-cas-{seed}"));
-    }
+    sweep(GenConfig::equivalence(), 60, "random-cas");
 }
 
-/// Larger random sweeps with three-instruction env and two dis threads.
+/// Two dis threads over the boolean domain.
 #[test]
 fn random_two_dis_systems_agree() {
-    for seed in 0..40 {
-        let mut rng = Lcg(5000 + seed);
-        let n_vars = 2;
-        let dom = 2;
-        let mut b = SystemBuilder::new(dom);
-        for i in 0..n_vars {
-            b.var(&format!("v{i}"));
-        }
-        let goal = b.var("goal");
-        let env = random_program(&b, "env", &mut rng, n_vars, dom, 3, false, None).finish();
-        let d1 = random_program(&b, "d1", &mut rng, n_vars, dom, 2, true, Some(goal)).finish();
-        let d2 = random_program(&b, "d2", &mut rng, n_vars, dom, 2, true, None).finish();
-        let sys = b.build(env, vec![d1, d2]);
-        check_agreement(&sys, goal, 2, &format!("random-2dis-{seed}"));
-    }
+    sweep(
+        GenConfig {
+            dom: 2,
+            n_dis: 2,
+            dis_len: 2,
+            ..GenConfig::equivalence()
+        },
+        40,
+        "random-2dis",
+    );
 }
