@@ -7,7 +7,7 @@
 //! reaches an assertion violation (Section 4 of *"Parameterized
 //! Verification under Release Acquire is PSPACE-complete"*, PODC 2022).
 //!
-//! Three engines, cross-validating each other:
+//! Four engines, cross-validating each other:
 //!
 //! * [`Engine::SimplifiedReach`] — the direct decision procedure on the
 //!   simplified semantics (`parra-simplified`): saturation of the
@@ -18,6 +18,11 @@
 //!   `etp`, `dmp`, `dtpᵢ`), and evaluate the goal query with the
 //!   `parra-datalog` engine — reporting the cache-schedule peak that
 //!   realizes Lemma 4.4/4.6;
+//! * [`Engine::LinearDatalog`] — the same encoding taken through the
+//!   paper's full certificate route ([`witness`]): the winning guess is
+//!   re-evaluated with provenance, its Lemma 4.6 schedule is replayed
+//!   under the `⊢ₖ` Cache semantics, and (inside the ≤2-atom-body
+//!   fragment) cross-checked via the Lemma 4.2 cache→linear translation;
 //! * [`Engine::BoundedConcrete`] — the concrete-RA baseline
 //!   (`parra-ra`): explicit-state exploration of instances with growing
 //!   `env` counts; it can only ever return `Unsafe` or `Unknown` for a
@@ -29,6 +34,8 @@
 
 pub mod makep;
 pub mod verify;
+pub mod witness;
 
 pub use makep::{DisGuess, Guess, MakeP, MakePLimits};
 pub use verify::{ConcreteWitness, Engine, Verdict, VerificationResult, Verifier, VerifierOptions};
+pub use witness::{DatalogWitness, LinearCheck};

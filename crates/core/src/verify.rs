@@ -1,9 +1,10 @@
 //! The verifier facade: classification, goal transformation, engine
 //! orchestration, statistics, and the §4.3 thread-count bound.
 
-use crate::makep::{DatalogTarget, MakeP, MakePError, MakePLimits};
-use parra_datalog::cache::schedule_from_database;
+use crate::makep::{DatalogTarget, Guess, MakeP, MakePError, MakePLimits};
+use crate::witness::{self, LinearCheck};
 use parra_datalog::eval::Evaluator;
+use parra_datalog::plan::PlanCache;
 use parra_obs::json::ObjWriter;
 use parra_obs::{GaugeSnapshot, HistSnapshot, Recorder};
 use parra_program::classify::{Complexity, SystemClass};
@@ -29,6 +30,14 @@ pub enum Engine {
     /// evaluate queries. Exact for the decidable class; also reports the
     /// cache-schedule peak (Lemmas 4.4/4.6).
     CacheDatalog,
+    /// The `makeP` encoding with the full certificate route: the winning
+    /// guess's derivation is turned into a Lemma 4.6 cache schedule,
+    /// replayed under the `⊢ₖ` Cache semantics, and — where the program
+    /// falls in the ≤2-atom-body fragment — cross-checked through the
+    /// Lemma 4.2 cache→linear translation. Same verdicts as
+    /// [`Engine::CacheDatalog`], plus the certification notes and an
+    /// inference-step witness.
+    LinearDatalog,
     /// Bounded concrete-RA exploration of instances — an
     /// under-approximation: can prove `Unsafe`, never `Safe`.
     BoundedConcrete,
@@ -39,6 +48,7 @@ impl fmt::Display for Engine {
         let s = match self {
             Engine::SimplifiedReach => "simplified-reach",
             Engine::CacheDatalog => "cache-datalog",
+            Engine::LinearDatalog => "linear-datalog",
             Engine::BoundedConcrete => "bounded-concrete",
         };
         f.write_str(s)
@@ -281,6 +291,16 @@ impl fmt::Display for VerifierError {
 
 impl std::error::Error for VerifierError {}
 
+/// Aggregate outcome of the Datalog guess fleet.
+struct FleetOutcome {
+    /// Max rule count over the evaluated guess programs.
+    rules: usize,
+    /// Max derived-atom count over the evaluated guess databases.
+    atoms: usize,
+    /// Lowest-index guess whose query derived the goal.
+    winner: Option<usize>,
+}
+
 /// The verifier: owns the (goal-transformed) system and dispatches engines.
 #[derive(Debug, Clone)]
 pub struct Verifier {
@@ -382,6 +402,7 @@ impl Verifier {
             let r = match engine {
                 Engine::SimplifiedReach => self.run_simplified(&scope),
                 Engine::CacheDatalog => self.run_datalog(&scope),
+                Engine::LinearDatalog => self.run_linear(&scope),
                 Engine::BoundedConcrete => self.run_concrete(&scope),
             };
             span.arg_str("verdict", &r.verdict.to_string());
@@ -489,62 +510,60 @@ impl Verifier {
         }
     }
 
-    fn run_datalog(&self, rec: &Recorder) -> VerificationResult {
-        if let Some(r) = self.trivially_safe(Engine::CacheDatalog) {
-            return r;
-        }
+    /// Builds `makeP` and enumerates its guesses, mapping failures to an
+    /// `Unknown` result for `engine`.
+    fn makep_setup(
+        &self,
+        rec: &Recorder,
+        engine: Engine,
+    ) -> Result<(MakeP<'_>, Vec<Guess>), Box<VerificationResult>> {
+        let unknown = |note: String| {
+            Box::new(VerificationResult {
+                verdict: Verdict::Unknown,
+                engine,
+                stats: Stats::default(),
+                env_thread_bound: None,
+                witness_lines: vec![],
+                notes: vec![note],
+                report: RunReport::empty(engine),
+            })
+        };
         let sys = &self.goal.system;
-        let target = DatalogTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
         let mk = match MakeP::new(sys, self.budget.clone(), self.options.makep_limits) {
             Ok(mk) => mk.with_recorder(rec.clone()),
-            Err(e) => {
-                return VerificationResult {
-                    verdict: Verdict::Unknown,
-                    engine: Engine::CacheDatalog,
-                    stats: Stats::default(),
-                    env_thread_bound: None,
-                    witness_lines: vec![],
-                    notes: vec![format!("makeP not applicable: {e}")],
-                    report: RunReport::empty(Engine::CacheDatalog),
-                }
-            }
+            Err(e) => return Err(unknown(format!("makeP not applicable: {e}"))),
         };
         let guesses = match mk.guesses() {
             Ok(g) => g,
-            Err(e) => {
-                return VerificationResult {
-                    verdict: Verdict::Unknown,
-                    engine: Engine::CacheDatalog,
-                    stats: Stats::default(),
-                    env_thread_bound: None,
-                    witness_lines: vec![],
-                    notes: vec![format!("guess enumeration failed: {e}")],
-                    report: RunReport::empty(Engine::CacheDatalog),
-                }
-            }
+            Err(e) => return Err(unknown(format!("guess enumeration failed: {e}"))),
         };
-        let mut stats = Stats {
-            guesses: guesses.len(),
-            ..Stats::default()
-        };
+        Ok((mk, guesses))
+    }
 
-        // Guesses are independent query instances: evaluate them in
-        // parallel, stopping the fleet as soon as one derives the goal.
+    /// Evaluates every guess's Datalog query with provenance *off*,
+    /// racing the fleet and stopping as soon as one derives the goal.
+    /// Returns the max program/database sizes seen and the lowest-index
+    /// winning guess (`None` means every query completed without the
+    /// goal: `Safe`).
+    fn datalog_fleet(
+        &self,
+        rec: &Recorder,
+        mk: &MakeP,
+        guesses: &[Guess],
+        target: DatalogTarget,
+        cache: &std::sync::Mutex<PlanCache>,
+    ) -> FleetOutcome {
         let n_workers = self.options.threads.max(1);
-        struct GuessOutcome {
-            rules: usize,
-            atoms: usize,
-            cache_peak: Option<usize>,
-            occupancy: Vec<usize>,
-        }
+        // With a single guess there is no fleet to parallelize; hand the
+        // thread budget to the evaluator's delta batches instead.
+        let eval_threads = if guesses.len() <= 1 { n_workers } else { 1 };
         let found = std::sync::atomic::AtomicBool::new(false);
         let next = std::sync::atomic::AtomicUsize::new(0);
         let n_guesses = guesses.len();
-        let outcomes: Vec<GuessOutcome> = std::thread::scope(|scope| {
+        // Per-guess records: (guess index, rules, atoms, derived goal).
+        let records: Vec<(usize, usize, usize, bool)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
                 .map(|_| {
-                    let mk = &mk;
-                    let guesses = &guesses;
                     let found = &found;
                     let next = &next;
                     scope.spawn(move || {
@@ -559,48 +578,20 @@ impl Verifier {
                             }
                             rec.heartbeat(|| format!("datalog: guess {i}/{n_guesses}"));
                             let (prog, goal) = mk.program(&guesses[i], target);
-                            let db = Evaluator::new(&prog)
+                            // Guess programs share rule lists; the cache
+                            // hands every worker the same plan after the
+                            // first computes it.
+                            let plan = cache.lock().expect("plan cache poisoned").plan(&prog);
+                            let db = Evaluator::with_plan(&prog, plan)
                                 .with_recorder(rec.clone())
+                                .with_threads(eval_threads)
                                 .run_until(Some(&goal));
-                            let mut outcome = GuessOutcome {
-                                rules: prog.rules().len(),
-                                atoms: db.len(),
-                                cache_peak: None,
-                                occupancy: Vec::new(),
-                            };
-                            if db.contains(&goal) {
-                                // Lemma 4.6: read a bounded-cache schedule
-                                // off the derivation, counting intensional
-                                // atoms only.
-                                if let Some(schedule) = schedule_from_database(&db, &goal) {
-                                    let edb = MakeP::edb_predicates(&prog);
-                                    let mut cache = 0usize;
-                                    let mut peak = 0usize;
-                                    for step in &schedule.steps {
-                                        match step {
-                                            parra_datalog::cache::ScheduleStep::Add(a) => {
-                                                if !edb.contains(&a.pred) {
-                                                    cache += 1;
-                                                    peak = peak.max(cache);
-                                                }
-                                            }
-                                            parra_datalog::cache::ScheduleStep::Drop(a) => {
-                                                if !edb.contains(&a.pred) {
-                                                    cache -= 1;
-                                                }
-                                            }
-                                        }
-                                        outcome.occupancy.push(cache);
-                                    }
-                                    outcome.cache_peak = Some(peak);
-                                } else {
-                                    outcome.cache_peak = Some(0);
-                                }
+                            let won = db.contains(&goal);
+                            local.push((i, prog.rules().len(), db.len(), won));
+                            if won {
                                 found.store(true, std::sync::atomic::Ordering::Relaxed);
-                                local.push(outcome);
                                 break;
                             }
-                            local.push(outcome);
                         }
                         local
                     })
@@ -611,23 +602,57 @@ impl Verifier {
                 .flat_map(|h| h.join().expect("guess worker panicked"))
                 .collect()
         });
-
-        let mut verdict = Verdict::Safe;
-        let mut occupancy: Vec<u64> = Vec::new();
-        for o in &outcomes {
-            stats.datalog_rules = stats.datalog_rules.max(o.rules);
-            stats.datalog_atoms = stats.datalog_atoms.max(o.atoms);
-            if let Some(peak) = o.cache_peak {
-                stats.cache_peak = peak;
-                verdict = Verdict::Unsafe;
-                occupancy = o.occupancy.iter().map(|&c| c as u64).collect();
+        let mut out = FleetOutcome {
+            rules: 0,
+            atoms: 0,
+            winner: None,
+        };
+        for &(i, rules, atoms, won) in &records {
+            out.rules = out.rules.max(rules);
+            out.atoms = out.atoms.max(atoms);
+            if won {
+                out.winner = Some(out.winner.map_or(i, |w: usize| w.min(i)));
             }
         }
-        if !occupancy.is_empty() {
-            rec.record_series("cache_occupancy", occupancy.clone());
+        out
+    }
+
+    fn run_datalog(&self, rec: &Recorder) -> VerificationResult {
+        if let Some(r) = self.trivially_safe(Engine::CacheDatalog) {
+            return r;
         }
+        let target = DatalogTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
+        let (mk, guesses) = match self.makep_setup(rec, Engine::CacheDatalog) {
+            Ok(x) => x,
+            Err(r) => return *r,
+        };
+        let plan_cache = std::sync::Mutex::new(PlanCache::new());
+        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache);
+        let mut stats = Stats {
+            guesses: guesses.len(),
+            datalog_rules: fleet.rules,
+            datalog_atoms: fleet.atoms,
+            ..Stats::default()
+        };
         let mut report = RunReport::empty(Engine::CacheDatalog);
-        report.cache_occupancy = occupancy;
+        let mut verdict = Verdict::Safe;
+        if let Some(wi) = fleet.winner {
+            verdict = Verdict::Unsafe;
+            // Lemma 4.6: re-run only the winning guess with provenance on
+            // and read a bounded-cache schedule off its derivation,
+            // counting intensional atoms only.
+            let (prog, goal) = mk.program(&guesses[wi], target);
+            let plan = plan_cache.lock().expect("plan cache poisoned").plan(&prog);
+            if let Some(w) = witness::extract(&prog, &goal, rec, self.options.threads, Some(plan)) {
+                stats.cache_peak = w.peak_intensional;
+                stats.datalog_atoms = stats.datalog_atoms.max(w.atoms);
+                let occupancy: Vec<u64> = w.occupancy.iter().map(|&c| c as u64).collect();
+                if !occupancy.is_empty() {
+                    rec.record_series("cache_occupancy", occupancy.clone());
+                }
+                report.cache_occupancy = occupancy;
+            }
+        }
         VerificationResult {
             verdict,
             engine: Engine::CacheDatalog,
@@ -635,6 +660,87 @@ impl Verifier {
             env_thread_bound: None,
             witness_lines: vec![],
             notes: vec![],
+            report,
+        }
+    }
+
+    fn run_linear(&self, rec: &Recorder) -> VerificationResult {
+        if let Some(r) = self.trivially_safe(Engine::LinearDatalog) {
+            return r;
+        }
+        let target = DatalogTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
+        let (mk, guesses) = match self.makep_setup(rec, Engine::LinearDatalog) {
+            Ok(x) => x,
+            Err(r) => return *r,
+        };
+        let plan_cache = std::sync::Mutex::new(PlanCache::new());
+        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache);
+        let mut stats = Stats {
+            guesses: guesses.len(),
+            datalog_rules: fleet.rules,
+            datalog_atoms: fleet.atoms,
+            ..Stats::default()
+        };
+        let mut report = RunReport::empty(Engine::LinearDatalog);
+        let mut notes = Vec::new();
+        let mut witness_lines = Vec::new();
+        let mut verdict = Verdict::Safe;
+        if let Some(wi) = fleet.winner {
+            verdict = Verdict::Unsafe;
+            let (prog, goal) = mk.program(&guesses[wi], target);
+            let plan = plan_cache.lock().expect("plan cache poisoned").plan(&prog);
+            match witness::extract(&prog, &goal, rec, self.options.threads, Some(plan)) {
+                Some(w) => {
+                    stats.cache_peak = w.peak_intensional;
+                    stats.datalog_atoms = stats.datalog_atoms.max(w.atoms);
+                    let occupancy: Vec<u64> = w.occupancy.iter().map(|&c| c as u64).collect();
+                    if !occupancy.is_empty() {
+                        rec.record_series("cache_occupancy", occupancy.clone());
+                    }
+                    report.cache_occupancy = occupancy;
+                    if w.certified {
+                        notes.push(format!(
+                            "Lemma 4.6 schedule ({} steps) certified under ⊢ₖ with \
+                             k = {} (intensional peak {})",
+                            w.schedule.steps.len(),
+                            w.schedule.peak,
+                            w.peak_intensional,
+                        ));
+                    } else {
+                        notes.push(
+                            "certificate replay FAILED: the schedule does not re-derive \
+                             the goal under the Cache semantics (engine bug)"
+                                .into(),
+                        );
+                    }
+                    match w.linear_check {
+                        LinearCheck::Agrees => notes
+                            .push("Lemma 4.2 cache→linear translation re-derives the goal".into()),
+                        LinearCheck::Disagrees => notes.push(
+                            "Lemma 4.2 cross-check FAILED: the translated linear program \
+                             does not derive the goal (engine bug)"
+                                .into(),
+                        ),
+                        LinearCheck::OutsideFragment => notes.push(
+                            "Lemma 4.2 cross-check skipped: program outside the \
+                             ≤2-atom-body fragment"
+                                .into(),
+                        ),
+                    }
+                    witness_lines = witness::render_lines(&prog, &w, 64);
+                }
+                None => notes.push(
+                    "witness extraction failed: winning guess did not replay (engine bug)".into(),
+                ),
+            }
+        }
+        VerificationResult {
+            verdict,
+            engine: Engine::LinearDatalog,
+            stats,
+            env_thread_bound: None,
+            witness_lines,
+            notes,
             report,
         }
     }
@@ -826,6 +932,25 @@ mod tests {
         assert!(r2.stats.cache_peak >= 1);
         let r3 = v.run(Engine::BoundedConcrete);
         assert_eq!(r3.verdict, Verdict::Unsafe);
+        let r4 = v.run(Engine::LinearDatalog);
+        assert_eq!(r4.verdict, Verdict::Unsafe);
+        assert!(r4.stats.cache_peak >= 1);
+        assert!(
+            r4.notes.iter().any(|n| n.contains("certified under")),
+            "missing certification note: {:?}",
+            r4.notes
+        );
+        assert!(!r4.witness_lines.is_empty());
+        assert!(r4.witness_lines[0].starts_with("infer "));
+    }
+
+    #[test]
+    fn linear_engine_on_safe_handshake() {
+        let sys = handshake(true);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        let r = v.run(Engine::LinearDatalog);
+        assert_eq!(r.verdict, Verdict::Safe);
+        assert!(r.witness_lines.is_empty());
     }
 
     #[test]

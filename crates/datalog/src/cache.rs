@@ -52,7 +52,9 @@ pub struct CacheSchedule {
 ///
 /// Returns `None` if the goal is not derivable.
 pub fn cache_schedule(program: &Program, goal: &GroundAtom) -> Option<CacheSchedule> {
-    let db = Evaluator::new(program).run_until(Some(goal));
+    let db = Evaluator::new(program)
+        .with_provenance(true)
+        .run_until(Some(goal));
     schedule_from_database(&db, goal)
 }
 
@@ -62,6 +64,10 @@ pub fn cache_schedule(program: &Program, goal: &GroundAtom) -> Option<CacheSched
 /// dependencies just before the atom itself) and drops every atom at its
 /// last use — the register-allocation view of the paper's dependency-graph
 /// strategy.
+///
+/// Returns `None` if the goal was not derived or the database was computed
+/// without provenance (see
+/// [`Evaluator::with_provenance`](crate::eval::Evaluator::with_provenance)).
 pub fn schedule_from_database(db: &Database, goal: &GroundAtom) -> Option<CacheSchedule> {
     let cone = derivation_cone(db, goal)?;
     let goal_idx = db.index_of(goal)?;
@@ -106,7 +112,7 @@ pub fn schedule_from_database(db: &Database, goal: &GroundAtom) -> Option<CacheS
                 if !emitted.insert(i) {
                     continue;
                 }
-                steps.push(ScheduleStep::Add(db.atoms()[i].clone()));
+                steps.push(ScheduleStep::Add(db.ground(i)));
                 in_cache.insert(i);
                 occupancy.push(in_cache.len());
                 peak = peak.max(in_cache.len());
@@ -116,7 +122,7 @@ pub fn schedule_from_database(db: &Database, goal: &GroundAtom) -> Option<CacheS
                     let u = uses.get_mut(&b).expect("counted above");
                     *u -= 1;
                     if *u == 0 && b != goal_idx && in_cache.remove(&b) {
-                        steps.push(ScheduleStep::Drop(db.atoms()[b].clone()));
+                        steps.push(ScheduleStep::Drop(db.ground(b)));
                         occupancy.push(in_cache.len());
                     }
                 }

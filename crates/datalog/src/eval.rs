@@ -1,128 +1,289 @@
-//! Semi-naive bottom-up evaluation with derivation tracking.
+//! Indexed semi-naive bottom-up evaluation over an interned tuple arena.
 //!
-//! Computes the least model of a positive Datalog program. Each derived
-//! ground atom remembers one derivation (the rule and the body atoms used),
-//! which the Cache Datalog scheduler ([`cache`](crate::cache)) turns into a
-//! small-cache inference strategy (the paper's Lemma 4.6).
+//! Computes the least model of a positive Datalog program. The evaluation
+//! substrate is built for speed:
+//!
+//! * **Tuple arena** ([`arena::TupleStore`](crate::arena::TupleStore)) —
+//!   every derived ground tuple is interned once and handled by a `Copy`
+//!   [`AtomId`]; no `GroundAtom` is cloned on the insert path.
+//! * **Column-keyed join indices** — each rule body is solved following a
+//!   static [`Plan`](crate::plan::Plan); partially bound probes go through
+//!   a hash index keyed on the bound columns, built lazily per
+//!   (predicate, bound-column-set) and caught up incrementally from the
+//!   semi-naive deltas at the start of every round.
+//! * **Optional provenance** — derivation recording is a mode flag
+//!   ([`Evaluator::with_provenance`]); witness extraction
+//!   ([`cache::schedule_from_database`](crate::cache::schedule_from_database))
+//!   needs it, plain queries do not pay for it.
+//! * **Parallel delta batches** — each round's delta is expanded by
+//!   `parra-search`'s [`ordered_map`] and merged sequentially in delta
+//!   order, so the resulting database (and every statistic derived from
+//!   it) is byte-identical for every thread count
+//!   ([`Evaluator::with_threads`]).
+//!
+//! The pre-rewrite engine survives as [`naive`](crate::naive) and pins
+//! this one differentially (the `eval-agree` fuzz oracle).
 
-use crate::ast::{Atom, Const, GroundAtom, PredId, Program, Rule, Term};
+use crate::arena::{hash_key, AtomId, TupleStore};
+use crate::ast::{Const, GroundAtom, PredId, Program, Rule, Term};
+use crate::plan::{DeltaPlan, Plan, NO_SLOT};
 use parra_obs::{Counter, Recorder};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
-/// The set of derived ground atoms, with one recorded derivation each.
+/// Hasher for keys that are already well-mixed 64-bit hashes (the FNV
+/// digests produced by [`hash_key`]): a single multiply-xor finisher
+/// instead of SipHash. Probes are the evaluator's innermost loop.
+#[derive(Default)]
+pub struct PrehashedU64(u64);
+
+impl Hasher for PrehashedU64 {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PrehashedU64 only hashes u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // splitmix64-style finisher: cheap, and spreads FNV's
+        // low-entropy high bits into the low bits HashMap uses.
+        let mut z = n.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        self.0 = z;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PrehashedMap<V> = HashMap<u64, V, BuildHasherDefault<PrehashedU64>>;
+
+/// A hash index over one predicate keyed by a set of bound columns.
+/// Indices exist one per plan *slot* (see [`Plan::indices`]) and are
+/// addressed by slot id — no hash lookup decides which index a probe
+/// uses.
+#[derive(Debug, Clone)]
+struct ColumnIndex {
+    /// The indexed predicate.
+    pred: PredId,
+    /// The key columns, ascending.
+    cols: Vec<u8>,
+    /// Key hash → matching tuples, in insertion order. Hash collisions are
+    /// harmless: every candidate is re-verified against the pattern.
+    map: PrehashedMap<Vec<AtomId>>,
+    /// How many tuples of the predicate have been indexed (prefix of the
+    /// per-predicate list); the catch-up cursor.
+    upto: usize,
+}
+
+/// The set of derived ground atoms: an interned arena, per-predicate
+/// lists, lazily built join indices, and (optionally) one recorded
+/// derivation per atom.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    /// Atom → its index in `atoms`.
-    index: HashMap<GroundAtom, usize>,
-    /// All derived atoms in derivation order.
-    atoms: Vec<GroundAtom>,
-    /// For each atom: the rule index and the database indices of the body
-    /// atoms used to derive it first.
-    derivations: Vec<(usize, Vec<usize>)>,
-    /// Per-predicate index into `atoms` (join acceleration).
-    by_pred: HashMap<PredId, Vec<usize>>,
+    /// The tuple arena. [`AtomId`]s double as derivation-order indices.
+    store: TupleStore,
+    /// Tuples of each predicate in derivation order.
+    per_pred: Vec<Vec<AtomId>>,
+    /// For each atom, the rule index and the database indices of the body
+    /// atoms used to derive it first. `None` when evaluation ran without
+    /// provenance.
+    derivations: Option<Vec<(usize, Vec<usize>)>>,
+    /// Join indices in plan-slot order (see [`Plan::indices`]).
+    indices: Vec<ColumnIndex>,
 }
 
 impl Database {
+    fn new(n_preds: usize, provenance: bool, plan: &Plan) -> Database {
+        Database {
+            store: TupleStore::new(),
+            per_pred: vec![Vec::new(); n_preds],
+            derivations: provenance.then(Vec::new),
+            indices: plan
+                .indices()
+                .iter()
+                .map(|spec| ColumnIndex {
+                    pred: spec.pred,
+                    cols: spec.cols.clone(),
+                    map: PrehashedMap::default(),
+                    upto: 0,
+                })
+                .collect(),
+        }
+    }
+
     /// Whether `g` was derived.
     pub fn contains(&self, g: &GroundAtom) -> bool {
-        self.index.contains_key(g)
+        self.store.lookup(g.pred, &g.args).is_some()
     }
 
     /// Number of derived atoms.
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.store.len()
     }
 
     /// Whether nothing was derived.
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.store.is_empty()
     }
 
-    /// The derived atoms in derivation order.
-    pub fn atoms(&self) -> &[GroundAtom] {
-        &self.atoms
-    }
-
-    /// The database index of `g`, if derived.
+    /// The database index of `g`, if derived. Indices are derivation
+    /// order: index `i` is the `i`-th derived atom.
     pub fn index_of(&self, g: &GroundAtom) -> Option<usize> {
-        self.index.get(g).copied()
+        self.store.lookup(g.pred, &g.args).map(AtomId::index)
     }
 
-    /// The recorded derivation of the atom at `idx`: the rule index and the
-    /// indices of the body atoms used.
+    /// Materializes the atom at `idx` (cold paths: witnesses, display).
+    pub fn ground(&self, idx: usize) -> GroundAtom {
+        self.store.ground(AtomId(idx as u32))
+    }
+
+    /// The predicate of the atom at `idx`.
+    pub fn pred_of(&self, idx: usize) -> PredId {
+        self.store.pred(AtomId(idx as u32))
+    }
+
+    /// All derived atoms in derivation order, materialized.
+    pub fn iter(&self) -> impl Iterator<Item = GroundAtom> + '_ {
+        (0..self.len()).map(|i| self.ground(i))
+    }
+
+    /// The atoms of a predicate, in derivation order.
+    pub fn of_pred(&self, p: PredId) -> impl Iterator<Item = AtomId> + '_ {
+        self.per_pred
+            .get(p.0 as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+    }
+
+    /// Whether derivations were recorded (see
+    /// [`Evaluator::with_provenance`]).
+    pub fn has_provenance(&self) -> bool {
+        self.derivations.is_some()
+    }
+
+    /// The recorded derivation of the atom at `idx`: the rule index and
+    /// the database indices of the body atoms used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if evaluation ran without provenance.
     pub fn derivation(&self, idx: usize) -> (usize, &[usize]) {
-        let (r, ref body) = self.derivations[idx];
+        let derivations = self
+            .derivations
+            .as_ref()
+            .expect("derivations requested from a provenance-free evaluation");
+        let (r, ref body) = derivations[idx];
         (r, body)
     }
 
-    /// All atoms of a predicate.
-    pub fn of_pred(&self, p: PredId) -> impl Iterator<Item = &GroundAtom> {
-        self.atoms.iter().filter(move |a| a.pred == p)
+    /// The underlying tuple arena.
+    pub fn arena(&self) -> &TupleStore {
+        &self.store
     }
 
-    fn insert(&mut self, g: GroundAtom, rule: usize, body: Vec<usize>) -> Option<usize> {
-        if self.index.contains_key(&g) {
+    fn insert(
+        &mut self,
+        pred: PredId,
+        args: &[Const],
+        rule: usize,
+        body: Vec<usize>,
+    ) -> Option<AtomId> {
+        let (id, fresh) = self.store.intern(pred, args);
+        if !fresh {
             return None;
         }
-        let idx = self.atoms.len();
-        self.index.insert(g.clone(), idx);
-        self.by_pred.entry(g.pred).or_default().push(idx);
-        self.atoms.push(g);
-        self.derivations.push((rule, body));
-        Some(idx)
-    }
-}
-
-/// A variable substitution during rule matching.
-type Subst = HashMap<u32, Const>;
-
-/// The evaluator's hot-loop counters, passed by reference through the
-/// join recursion (near-no-ops when the recorder is disabled).
-struct JoinCounters<'a> {
-    fired: &'a Counter,
-    joins: &'a Counter,
-}
-
-fn match_atom(pattern: &Atom, ground: &GroundAtom, subst: &mut Subst) -> bool {
-    if pattern.pred != ground.pred || pattern.terms.len() != ground.args.len() {
-        return false;
-    }
-    let mut added: Vec<u32> = Vec::new();
-    for (t, c) in pattern.terms.iter().zip(&ground.args) {
-        let ok = match t {
-            Term::Const(k) => k == c,
-            Term::Var(v) => match subst.get(v) {
-                Some(bound) => bound == c,
-                None => {
-                    subst.insert(*v, *c);
-                    added.push(*v);
-                    true
-                }
-            },
-        };
-        if !ok {
-            for v in added {
-                subst.remove(&v);
-            }
-            return false;
+        self.per_pred[pred.0 as usize].push(id);
+        if let Some(d) = self.derivations.as_mut() {
+            d.push((rule, body));
         }
+        Some(id)
     }
-    true
+
+    /// Catches every index up with its predicate's tuple list; returns the
+    /// number of indices materialized for the first time (they saw their
+    /// first tuples).
+    fn catch_up_indices(&mut self) -> u64 {
+        let store = &self.store;
+        let mut built = 0u64;
+        let mut key: Vec<Const> = Vec::new();
+        for ix in &mut self.indices {
+            let list = &self.per_pred[ix.pred.0 as usize];
+            if ix.upto == list.len() {
+                continue;
+            }
+            if ix.upto == 0 {
+                built += 1;
+            }
+            for &id in &list[ix.upto..] {
+                key.clear();
+                let args = store.args(id);
+                for &c in &ix.cols {
+                    key.push(args[c as usize]);
+                }
+                ix.map.entry(hash_key(&key)).or_default().push(id);
+            }
+            ix.upto = list.len();
+        }
+        built
+    }
+
+    /// The candidates of an index probe (empty if the key has no tuples).
+    #[inline]
+    fn probe(&self, slot: u32, key_hash: u64) -> &[AtomId] {
+        self.indices[slot as usize]
+            .map
+            .get(&key_hash)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
 }
 
-fn instantiate(head: &Atom, subst: &Subst) -> GroundAtom {
-    GroundAtom {
-        pred: head.pred,
-        args: head
-            .terms
-            .iter()
-            .map(|t| match t {
-                Term::Const(c) => *c,
-                Term::Var(v) => *subst.get(v).expect("safe rule: head var bound"),
-            })
-            .collect(),
-    }
+/// A head tuple produced by a worker, merged sequentially.
+struct Derived {
+    rule: usize,
+    pred: PredId,
+    args: Vec<Const>,
+    /// Body atom indices in body order (empty when provenance is off).
+    body: Vec<usize>,
+}
+
+/// The evaluator's hot-loop counters (near-no-ops when the recorder is
+/// disabled).
+struct Counters {
+    fired: Counter,
+    joins: Counter,
+    index_builds: Counter,
+    index_hits: Counter,
+}
+
+/// Per-worker scratch for one delta item's rule firings. Kept in a
+/// thread-local so the `makeP` fleet (thousands of delta items across
+/// many small programs) allocates it once per worker thread, not once
+/// per delta item.
+#[derive(Default)]
+struct JoinScratch {
+    /// Variable bindings, indexed by variable id.
+    subst: Vec<Option<Const>>,
+    /// Bound-variable trail for backtracking.
+    trail: Vec<u32>,
+    /// The body atom (database index) matched at each body position.
+    used: Vec<usize>,
+    /// Instantiation buffer for keys, membership tests, and heads.
+    buf: Vec<Const>,
+}
+
+thread_local! {
+    /// The trail fully unwinds after every use, so `subst` is all-`None`
+    /// between delta items and the scratch can be shared across programs
+    /// (growing `subst` as larger plans come along).
+    static SCRATCH: std::cell::RefCell<JoinScratch> =
+        std::cell::RefCell::new(JoinScratch::default());
 }
 
 /// Bottom-up evaluator.
@@ -145,15 +306,33 @@ fn instantiate(head: &Atom, subst: &Subst) -> GroundAtom {
 #[derive(Debug)]
 pub struct Evaluator<'p> {
     program: &'p Program,
+    plan: Arc<Plan>,
     rec: Recorder,
+    provenance: bool,
+    threads: usize,
 }
 
 impl<'p> Evaluator<'p> {
-    /// Creates an evaluator for `program`.
+    /// Creates an evaluator for `program`. The join plan is computed here,
+    /// once; provenance is off and evaluation is sequential by default.
     pub fn new(program: &'p Program) -> Evaluator<'p> {
+        Evaluator::with_plan(program, Arc::new(Plan::new(program)))
+    }
+
+    /// Creates an evaluator reusing a precomputed plan — typically from a
+    /// [`PlanCache`](crate::plan::PlanCache), which shares one plan across
+    /// a whole guess fleet.
+    ///
+    /// `plan` must have been computed for a program with an identical rule
+    /// list (the cache guarantees this); plans reference rules by index
+    /// and body positions, so a mismatched plan derives wrong models.
+    pub fn with_plan(program: &'p Program, plan: Arc<Plan>) -> Evaluator<'p> {
         Evaluator {
             program,
+            plan,
             rec: Recorder::disabled(),
+            provenance: false,
+            threads: 1,
         }
     }
 
@@ -163,38 +342,62 @@ impl<'p> Evaluator<'p> {
         self
     }
 
+    /// Turns derivation recording on or off (off by default). Witness and
+    /// cache-schedule extraction need it; queries run faster without.
+    pub fn with_provenance(mut self, on: bool) -> Evaluator<'p> {
+        self.provenance = on;
+        self
+    }
+
+    /// Expands each semi-naive round's delta with `threads` workers. The
+    /// database is identical for every value: workers only produce
+    /// candidate tuples, and a sequential merge walking the delta in order
+    /// makes every insertion decision. `1` (the default) never spawns.
+    pub fn with_threads(mut self, threads: usize) -> Evaluator<'p> {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Computes the least model, stopping early if `stop_at` is derived.
     pub fn run_until(&self, stop_at: Option<&GroundAtom>) -> Database {
         let db = self.run_until_inner(stop_at);
-        // Per-predicate atom counts, keyed by predicate name so traces
-        // across guesses aggregate.
         if self.rec.is_enabled() {
-            let mut by_pred: HashMap<PredId, u64> = HashMap::new();
-            for a in db.atoms() {
-                *by_pred.entry(a.pred).or_default() += 1;
+            // Per-predicate atom counts, keyed by predicate name so traces
+            // across guesses aggregate.
+            for p in self.program.predicates() {
+                let n = db.of_pred(p).count() as u64;
+                if n > 0 {
+                    self.rec
+                        .counter(&format!("atoms/{}", self.program.pred_name(p)))
+                        .add(n);
+                }
             }
-            for (p, n) in by_pred {
-                self.rec
-                    .counter(&format!("atoms/{}", self.program.pred_name(p)))
-                    .add(n);
-            }
+            self.rec.gauge("arena_atoms").set(db.store.len() as u64);
+            self.rec
+                .gauge("arena_bytes")
+                .set(db.store.heap_bytes() as u64);
         }
         db
     }
 
     fn run_until_inner(&self, stop_at: Option<&GroundAtom>) -> Database {
-        let c_rules_fired = self.rec.counter("rules_fired");
-        let c_joins = self.rec.counter("join_attempts");
-        let mut db = Database::default();
-        let mut queue: VecDeque<usize> = VecDeque::new();
+        let counters = Counters {
+            fired: self.rec.counter("rules_fired"),
+            joins: self.rec.counter("join_attempts"),
+            index_builds: self.rec.counter("index_builds"),
+            index_hits: self.rec.counter("index_hits"),
+        };
+        let n_preds = self.program.predicates().count();
+        let mut db = Database::new(n_preds, self.provenance, &self.plan);
 
-        // Facts.
+        // Facts are the first delta.
+        let mut delta: Vec<AtomId> = Vec::new();
         for (ri, rule) in self.program.rules().iter().enumerate() {
             if rule.is_fact() {
                 let g = rule.head.to_ground();
-                if let Some(idx) = db.insert(g, ri, Vec::new()) {
-                    c_rules_fired.incr();
-                    queue.push_back(idx);
+                if let Some(id) = db.insert(g.pred, &g.args, ri, Vec::new()) {
+                    counters.fired.incr();
+                    delta.push(id);
                 }
             }
         }
@@ -204,45 +407,32 @@ impl<'p> Evaluator<'p> {
             }
         }
 
-        // Index rules by the predicates occurring in their bodies.
-        let mut by_body_pred: HashMap<PredId, Vec<(usize, usize)>> = HashMap::new();
-        for (ri, rule) in self.program.rules().iter().enumerate() {
-            for (bi, atom) in rule.body.iter().enumerate() {
-                by_body_pred.entry(atom.pred).or_default().push((ri, bi));
-            }
-        }
-
-        // Semi-naive: each new atom is matched as the "delta" occurrence.
-        while let Some(new_idx) = queue.pop_front() {
-            let new_atom = db.atoms[new_idx].clone();
-            let Some(uses) = by_body_pred.get(&new_atom.pred) else {
-                continue;
-            };
-            for &(ri, bi) in uses.clone().iter() {
-                let rule = &self.program.rules()[ri];
-                let mut subst = Subst::new();
-                c_joins.incr();
-                if !match_atom(&rule.body[bi], &new_atom, &mut subst) {
-                    continue;
-                }
-                let mut used = vec![0usize; rule.body.len()];
-                used[bi] = new_idx;
-                let ctx = JoinCounters {
-                    fired: &c_rules_fired,
-                    joins: &c_joins,
-                };
-                if self.join_rest(
-                    rule, ri, bi, 0, &mut subst, &mut used, &mut db, &mut queue, stop_at, &ctx,
-                ) && stop_at.is_some()
+        // Round-based semi-naive: expand the delta (in parallel), merge the
+        // candidate tuples sequentially in delta order. Indices catch up
+        // with the previous round's insertions first, so the workers only
+        // ever read them. The (body predicate → rule occurrence) table
+        // driving the expansion lives in the plan ([`Plan::uses`]).
+        while !delta.is_empty() {
+            counters.index_builds.add(db.catch_up_indices());
+            let batches: Vec<Vec<Derived>> =
+                parra_search::ordered_map(self.threads.min(delta.len()), &delta, |_w, _i, &d| {
+                    self.derive_from(&db, d, &counters)
+                });
+            let mut next_delta = Vec::new();
+            for derived in batches.into_iter().flatten() {
+                let hit = stop_at
+                    .map(|g| g.pred == derived.pred && g.args[..] == derived.args[..])
+                    .unwrap_or(false);
+                if let Some(id) = db.insert(derived.pred, &derived.args, derived.rule, derived.body)
                 {
-                    return db;
+                    counters.fired.incr();
+                    next_delta.push(id);
+                    if hit {
+                        return db;
+                    }
                 }
             }
-            if let Some(goal) = stop_at {
-                if db.contains(goal) {
-                    return db;
-                }
-            }
+            delta = next_delta;
         }
         db
     }
@@ -257,84 +447,178 @@ impl<'p> Evaluator<'p> {
         self.run_until(Some(goal)).contains(goal)
     }
 
-    /// Joins the remaining body atoms (all but `skip`) against the
-    /// database; returns true if the goal was derived.
-    #[allow(clippy::too_many_arguments)]
-    fn join_rest(
+    /// All rule firings in which the delta atom `d` participates (at every
+    /// body position of its predicate). Read-only over `db`.
+    fn derive_from(&self, db: &Database, d: AtomId, counters: &Counters) -> Vec<Derived> {
+        let pred = db.store.pred(d);
+        let uses = self.plan.uses(pred);
+        let mut out = Vec::new();
+        if uses.is_empty() {
+            return out;
+        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            // The trail fully unwinds between uses, so `subst` only ever
+            // needs growing, never clearing.
+            if scratch.subst.len() < self.plan.max_vars() {
+                scratch.subst.resize(self.plan.max_vars(), None);
+            }
+            'uses: for &(ri, bi) in uses {
+                let (ri, bi) = (ri as usize, bi as usize);
+                let rule = &self.program.rules()[ri];
+                let plans = self.plan.rule(ri);
+                // A rule with an empty body relation cannot fire: skip it
+                // before any matching work.
+                for p in &plans.body_preds {
+                    if db.per_pred[p.0 as usize].is_empty() {
+                        continue 'uses;
+                    }
+                }
+                scratch.used.clear();
+                scratch.used.resize(rule.body.len(), 0);
+                counters.joins.incr();
+                if self.match_pattern(db, &rule.body[bi], d, scratch) {
+                    scratch.used[bi] = d.index();
+                    let body = self.plan.body_plan(plans.body_plan);
+                    let dp = &body.per_delta[bi];
+                    let slots = &plans.slots[body.slot_offset(bi)..][..dp.steps.len()];
+                    self.join_steps(db, rule, ri, dp, slots, 0, scratch, &mut out, counters);
+                }
+                unwind(scratch, 0);
+            }
+        });
+        out
+    }
+
+    /// Matches `pattern` against the stored tuple `id`, extending the
+    /// substitution (bindings land on the trail).
+    fn match_pattern(
         &self,
+        db: &Database,
+        pattern: &crate::ast::Atom,
+        id: AtomId,
+        scratch: &mut JoinScratch,
+    ) -> bool {
+        if db.store.pred(id) != pattern.pred {
+            return false;
+        }
+        let args = db.store.args(id);
+        let mark = scratch.trail.len();
+        for (t, c) in pattern.terms.iter().zip(args) {
+            let ok = match t {
+                Term::Const(k) => k == c,
+                Term::Var(v) => match scratch.subst[*v as usize] {
+                    Some(bound) => bound == *c,
+                    None => {
+                        scratch.subst[*v as usize] = Some(*c);
+                        scratch.trail.push(*v);
+                        true
+                    }
+                },
+            };
+            if !ok {
+                unwind(scratch, mark);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Solves plan steps `si..`, emitting a head tuple per full match.
+    #[allow(clippy::too_many_arguments)]
+    fn join_steps(
+        &self,
+        db: &Database,
         rule: &Rule,
         ri: usize,
-        skip: usize,
-        from: usize,
-        subst: &mut Subst,
-        used: &mut Vec<usize>,
-        db: &mut Database,
-        queue: &mut VecDeque<usize>,
-        stop_at: Option<&GroundAtom>,
-        counters: &JoinCounters<'_>,
-    ) -> bool {
-        // Find the next body index to solve.
-        let mut next = from;
-        if next == skip {
-            next += 1;
-        }
-        if next >= rule.body.len() {
-            let g = instantiate(&rule.head, subst);
-            let hit = stop_at.map(|s| *s == g).unwrap_or(false);
-            if let Some(idx) = db.insert(g, ri, used.clone()) {
-                counters.fired.incr();
-                queue.push_back(idx);
+        dp: &DeltaPlan,
+        slots: &[u32],
+        si: usize,
+        scratch: &mut JoinScratch,
+        out: &mut Vec<Derived>,
+        counters: &Counters,
+    ) {
+        if si == dp.steps.len() {
+            scratch.buf.clear();
+            for t in &rule.head.terms {
+                scratch.buf.push(match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => scratch.subst[*v as usize].expect("safe rule: head var bound"),
+                });
             }
-            return hit;
+            out.push(Derived {
+                rule: ri,
+                pred: rule.head.pred,
+                args: scratch.buf.clone(),
+                body: if self.provenance {
+                    scratch.used.clone()
+                } else {
+                    Vec::new()
+                },
+            });
+            return;
         }
-        let pattern = &rule.body[next];
-        // Snapshot of the per-predicate candidates: atoms added during
-        // this join are matched later via their own delta turn.
-        let candidates: Vec<usize> = db.by_pred.get(&pattern.pred).cloned().unwrap_or_default();
-        for idx in candidates {
-            let ground = db.atoms[idx].clone();
-            let before: Vec<(u32, Option<Const>)> = pattern
-                .variables()
-                .into_iter()
-                .map(|v| (v, subst.get(&v).copied()))
-                .collect();
+        let step = &dp.steps[si];
+        let pattern = &rule.body[step.pos];
+        if step.fully_bound {
+            // Membership test on the arena.
+            scratch.buf.clear();
+            for t in &pattern.terms {
+                scratch.buf.push(match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => scratch.subst[*v as usize].expect("planner: bound"),
+                });
+            }
             counters.joins.incr();
-            if match_atom(pattern, &ground, subst) {
-                used[next] = idx;
-                if self.join_rest(
-                    rule,
-                    ri,
-                    skip,
-                    next + 1,
-                    subst,
-                    used,
-                    db,
-                    queue,
-                    stop_at,
-                    counters,
-                ) {
-                    return true;
-                }
+            if let Some(id) = db.store.lookup(pattern.pred, &scratch.buf) {
+                scratch.used[step.pos] = id.index();
+                self.join_steps(db, rule, ri, dp, slots, si + 1, scratch, out, counters);
             }
-            // Restore bindings introduced by this match.
-            for (v, old) in before {
-                match old {
-                    Some(c) => {
-                        subst.insert(v, c);
-                    }
-                    None => {
-                        subst.remove(&v);
-                    }
-                }
+            return;
+        }
+        // Candidate enumeration: an index probe on the bound columns when
+        // possible, otherwise the full per-predicate list.
+        let slot = slots[si];
+        let candidates: &[AtomId] = if slot != NO_SLOT {
+            scratch.buf.clear();
+            for &c in &step.cols {
+                scratch.buf.push(match &pattern.terms[c as usize] {
+                    Term::Const(k) => *k,
+                    Term::Var(v) => scratch.subst[*v as usize].expect("planner: bound col"),
+                });
+            }
+            counters.index_hits.incr();
+            db.probe(slot, hash_key(&scratch.buf))
+        } else {
+            &db.per_pred[pattern.pred.0 as usize]
+        };
+        for &id in candidates {
+            counters.joins.incr();
+            let mark = scratch.trail.len();
+            if self.match_pattern(db, pattern, id, scratch) {
+                scratch.used[step.pos] = id.index();
+                self.join_steps(db, rule, ri, dp, slots, si + 1, scratch, out, counters);
+                unwind(scratch, mark);
             }
         }
-        false
+    }
+}
+
+/// Pops trail entries down to `mark`, unbinding their variables.
+fn unwind(scratch: &mut JoinScratch, mark: usize) {
+    while scratch.trail.len() > mark {
+        let v = scratch.trail.pop().expect("trail len checked");
+        scratch.subst[v as usize] = None;
     }
 }
 
 /// The set of ground atoms needed for `goal`'s recorded derivation — the
-/// derivation DAG unwound from the goal.
+/// derivation DAG unwound from the goal. `None` if the goal was not
+/// derived or the database has no provenance.
 pub fn derivation_cone(db: &Database, goal: &GroundAtom) -> Option<HashSet<usize>> {
+    if !db.has_provenance() {
+        return None;
+    }
     let root = db.index_of(goal)?;
     let mut cone = HashSet::new();
     let mut stack = vec![root];
@@ -350,7 +634,8 @@ pub fn derivation_cone(db: &Database, goal: &GroundAtom) -> Option<HashSet<usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::Term;
+    use crate::ast::{Atom, Term};
+    use crate::naive::NaiveEvaluator;
 
     /// Transitive closure over a path a → b → c → d.
     fn tc_program() -> (Program, PredId, Vec<Const>) {
@@ -383,8 +668,7 @@ mod tests {
         let (p, path, c) = tc_program();
         let db = Evaluator::new(&p).run();
         // paths: all i < j pairs: 6.
-        let n_paths = db.of_pred(path).count();
-        assert_eq!(n_paths, 6);
+        assert_eq!(db.of_pred(path).count(), 6);
         assert!(db.contains(&GroundAtom::new(path, vec![c[0], c[3]])));
         assert!(!db.contains(&GroundAtom::new(path, vec![c[3], c[0]])));
     }
@@ -399,24 +683,27 @@ mod tests {
     }
 
     #[test]
-    fn derivations_are_recorded() {
+    fn derivations_recorded_when_provenance_on() {
         let (p, path, c) = tc_program();
-        let db = Evaluator::new(&p).run();
+        let db = Evaluator::new(&p).with_provenance(true).run();
+        assert!(db.has_provenance());
         let goal = GroundAtom::new(path, vec![c[0], c[3]]);
         let idx = db.index_of(&goal).unwrap();
         let (_rule, body) = db.derivation(idx);
         assert!(!body.is_empty());
-        // The derivation cone contains the goal, a path prefix, and edges.
         let cone = derivation_cone(&db, &goal).unwrap();
         assert!(cone.len() >= 4);
+        // Facts have empty derivations.
+        let (_, fact_body) = db.derivation(0);
+        assert!(fact_body.is_empty());
     }
 
     #[test]
-    fn facts_have_empty_derivations() {
-        let (p, _path, _c) = tc_program();
+    fn provenance_off_by_default() {
+        let (p, path, c) = tc_program();
         let db = Evaluator::new(&p).run();
-        let (_, body) = db.derivation(0);
-        assert!(body.is_empty());
+        assert!(!db.has_provenance());
+        assert!(derivation_cone(&db, &GroundAtom::new(path, vec![c[0], c[3]])).is_none());
     }
 
     /// Rule bodies with repeated variables filter correctly.
@@ -483,5 +770,115 @@ mod tests {
         let db = Evaluator::new(&p).run();
         assert!(db.contains(&GroundAtom::new(from_a, vec![b])));
         assert!(!db.contains(&GroundAtom::new(from_a, vec![c])));
+    }
+
+    /// The database is byte-identical for every thread count.
+    #[test]
+    fn threads_do_not_change_the_database() {
+        let mut p = Program::new();
+        let e = p.predicate("e", 2);
+        let path = p.predicate("path", 2);
+        let n = 12u32;
+        let consts: Vec<Const> = (0..n).map(|i| p.constant(&format!("v{i}"))).collect();
+        for i in 0..n as usize {
+            for j in 0..n as usize {
+                if (i + 2 * j) % 3 == 0 && i != j {
+                    p.fact(e, vec![consts[i], consts[j]]).unwrap();
+                }
+            }
+        }
+        p.rule(
+            Atom::new(path, vec![Term::Var(0), Term::Var(1)]),
+            vec![Atom::new(e, vec![Term::Var(0), Term::Var(1)])],
+        )
+        .unwrap();
+        p.rule(
+            Atom::new(path, vec![Term::Var(0), Term::Var(2)]),
+            vec![
+                Atom::new(path, vec![Term::Var(0), Term::Var(1)]),
+                Atom::new(e, vec![Term::Var(1), Term::Var(2)]),
+            ],
+        )
+        .unwrap();
+        let base = Evaluator::new(&p).with_provenance(true).run();
+        let base_atoms: Vec<GroundAtom> = base.iter().collect();
+        for threads in [2, 4, 7] {
+            let db = Evaluator::new(&p)
+                .with_provenance(true)
+                .with_threads(threads)
+                .run();
+            assert_eq!(db.len(), base.len(), "threads={threads}");
+            let atoms: Vec<GroundAtom> = db.iter().collect();
+            assert_eq!(atoms, base_atoms, "threads={threads}");
+            for i in 0..db.len() {
+                assert_eq!(db.derivation(i), base.derivation(i), "threads={threads}");
+            }
+        }
+    }
+
+    /// The optimized engine agrees with the naive reference on a model
+    /// large enough to exercise indices and multiple rounds.
+    #[test]
+    fn agrees_with_naive_reference() {
+        let mut p = Program::new();
+        let e = p.predicate("e", 2);
+        let path = p.predicate("path", 2);
+        let meet = p.predicate("meet", 2);
+        let n = 9u32;
+        let consts: Vec<Const> = (0..n).map(|i| p.constant(&format!("u{i}"))).collect();
+        for i in 0..n as usize {
+            let j = (i * 5 + 1) % n as usize;
+            if i != j {
+                p.fact(e, vec![consts[i], consts[j]]).unwrap();
+            }
+        }
+        p.rule(
+            Atom::new(path, vec![Term::Var(0), Term::Var(1)]),
+            vec![Atom::new(e, vec![Term::Var(0), Term::Var(1)])],
+        )
+        .unwrap();
+        p.rule(
+            Atom::new(path, vec![Term::Var(0), Term::Var(2)]),
+            vec![
+                Atom::new(path, vec![Term::Var(0), Term::Var(1)]),
+                Atom::new(e, vec![Term::Var(1), Term::Var(2)]),
+            ],
+        )
+        .unwrap();
+        p.rule(
+            Atom::new(meet, vec![Term::Var(1), Term::Var(2)]),
+            vec![
+                Atom::new(path, vec![Term::Var(0), Term::Var(1)]),
+                Atom::new(path, vec![Term::Var(0), Term::Var(2)]),
+            ],
+        )
+        .unwrap();
+        let fast = Evaluator::new(&p).run();
+        let slow = NaiveEvaluator::new(&p).run();
+        assert_eq!(fast.len(), slow.len());
+        for g in slow.atoms() {
+            assert!(fast.contains(g), "missing {g:?}");
+        }
+    }
+
+    /// Index metrics are emitted when a recorder is attached.
+    #[test]
+    fn index_counters_recorded() {
+        let (p, path, c) = tc_program();
+        let rec = Recorder::enabled(parra_obs::Level::Summary);
+        let db = Evaluator::new(&p)
+            .with_recorder(rec.clone())
+            .run_until(Some(&GroundAtom::new(path, vec![c[0], c[3]])));
+        assert!(!db.is_empty());
+        let snap = rec.snapshot();
+        let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        assert!(get("rules_fired") > 0);
+        assert!(get("join_attempts") > 0);
+        assert!(
+            get("index_builds") > 0,
+            "recursive rule must build an index"
+        );
+        assert!(get("index_hits") > 0);
+        assert!(snap.gauges.contains_key("arena_atoms"));
     }
 }

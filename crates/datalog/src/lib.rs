@@ -16,8 +16,12 @@
 //!
 //! * [`ast`] — predicates, terms, atoms, rules, programs (with safety and
 //!   arity validation) and a text [`parser`];
-//! * [`eval`] — semi-naive bottom-up evaluation with derivation tracking
-//!   (`Prog ⊢ g` for arbitrary positive Datalog);
+//! * [`eval`] — indexed semi-naive bottom-up evaluation (`Prog ⊢ g` for
+//!   arbitrary positive Datalog): an interned tuple [`arena`],
+//!   column-keyed join indices driven by a static join [`plan`], optional
+//!   provenance, and deterministic parallel delta batches;
+//! * [`naive`] — the unindexed reference evaluator the optimized engine is
+//!   differentially pinned against (fuzzing, benchmarks);
 //! * [`linear`] — the linear-Datalog fragment check and a worklist
 //!   evaluator exploiting linearity;
 //! * [`cache`] — Cache Datalog: bounded-cache provability `Prog ⊢ₖ g`
@@ -27,16 +31,22 @@
 //!   program with cache bound `k` into an equivalent linear Datalog
 //!   program.
 
+pub mod arena;
 pub mod ast;
 pub mod cache;
 pub mod eval;
 pub mod linear;
+pub mod naive;
 pub mod parser;
+pub mod plan;
 pub mod specialize;
 pub mod translate;
 
+pub use arena::{AtomId, TupleStore};
 pub use ast::{Atom, Const, GroundAtom, PredId, Program, Rule, Term};
 pub use cache::{cache_schedule, prove_with_cache, CacheSchedule};
 pub use eval::{Database, Evaluator};
 pub use linear::{is_linear, LinearEvaluator};
+pub use naive::NaiveEvaluator;
+pub use plan::PlanCache;
 pub use translate::cache_to_linear;

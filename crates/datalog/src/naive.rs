@@ -1,0 +1,325 @@
+//! The reference evaluator: unindexed semi-naive evaluation.
+//!
+//! This is the pre-rewrite evaluation engine, kept verbatim as a simple,
+//! obviously-correct oracle. The optimized [`Evaluator`](crate::eval::Evaluator)
+//! is pinned against it by the `eval-agree` fuzz oracle and the before/after
+//! benchmarks: joins scan the whole per-predicate bucket, every derived
+//! atom is cloned into a `HashMap`, and provenance is always recorded.
+//! It should never be used on a hot path.
+
+use crate::ast::{Atom, Const, GroundAtom, PredId, Program, Rule, Term};
+use std::collections::{HashMap, VecDeque};
+
+/// The set of derived ground atoms, with one recorded derivation each.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveDatabase {
+    /// Atom → its index in `atoms`.
+    index: HashMap<GroundAtom, usize>,
+    /// All derived atoms in derivation order.
+    atoms: Vec<GroundAtom>,
+    /// For each atom: the rule index and the database indices of the body
+    /// atoms used to derive it first.
+    derivations: Vec<(usize, Vec<usize>)>,
+    /// Per-predicate index into `atoms`.
+    by_pred: HashMap<PredId, Vec<usize>>,
+}
+
+impl NaiveDatabase {
+    /// Whether `g` was derived.
+    pub fn contains(&self, g: &GroundAtom) -> bool {
+        self.index.contains_key(g)
+    }
+
+    /// Number of derived atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether nothing was derived.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The derived atoms in derivation order.
+    pub fn atoms(&self) -> &[GroundAtom] {
+        &self.atoms
+    }
+
+    /// The recorded derivation of the atom at `idx`.
+    pub fn derivation(&self, idx: usize) -> (usize, &[usize]) {
+        let (r, ref body) = self.derivations[idx];
+        (r, body)
+    }
+
+    fn insert(&mut self, g: GroundAtom, rule: usize, body: Vec<usize>) -> Option<usize> {
+        if self.index.contains_key(&g) {
+            return None;
+        }
+        let idx = self.atoms.len();
+        self.index.insert(g.clone(), idx);
+        self.by_pred.entry(g.pred).or_default().push(idx);
+        self.atoms.push(g);
+        self.derivations.push((rule, body));
+        Some(idx)
+    }
+}
+
+/// A variable substitution during rule matching.
+type Subst = HashMap<u32, Const>;
+
+fn match_atom(pattern: &Atom, ground: &GroundAtom, subst: &mut Subst) -> bool {
+    if pattern.pred != ground.pred || pattern.terms.len() != ground.args.len() {
+        return false;
+    }
+    let mut added: Vec<u32> = Vec::new();
+    for (t, c) in pattern.terms.iter().zip(&ground.args) {
+        let ok = match t {
+            Term::Const(k) => k == c,
+            Term::Var(v) => match subst.get(v) {
+                Some(bound) => bound == c,
+                None => {
+                    subst.insert(*v, *c);
+                    added.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in added {
+                subst.remove(&v);
+            }
+            return false;
+        }
+    }
+    true
+}
+
+fn instantiate(head: &Atom, subst: &Subst) -> GroundAtom {
+    GroundAtom {
+        pred: head.pred,
+        args: head
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => *subst.get(v).expect("safe rule: head var bound"),
+            })
+            .collect(),
+    }
+}
+
+/// The reference bottom-up evaluator.
+///
+/// # Example
+///
+/// ```
+/// use parra_datalog::naive::NaiveEvaluator;
+/// use parra_datalog::parser::{parse_ground_atom, parse_program};
+///
+/// let mut prog = parse_program(
+///     "edge(a, b). edge(b, c).
+///      path(X, Y) :- edge(X, Y).
+///      path(X, Z) :- path(X, Y), edge(Y, Z).",
+/// )?;
+/// let goal = parse_ground_atom(&mut prog, "path(a, c)")?;
+/// assert!(NaiveEvaluator::new(&prog).query(&goal));
+/// # Ok::<(), parra_datalog::parser::ParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct NaiveEvaluator<'p> {
+    program: &'p Program,
+}
+
+impl<'p> NaiveEvaluator<'p> {
+    /// Creates a reference evaluator for `program`.
+    pub fn new(program: &'p Program) -> NaiveEvaluator<'p> {
+        NaiveEvaluator { program }
+    }
+
+    /// Computes the least model, stopping early if `stop_at` is derived.
+    pub fn run_until(&self, stop_at: Option<&GroundAtom>) -> NaiveDatabase {
+        let mut db = NaiveDatabase::default();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        // Facts.
+        for (ri, rule) in self.program.rules().iter().enumerate() {
+            if rule.is_fact() {
+                let g = rule.head.to_ground();
+                if let Some(idx) = db.insert(g, ri, Vec::new()) {
+                    queue.push_back(idx);
+                }
+            }
+        }
+        if let Some(goal) = stop_at {
+            if db.contains(goal) {
+                return db;
+            }
+        }
+
+        // Index rules by the predicates occurring in their bodies.
+        let mut by_body_pred: HashMap<PredId, Vec<(usize, usize)>> = HashMap::new();
+        for (ri, rule) in self.program.rules().iter().enumerate() {
+            for (bi, atom) in rule.body.iter().enumerate() {
+                by_body_pred.entry(atom.pred).or_default().push((ri, bi));
+            }
+        }
+
+        // Semi-naive: each new atom is matched as the "delta" occurrence.
+        while let Some(new_idx) = queue.pop_front() {
+            let new_atom = db.atoms[new_idx].clone();
+            let Some(uses) = by_body_pred.get(&new_atom.pred) else {
+                continue;
+            };
+            for &(ri, bi) in uses.clone().iter() {
+                let rule = &self.program.rules()[ri];
+                let mut subst = Subst::new();
+                if !match_atom(&rule.body[bi], &new_atom, &mut subst) {
+                    continue;
+                }
+                let mut used = vec![0usize; rule.body.len()];
+                used[bi] = new_idx;
+                if self.join_rest(rule, ri, bi, 0, &mut subst, &mut used, &mut db, &mut queue)
+                    && stop_at.map(|g| db.contains(g)).unwrap_or(false)
+                {
+                    return db;
+                }
+            }
+            if let Some(goal) = stop_at {
+                if db.contains(goal) {
+                    return db;
+                }
+            }
+        }
+        db
+    }
+
+    /// Computes the full least model.
+    pub fn run(&self) -> NaiveDatabase {
+        self.run_until(None)
+    }
+
+    /// `Prog ⊢ g`: query evaluation with early exit.
+    pub fn query(&self, goal: &GroundAtom) -> bool {
+        self.run_until(Some(goal)).contains(goal)
+    }
+
+    /// Joins the remaining body atoms (all but `skip`) against the
+    /// database; returns true if anything was inserted.
+    #[allow(clippy::too_many_arguments)]
+    fn join_rest(
+        &self,
+        rule: &Rule,
+        ri: usize,
+        skip: usize,
+        from: usize,
+        subst: &mut Subst,
+        used: &mut Vec<usize>,
+        db: &mut NaiveDatabase,
+        queue: &mut VecDeque<usize>,
+    ) -> bool {
+        let mut next = from;
+        if next == skip {
+            next += 1;
+        }
+        if next >= rule.body.len() {
+            let g = instantiate(&rule.head, subst);
+            if let Some(idx) = db.insert(g, ri, used.clone()) {
+                queue.push_back(idx);
+                return true;
+            }
+            return false;
+        }
+        let pattern = &rule.body[next];
+        // Snapshot of the per-predicate candidates: atoms added during
+        // this join are matched later via their own delta turn.
+        let candidates: Vec<usize> = db.by_pred.get(&pattern.pred).cloned().unwrap_or_default();
+        let mut inserted = false;
+        for idx in candidates {
+            let ground = db.atoms[idx].clone();
+            let before: Vec<(u32, Option<Const>)> = pattern
+                .variables()
+                .into_iter()
+                .map(|v| (v, subst.get(&v).copied()))
+                .collect();
+            if match_atom(pattern, &ground, subst) {
+                used[next] = idx;
+                if self.join_rest(rule, ri, skip, next + 1, subst, used, db, queue) {
+                    inserted = true;
+                }
+            }
+            // Restore bindings introduced by this match.
+            for (v, old) in before {
+                match old {
+                    Some(c) => {
+                        subst.insert(v, c);
+                    }
+                    None => {
+                        subst.remove(&v);
+                    }
+                }
+            }
+        }
+        inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc_program() -> (Program, PredId, Vec<Const>) {
+        let mut p = Program::new();
+        let edge = p.predicate("edge", 2);
+        let path = p.predicate("path", 2);
+        let names = ["a", "b", "c", "d"];
+        let consts: Vec<Const> = names.iter().map(|n| p.constant(n)).collect();
+        for w in consts.windows(2) {
+            p.fact(edge, vec![w[0], w[1]]).unwrap();
+        }
+        p.rule(
+            Atom::new(path, vec![Term::Var(0), Term::Var(1)]),
+            vec![Atom::new(edge, vec![Term::Var(0), Term::Var(1)])],
+        )
+        .unwrap();
+        p.rule(
+            Atom::new(path, vec![Term::Var(0), Term::Var(2)]),
+            vec![
+                Atom::new(path, vec![Term::Var(0), Term::Var(1)]),
+                Atom::new(edge, vec![Term::Var(1), Term::Var(2)]),
+            ],
+        )
+        .unwrap();
+        (p, path, consts)
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (p, path, c) = tc_program();
+        let db = NaiveEvaluator::new(&p).run();
+        let n_paths = db.atoms().iter().filter(|a| a.pred == path).count();
+        assert_eq!(n_paths, 6);
+        assert!(db.contains(&GroundAtom::new(path, vec![c[0], c[3]])));
+        assert!(!db.contains(&GroundAtom::new(path, vec![c[3], c[0]])));
+    }
+
+    #[test]
+    fn query_early_exit() {
+        let (p, path, c) = tc_program();
+        let goal = GroundAtom::new(path, vec![c[0], c[1]]);
+        assert!(NaiveEvaluator::new(&p).query(&goal));
+        let bad = GroundAtom::new(path, vec![c[1], c[0]]);
+        assert!(!NaiveEvaluator::new(&p).query(&bad));
+    }
+
+    #[test]
+    fn derivations_always_recorded() {
+        let (p, path, c) = tc_program();
+        let db = NaiveEvaluator::new(&p).run();
+        let goal = GroundAtom::new(path, vec![c[0], c[3]]);
+        let idx = db.atoms().iter().position(|a| *a == goal).expect("derived");
+        let (_rule, body) = db.derivation(idx);
+        assert!(!body.is_empty());
+        let (_, fact_body) = db.derivation(0);
+        assert!(fact_body.is_empty());
+    }
+}

@@ -8,13 +8,16 @@
 //! | [`ThreadDeterminism`] | 1-thread and N-thread reports are identical | §7c determinism |
 //! | [`RoundTrip`] | `pretty → parse_system` reproduces the system | parser/printer drift |
 //! | [`Monotonicity`] | verdicts persist under larger `max_states` / deeper unrolling | search soundness |
+//! | [`EvalAgree`] | indexed Datalog evaluator ≡ naive reference on `makeP` outputs | evaluator substrate |
 //!
 //! An oracle returns [`OracleOutcome::Skip`] when the system is outside
 //! its preconditions (undecidable class, truncated search, no target) —
 //! a skip is not a pass, and the fuzz summary counts them separately.
 
 use crate::gen::GenConfig;
+use parra_core::makep::{DatalogTarget, MakeP, MakePLimits};
 use parra_core::verify::{Engine, Verdict, Verifier, VerifierError, VerifierOptions};
+use parra_datalog::{Evaluator, NaiveEvaluator};
 use parra_program::parser::parse_system;
 use parra_program::pretty;
 use parra_program::system::ParamSystem;
@@ -70,6 +73,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(ThreadDeterminism),
         Box::new(RoundTrip),
         Box::new(Monotonicity),
+        Box::new(EvalAgree),
     ]
 }
 
@@ -454,6 +458,94 @@ impl Oracle for Monotonicity {
     }
 }
 
+// ---------------------------------------------------------------------
+// 6. Indexed evaluator ≡ naive reference
+// ---------------------------------------------------------------------
+
+/// The indexed, interned Datalog evaluator and the unindexed naive
+/// reference are two implementations of the same least-model semantics:
+/// on every `makeP` query they must compute *identical* atom sets and
+/// agree on the goal. This is the differential pin for the evaluation
+/// substrate (tuple arena, join indices, join planner, parallel delta
+/// batches) — an index bug shows up here as a concrete missing or extra
+/// atom long before it skews a verdict.
+pub struct EvalAgree;
+
+/// Guesses checked per system (full-database comparison is quadratic in
+/// fleet size, so a prefix keeps the oracle's case rate useful).
+const EVAL_AGREE_MAX_GUESSES: usize = 4;
+
+impl Oracle for EvalAgree {
+    fn name(&self) -> &'static str {
+        "eval-agree"
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        GenConfig::agreement()
+    }
+
+    fn cases_per_second(&self) -> u64 {
+        20
+    }
+
+    fn check(&self, sys: &ParamSystem) -> OracleOutcome {
+        if sys.dom.size() < 2 {
+            return OracleOutcome::Skip("goal transformation needs |Dom| >= 2".into());
+        }
+        // Resolve the goal message exactly as `Equivalence` does.
+        let (sys, goal_var, goal_val) =
+            if sys.env.com().has_assert() || sys.dis.iter().any(|p| p.com().has_assert()) {
+                let g = transform::assert_to_goal(sys);
+                (g.system, g.goal_var, g.goal_val)
+            } else if let Some(i) = sys.vars.lookup("goal") {
+                (sys.clone(), parra_program::ident::VarId(i), Val(1))
+            } else {
+                return OracleOutcome::Skip("no assert and no `goal` variable to target".into());
+            };
+        let budget = match Budget::exact(&sys) {
+            Some(b) => b,
+            None => return OracleOutcome::Skip("dis threads have loops (no exact budget)".into()),
+        };
+        let mk = match MakeP::new(&sys, budget, MakePLimits::default()) {
+            Ok(mk) => mk,
+            Err(e) => return OracleOutcome::Skip(format!("makeP not applicable: {e}")),
+        };
+        let guesses = match mk.guesses() {
+            Ok(g) => g,
+            Err(e) => return OracleOutcome::Skip(format!("guess enumeration failed: {e}")),
+        };
+        let target = DatalogTarget::MessageGenerated(goal_var, goal_val);
+        for (gi, guess) in guesses.iter().take(EVAL_AGREE_MAX_GUESSES).enumerate() {
+            let (prog, goal) = mk.program(guess, target);
+            // Full least models (no early exit), so the comparison covers
+            // every derivation path, not just the goal cone.
+            let fast = Evaluator::new(&prog).run();
+            let slow = NaiveEvaluator::new(&prog).run();
+            let fast_set: std::collections::HashSet<_> = fast.iter().collect();
+            let slow_set: std::collections::HashSet<_> = slow.atoms().iter().cloned().collect();
+            if fast_set != slow_set {
+                let missing = slow_set.difference(&fast_set).next();
+                let extra = fast_set.difference(&slow_set).next();
+                return OracleOutcome::Fail(format!(
+                    "guess {gi}: indexed evaluator derived {} atoms, naive reference \
+                     {}; first missing: {}; first extra: {}",
+                    fast_set.len(),
+                    slow_set.len(),
+                    missing.map_or("none".into(), |a| prog.display_ground(a)),
+                    extra.map_or("none".into(), |a| prog.display_ground(a)),
+                ));
+            }
+            if fast.contains(&goal) != slow.contains(&goal) {
+                return OracleOutcome::Fail(format!(
+                    "guess {gi}: evaluators disagree on the goal {}",
+                    prog.display_ground(&goal)
+                ));
+            }
+        }
+        OracleOutcome::Pass
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,7 +581,8 @@ mod tests {
                 "equivalence",
                 "thread-determinism",
                 "round-trip",
-                "monotonicity"
+                "monotonicity",
+                "eval-agree"
             ]
         );
         for n in names {

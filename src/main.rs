@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! parra classify <file.ra>
-//! parra verify   <file.ra> [--engine simplified|datalog|concrete]
+//! parra verify   <file.ra> [--engine simplified|datalog|linear|concrete]
 //!                          [--unroll N] [--all-engines] [--concretize]
 //!                          [--stats] [--json] [--trace-out FILE]
 //! parra print    <file.ra>
@@ -55,7 +55,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 fn usage() -> String {
     "usage:\n  parra classify <file.ra>\n  parra verify <file.ra> \
-     [--engine simplified|datalog|concrete] [--unroll N] [--all-engines] \
+     [--engine simplified|datalog|linear|concrete] [--unroll N] [--all-engines] \
      [--concretize] [--threads N] [--stats] [--json] [--trace-out FILE]\n  \
      parra print <file.ra>\n  parra fuzz [--oracle NAME] [--seconds N | \
      --cases N] [--seed N] [--corpus DIR] [--minimize FILE] [--json]\n\n\
@@ -63,7 +63,8 @@ fn usage() -> String {
      implies summary). --threads defaults to PARRA_THREADS or the \
      machine's parallelism; reports are identical for every thread \
      count.\n\nfuzz oracles: engines-agree, equivalence, \
-     thread-determinism, round-trip, monotonicity (default: all). A \
+     thread-determinism, round-trip, monotonicity, eval-agree \
+     (default: all). A \
      --seconds budget is a deterministic case target (seconds x the \
      oracle's calibrated cases/sec), so repeated runs are identical; \
      failures are minimized and, with --corpus DIR, saved as .ra files."
@@ -157,12 +158,14 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         vec![
             Engine::SimplifiedReach,
             Engine::CacheDatalog,
+            Engine::LinearDatalog,
             Engine::BoundedConcrete,
         ]
     } else {
         let engine = match flag_value(args, "--engine").as_deref() {
             None | Some("simplified") => Engine::SimplifiedReach,
             Some("datalog") => Engine::CacheDatalog,
+            Some("linear") => Engine::LinearDatalog,
             Some("concrete") => Engine::BoundedConcrete,
             Some(other) => return Err(format!("unknown engine `{other}`")),
         };

@@ -86,7 +86,12 @@ fn json_emits_one_object_per_engine() {
         .collect();
     assert_eq!(
         engines,
-        ["simplified-reach", "cache-datalog", "bounded-concrete"]
+        [
+            "simplified-reach",
+            "cache-datalog",
+            "linear-datalog",
+            "bounded-concrete"
+        ]
     );
 }
 

@@ -1,0 +1,194 @@
+//! Property test for the Lemma 4.2 cache→linear translation, on random
+//! programs from the ≤2-atom-body fragment the lemma covers.
+//!
+//! For every random program `Prog`, goal `g`, and cache bound
+//! `k ∈ {1..Q₀²}` (Q₀ = number of predicates — the paper instantiates
+//! the lemma at `k = O(Q₀²)` via Lemma 4.4):
+//!
+//! * **size**: the translated program stays within the construction's
+//!   per-rule budget — `k` rules per fact, `k(k−1)` per single-body
+//!   rule, `k(k−1)(k−2)` per double-body rule (plus at most `k(k−1)`
+//!   for its unified same-slot variant), plus the initial fact, `k`
+//!   drop rules, and `k` goal rules — and every emitted rule is linear;
+//! * **verdict preservation**: `Prog ⊢ₖ g ⟺ Prog′ ⊢ goal_ok` (checked by
+//!   evaluating the translation for the small `k` where its linear
+//!   least model is tractable);
+//! * **sanity of `⊢ₖ` itself**: monotone in `k`, never exceeding plain
+//!   provability `⊢`, and coinciding with it once `k` reaches the least
+//!   model's size.
+
+use parra::datalog::cache::prove_with_cache;
+use parra::datalog::linear::{is_linear, LinearEvaluator};
+use parra::datalog::translate::cache_to_linear;
+use parra::datalog::{Atom, Const, Evaluator, GroundAtom, Program, Term};
+
+/// Splitmix-style deterministic RNG (the repo is std-only).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random program with bodies of at most two atoms, plus a random goal.
+/// Kept tiny on purpose: `prove_with_cache` is an exact exponential
+/// search and the translated linear program's least model enumerates
+/// ordered cache configurations.
+fn random_program(seed: u64) -> (Program, GroundAtom) {
+    let mut rng = Rng(seed);
+    let mut p = Program::new();
+    let n_preds = 1 + rng.below(3) as usize;
+    let preds: Vec<_> = (0..n_preds)
+        .map(|i| p.predicate(&format!("p{i}"), rng.below(3) as usize))
+        .collect();
+    let n_consts = 1 + rng.below(3) as usize;
+    let consts: Vec<Const> = (0..n_consts)
+        .map(|i| p.constant(&format!("c{i}")))
+        .collect();
+    let rand_args = |p: &Program, pred, rng: &mut Rng| -> Vec<Const> {
+        (0..p.pred_arity(pred))
+            .map(|_| consts[rng.below(consts.len() as u64) as usize])
+            .collect()
+    };
+
+    let n_facts = 1 + rng.below(4);
+    for _ in 0..n_facts {
+        let pred = preds[rng.below(preds.len() as u64) as usize];
+        let args = rand_args(&p, pred, &mut rng);
+        p.fact(pred, args).unwrap();
+    }
+
+    let n_rules = 1 + rng.below(3);
+    for _ in 0..n_rules {
+        // Body first (0–2 atoms over variables {0,1,2} and constants),
+        // then a head whose variables are drawn from the body's, so the
+        // rule is safe by construction.
+        let body_len = rng.below(3) as usize;
+        let mut body = Vec::new();
+        let mut body_vars: Vec<u32> = Vec::new();
+        for _ in 0..body_len {
+            let pred = preds[rng.below(preds.len() as u64) as usize];
+            let terms: Vec<Term> = (0..p.pred_arity(pred))
+                .map(|_| {
+                    if rng.below(2) == 0 {
+                        let v = rng.below(3) as u32;
+                        if !body_vars.contains(&v) {
+                            body_vars.push(v);
+                        }
+                        Term::Var(v)
+                    } else {
+                        Term::Const(consts[rng.below(consts.len() as u64) as usize])
+                    }
+                })
+                .collect();
+            body.push(Atom::new(pred, terms));
+        }
+        let head_pred = preds[rng.below(preds.len() as u64) as usize];
+        let head_terms: Vec<Term> = (0..p.pred_arity(head_pred))
+            .map(|_| {
+                if !body_vars.is_empty() && rng.below(2) == 0 {
+                    Term::Var(body_vars[rng.below(body_vars.len() as u64) as usize])
+                } else {
+                    Term::Const(consts[rng.below(consts.len() as u64) as usize])
+                }
+            })
+            .collect();
+        p.rule(Atom::new(head_pred, head_terms), body).unwrap();
+    }
+
+    let goal_pred = preds[rng.below(preds.len() as u64) as usize];
+    let goal_args = rand_args(&p, goal_pred, &mut rng);
+    (p, GroundAtom::new(goal_pred, goal_args))
+}
+
+/// The construction's rule-count budget: exact up to the optional
+/// same-slot variant of each double-body rule (emitted only when the two
+/// body atoms unify).
+fn rule_count_bounds(prog: &Program, k: usize) -> (usize, usize) {
+    let mut lower = 1 + 2 * k; // initial fact + k drop rules + k goal rules
+    let mut slack = 0;
+    for rule in prog.rules() {
+        lower += match rule.body.len() {
+            0 => k,
+            1 => k * (k - 1),
+            2 => {
+                slack += k * (k - 1); // the unified variant, if any
+                k * (k - 1) * k.saturating_sub(2)
+            }
+            _ => unreachable!("generator emits bodies of at most 2 atoms"),
+        };
+    }
+    (lower, lower + slack)
+}
+
+/// Evaluating the translation means enumerating ordered reachable cache
+/// configurations — only tractable for small `k`.
+const EVAL_MAX_K: usize = 2;
+
+#[test]
+fn translation_size_and_verdicts_on_random_programs() {
+    for seed in 0..40u64 {
+        let (prog, goal) = random_program(seed);
+        let q0 = prog.predicates().count();
+        let max_k = (q0 * q0).max(2);
+
+        let full = Evaluator::new(&prog).run();
+        let derivable = full.contains(&goal);
+
+        let mut prev = false;
+        for k in 1..=max_k {
+            let cached = prove_with_cache(&prog, &goal, k);
+
+            // ⊢ₖ is monotone in k and bounded by ⊢.
+            assert!(
+                !prev || cached,
+                "seed {seed}, k={k}: ⊢ₖ lost a verdict it had at k-1"
+            );
+            assert!(
+                !cached || derivable,
+                "seed {seed}, k={k}: ⊢ₖ proved an underivable goal"
+            );
+            prev = cached;
+
+            // Lemma 4.2: the translation exists for every ≤2-body program,
+            // is linear, and stays within the per-rule size budget.
+            let t = cache_to_linear(&prog, &goal, k)
+                .unwrap_or_else(|e| panic!("seed {seed}, k={k}: translation failed: {e}"));
+            assert!(is_linear(&t.program), "seed {seed}, k={k}: not linear");
+            let n = t.program.rules().len();
+            let (lower, upper) = rule_count_bounds(&prog, k);
+            assert!(
+                (lower..=upper).contains(&n),
+                "seed {seed}, k={k}: {n} rules outside the budget [{lower}, {upper}]"
+            );
+
+            // Verdict preservation, where the linear least model is small
+            // enough to evaluate outright.
+            if k <= EVAL_MAX_K {
+                let linear_verdict = LinearEvaluator::new(&t.program).query(&t.goal);
+                assert_eq!(
+                    linear_verdict, cached,
+                    "seed {seed}, k={k}: Prog ⊢ₖ g is {cached} but the translated \
+                     linear program says {linear_verdict}"
+                );
+            }
+        }
+
+        // With the cache as large as the least model, ⊢ₖ ≡ ⊢.
+        let k_full = full.len().max(1);
+        assert_eq!(
+            prove_with_cache(&prog, &goal, k_full),
+            derivable,
+            "seed {seed}: ⊢ₖ with k = |least model| = {k_full} must match ⊢"
+        );
+    }
+}
