@@ -5,6 +5,7 @@ use crate::makep::{DatalogTarget, Guess, MakeP, MakePError, MakePLimits};
 use crate::witness::{self, LinearCheck};
 use parra_datalog::eval::Evaluator;
 use parra_datalog::plan::PlanCache;
+use parra_limits::{CancelToken, InterruptReason, ResourceBudget};
 use parra_obs::json::ObjWriter;
 use parra_obs::{GaugeSnapshot, HistSnapshot, Recorder};
 use parra_program::classify::{Complexity, SystemClass};
@@ -65,16 +66,37 @@ pub enum Verdict {
     /// The engine could not decide (bounds hit, or an inherently
     /// incomplete engine found nothing).
     Unknown,
+    /// The resource governor stopped the run (deadline, memory budget, or
+    /// cancellation) before a verdict. Semantically a flavor of
+    /// [`Unknown`](Verdict::Unknown) — it aggregates identically and maps
+    /// to the same exit code — but it carries the reason and signals that
+    /// the partial statistics describe an unfinished search.
+    Interrupted(InterruptReason),
+}
+
+impl Verdict {
+    /// Whether this verdict decides the system (`Safe` or `Unsafe`).
+    pub fn is_decided(self) -> bool {
+        matches!(self, Verdict::Safe | Verdict::Unsafe)
+    }
+
+    /// The interruption reason, when the run was cut short.
+    pub fn interrupt_reason(self) -> Option<InterruptReason> {
+        match self {
+            Verdict::Interrupted(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Verdict::Safe => "SAFE",
-            Verdict::Unsafe => "UNSAFE",
-            Verdict::Unknown => "UNKNOWN",
-        };
-        f.write_str(s)
+        match self {
+            Verdict::Safe => f.write_str("SAFE"),
+            Verdict::Unsafe => f.write_str("UNSAFE"),
+            Verdict::Unknown => f.write_str("UNKNOWN"),
+            Verdict::Interrupted(r) => write!(f, "INTERRUPTED({r})"),
+        }
     }
 }
 
@@ -153,6 +175,12 @@ pub struct RunReport {
     pub witness: Vec<String>,
     /// Notes.
     pub notes: Vec<String>,
+    /// Why the governor stopped the run, when it did (mirrors
+    /// [`Verdict::Interrupted`] for JSON consumers).
+    pub interrupted: Option<InterruptReason>,
+    /// The concrete-RA interleaving reproducing an `Unsafe` verdict, when
+    /// concretization was requested and succeeded.
+    pub concrete: Option<ConcreteWitness>,
 }
 
 impl RunReport {
@@ -171,6 +199,8 @@ impl RunReport {
             env_thread_bound: None,
             witness: Vec::new(),
             notes: Vec::new(),
+            interrupted: None,
+            concrete: None,
         }
     }
 
@@ -220,12 +250,25 @@ impl RunReport {
         }
         w.str_arr_field("witness", &self.witness);
         w.str_arr_field("notes", &self.notes);
+        match self.interrupted {
+            Some(r) => w.str_field("interrupted", r.as_str()),
+            None => w.raw_field("interrupted", "null"),
+        }
+        match &self.concrete {
+            Some(c) => {
+                let mut one = ObjWriter::new();
+                one.num_field("n_env", c.n_env as u64);
+                one.str_arr_field("steps", &c.steps);
+                w.raw_field("concrete_witness", &one.finish());
+            }
+            None => w.raw_field("concrete_witness", "null"),
+        }
         w.finish()
     }
 }
 
 /// Options controlling verification.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct VerifierOptions {
     /// Unroll `dis` loops to this depth before verification (the
     /// bounded-model-checking usage of Section 4); `None` requires `dis`
@@ -245,6 +288,22 @@ pub struct VerifierOptions {
     /// legacy path. Defaults to [`Threads::resolve`]`(None)`:
     /// `PARRA_THREADS` if set, else the machine's parallelism.
     pub threads: usize,
+    /// Wall-clock budget per engine run (each engine under `--all-engines`
+    /// gets the full timeout); `None` is unlimited. An exhausted budget
+    /// yields [`Verdict::Interrupted`] with partial statistics.
+    pub timeout: Option<Duration>,
+    /// Approximate live-heap budget in bytes per engine run; `None` is
+    /// unlimited. Enforced only when the process installed
+    /// `parra_limits::TrackingAlloc` as its global allocator (the `parra`
+    /// binary does).
+    pub memory_budget: Option<usize>,
+    /// Cooperative cancellation shared by every engine run of this
+    /// verifier.
+    pub cancel: CancelToken,
+    /// Test hook: panic inside the named engine's run, to exercise
+    /// [`Verifier::run_isolated`]'s panic containment without an
+    /// artificially broken system.
+    pub fail_point_panic: Option<Engine>,
 }
 
 impl Default for VerifierOptions {
@@ -256,6 +315,10 @@ impl Default for VerifierOptions {
             concrete_max_env: 4,
             concrete_limits: ExploreLimits::default(),
             threads: Threads::resolve(None).get(),
+            timeout: None,
+            memory_budget: None,
+            cancel: CancelToken::new(),
+            fail_point_panic: None,
         }
     }
 }
@@ -299,6 +362,21 @@ struct FleetOutcome {
     atoms: usize,
     /// Lowest-index guess whose query derived the goal.
     winner: Option<usize>,
+    /// Set when the governor stopped any worker or evaluation before
+    /// every guess completed; "no winner" is then inconclusive.
+    interrupted: Option<InterruptReason>,
+}
+
+/// Best-effort rendering of a panic payload (`&str` and `String` cover
+/// every `panic!` in this workspace).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The verifier: owns the (goal-transformed) system and dispatches engines.
@@ -389,6 +467,20 @@ impl Verifier {
         &self.budget
     }
 
+    /// The resource budget for one engine run. Built fresh per run so the
+    /// wall-clock deadline starts when the engine does — under
+    /// `--all-engines`, each engine gets the full timeout.
+    fn governor(&self) -> ResourceBudget {
+        let mut gov = ResourceBudget::unlimited().with_cancel(self.options.cancel.clone());
+        if let Some(t) = self.options.timeout {
+            gov = gov.with_deadline(t);
+        }
+        if let Some(m) = self.options.memory_budget {
+            gov = gov.with_memory_limit(m);
+        }
+        gov
+    }
+
     /// Runs the selected engine.
     pub fn run(&self, engine: Engine) -> VerificationResult {
         let start = Instant::now();
@@ -397,17 +489,24 @@ impl Verifier {
         // same Verifier runs the same engine repeatedly.
         let scope = self.rec.scoped(&format!("{engine}/"));
         let before = self.rec.snapshot();
+        let gov = self.governor();
         let mut result = {
             let span = self.rec.span(&format!("engine:{engine}"));
+            if self.options.fail_point_panic == Some(engine) {
+                panic!("fail point: injected panic in {engine}");
+            }
             let r = match engine {
-                Engine::SimplifiedReach => self.run_simplified(&scope),
-                Engine::CacheDatalog => self.run_datalog(&scope),
-                Engine::LinearDatalog => self.run_linear(&scope),
-                Engine::BoundedConcrete => self.run_concrete(&scope),
+                Engine::SimplifiedReach => self.run_simplified(&scope, &gov),
+                Engine::CacheDatalog => self.run_datalog(&scope, &gov),
+                Engine::LinearDatalog => self.run_linear(&scope, &gov),
+                Engine::BoundedConcrete => self.run_concrete(&scope, &gov),
             };
             span.arg_str("verdict", &r.verdict.to_string());
             r
         };
+        if let Verdict::Interrupted(reason) = result.verdict {
+            scope.counter(&format!("interrupted_{reason}")).incr();
+        }
         result.stats.duration = start.elapsed();
         result.notes.extend(self.notes.iter().cloned());
 
@@ -432,8 +531,35 @@ impl Verifier {
         report.env_thread_bound = result.env_thread_bound;
         report.witness = result.witness_lines.clone();
         report.notes = result.notes.clone();
+        report.interrupted = result.verdict.interrupt_reason();
         result.report = report;
         result
+    }
+
+    /// [`Verifier::run`] with panic containment: a panicking engine (a
+    /// bug, or the [`VerifierOptions::fail_point_panic`] hook) becomes an
+    /// `Unknown` result carrying the panic message as a note, instead of
+    /// unwinding through `--all-engines` or `parra batch` and killing the
+    /// other runs.
+    pub fn run_isolated(&self, engine: Engine) -> VerificationResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(engine))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                let note = format!("engine panicked: {msg}; verdict degraded to UNKNOWN");
+                let mut report = RunReport::empty(engine);
+                report.notes = vec![note.clone()];
+                VerificationResult {
+                    verdict: Verdict::Unknown,
+                    engine,
+                    stats: Stats::default(),
+                    env_thread_bound: None,
+                    witness_lines: vec![],
+                    notes: vec![note],
+                    report,
+                }
+            }
+        }
     }
 
     fn trivially_safe(&self, engine: Engine) -> Option<VerificationResult> {
@@ -451,7 +577,7 @@ impl Verifier {
         })
     }
 
-    fn run_simplified(&self, rec: &Recorder) -> VerificationResult {
+    fn run_simplified(&self, rec: &Recorder, gov: &ResourceBudget) -> VerificationResult {
         if let Some(r) = self.trivially_safe(Engine::SimplifiedReach) {
             return r;
         }
@@ -459,7 +585,8 @@ impl Verifier {
         let engine = Reachability::new(sys.clone(), self.budget.clone(), self.options.reach_limits)
             .expect("env CAS-freedom checked in Verifier::new")
             .with_recorder(rec.clone())
-            .with_threads(self.options.threads);
+            .with_threads(self.options.threads)
+            .with_governor(gov.clone());
         let target = SimpTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
         let report = engine.run(target);
         let mut notes = Vec::new();
@@ -469,6 +596,13 @@ impl Verifier {
             ReachOutcome::Truncated => {
                 notes.push("search limits hit; Safe could not be concluded".into());
                 Verdict::Unknown
+            }
+            ReachOutcome::Interrupted(reason) => {
+                notes.push(format!(
+                    "interrupted ({reason}): the {reason} budget was exhausted; \
+                     partial statistics only, Safe could not be concluded"
+                ));
+                Verdict::Interrupted(reason)
             }
         };
         let (env_thread_bound, witness_lines) = match &report.witness {
@@ -552,6 +686,7 @@ impl Verifier {
         guesses: &[Guess],
         target: DatalogTarget,
         cache: &std::sync::Mutex<PlanCache>,
+        gov: &ResourceBudget,
     ) -> FleetOutcome {
         let n_workers = self.options.threads.max(1);
         // With a single guess there is no fleet to parallelize; hand the
@@ -560,16 +695,26 @@ impl Verifier {
         let found = std::sync::atomic::AtomicBool::new(false);
         let next = std::sync::atomic::AtomicUsize::new(0);
         let n_guesses = guesses.len();
+        let interrupted: std::sync::Mutex<Option<InterruptReason>> = std::sync::Mutex::new(None);
         // Per-guess records: (guess index, rules, atoms, derived goal).
         let records: Vec<(usize, usize, usize, bool)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
                 .map(|_| {
                     let found = &found;
                     let next = &next;
+                    let interrupted = &interrupted;
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             if found.load(std::sync::atomic::Ordering::Relaxed) {
+                                break;
+                            }
+                            // Round granularity for the fleet is one guess;
+                            // the evaluator below also checks per
+                            // semi-naive round within a guess.
+                            if let Err(reason) = gov.check() {
+                                let mut slot = interrupted.lock().expect("interrupt slot poisoned");
+                                slot.get_or_insert(reason);
                                 break;
                             }
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -585,8 +730,19 @@ impl Verifier {
                             let db = Evaluator::with_plan(&prog, plan)
                                 .with_recorder(rec.clone())
                                 .with_threads(eval_threads)
+                                .with_governor(gov.clone())
                                 .run_until(Some(&goal));
                             let won = db.contains(&goal);
+                            if let Some(reason) = db.interrupted() {
+                                // The partial database is a sound under-
+                                // approximation: "goal not derived" proves
+                                // nothing for this guess.
+                                let mut slot = interrupted.lock().expect("interrupt slot poisoned");
+                                slot.get_or_insert(reason);
+                                if !won {
+                                    break;
+                                }
+                            }
                             local.push((i, prog.rules().len(), db.len(), won));
                             if won {
                                 found.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -606,6 +762,7 @@ impl Verifier {
             rules: 0,
             atoms: 0,
             winner: None,
+            interrupted: interrupted.into_inner().expect("interrupt slot poisoned"),
         };
         for &(i, rules, atoms, won) in &records {
             out.rules = out.rules.max(rules);
@@ -617,7 +774,7 @@ impl Verifier {
         out
     }
 
-    fn run_datalog(&self, rec: &Recorder) -> VerificationResult {
+    fn run_datalog(&self, rec: &Recorder, gov: &ResourceBudget) -> VerificationResult {
         if let Some(r) = self.trivially_safe(Engine::CacheDatalog) {
             return r;
         }
@@ -627,7 +784,7 @@ impl Verifier {
             Err(r) => return *r,
         };
         let plan_cache = std::sync::Mutex::new(PlanCache::new());
-        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache);
+        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache, gov);
         let mut stats = Stats {
             guesses: guesses.len(),
             datalog_rules: fleet.rules,
@@ -635,7 +792,20 @@ impl Verifier {
             ..Stats::default()
         };
         let mut report = RunReport::empty(Engine::CacheDatalog);
-        let mut verdict = Verdict::Safe;
+        let mut notes = Vec::new();
+        // A winning guess is a sound Unsafe witness even if other guesses
+        // were cut short; without one, an interrupted fleet is
+        // inconclusive, never Safe.
+        let mut verdict = match fleet.interrupted {
+            Some(reason) if fleet.winner.is_none() => {
+                notes.push(format!(
+                    "interrupted ({reason}): not every guess was evaluated; \
+                     partial statistics only, Safe could not be concluded"
+                ));
+                Verdict::Interrupted(reason)
+            }
+            _ => Verdict::Safe,
+        };
         if let Some(wi) = fleet.winner {
             verdict = Verdict::Unsafe;
             // Lemma 4.6: re-run only the winning guess with provenance on
@@ -659,12 +829,12 @@ impl Verifier {
             stats,
             env_thread_bound: None,
             witness_lines: vec![],
-            notes: vec![],
+            notes,
             report,
         }
     }
 
-    fn run_linear(&self, rec: &Recorder) -> VerificationResult {
+    fn run_linear(&self, rec: &Recorder, gov: &ResourceBudget) -> VerificationResult {
         if let Some(r) = self.trivially_safe(Engine::LinearDatalog) {
             return r;
         }
@@ -674,7 +844,7 @@ impl Verifier {
             Err(r) => return *r,
         };
         let plan_cache = std::sync::Mutex::new(PlanCache::new());
-        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache);
+        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache, gov);
         let mut stats = Stats {
             guesses: guesses.len(),
             datalog_rules: fleet.rules,
@@ -684,7 +854,16 @@ impl Verifier {
         let mut report = RunReport::empty(Engine::LinearDatalog);
         let mut notes = Vec::new();
         let mut witness_lines = Vec::new();
-        let mut verdict = Verdict::Safe;
+        let mut verdict = match fleet.interrupted {
+            Some(reason) if fleet.winner.is_none() => {
+                notes.push(format!(
+                    "interrupted ({reason}): not every guess was evaluated; \
+                     partial statistics only, Safe could not be concluded"
+                ));
+                Verdict::Interrupted(reason)
+            }
+            _ => Verdict::Safe,
+        };
         if let Some(wi) = fleet.winner {
             verdict = Verdict::Unsafe;
             let (prog, goal) = mk.program(&guesses[wi], target);
@@ -745,7 +924,7 @@ impl Verifier {
         }
     }
 
-    fn run_concrete(&self, rec: &Recorder) -> VerificationResult {
+    fn run_concrete(&self, rec: &Recorder, gov: &ResourceBudget) -> VerificationResult {
         if let Some(r) = self.trivially_safe(Engine::BoundedConcrete) {
             return r;
         }
@@ -758,7 +937,8 @@ impl Verifier {
                 self.options.concrete_limits,
             )
             .with_recorder(rec.clone())
-            .with_threads(self.options.threads);
+            .with_threads(self.options.threads)
+            .with_governor(gov.clone());
             let report = explorer.run(Target::MessageGenerated(
                 self.goal.goal_var,
                 self.goal.goal_val,
@@ -783,6 +963,22 @@ impl Verifier {
                 }
                 ExploreOutcome::SafeExhausted => {}
                 ExploreOutcome::SafeWithinBounds => exhausted_all = false,
+                ExploreOutcome::Interrupted(reason) => {
+                    // The budget covers the whole engine run, so the
+                    // remaining instances would be interrupted too.
+                    return VerificationResult {
+                        verdict: Verdict::Interrupted(reason),
+                        engine: Engine::BoundedConcrete,
+                        stats,
+                        env_thread_bound: None,
+                        witness_lines: vec![],
+                        notes: vec![format!(
+                            "interrupted ({reason}) while exploring the instance with \
+                             {n_env} env threads; partial statistics only"
+                        )],
+                        report: RunReport::empty(Engine::BoundedConcrete),
+                    };
+                }
             }
         }
         VerificationResult {
@@ -851,6 +1047,43 @@ impl Verifier {
         }
         None
     }
+
+    /// [`Verifier::concretize`] with the env-thread cap chosen from the
+    /// result itself: the §4.3 bound when the run derived one (clamped to
+    /// [`MAX_CONCRETIZE_ENV`] — the bound is sufficient but can be
+    /// astronomically large), else [`DEFAULT_CONCRETIZE_ENV`]. The outcome
+    /// records which cap was searched so callers can say so.
+    pub fn concretize_auto(&self, result: &VerificationResult) -> ConcretizeOutcome {
+        let (cap, from_bound) = match result.env_thread_bound {
+            Some(b) => ((b as usize).min(MAX_CONCRETIZE_ENV), true),
+            None => (DEFAULT_CONCRETIZE_ENV, false),
+        };
+        ConcretizeOutcome {
+            witness: self.concretize(result, cap),
+            max_env_searched: cap,
+            from_bound,
+        }
+    }
+}
+
+/// Default env-thread cap for concretization when no §4.3 bound is
+/// available (e.g. a Datalog-engine verdict).
+pub const DEFAULT_CONCRETIZE_ENV: usize = 6;
+
+/// Hard cap on the concretization search even when the §4.3 bound is
+/// larger: each extra env thread multiplies the concrete state space.
+pub const MAX_CONCRETIZE_ENV: usize = 12;
+
+/// The outcome of [`Verifier::concretize_auto`].
+#[derive(Debug, Clone)]
+pub struct ConcretizeOutcome {
+    /// The concrete interleaving, when one was found.
+    pub witness: Option<ConcreteWitness>,
+    /// The env-thread cap that was searched (inclusive).
+    pub max_env_searched: usize,
+    /// Whether the cap came from the result's §4.3 `env_thread_bound`
+    /// (clamped) rather than the default.
+    pub from_bound: bool,
 }
 
 /// A concrete-RA interleaving reproducing an abstract `Unsafe` verdict.
@@ -867,6 +1100,10 @@ pub struct ConcreteWitness {
 /// An `Unsafe` from any engine is a sound witness and wins; `Safe` (only
 /// the exact engines claim it) beats `Unknown`; all-`Unknown` stays
 /// `Unknown` — a bounded or truncated run is never promoted to `Safe`.
+/// `Interrupted` runs aggregate exactly like `Unknown`: an interrupted
+/// engine neither contradicts a completed `Safe` nor weakens an `Unsafe`
+/// witness, and a run consisting only of interrupted/unknown engines is
+/// `Unknown`.
 ///
 /// # Errors
 ///
@@ -1179,6 +1416,191 @@ mod tests {
         assert!(err.contains("disagree"));
         assert!(err.contains("simplified-reach=SAFE"));
         assert!(err.contains("cache-datalog=UNSAFE"));
+    }
+
+    /// A spent deadline degrades every engine to `Interrupted(Deadline)`
+    /// — never `Safe` — with the reason mirrored in the report and notes.
+    #[test]
+    fn zero_timeout_interrupts_every_engine() {
+        let sys = handshake(true); // genuinely safe: Safe here would be a lie
+        let opts = VerifierOptions {
+            timeout: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let rec = Recorder::enabled(parra_obs::Level::Summary);
+        let v = Verifier::new_with_recorder(&sys, opts, rec.clone()).unwrap();
+        for engine in [
+            Engine::SimplifiedReach,
+            Engine::CacheDatalog,
+            Engine::LinearDatalog,
+            Engine::BoundedConcrete,
+        ] {
+            let r = v.run(engine);
+            assert_eq!(
+                r.verdict,
+                Verdict::Interrupted(InterruptReason::Deadline),
+                "{engine}"
+            );
+            assert!(!r.verdict.is_decided());
+            assert_eq!(r.report.interrupted, Some(InterruptReason::Deadline));
+            assert!(
+                r.notes.iter().any(|n| n.contains("interrupted (deadline)")),
+                "{engine} notes: {:?}",
+                r.notes
+            );
+            let json = r.report.to_json();
+            assert!(json.contains("\"interrupted\":\"deadline\""), "{json}");
+        }
+        let snap = rec.snapshot();
+        let hits: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.ends_with("/interrupted_deadline"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(hits, 4, "counters: {:?}", snap.counters);
+    }
+
+    /// A pre-cancelled token interrupts with `Cancelled`, and a witness
+    /// found before the budget trips still wins (interruption never
+    /// weakens a sound `Unsafe`).
+    #[test]
+    fn cancelled_token_interrupts_and_unsafe_still_decides_without_budget() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let opts = VerifierOptions {
+            cancel,
+            ..Default::default()
+        };
+        let v = Verifier::new(&handshake(true), opts).unwrap();
+        let r = v.run(Engine::SimplifiedReach);
+        assert_eq!(r.verdict, Verdict::Interrupted(InterruptReason::Cancelled));
+
+        // Generous limits never change a decided verdict.
+        let generous = VerifierOptions {
+            timeout: Some(Duration::from_secs(3600)),
+            memory_budget: Some(usize::MAX),
+            ..Default::default()
+        };
+        let v = Verifier::new(&handshake(false), generous).unwrap();
+        assert_eq!(v.run(Engine::SimplifiedReach).verdict, Verdict::Unsafe);
+    }
+
+    /// A completed run under generous limits is byte-identical (modulo
+    /// wall-clock durations) to an unlimited run, at every thread count.
+    #[test]
+    fn generous_budget_reports_match_unlimited_byte_for_byte() {
+        fn canonical_json(mut report: RunReport) -> String {
+            report.duration = Duration::ZERO;
+            report.stats.duration = Duration::ZERO;
+            report.to_json()
+        }
+        for safe in [false, true] {
+            let sys = handshake(safe);
+            for threads in [1, 4] {
+                let unlimited = Verifier::new(
+                    &sys,
+                    VerifierOptions {
+                        threads,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let governed = Verifier::new(
+                    &sys,
+                    VerifierOptions {
+                        threads,
+                        timeout: Some(Duration::from_secs(3600)),
+                        memory_budget: Some(usize::MAX),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                for engine in [Engine::SimplifiedReach, Engine::BoundedConcrete] {
+                    assert_eq!(
+                        canonical_json(unlimited.run(engine).report),
+                        canonical_json(governed.run(engine).report),
+                        "{engine}, safe={safe}, threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `run_isolated` turns an engine panic into `Unknown` with a
+    /// diagnostic note instead of tearing the process down.
+    #[test]
+    fn engine_panic_degrades_to_unknown() {
+        let opts = VerifierOptions {
+            fail_point_panic: Some(Engine::SimplifiedReach),
+            ..Default::default()
+        };
+        let v = Verifier::new(&handshake(false), opts).unwrap();
+        let r = v.run_isolated(Engine::SimplifiedReach);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert!(
+            r.notes.iter().any(|n| n.contains("engine panicked")),
+            "notes: {:?}",
+            r.notes
+        );
+        assert!(r.report.notes.iter().any(|n| n.contains("engine panicked")));
+        // Other engines are unaffected by the fail point.
+        assert_eq!(
+            v.run_isolated(Engine::CacheDatalog).verdict,
+            Verdict::Unsafe
+        );
+    }
+
+    /// Interrupted aggregates exactly like Unknown: Unsafe wins, Safe is
+    /// reported when some engine decided it, and interrupted-only runs
+    /// stay undecided.
+    #[test]
+    fn aggregation_interrupted_never_promotes_to_safe() {
+        use Engine::*;
+        use Verdict::*;
+        let deadline = Interrupted(InterruptReason::Deadline);
+        let memory = Interrupted(InterruptReason::Memory);
+        assert_eq!(
+            aggregate_verdicts(&[(SimplifiedReach, deadline), (CacheDatalog, Unsafe)]),
+            Ok(Unsafe)
+        );
+        assert_eq!(
+            aggregate_verdicts(&[(SimplifiedReach, Safe), (BoundedConcrete, deadline)]),
+            Ok(Safe)
+        );
+        assert_eq!(
+            aggregate_verdicts(&[(SimplifiedReach, deadline), (CacheDatalog, memory)]),
+            Ok(Unknown)
+        );
+        assert_eq!(
+            aggregate_verdicts(&[(SimplifiedReach, deadline), (BoundedConcrete, Unknown)]),
+            Ok(Unknown)
+        );
+    }
+
+    /// `concretize_auto` seeds its env-thread cap from the §4.3 bound
+    /// when the result carries one, and falls back to the default cap.
+    #[test]
+    fn concretize_auto_seeds_cap_from_cost_bound() {
+        let sys = handshake(false);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        let r = v.run(Engine::SimplifiedReach);
+        let bound = r.env_thread_bound.expect("unsafe run carries the bound") as usize;
+        let out = v.concretize_auto(&r);
+        assert!(out.from_bound);
+        assert_eq!(out.max_env_searched, bound.min(MAX_CONCRETIZE_ENV));
+        let w = out.witness.expect("the bug concretizes");
+        assert!(w.n_env <= out.max_env_searched);
+
+        // Without a bound (datalog verdicts carry none) the default cap
+        // applies.
+        let r2 = v.run(Engine::CacheDatalog);
+        assert_eq!(r2.verdict, Verdict::Unsafe);
+        if r2.env_thread_bound.is_none() {
+            let out2 = v.concretize_auto(&r2);
+            assert!(!out2.from_bound);
+            assert_eq!(out2.max_env_searched, DEFAULT_CONCRETIZE_ENV);
+        }
     }
 
     /// The thread count is plumbed through every engine and never changes

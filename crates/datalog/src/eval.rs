@@ -27,6 +27,7 @@
 use crate::arena::{hash_key, AtomId, TupleStore};
 use crate::ast::{Const, GroundAtom, PredId, Program, Rule, Term};
 use crate::plan::{DeltaPlan, Plan, NO_SLOT};
+use parra_limits::{InterruptReason, ResourceBudget};
 use parra_obs::{Counter, Recorder};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -94,6 +95,10 @@ pub struct Database {
     derivations: Option<Vec<(usize, Vec<usize>)>>,
     /// Join indices in plan-slot order (see [`Plan::indices`]).
     indices: Vec<ColumnIndex>,
+    /// Set when the resource governor stopped evaluation before the least
+    /// model (or the goal) was reached; the database is a sound but
+    /// possibly incomplete under-approximation.
+    interrupted: Option<InterruptReason>,
 }
 
 impl Database {
@@ -112,7 +117,15 @@ impl Database {
                     upto: 0,
                 })
                 .collect(),
+            interrupted: None,
         }
+    }
+
+    /// Why the governor stopped evaluation early, if it did. A `Some`
+    /// database may be missing derivable atoms: "goal not derived" is then
+    /// inconclusive, not a refutation.
+    pub fn interrupted(&self) -> Option<InterruptReason> {
+        self.interrupted
     }
 
     /// Whether `g` was derived.
@@ -310,6 +323,7 @@ pub struct Evaluator<'p> {
     rec: Recorder,
     provenance: bool,
     threads: usize,
+    gov: ResourceBudget,
 }
 
 impl<'p> Evaluator<'p> {
@@ -333,6 +347,7 @@ impl<'p> Evaluator<'p> {
             rec: Recorder::disabled(),
             provenance: false,
             threads: 1,
+            gov: ResourceBudget::unlimited(),
         }
     }
 
@@ -355,6 +370,15 @@ impl<'p> Evaluator<'p> {
     /// makes every insertion decision. `1` (the default) never spawns.
     pub fn with_threads(mut self, threads: usize) -> Evaluator<'p> {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// The same evaluator governed by `gov`, checked once per semi-naive
+    /// round. An exhausted budget stops evaluation at the round boundary
+    /// and marks the returned database [`Database::interrupted`]; a run
+    /// that completes is identical to an ungoverned run.
+    pub fn with_governor(mut self, gov: ResourceBudget) -> Evaluator<'p> {
+        self.gov = gov;
         self
     }
 
@@ -413,6 +437,10 @@ impl<'p> Evaluator<'p> {
         // ever read them. The (body predicate → rule occurrence) table
         // driving the expansion lives in the plan ([`Plan::uses`]).
         while !delta.is_empty() {
+            if let Err(reason) = self.gov.check() {
+                db.interrupted = Some(reason);
+                return db;
+            }
             counters.index_builds.add(db.catch_up_indices());
             let batches: Vec<Vec<Derived>> =
                 parra_search::ordered_map(self.threads.min(delta.len()), &delta, |_w, _i, &d| {
@@ -680,6 +708,33 @@ mod tests {
         assert!(Evaluator::new(&p).query(&goal));
         let bad = GroundAtom::new(path, vec![c[1], c[0]]);
         assert!(!Evaluator::new(&p).query(&bad));
+    }
+
+    #[test]
+    fn exhausted_deadline_interrupts_before_fixpoint() {
+        let (p, path, c) = tc_program();
+        let gov = ResourceBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let db = Evaluator::new(&p).with_governor(gov).run();
+        assert_eq!(db.interrupted(), Some(InterruptReason::Deadline));
+        // Only facts made it in before the first (checked) round.
+        assert!(!db.contains(&GroundAtom::new(path, vec![c[0], c[3]])));
+    }
+
+    #[test]
+    fn generous_budget_reaches_same_fixpoint() {
+        let (p, path, c) = tc_program();
+        let base = Evaluator::new(&p).run();
+        for threads in [1, 4] {
+            let gov =
+                ResourceBudget::unlimited().with_deadline(std::time::Duration::from_secs(3600));
+            let governed = Evaluator::new(&p)
+                .with_threads(threads)
+                .with_governor(gov)
+                .run();
+            assert_eq!(governed.interrupted(), None, "threads {threads}");
+            assert_eq!(governed.len(), base.len(), "threads {threads}");
+            assert!(governed.contains(&GroundAtom::new(path, vec![c[0], c[3]])));
+        }
     }
 
     #[test]

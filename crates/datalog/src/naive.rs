@@ -8,6 +8,7 @@
 //! It should never be used on a hot path.
 
 use crate::ast::{Atom, Const, GroundAtom, PredId, Program, Rule, Term};
+use parra_limits::{InterruptReason, ResourceBudget};
 use std::collections::{HashMap, VecDeque};
 
 /// The set of derived ground atoms, with one recorded derivation each.
@@ -22,6 +23,8 @@ pub struct NaiveDatabase {
     derivations: Vec<(usize, Vec<usize>)>,
     /// Per-predicate index into `atoms`.
     by_pred: HashMap<PredId, Vec<usize>>,
+    /// Set when the governor stopped evaluation before the fixpoint.
+    interrupted: Option<InterruptReason>,
 }
 
 impl NaiveDatabase {
@@ -45,6 +48,12 @@ impl NaiveDatabase {
         &self.atoms
     }
 
+    /// Why the governor stopped evaluation early, if it did. A `Some`
+    /// database may be missing derivable atoms.
+    pub fn interrupted(&self) -> Option<InterruptReason> {
+        self.interrupted
+    }
+
     /// The recorded derivation of the atom at `idx`.
     pub fn derivation(&self, idx: usize) -> (usize, &[usize]) {
         let (r, ref body) = self.derivations[idx];
@@ -63,6 +72,11 @@ impl NaiveDatabase {
         Some(idx)
     }
 }
+
+/// How many delta-queue pops the naive evaluator processes between
+/// governor checks (it is unindexed, so even one pop can be slow — this
+/// keeps check overhead negligible while still bounding the lag).
+pub const GOV_CHECK_EVERY: u32 = 256;
 
 /// A variable substitution during rule matching.
 type Subst = HashMap<u32, Const>;
@@ -128,12 +142,25 @@ fn instantiate(head: &Atom, subst: &Subst) -> GroundAtom {
 #[derive(Debug)]
 pub struct NaiveEvaluator<'p> {
     program: &'p Program,
+    gov: ResourceBudget,
 }
 
 impl<'p> NaiveEvaluator<'p> {
     /// Creates a reference evaluator for `program`.
     pub fn new(program: &'p Program) -> NaiveEvaluator<'p> {
-        NaiveEvaluator { program }
+        NaiveEvaluator {
+            program,
+            gov: ResourceBudget::unlimited(),
+        }
+    }
+
+    /// The same evaluator governed by `gov`, checked every
+    /// [`GOV_CHECK_EVERY`] delta atoms (this engine has no natural round
+    /// boundary). An exhausted budget marks the returned database
+    /// [`NaiveDatabase::interrupted`].
+    pub fn with_governor(mut self, gov: ResourceBudget) -> NaiveEvaluator<'p> {
+        self.gov = gov;
+        self
     }
 
     /// Computes the least model, stopping early if `stop_at` is derived.
@@ -165,7 +192,21 @@ impl<'p> NaiveEvaluator<'p> {
         }
 
         // Semi-naive: each new atom is matched as the "delta" occurrence.
+        // The governor is checked up-front (so an already-exhausted budget
+        // interrupts even the smallest program) and then periodically.
+        if let Err(reason) = self.gov.check() {
+            db.interrupted = Some(reason);
+            return db;
+        }
+        let mut pops: u32 = 0;
         while let Some(new_idx) = queue.pop_front() {
+            pops = pops.wrapping_add(1);
+            if pops.is_multiple_of(GOV_CHECK_EVERY) {
+                if let Err(reason) = self.gov.check() {
+                    db.interrupted = Some(reason);
+                    return db;
+                }
+            }
             let new_atom = db.atoms[new_idx].clone();
             let Some(uses) = by_body_pred.get(&new_atom.pred) else {
                 continue;
@@ -309,6 +350,27 @@ mod tests {
         assert!(NaiveEvaluator::new(&p).query(&goal));
         let bad = GroundAtom::new(path, vec![c[1], c[0]]);
         assert!(!NaiveEvaluator::new(&p).query(&bad));
+    }
+
+    #[test]
+    fn exhausted_deadline_interrupts_before_fixpoint() {
+        let (p, path, c) = tc_program();
+        let gov = ResourceBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let db = NaiveEvaluator::new(&p).with_governor(gov).run();
+        assert_eq!(db.interrupted(), Some(InterruptReason::Deadline));
+        // The transitive closure was not reached: no non-fact paths.
+        assert!(!db.contains(&GroundAtom::new(path, vec![c[0], c[3]])));
+    }
+
+    #[test]
+    fn generous_budget_reaches_same_fixpoint() {
+        let (p, path, c) = tc_program();
+        let gov = ResourceBudget::unlimited().with_deadline(std::time::Duration::from_secs(3600));
+        let base = NaiveEvaluator::new(&p).run();
+        let governed = NaiveEvaluator::new(&p).with_governor(gov).run();
+        assert_eq!(governed.interrupted(), None);
+        assert_eq!(governed.len(), base.len());
+        assert!(governed.contains(&GroundAtom::new(path, vec![c[0], c[3]])));
     }
 
     #[test]

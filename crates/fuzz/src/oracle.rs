@@ -83,7 +83,7 @@ pub fn oracle_by_name(name: &str) -> Option<Box<dyn Oracle>> {
 }
 
 fn verifier_for(sys: &ParamSystem, options: VerifierOptions) -> Result<Verifier, OracleOutcome> {
-    match Verifier::new(sys, options) {
+    match Verifier::new(sys, options.clone()) {
         Ok(v) => Ok(v),
         Err(VerifierError::NeedsUnrolling) => Verifier::new(
             sys,
@@ -225,6 +225,9 @@ impl Oracle for Equivalence {
                 }
                 ExploreOutcome::SafeExhausted => {}
                 ExploreOutcome::SafeWithinBounds => concrete_exact = false,
+                // Oracles run ungoverned; an interruption can only mean an
+                // unexpected external budget, so the instance is inconclusive.
+                ExploreOutcome::Interrupted(_) => concrete_exact = false,
             }
         }
         match (report.outcome, concrete_hit) {
@@ -249,6 +252,9 @@ impl Oracle for Equivalence {
                 }
             }
             (ReachOutcome::Truncated, _) => unreachable!("handled above"),
+            (ReachOutcome::Interrupted(_), _) => {
+                OracleOutcome::Skip("simplified search interrupted".into())
+            }
         }
     }
 }

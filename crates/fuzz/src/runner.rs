@@ -12,6 +12,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use parra_limits::{InterruptReason, ResourceBudget};
 use parra_obs::json::ObjWriter;
 use parra_obs::Recorder;
 use parra_program::pretty;
@@ -51,6 +52,10 @@ pub struct FuzzConfig {
     pub budget: FuzzBudget,
     /// Save minimized failures into this directory as `.ra` files.
     pub corpus_dir: Option<PathBuf>,
+    /// Resource governor checked between cases. An exhausted budget stops
+    /// the run early with [`FuzzSummary::interrupted`] set; the cases that
+    /// did complete are still a deterministic prefix of the full run.
+    pub governor: ResourceBudget,
 }
 
 impl Default for FuzzConfig {
@@ -59,6 +64,7 @@ impl Default for FuzzConfig {
             seed: 0,
             budget: FuzzBudget::Seconds(1),
             corpus_dir: None,
+            governor: ResourceBudget::unlimited(),
         }
     }
 }
@@ -100,9 +106,13 @@ pub struct FuzzSummary {
     pub failures: Vec<Failure>,
     /// Total accepted shrink steps across all failures.
     pub shrink_steps: u64,
-    /// Wall-clock duration (the only non-deterministic field; excluded
-    /// from [`FuzzSummary::render`]).
+    /// Wall-clock duration (non-deterministic; excluded from
+    /// [`FuzzSummary::render`]).
     pub duration_us: u64,
+    /// Set when the run stopped early because the configured
+    /// [`ResourceBudget`] was exhausted. Like `duration_us` this is
+    /// wall-clock-dependent and excluded from [`FuzzSummary::render`].
+    pub interrupted: Option<InterruptReason>,
 }
 
 impl FuzzSummary {
@@ -133,6 +143,10 @@ impl FuzzSummary {
         w.num_field("failures", self.failures.len() as u64);
         w.num_field("shrink_steps", self.shrink_steps);
         w.num_field("duration_us", self.duration_us);
+        match self.interrupted {
+            Some(r) => w.str_field("interrupted", r.as_str()),
+            None => w.raw_field("interrupted", "null"),
+        }
         let details: Vec<String> = self
             .failures
             .iter()
@@ -175,11 +189,17 @@ pub fn run(oracle: &dyn Oracle, cfg: &FuzzConfig, rec: &Recorder) -> FuzzSummary
         failures: Vec::new(),
         shrink_steps: 0,
         duration_us: 0,
+        interrupted: None,
     };
     // Per-case seeds are sequential from the master seed (splitmix64 in
     // the generator already decorrelates them), so a failure on case seed
     // `s` replays exactly with `--seed s --cases 1`.
     for i in 0..target {
+        if let Err(reason) = cfg.governor.check() {
+            summary.interrupted = Some(reason);
+            rec.counter(&format!("fuzz/interrupted_{reason}")).incr();
+            break;
+        }
         let case_seed = cfg.seed.wrapping_add(i);
         let case = gen.case(case_seed);
         summary.cases += 1;
@@ -311,7 +331,7 @@ mod tests {
         let cfg = FuzzConfig {
             seed: 7,
             budget: FuzzBudget::Cases(40),
-            corpus_dir: None,
+            ..Default::default()
         };
         let a = run(&RoundTrip, &cfg, &Recorder::disabled());
         let b = run(&RoundTrip, &cfg, &Recorder::disabled());
@@ -332,7 +352,7 @@ mod tests {
         let cfg = FuzzConfig {
             seed: 1,
             budget: FuzzBudget::Cases(30),
-            corpus_dir: None,
+            ..Default::default()
         };
         let rec = Recorder::enabled(parra_obs::Level::Summary);
         let summary = run(&FailsOnCas, &cfg, &rec);
@@ -356,6 +376,23 @@ mod tests {
         assert!(json.contains("\"failures\":"), "{json}");
         let snap = rec.snapshot();
         assert_eq!(snap.counters.get("fuzz/cases").copied(), Some(30));
+    }
+
+    #[test]
+    fn exhausted_deadline_stops_the_run_early() {
+        let cfg = FuzzConfig {
+            seed: 0,
+            budget: FuzzBudget::Cases(1000),
+            governor: ResourceBudget::unlimited().with_deadline(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let summary = run(&RoundTrip, &cfg, &Recorder::disabled());
+        assert_eq!(summary.interrupted, Some(InterruptReason::Deadline));
+        assert_eq!(
+            summary.cases, 0,
+            "no case should start under a spent budget"
+        );
+        assert!(summary.to_json().contains("\"interrupted\":\"deadline\""));
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! A byte-tracking global allocator.
+//!
+//! Generalizes the counting allocator used by the Datalog arena
+//! regression test (`datalog/tests/arena_alloc.rs`): instead of counting
+//! allocation *events* it tracks live heap *bytes*, which is what a
+//! memory budget needs. The `parra` binary (and any test binary that
+//! wants memory limits enforced) installs it with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: parra_limits::TrackingAlloc = parra_limits::TrackingAlloc::new();
+//! ```
+//!
+//! Processes that skip this get [`heap_in_use`] `== None` and memory
+//! limits are not enforced — never wrongly enforced.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Live heap bytes allocated through [`TrackingAlloc`].
+static IN_USE: AtomicUsize = AtomicUsize::new(0);
+/// Whether a [`TrackingAlloc`] has served at least one allocation.
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// A `GlobalAlloc` that forwards to [`System`] and keeps a live-byte
+/// counter readable via [`heap_in_use`].
+///
+/// The counter is approximate in the usual ways (allocator slack is not
+/// visible, `Relaxed` counters may lag by a few operations under
+/// contention) but tracks real usage closely enough for a budget that is
+/// checked at round granularity.
+pub struct TrackingAlloc;
+
+impl TrackingAlloc {
+    /// A new tracking allocator, for use in a `#[global_allocator]` static.
+    pub const fn new() -> TrackingAlloc {
+        TrackingAlloc
+    }
+}
+
+impl Default for TrackingAlloc {
+    fn default() -> TrackingAlloc {
+        TrackingAlloc::new()
+    }
+}
+
+// SAFETY: forwards every operation verbatim to `System`; the counter
+// updates have no effect on the returned memory.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            INSTALLED.store(true, Ordering::Relaxed);
+            IN_USE.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        IN_USE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            INSTALLED.store(true, Ordering::Relaxed);
+            IN_USE.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            INSTALLED.store(true, Ordering::Relaxed);
+            IN_USE.fetch_add(new_size, Ordering::Relaxed);
+            IN_USE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+/// Live heap bytes, or `None` when no [`TrackingAlloc`] is installed in
+/// this process (memory budgets are then not enforced).
+pub fn heap_in_use() -> Option<usize> {
+    if INSTALLED.load(Ordering::Relaxed) {
+        Some(IN_USE.load(Ordering::Relaxed))
+    } else {
+        None
+    }
+}

@@ -1,0 +1,249 @@
+//! The shared resource budget: deadline, memory limit, cancellation.
+
+use crate::alloc::heap_in_use;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a governed run stopped before reaching a verdict.
+///
+/// Ordering of checks is fixed (cancelled, then deadline, then memory) so
+/// that a run tripping several limits at once reports deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The tracked heap exceeded the memory limit.
+    Memory,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl InterruptReason {
+    /// Stable lower-case name used in JSON reports and obs counters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InterruptReason::Deadline => "deadline",
+            InterruptReason::Memory => "memory",
+            InterruptReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A shared flag for cooperative cancellation.
+///
+/// Clones share the same underlying flag; cancelling any clone cancels
+/// all of them. Engines observe cancellation at round granularity via
+/// [`ResourceBudget::check`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A resource budget for one engine run.
+///
+/// The default budget is unlimited: every [`check`](ResourceBudget::check)
+/// passes and a governed run is indistinguishable from an ungoverned one.
+/// Budgets are cheap to clone (an `Instant`, a `usize`, and an `Arc`) and
+/// are handed by value to worker threads.
+///
+/// # Example
+///
+/// ```
+/// use parra_limits::{InterruptReason, ResourceBudget};
+/// use std::time::Duration;
+///
+/// let gov = ResourceBudget::unlimited().with_deadline(Duration::ZERO);
+/// assert_eq!(gov.check(), Err(InterruptReason::Deadline));
+/// assert!(ResourceBudget::unlimited().check().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResourceBudget {
+    deadline: Option<Instant>,
+    memory_limit: Option<usize>,
+    cancel: Option<CancelToken>,
+}
+
+impl ResourceBudget {
+    /// A budget that never interrupts. Identical to `Default::default()`.
+    pub fn unlimited() -> ResourceBudget {
+        ResourceBudget::default()
+    }
+
+    /// Sets a wall-clock deadline `timeout` from now.
+    pub fn with_deadline(mut self, timeout: Duration) -> ResourceBudget {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets an approximate limit on live heap bytes.
+    ///
+    /// Enforced only when the process installed [`TrackingAlloc`]
+    /// (crate::TrackingAlloc) as its global allocator; otherwise heap
+    /// usage is unknown and the limit soundly never trips.
+    pub fn with_memory_limit(mut self, bytes: usize) -> ResourceBudget {
+        self.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> ResourceBudget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether every check trivially passes.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.memory_limit.is_none() && self.cancel.is_none()
+    }
+
+    /// Checks the budget; `Err` names the first exhausted resource.
+    ///
+    /// Side-effect free: a run that completes under a budget takes exactly
+    /// the same steps as an unlimited run. Engines call this once per
+    /// round, so the cost is a couple of atomic loads plus (when a
+    /// deadline is set) one `Instant::now()`.
+    pub fn check(&self) -> Result<(), InterruptReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(InterruptReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(InterruptReason::Deadline);
+            }
+        }
+        if let Some(limit) = self.memory_limit {
+            if let Some(in_use) = heap_in_use() {
+                if in_use > limit {
+                    return Err(InterruptReason::Memory);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a human byte size: a decimal integer with an optional
+/// `K`/`M`/`G` (or `KB`/`MB`/`GB`, case-insensitive) suffix.
+///
+/// ```
+/// use parra_limits::parse_byte_size;
+/// assert_eq!(parse_byte_size("512"), Some(512));
+/// assert_eq!(parse_byte_size("64K"), Some(64 * 1024));
+/// assert_eq!(parse_byte_size("2gb"), Some(2 * 1024 * 1024 * 1024));
+/// assert_eq!(parse_byte_size("lots"), None);
+/// ```
+pub fn parse_byte_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let digits_end = s
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    if digits_end == 0 {
+        return None;
+    }
+    let value: usize = s[..digits_end].parse().ok()?;
+    let mult: usize = match s[digits_end..].trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kb" => 1024,
+        "m" | "mb" => 1024 * 1024,
+        "g" | "gb" => 1024 * 1024 * 1024,
+        _ => return None,
+    };
+    value.checked_mul(mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_passes() {
+        let gov = ResourceBudget::unlimited();
+        assert!(gov.is_unlimited());
+        assert_eq!(gov.check(), Ok(()));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let gov = ResourceBudget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(gov.check(), Err(InterruptReason::Deadline));
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let gov = ResourceBudget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert_eq!(gov.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancellation_is_shared_and_wins_over_deadline() {
+        let token = CancelToken::new();
+        let gov = ResourceBudget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_cancel(token.clone());
+        // Deadline already passed, but not yet cancelled: deadline reported.
+        assert_eq!(gov.check(), Err(InterruptReason::Deadline));
+        token.cancel();
+        assert_eq!(gov.check(), Err(InterruptReason::Cancelled));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn memory_limit_without_tracking_allocator_never_trips() {
+        // This test binary does not install TrackingAlloc, so heap usage
+        // is unknown and the limit must not trip (soundness: limits only
+        // ever stop a run early, they never invent an interruption).
+        let gov = ResourceBudget::unlimited().with_memory_limit(1);
+        assert_eq!(gov.check(), Ok(()));
+    }
+
+    #[test]
+    fn byte_size_parsing() {
+        assert_eq!(parse_byte_size("0"), Some(0));
+        assert_eq!(parse_byte_size("123"), Some(123));
+        assert_eq!(parse_byte_size("123b"), Some(123));
+        assert_eq!(parse_byte_size(" 8K "), Some(8192));
+        assert_eq!(parse_byte_size("16kb"), Some(16384));
+        assert_eq!(parse_byte_size("3M"), Some(3 * 1024 * 1024));
+        assert_eq!(parse_byte_size("1G"), Some(1 << 30));
+        assert_eq!(parse_byte_size(""), None);
+        assert_eq!(parse_byte_size("K"), None);
+        assert_eq!(parse_byte_size("12X"), None);
+        assert_eq!(parse_byte_size("-3"), None);
+    }
+
+    #[test]
+    fn reason_names_are_stable() {
+        assert_eq!(InterruptReason::Deadline.to_string(), "deadline");
+        assert_eq!(InterruptReason::Memory.to_string(), "memory");
+        assert_eq!(InterruptReason::Cancelled.to_string(), "cancelled");
+    }
+}

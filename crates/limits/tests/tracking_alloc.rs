@@ -1,0 +1,32 @@
+//! Integration test with `TrackingAlloc` installed as the global
+//! allocator (per-binary, the same trick as `datalog/tests/arena_alloc.rs`).
+
+use parra_limits::{heap_in_use, InterruptReason, ResourceBudget, TrackingAlloc};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc::new();
+
+#[test]
+fn heap_usage_is_tracked_and_budget_trips() {
+    let before = heap_in_use().expect("allocator installed in this binary");
+
+    let block: Vec<u8> = vec![0xA5; 4 << 20];
+    let during = heap_in_use().expect("allocator installed");
+    assert!(
+        during >= before + (4 << 20),
+        "4 MiB allocation must be visible: before={before} during={during}"
+    );
+
+    // A limit far below current usage trips; a generous one does not.
+    let tight = ResourceBudget::unlimited().with_memory_limit(1);
+    assert_eq!(tight.check(), Err(InterruptReason::Memory));
+    let generous = ResourceBudget::unlimited().with_memory_limit(usize::MAX);
+    assert_eq!(generous.check(), Ok(()));
+
+    drop(block);
+    let after = heap_in_use().expect("allocator installed");
+    assert!(
+        after < during,
+        "freeing must decrease the counter: during={during} after={after}"
+    );
+}

@@ -67,6 +67,11 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
 }
 
 /// Writes `s` as a JSON string literal (with quotes) into `out`.

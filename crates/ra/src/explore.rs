@@ -29,6 +29,7 @@
 //! semantics (Theorem 3.4) and for the §4.3 thread-count experiments.
 
 use crate::config::{Instance, ThreadId};
+use parra_limits::{InterruptReason, ResourceBudget};
 use parra_obs::Recorder;
 use parra_program::cfg::{Instr, Loc};
 use parra_program::expr::RegVal;
@@ -75,6 +76,9 @@ pub enum ExploreOutcome {
     SafeExhausted,
     /// The bounds cut the search; no violation within them.
     SafeWithinBounds,
+    /// The resource governor stopped the search; partial statistics only.
+    /// Never evidence of safety.
+    Interrupted(InterruptReason),
 }
 
 /// One step of a witness: the acting thread and the instruction text.
@@ -209,6 +213,7 @@ pub struct Explorer {
     limits: ExploreLimits,
     rec: Recorder,
     threads: Threads,
+    gov: ResourceBudget,
 }
 
 impl Explorer {
@@ -220,6 +225,7 @@ impl Explorer {
             limits,
             rec: Recorder::disabled(),
             threads: Threads::exact(1),
+            gov: ResourceBudget::unlimited(),
         }
     }
 
@@ -234,6 +240,15 @@ impl Explorer {
     /// `1` is the sequential legacy path.
     pub fn with_threads(mut self, n: usize) -> Explorer {
         self.threads = Threads::exact(n);
+        self
+    }
+
+    /// The same explorer governed by `gov`, checked once per BFS round. A
+    /// run that completes under the budget is identical to an ungoverned
+    /// run; exhaustion yields [`ExploreOutcome::Interrupted`] with the
+    /// partial state/transition counts.
+    pub fn with_governor(mut self, gov: ResourceBudget) -> Explorer {
+        self.gov = gov;
         self
     }
 
@@ -293,6 +308,14 @@ impl Explorer {
         let mut round = 0u64;
 
         while !frontier.is_empty() {
+            if let Err(reason) = self.gov.check() {
+                return ExploreReport {
+                    outcome: ExploreOutcome::Interrupted(reason),
+                    states: graph.len(),
+                    transitions,
+                    witness: None,
+                };
+            }
             self.rec.heartbeat(|| {
                 format!(
                     "explore: {} states, {transitions} transitions, frontier {} \
@@ -887,6 +910,43 @@ mod tests {
         assert_eq!(par.outcome, seq.outcome);
         assert_eq!(par.states, seq.states);
         assert_eq!(par.transitions, seq.transitions);
+    }
+
+    /// An exhausted budget interrupts with partial statistics (the
+    /// initial state is already counted), never a Safe verdict.
+    #[test]
+    fn exhausted_deadline_interrupts() {
+        let report = Explorer::new(Instance::new(handshake(), 1), limits())
+            .with_governor(ResourceBudget::unlimited().with_deadline(std::time::Duration::ZERO))
+            .run(Target::AssertViolation);
+        assert_eq!(
+            report.outcome,
+            ExploreOutcome::Interrupted(InterruptReason::Deadline)
+        );
+        assert_eq!(report.states, 1);
+        assert!(report.witness.is_none());
+    }
+
+    /// A generous budget changes nothing: the governed report equals the
+    /// ungoverned one at every worker count.
+    #[test]
+    fn generous_budget_matches_unlimited_run() {
+        let base =
+            Explorer::new(Instance::new(handshake(), 1), limits()).run(Target::AssertViolation);
+        for n in [1, 4] {
+            let governed = Explorer::new(Instance::new(handshake(), 1), limits())
+                .with_threads(n)
+                .with_governor(
+                    ResourceBudget::unlimited()
+                        .with_deadline(std::time::Duration::from_secs(3600))
+                        .with_memory_limit(usize::MAX),
+                )
+                .run(Target::AssertViolation);
+            assert_eq!(governed.outcome, base.outcome, "threads {n}");
+            assert_eq!(governed.states, base.states, "threads {n}");
+            assert_eq!(governed.transitions, base.transitions, "threads {n}");
+            assert_eq!(governed.witness, base.witness, "threads {n}");
+        }
     }
 
     #[test]

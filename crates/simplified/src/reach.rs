@@ -39,6 +39,7 @@
 //! the engine streams state-by-state exactly like the legacy loop.
 
 use crate::state::{Budget, DisStep, SimpState};
+use parra_limits::{InterruptReason, ResourceBudget};
 use parra_obs::{Counter, Gauge, Recorder};
 use parra_program::classify::SystemClass;
 use parra_program::ident::VarId;
@@ -89,6 +90,10 @@ pub enum ReachOutcome {
     Safe,
     /// A limit was hit; "no violation found" is not a proof.
     Truncated,
+    /// The resource governor stopped the search; partial statistics only.
+    /// Like [`Truncated`](ReachOutcome::Truncated), never a proof of
+    /// safety.
+    Interrupted(InterruptReason),
 }
 
 /// A witness for an `Unsafe` verdict.
@@ -175,6 +180,7 @@ pub struct Reachability {
     limits: ReachLimits,
     rec: Recorder,
     threads: Threads,
+    gov: ResourceBudget,
 }
 
 impl Reachability {
@@ -198,6 +204,7 @@ impl Reachability {
             limits,
             rec: Recorder::disabled(),
             threads: Threads::exact(1),
+            gov: ResourceBudget::unlimited(),
         })
     }
 
@@ -212,6 +219,15 @@ impl Reachability {
     /// time changes.
     pub fn with_threads(mut self, n: usize) -> Reachability {
         self.threads = Threads::exact(n);
+        self
+    }
+
+    /// The same engine governed by `gov`, checked once per search round.
+    /// A run that completes under the budget is identical to an
+    /// ungoverned run; an exhausted budget yields
+    /// [`ReachOutcome::Interrupted`] with partial statistics.
+    pub fn with_governor(mut self, gov: ResourceBudget) -> Reachability {
+        self.gov = gov;
         self
     }
 
@@ -264,8 +280,13 @@ impl Reachability {
         let mut peak_cfg = 0usize;
         let mut peak_msg = 0usize;
         let mut truncated = false;
+        let mut interrupted: Option<InterruptReason> = None;
 
-        while !worlds_queue.is_empty() {
+        'waves: while !worlds_queue.is_empty() {
+            if let Err(reason) = self.gov.check() {
+                interrupted = Some(reason);
+                break 'waves;
+            }
             let remaining = limits.max_worlds.saturating_sub(worlds);
             if remaining == 0 {
                 truncated = true;
@@ -294,6 +315,7 @@ impl Reachability {
                 peak_cfg = peak_cfg.max(res.peak_cfg);
                 peak_msg = peak_msg.max(res.peak_msg);
                 truncated |= res.truncated;
+                interrupted = interrupted.or(res.interrupted);
                 self.rec.heartbeat(|| {
                     format!(
                         "reach: world {worlds}, {total_states} states, \
@@ -318,10 +340,18 @@ impl Reachability {
                     }
                 }
             }
+            if interrupted.is_some() {
+                break 'waves;
+            }
         }
 
         ReachReport {
-            outcome: if truncated {
+            // An interrupted search trumps mere truncation: the caller
+            // must learn the run was cut short by the governor (and
+            // neither is ever reported as Safe).
+            outcome: if let Some(reason) = interrupted {
+                ReachOutcome::Interrupted(reason)
+            } else if truncated {
                 ReachOutcome::Truncated
             } else {
                 ReachOutcome::Safe
@@ -360,6 +390,7 @@ impl Reachability {
         let mut result = WorldResult {
             states: 0,
             truncated: false,
+            interrupted: None,
             peak_cfg: 0,
             peak_msg: 0,
             spawned: Vec::new(),
@@ -426,6 +457,10 @@ impl Reachability {
             if cancel.superseded(pos) {
                 // A world earlier in pop order found a witness; this
                 // world's result will be discarded, so stop searching.
+                return result;
+            }
+            if let Err(reason) = self.gov.check() {
+                result.interrupted = Some(reason);
                 return result;
             }
             m.c_rounds.incr();
@@ -528,6 +563,8 @@ struct ReachMetrics {
 struct WorldResult {
     states: usize,
     truncated: bool,
+    /// Set when the governor stopped this world's search mid-way.
+    interrupted: Option<InterruptReason>,
     peak_cfg: usize,
     peak_msg: usize,
     /// Blocked CAS gaps, in first-discovery order, each proposing the
@@ -891,6 +928,72 @@ mod tests {
                 "goal at the per-world capacity boundary must stay Unsafe \
                  (threads {threads})"
             );
+        }
+    }
+
+    /// A budget that is already exhausted interrupts before any world is
+    /// searched; partial statistics are preserved (here: none yet).
+    #[test]
+    fn exhausted_deadline_interrupts_with_partial_stats() {
+        let sys = handshake();
+        let budget = Budget::exact(&sys).unwrap();
+        let engine = Reachability::new(sys, budget, limits())
+            .unwrap()
+            .with_governor(ResourceBudget::unlimited().with_deadline(std::time::Duration::ZERO));
+        let report = engine.run(SimpTarget::AssertViolation);
+        assert_eq!(
+            report.outcome,
+            ReachOutcome::Interrupted(InterruptReason::Deadline)
+        );
+        assert!(report.witness.is_none());
+    }
+
+    /// A pre-cancelled token interrupts with `Cancelled`, for every
+    /// thread count.
+    #[test]
+    fn cancelled_token_interrupts() {
+        let sys = handshake();
+        let budget = Budget::exact(&sys).unwrap();
+        let token = parra_limits::CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let engine = Reachability::new(sys.clone(), budget.clone(), limits())
+                .unwrap()
+                .with_threads(threads)
+                .with_governor(ResourceBudget::unlimited().with_cancel(token.clone()));
+            let report = engine.run(SimpTarget::AssertViolation);
+            assert_eq!(
+                report.outcome,
+                ReachOutcome::Interrupted(InterruptReason::Cancelled),
+                "threads {threads}"
+            );
+        }
+    }
+
+    /// A completed run under a generous budget is identical to an
+    /// ungoverned run — governance checks have no side effects.
+    #[test]
+    fn generous_budget_matches_unlimited_run() {
+        let (sys, x) = churn_system();
+        let budget = Budget::exact(&sys).unwrap();
+        let base = Reachability::new(sys.clone(), budget.clone(), limits())
+            .unwrap()
+            .run(SimpTarget::MessageGenerated(x, Val(7)));
+        for threads in [1, 4] {
+            let governed = Reachability::new(sys.clone(), budget.clone(), limits())
+                .unwrap()
+                .with_threads(threads)
+                .with_governor(
+                    ResourceBudget::unlimited()
+                        .with_deadline(std::time::Duration::from_secs(3600))
+                        .with_memory_limit(usize::MAX),
+                )
+                .run(SimpTarget::MessageGenerated(x, Val(7)));
+            assert_eq!(governed.outcome, base.outcome, "threads {threads}");
+            assert_eq!(governed.states, base.states, "threads {threads}");
+            assert_eq!(governed.worlds, base.worlds, "threads {threads}");
+            assert_eq!(governed.peak_env_configs, base.peak_env_configs);
+            assert_eq!(governed.peak_env_msgs, base.peak_env_msgs);
         }
     }
 

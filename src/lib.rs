@@ -24,6 +24,7 @@
 //! | [`obs`] | zero-dependency metrics, spans, heartbeats, Chrome-trace emission |
 //! | [`search`] | deterministic parallel-search layer shared by the state-space engines |
 //! | [`fuzz`] | differential fuzzing: system generator, cross-engine oracles, shrinker, corpus |
+//! | [`limits`] | resource governance: deadlines, memory budgets, cooperative cancellation |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@
 pub use parra_core as core;
 pub use parra_datalog as datalog;
 pub use parra_fuzz as fuzz;
+pub use parra_limits as limits;
 pub use parra_litmus as litmus;
 pub use parra_obs as obs;
 pub use parra_program as program;
@@ -76,6 +78,7 @@ pub mod prelude {
         aggregate_verdicts, Engine, RunReport, Verdict, VerificationResult, Verifier,
         VerifierOptions,
     };
+    pub use parra_limits::{CancelToken, InterruptReason, ResourceBudget};
     pub use parra_program::builder::{ProgramBuilder, SystemBuilder};
     pub use parra_program::classify::{Complexity, SystemClass};
     pub use parra_program::parser::parse_system;

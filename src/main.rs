@@ -4,16 +4,29 @@
 //! parra classify <file.ra>
 //! parra verify   <file.ra> [--engine simplified|datalog|linear|concrete]
 //!                          [--unroll N] [--all-engines] [--concretize]
+//!                          [--timeout SECS] [--memory-budget SIZE]
 //!                          [--stats] [--json] [--trace-out FILE]
+//! parra batch    <dir|file.ra ...> [--engine E] [--all-engines]
+//!                          [--unroll N] [--timeout SECS]
+//!                          [--memory-budget SIZE] [--threads N]
 //! parra print    <file.ra>
-//! parra fuzz     [--oracle NAME] [--seconds N | --cases N] [--seed N]
-//!                [--corpus DIR] [--minimize FILE] [--json]
+//! parra fuzz     [--oracle NAME] [--seconds N | --cases N | --timeout SECS]
+//!                [--seed N] [--corpus DIR] [--minimize FILE] [--json]
 //! ```
 //!
 //! Input files use the `system { … }` syntax (see the README or
-//! `examples/`). Exit code 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 64+ =
-//! usage/input errors (including exact-engine disagreement under
-//! `--all-engines`).
+//! `examples/`). Exit code 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN or
+//! INTERRUPTED, 64+ = usage/input errors (including exact-engine
+//! disagreement under `--all-engines`).
+//!
+//! Resource governance: `--timeout SECS` (fractional seconds) and
+//! `--memory-budget SIZE` (`512m`, `2g`, plain bytes) bound each engine
+//! run; an exhausted budget degrades the verdict to
+//! `INTERRUPTED(deadline|memory)` — never to `SAFE` — with partial
+//! statistics preserved. Engine panics are caught per run and degrade to
+//! `UNKNOWN`. `parra batch` applies the limits per file and prints one
+//! JSON line per input, so one pathological system cannot starve or
+//! crash the rest of the batch.
 //!
 //! Observability: `PARRA_LOG=off|summary|debug` selects the logging level
 //! (heartbeats and debug lines go to stderr); `--stats` implies at least
@@ -23,9 +36,15 @@
 //! structured [`RunReport`](parra::core::verify::RunReport) as one JSON
 //! object per line on stdout instead of the human-readable report.
 
+use parra::limits::{parse_byte_size, TrackingAlloc};
 use parra::obs::{Level, Recorder};
 use parra::prelude::*;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Counting allocator so `--memory-budget` can observe heap usage.
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +62,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match cmd.as_str() {
         "classify" => classify(rest),
         "verify" => verify(rest),
+        "batch" => batch(rest),
         "print" => print_system(rest),
         "fuzz" => fuzz(rest),
         "--help" | "-h" | "help" => {
@@ -56,18 +76,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn usage() -> String {
     "usage:\n  parra classify <file.ra>\n  parra verify <file.ra> \
      [--engine simplified|datalog|linear|concrete] [--unroll N] [--all-engines] \
-     [--concretize] [--threads N] [--stats] [--json] [--trace-out FILE]\n  \
+     [--concretize] [--timeout SECS] [--memory-budget SIZE] [--threads N] \
+     [--stats] [--json] [--trace-out FILE]\n  \
+     parra batch <dir|file.ra ...> [--engine E] [--all-engines] [--unroll N] \
+     [--timeout SECS] [--memory-budget SIZE] [--threads N]\n  \
      parra print <file.ra>\n  parra fuzz [--oracle NAME] [--seconds N | \
-     --cases N] [--seed N] [--corpus DIR] [--minimize FILE] [--json]\n\n\
+     --cases N | --timeout SECS] [--seed N] [--corpus DIR] [--minimize FILE] \
+     [--json]\n\n\
      PARRA_LOG=off|summary|debug selects the logging level (--stats \
      implies summary). --threads defaults to PARRA_THREADS or the \
      machine's parallelism; reports are identical for every thread \
-     count.\n\nfuzz oracles: engines-agree, equivalence, \
+     count. --timeout takes fractional seconds; --memory-budget takes \
+     bytes with an optional k/m/g suffix (e.g. 512m). Exhausted budgets \
+     degrade the verdict to INTERRUPTED (exit code 2), never to SAFE.\n\n\
+     batch verifies each input under per-file limits and prints one JSON \
+     line per file; a panic or exhausted budget on one file does not \
+     stop the rest.\n\nfuzz oracles: engines-agree, equivalence, \
      thread-determinism, round-trip, monotonicity, eval-agree \
      (default: all). A \
      --seconds budget is a deterministic case target (seconds x the \
      oracle's calibrated cases/sec), so repeated runs are identical; \
-     failures are minimized and, with --corpus DIR, saved as .ra files."
+     --timeout is a wall-clock bound instead (the completed cases are \
+     still a deterministic prefix); failures are minimized and, with \
+     --corpus DIR, saved as .ra files."
         .to_owned()
 }
 
@@ -77,6 +108,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--unroll",
     "--trace-out",
     "--threads",
+    "--timeout",
+    "--memory-budget",
     "--oracle",
     "--seconds",
     "--cases",
@@ -105,6 +138,36 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--timeout` (fractional seconds) and `--memory-budget`
+/// (bytes with an optional k/m/g suffix).
+fn parse_limit_flags(args: &[String]) -> Result<(Option<Duration>, Option<usize>), String> {
+    let timeout = flag_value(args, "--timeout")
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s >= 0.0)
+                .map(Duration::from_secs_f64)
+                .ok_or_else(|| format!("--timeout: `{v}` is not a non-negative number of seconds"))
+        })
+        .transpose()?;
+    let memory_budget = flag_value(args, "--memory-budget")
+        .map(|v| {
+            parse_byte_size(&v)
+                .ok_or_else(|| format!("--memory-budget: `{v}` is not a byte size (try 512m, 2g)"))
+        })
+        .transpose()?;
+    Ok((timeout, memory_budget))
+}
+
+/// Maps an aggregated verdict to the process exit code.
+fn exit_code_for(verdict: Verdict) -> ExitCode {
+    match verdict {
+        Verdict::Safe => ExitCode::SUCCESS,
+        Verdict::Unsafe => ExitCode::from(1),
+        Verdict::Unknown | Verdict::Interrupted(_) => ExitCode::from(2),
+    }
 }
 
 fn classify(args: &[String]) -> Result<ExitCode, String> {
@@ -140,6 +203,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         .map(|v| v.parse::<usize>().map_err(|e| format!("--threads: {e}")))
         .transpose()?;
     let threads = parra::search::Threads::resolve(threads).get();
+    let (timeout, memory_budget) = parse_limit_flags(args)?;
 
     let mut rec = Recorder::from_env();
     if (stats_flag || trace_out.is_some()) && !rec.is_enabled() {
@@ -149,32 +213,28 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let options = VerifierOptions {
         unroll_dis: unroll,
         threads,
+        timeout,
+        memory_budget,
         ..Default::default()
     };
     let verifier =
         Verifier::new_with_recorder(&sys, options, rec.clone()).map_err(|e| e.to_string())?;
 
-    let engines: Vec<Engine> = if args.iter().any(|a| a == "--all-engines") {
-        vec![
-            Engine::SimplifiedReach,
-            Engine::CacheDatalog,
-            Engine::LinearDatalog,
-            Engine::BoundedConcrete,
-        ]
-    } else {
-        let engine = match flag_value(args, "--engine").as_deref() {
-            None | Some("simplified") => Engine::SimplifiedReach,
-            Some("datalog") => Engine::CacheDatalog,
-            Some("linear") => Engine::LinearDatalog,
-            Some("concrete") => Engine::BoundedConcrete,
-            Some(other) => return Err(format!("unknown engine `{other}`")),
-        };
-        vec![engine]
-    };
+    let engines = engine_selection(args)?;
 
+    let concretize = args.iter().any(|a| a == "--concretize");
     let mut verdicts: Vec<(Engine, Verdict)> = Vec::new();
     for engine in engines {
-        let result = verifier.run(engine);
+        let mut result = verifier.run_isolated(engine);
+        // Concretization runs regardless of the output format, so the
+        // witness lands in the JSON report too.
+        let concrete = if concretize && result.verdict == Verdict::Unsafe {
+            let outcome = verifier.concretize_auto(&result);
+            result.report.concrete = outcome.witness.clone();
+            Some(outcome)
+        } else {
+            None
+        };
         if json {
             println!("{}", result.report.to_json());
         } else {
@@ -191,8 +251,8 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             for note in &result.notes {
                 println!("  note: {note}");
             }
-            if args.iter().any(|a| a == "--concretize") && result.verdict == Verdict::Unsafe {
-                match verifier.concretize(&result, 6) {
+            if let Some(outcome) = &concrete {
+                match &outcome.witness {
                     Some(w) => {
                         println!("  concrete interleaving ({} env threads):", w.n_env);
                         for step in &w.steps {
@@ -200,8 +260,14 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                         }
                     }
                     None => println!(
-                        "  (no concrete interleaving found within 6 env threads \
-                         and default depth)"
+                        "  (no concrete interleaving found within {} env threads \
+                         [{}] and default depth)",
+                        outcome.max_env_searched,
+                        if outcome.from_bound {
+                            "from the \u{a7}4.3 cost bound"
+                        } else {
+                            "default cap"
+                        }
                     ),
                 }
             }
@@ -229,10 +295,165 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let final_verdict = aggregate_verdicts(&verdicts)?;
-    Ok(match final_verdict {
-        Verdict::Safe => ExitCode::SUCCESS,
-        Verdict::Unsafe => ExitCode::from(1),
-        Verdict::Unknown => ExitCode::from(2),
+    Ok(exit_code_for(final_verdict))
+}
+
+/// Resolves `--engine`/`--all-engines` into the engine list to run.
+fn engine_selection(args: &[String]) -> Result<Vec<Engine>, String> {
+    if args.iter().any(|a| a == "--all-engines") {
+        return Ok(vec![
+            Engine::SimplifiedReach,
+            Engine::CacheDatalog,
+            Engine::LinearDatalog,
+            Engine::BoundedConcrete,
+        ]);
+    }
+    let engine = match flag_value(args, "--engine").as_deref() {
+        None | Some("simplified") => Engine::SimplifiedReach,
+        Some("datalog") => Engine::CacheDatalog,
+        Some("linear") => Engine::LinearDatalog,
+        Some("concrete") => Engine::BoundedConcrete,
+        Some(other) => return Err(format!("unknown engine `{other}`")),
+    };
+    Ok(vec![engine])
+}
+
+/// Verifies one batch input. Errors (unreadable file, parse failure,
+/// rejected system, engine disagreement) become the line's `error` field.
+fn batch_one(
+    path: &std::path::Path,
+    engines: &[Engine],
+    options: &VerifierOptions,
+) -> Result<(Verdict, Option<InterruptReason>, Vec<String>), String> {
+    // Test hook: `PARRA_INJECT_PANIC=<substring>` panics on matching
+    // files so the batch loop's panic isolation can be exercised
+    // end-to-end.
+    if let Ok(needle) = std::env::var("PARRA_INJECT_PANIC") {
+        if !needle.is_empty() && path.display().to_string().contains(&needle) {
+            panic!("injected panic (PARRA_INJECT_PANIC={needle})");
+        }
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let sys = parse_system(&text).map_err(|e| e.to_string())?;
+    let verifier = Verifier::new(&sys, options.clone()).map_err(|e| e.to_string())?;
+    let mut verdicts = Vec::new();
+    let mut reports = Vec::new();
+    let mut interrupted = None;
+    for &engine in engines {
+        let result = verifier.run_isolated(engine);
+        interrupted = interrupted.or(result.verdict.interrupt_reason());
+        reports.push(result.report.to_json());
+        verdicts.push((result.engine, result.verdict));
+    }
+    let verdict = aggregate_verdicts(&verdicts)?;
+    // Aggregation folds Interrupted into Unknown; keep the reason on the
+    // line only while the file is still undecided.
+    let interrupted = if verdict.is_decided() {
+        None
+    } else {
+        interrupted
+    };
+    Ok((verdict, interrupted, reports))
+}
+
+fn batch(args: &[String]) -> Result<ExitCode, String> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    let (timeout, memory_budget) = parse_limit_flags(args)?;
+    let unroll = flag_value(args, "--unroll")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--unroll: {e}")))
+        .transpose()?;
+    let threads = flag_value(args, "--threads")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+        .transpose()?;
+    let options = VerifierOptions {
+        unroll_dis: unroll,
+        threads: parra::search::Threads::resolve(threads).get(),
+        timeout,
+        memory_budget,
+        ..Default::default()
+    };
+    let engines = engine_selection(args)?;
+
+    // Inputs are the non-flag arguments; a directory expands to its
+    // `.ra` files in sorted order, so line order is deterministic.
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            iter.next();
+        } else if !a.starts_with("--") {
+            let path = PathBuf::from(a);
+            if path.is_dir() {
+                let mut entries: Vec<PathBuf> = std::fs::read_dir(&path)
+                    .map_err(|e| format!("cannot read directory `{a}`: {e}"))?
+                    .filter_map(|entry| entry.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|ext| ext == "ra"))
+                    .collect();
+                entries.sort();
+                files.extend(entries);
+            } else {
+                files.push(path);
+            }
+        }
+    }
+    if files.is_empty() {
+        return Err("batch: no input files (pass .ra files or directories)".into());
+    }
+
+    let mut any_unsafe = false;
+    let mut any_undecided = false;
+    for file in &files {
+        let start = std::time::Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| batch_one(file, &engines, &options)));
+        let duration_us = start.elapsed().as_micros() as u64;
+
+        let mut w = parra::obs::json::ObjWriter::new();
+        w.str_field("file", &file.display().to_string());
+        match outcome {
+            Ok(Ok((verdict, interrupted, reports))) => {
+                any_unsafe |= verdict == Verdict::Unsafe;
+                any_undecided |= !verdict.is_decided();
+                w.str_field("verdict", &verdict.to_string());
+                match interrupted {
+                    Some(r) => w.str_field("interrupted", r.as_str()),
+                    None => w.raw_field("interrupted", "null"),
+                }
+                w.raw_field("error", "null");
+                w.num_field("duration_us", duration_us);
+                w.raw_field("reports", &format!("[{}]", reports.join(",")));
+            }
+            Ok(Err(error)) => {
+                any_undecided = true;
+                w.raw_field("verdict", "null");
+                w.raw_field("interrupted", "null");
+                w.str_field("error", &error);
+                w.num_field("duration_us", duration_us);
+                w.raw_field("reports", "[]");
+            }
+            Err(payload) => {
+                any_undecided = true;
+                let msg: &str = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                    .unwrap_or("panic with non-string payload");
+                w.raw_field("verdict", "null");
+                w.raw_field("interrupted", "null");
+                w.str_field("error", &format!("panicked: {msg}"));
+                w.num_field("duration_us", duration_us);
+                w.raw_field("reports", "[]");
+            }
+        }
+        println!("{}", w.finish());
+    }
+    Ok(if any_unsafe {
+        ExitCode::from(1)
+    } else if any_undecided {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     })
 }
 
@@ -257,10 +478,18 @@ fn fuzz(args: &[String]) -> Result<ExitCode, String> {
     let seconds = flag_value(args, "--seconds")
         .map(|v| v.parse::<u64>().map_err(|e| format!("--seconds: {e}")))
         .transpose()?;
-    let budget = match (cases, seconds) {
-        (Some(n), _) => FuzzBudget::Cases(n),
-        (None, Some(s)) => FuzzBudget::Seconds(s),
-        (None, None) => FuzzBudget::Seconds(1),
+    let (timeout, _) = parse_limit_flags(args)?;
+    // A wall-clock --timeout on its own means "as many cases as fit":
+    // the case target becomes unbounded and the deadline stops the run.
+    let budget = match (cases, seconds, timeout) {
+        (Some(n), _, _) => FuzzBudget::Cases(n),
+        (None, Some(s), _) => FuzzBudget::Seconds(s),
+        (None, None, Some(_)) => FuzzBudget::Cases(u64::MAX),
+        (None, None, None) => FuzzBudget::Seconds(1),
+    };
+    let governor = match timeout {
+        Some(d) => ResourceBudget::unlimited().with_deadline(d),
+        None => ResourceBudget::unlimited(),
     };
     let corpus_dir = flag_value(args, "--corpus").map(std::path::PathBuf::from);
     let oracles: Vec<Box<dyn Oracle>> = match flag_value(args, "--oracle").as_deref() {
@@ -325,6 +554,7 @@ fn fuzz(args: &[String]) -> Result<ExitCode, String> {
         seed,
         budget,
         corpus_dir,
+        governor,
     };
     let mut any_failure = false;
     for oracle in &oracles {
@@ -334,6 +564,9 @@ fn fuzz(args: &[String]) -> Result<ExitCode, String> {
             println!("{}", summary.to_json());
         } else {
             println!("{}", summary.render());
+            if let Some(reason) = summary.interrupted {
+                println!("  note: stopped early ({reason} budget exhausted)");
+            }
             for f in &summary.failures {
                 println!("  seed {}: {}", f.seed, f.message);
                 println!(

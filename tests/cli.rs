@@ -316,6 +316,216 @@ fn fuzz_minimize_and_oracle_flag_validation() {
     assert!(err.contains("engines-agree"), "stderr: {err}");
 }
 
+/// Regression test: `--concretize` used to be silently ignored under
+/// `--json`. The witness must now land in the report either way, and the
+/// human fallback message must name the §4.3-seeded cap.
+#[test]
+fn concretize_works_under_json_and_names_its_bound() {
+    let input = example("handshake.ra");
+    let out = Command::new(BIN)
+        .args(["verify", "--json", "--concretize", &input])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("JSON report");
+    let w = v.get("concrete_witness").expect("field present");
+    let n_env = w.get("n_env").and_then(|n| n.as_u64()).expect("n_env");
+    assert!(n_env >= 1);
+    let steps = w.get("steps").and_then(|s| s.as_arr()).expect("steps");
+    assert!(!steps.is_empty());
+
+    // Without --concretize the field is null.
+    let out = Command::new(BIN)
+        .args(["verify", "--json", &input])
+        .output()
+        .expect("binary runs");
+    let v = json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("JSON report");
+    assert!(v.get("concrete_witness").unwrap().is_null());
+
+    // Human output still prints the interleaving.
+    let out = Command::new(BIN)
+        .args(["verify", "--concretize", &input])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("concrete interleaving"), "stdout: {stdout}");
+}
+
+/// `--timeout 0` degrades to INTERRUPTED (exit 2) with the deadline
+/// reason in the notes and JSON; `--memory-budget` parses suffixes and
+/// rejects garbage.
+#[test]
+fn timeout_zero_interrupts_with_exit_code_2() {
+    let input = example("barrier.ra");
+    let out = Command::new(BIN)
+        .args(["verify", "--timeout", "0", "--json", &input])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("JSON report");
+    assert_eq!(v.get("interrupted").unwrap().as_str(), Some("deadline"));
+    assert_eq!(
+        v.get("verdict").unwrap().as_str(),
+        Some("INTERRUPTED(deadline)")
+    );
+
+    let out = Command::new(BIN)
+        .args(["verify", "--timeout", "0", &input])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("interrupted (deadline)"),
+        "stdout: {stdout}"
+    );
+
+    // A generous memory budget parses and does not disturb the verdict.
+    let out = Command::new(BIN)
+        .args(["verify", "--memory-budget", "4g", &example("handshake.ra")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = Command::new(BIN)
+        .args(["verify", "--memory-budget", "lots", &input])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(64));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--memory-budget"));
+}
+
+/// `parra batch` over the examples directory emits one JSON line per
+/// `.ra` file in sorted order, and the exit code reflects the worst
+/// verdict (handshake is unsafe → 1).
+#[test]
+fn batch_emits_one_json_line_per_file() {
+    let dir = format!("{}/examples/systems", env!("CARGO_MANIFEST_DIR"));
+    let out = Command::new(BIN)
+        .args(["batch", &dir])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<_> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "stdout: {stdout}");
+    let mut verdicts = Vec::new();
+    for line in &lines {
+        let v = json::parse(line).expect("each line is a JSON object");
+        let file = v.get("file").unwrap().as_str().unwrap().to_string();
+        assert!(file.ends_with(".ra"), "{file}");
+        assert!(v.get("error").unwrap().is_null(), "{line}");
+        verdicts.push((
+            file,
+            v.get("verdict").unwrap().as_str().unwrap().to_string(),
+        ));
+    }
+    assert!(
+        verdicts
+            .iter()
+            .any(|(f, v)| f.ends_with("handshake.ra") && v == "UNSAFE"),
+        "{verdicts:?}"
+    );
+    // Sorted order: barrier first, spinlock last.
+    assert!(verdicts[0].0.ends_with("barrier.ra"));
+    assert!(verdicts[4].0.ends_with("spinlock.ra"));
+}
+
+/// One panicking input must not take down the rest of the batch: the
+/// poisoned file gets an `error` line, every other file still verifies.
+#[test]
+fn batch_survives_an_injected_panic() {
+    let dir = format!("{}/examples/systems", env!("CARGO_MANIFEST_DIR"));
+    let out = Command::new(BIN)
+        .args(["batch", &dir])
+        .env("PARRA_INJECT_PANIC", "rcu")
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "handshake is still unsafe; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<_> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "stdout: {stdout}");
+    let mut saw_panic = false;
+    for line in &lines {
+        let v = json::parse(line).expect("JSON line");
+        let file = v.get("file").unwrap().as_str().unwrap().to_string();
+        if file.ends_with("rcu.ra") {
+            saw_panic = true;
+            assert!(v.get("verdict").unwrap().is_null(), "{line}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains("panicked"), "{err}");
+        } else {
+            assert!(v.get("error").unwrap().is_null(), "{line}");
+        }
+    }
+    assert!(saw_panic, "stdout: {stdout}");
+}
+
+/// Per-file limits in batch mode: a zero timeout interrupts every file
+/// (exit 2, no UNSAFE was reached) but still prints one line per input.
+#[test]
+fn batch_with_zero_timeout_interrupts_every_file() {
+    let dir = format!("{}/examples/systems", env!("CARGO_MANIFEST_DIR"));
+    let out = Command::new(BIN)
+        .args(["batch", "--timeout", "0", &dir])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<_> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "stdout: {stdout}");
+    for line in &lines {
+        let v = json::parse(line).expect("JSON line");
+        assert_eq!(v.get("interrupted").unwrap().as_str(), Some("deadline"));
+    }
+}
+
+/// `parra fuzz --timeout` bounds the run by wall clock: a zero timeout
+/// completes immediately with an interruption note instead of hanging on
+/// the unbounded case target.
+#[test]
+fn fuzz_timeout_stops_the_run() {
+    let out = Command::new(BIN)
+        .args(["fuzz", "--oracle", "round-trip", "--timeout", "0", "--json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("JSON summary");
+    assert_eq!(v.get("interrupted").unwrap().as_str(), Some("deadline"));
+    assert_eq!(v.get("cases").unwrap().as_u64(), Some(0));
+}
+
 #[test]
 fn stats_flag_prints_span_tree_and_metrics() {
     let out = Command::new(BIN)

@@ -70,6 +70,8 @@ fn run_both(sys: &ParamSystem, goal: VarId, max_env: usize) -> Verdicts {
             }
             ExploreOutcome::SafeExhausted => {}
             ExploreOutcome::SafeWithinBounds => concrete_exact = false,
+            // These runs are ungoverned; an interruption would be a bug.
+            ExploreOutcome::Interrupted(r) => panic!("ungoverned explorer interrupted: {r}"),
         }
     }
     Verdicts {
@@ -108,6 +110,9 @@ fn check_agreement(sys: &ParamSystem, goal: VarId, max_env: usize, label: &str) 
             }
         }
         (ReachOutcome::Truncated, _) => unreachable!(),
+        (ReachOutcome::Interrupted(r), _) => {
+            panic!("{label}: ungoverned simplified search interrupted: {r}")
+        }
     }
 }
 

@@ -62,6 +62,8 @@ fn verdict_str(v: Verdict) -> &'static str {
         Verdict::Safe => "SAFE",
         Verdict::Unsafe => "UNSAFE",
         Verdict::Unknown => "UNKNOWN",
+        // Golden runs are ungoverned, so interruption means a bug.
+        Verdict::Interrupted(_) => "INTERRUPTED",
     }
 }
 
