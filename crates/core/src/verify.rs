@@ -7,7 +7,7 @@ use parra_datalog::eval::Evaluator;
 use parra_datalog::plan::PlanCache;
 use parra_limits::{CancelToken, InterruptReason, ResourceBudget};
 use parra_obs::json::ObjWriter;
-use parra_obs::{GaugeSnapshot, HistSnapshot, Recorder};
+use parra_obs::{GaugeSnapshot, HistSnapshot, Phase, PhaseTimer, Recorder};
 use parra_program::classify::{Complexity, SystemClass};
 use parra_program::system::ParamSystem;
 use parra_program::transform;
@@ -160,8 +160,13 @@ pub struct RunReport {
     /// The flat compatibility view.
     pub stats: Stats,
     /// Counter deltas attributed to this run (name without the engine
-    /// prefix, value).
+    /// prefix, value). `phase/…_us` counters are split out into
+    /// [`phases`](RunReport::phases).
     pub counters: Vec<(String, u64)>,
+    /// Phase-attributed time, `(phase name, µs)` — from the engines'
+    /// [`PhaseTimer`]s. These are CPU-time-like sums: phases timed inside
+    /// a worker fleet can exceed the run's wall-clock duration.
+    pub phases: Vec<(String, u64)>,
     /// Gauges under this engine's scope (name, snapshot).
     pub gauges: Vec<(String, GaugeSnapshot)>,
     /// Histograms under this engine's scope (name, snapshot).
@@ -193,6 +198,7 @@ impl RunReport {
             duration: Duration::ZERO,
             stats: Stats::default(),
             counters: Vec::new(),
+            phases: Vec::new(),
             gauges: Vec::new(),
             histograms: Vec::new(),
             cache_occupancy: Vec::new(),
@@ -225,6 +231,11 @@ impl RunReport {
             counters.num_field(name, *v);
         }
         w.raw_field("counters", &counters.finish());
+        let mut phases = ObjWriter::new();
+        for (name, v) in &self.phases {
+            phases.num_field(name, *v);
+        }
+        w.raw_field("phases", &phases.finish());
         let mut gauges = ObjWriter::new();
         for (name, g) in &self.gauges {
             let mut one = ObjWriter::new();
@@ -240,6 +251,9 @@ impl RunReport {
             one.num_field("sum", h.sum);
             one.num_field("max", h.max);
             one.raw_field("mean", &format!("{:.3}", h.mean()));
+            one.num_field("p50", h.p50());
+            one.num_field("p90", h.p90());
+            one.num_field("p99", h.p99());
             hists.raw_field(name, &one.finish());
         }
         w.raw_field("histograms", &hists.finish());
@@ -388,6 +402,10 @@ pub struct Verifier {
     options: VerifierOptions,
     notes: Vec<String>,
     rec: Recorder,
+    /// Time spent in the preparation (classify/unroll/goal-transform)
+    /// phase, attributed to every engine report as `plan` (preparation is
+    /// shared by all engines of this verifier).
+    plan_us: u64,
 }
 
 impl Verifier {
@@ -410,6 +428,8 @@ impl Verifier {
         options: VerifierOptions,
         rec: Recorder,
     ) -> Result<Verifier, VerifierError> {
+        let phase_timer = PhaseTimer::new(&rec);
+        let plan_guard = phase_timer.start(Phase::Plan);
         let original_class = {
             let _span = rec.span("classify");
             SystemClass::of(sys)
@@ -436,6 +456,8 @@ impl Verifier {
         let goal = transform::assert_to_goal(&sys);
         let budget = Budget::exact(&goal.system).expect("dis is loop-free after unrolling");
         drop(span);
+        drop(plan_guard);
+        let plan_us = phase_timer.get_us(Phase::Plan);
         Ok(Verifier {
             original_class,
             goal,
@@ -443,6 +465,7 @@ impl Verifier {
             options,
             notes,
             rec,
+            plan_us,
         })
     }
 
@@ -489,6 +512,11 @@ impl Verifier {
         // same Verifier runs the same engine repeatedly.
         let scope = self.rec.scoped(&format!("{engine}/"));
         let before = self.rec.snapshot();
+        scope.event_with(
+            "run_start",
+            &[],
+            &[("threads", self.options.threads as u64)],
+        );
         let gov = self.governor();
         let mut result = {
             let span = self.rec.span(&format!("engine:{engine}"));
@@ -516,7 +544,26 @@ impl Verifier {
         report.verdict = result.verdict;
         report.duration = result.stats.duration;
         report.stats = result.stats.clone();
-        report.counters = after.counter_deltas(&before, &prefix);
+        let (phase_counters, counters): (Vec<_>, Vec<_>) = after
+            .counter_deltas(&before, &prefix)
+            .into_iter()
+            .partition(|(n, _)| n.starts_with("phase/"));
+        report.counters = counters;
+        report.phases = phase_counters
+            .into_iter()
+            .map(|(n, v)| {
+                let name = n
+                    .strip_prefix("phase/")
+                    .and_then(|r| r.strip_suffix("_us"))
+                    .unwrap_or(&n)
+                    .to_string();
+                (name, v)
+            })
+            .collect();
+        if self.plan_us > 0 {
+            report.phases.push(("plan".to_string(), self.plan_us));
+            report.phases.sort();
+        }
         report.gauges = after
             .gauges
             .iter()
@@ -532,6 +579,30 @@ impl Verifier {
         report.witness = result.witness_lines.clone();
         report.notes = result.notes.clone();
         report.interrupted = result.verdict.interrupt_reason();
+        if self.rec.is_enabled() {
+            // The run_end event carries the deterministic verdict in
+            // `fields`; durations, phase times, threads, and the stats
+            // (fleet maxima are schedule-dependent) go in `volatile`.
+            let mut vol: Vec<(String, u64)> = vec![
+                (
+                    "duration_us".to_string(),
+                    report.duration.as_micros() as u64,
+                ),
+                ("threads".to_string(), self.options.threads as u64),
+                ("states".to_string(), report.stats.states as u64),
+                ("worlds".to_string(), report.stats.worlds as u64),
+                ("guesses".to_string(), report.stats.guesses as u64),
+            ];
+            for (name, v) in &report.phases {
+                vol.push((format!("phase/{name}_us"), *v));
+            }
+            let vol: Vec<(&str, u64)> = vol.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            scope.event_with(
+                "run_end",
+                &[("verdict", report.verdict.to_string().into())],
+                &vol,
+            );
+        }
         result.report = report;
         result
     }
@@ -727,8 +798,12 @@ impl Verifier {
                             // hands every worker the same plan after the
                             // first computes it.
                             let plan = cache.lock().expect("plan cache poisoned").plan(&prog);
+                            // Round events stay deterministic only when a
+                            // single guess runs (the fleet races workers,
+                            // so multi-guess schedules are timing-bound).
                             let db = Evaluator::with_plan(&prog, plan)
                                 .with_recorder(rec.clone())
+                                .with_events(n_guesses == 1)
                                 .with_threads(eval_threads)
                                 .with_governor(gov.clone())
                                 .run_until(Some(&goal));
@@ -770,6 +845,19 @@ impl Verifier {
             if won {
                 out.winner = Some(out.winner.map_or(i, |w: usize| w.min(i)));
             }
+        }
+        if rec.is_enabled() {
+            // Which guesses got evaluated (and so the maxima, and even the
+            // winning index when several guesses win) depends on worker
+            // timing — everything but the guess count is volatile.
+            let mut vol: Vec<(&str, u64)> = vec![
+                ("rules_max", out.rules as u64),
+                ("atoms_max", out.atoms as u64),
+            ];
+            if let Some(w) = out.winner {
+                vol.push(("winner", w as u64));
+            }
+            rec.event_with("fleet", &[("n_guesses", n_guesses.into())], &vol);
         }
         out
     }
@@ -813,6 +901,8 @@ impl Verifier {
             // counting intensional atoms only.
             let (prog, goal) = mk.program(&guesses[wi], target);
             let plan = plan_cache.lock().expect("plan cache poisoned").plan(&prog);
+            let phases = PhaseTimer::new(rec);
+            let _replay = phases.start(Phase::WitnessReplay);
             if let Some(w) = witness::extract(&prog, &goal, rec, self.options.threads, Some(plan)) {
                 stats.cache_peak = w.peak_intensional;
                 stats.datalog_atoms = stats.datalog_atoms.max(w.atoms);
@@ -868,6 +958,8 @@ impl Verifier {
             verdict = Verdict::Unsafe;
             let (prog, goal) = mk.program(&guesses[wi], target);
             let plan = plan_cache.lock().expect("plan cache poisoned").plan(&prog);
+            let phases = PhaseTimer::new(rec);
+            let _replay = phases.start(Phase::WitnessReplay);
             match witness::extract(&prog, &goal, rec, self.options.threads, Some(plan)) {
                 Some(w) => {
                     stats.cache_peak = w.peak_intensional;

@@ -28,10 +28,11 @@ use crate::arena::{hash_key, AtomId, TupleStore};
 use crate::ast::{Const, GroundAtom, PredId, Program, Rule, Term};
 use crate::plan::{DeltaPlan, Plan, NO_SLOT};
 use parra_limits::{InterruptReason, ResourceBudget};
-use parra_obs::{Counter, Recorder};
+use parra_obs::{Counter, Phase, PhaseTimer, Recorder};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Hasher for keys that are already well-mixed 64-bit hashes (the FNV
 /// digests produced by [`hash_key`]): a single multiply-xor finisher
@@ -321,6 +322,7 @@ pub struct Evaluator<'p> {
     program: &'p Program,
     plan: Arc<Plan>,
     rec: Recorder,
+    events: bool,
     provenance: bool,
     threads: usize,
     gov: ResourceBudget,
@@ -345,6 +347,7 @@ impl<'p> Evaluator<'p> {
             program,
             plan,
             rec: Recorder::disabled(),
+            events: false,
             provenance: false,
             threads: 1,
             gov: ResourceBudget::unlimited(),
@@ -354,6 +357,18 @@ impl<'p> Evaluator<'p> {
     /// The same evaluator reporting metrics through `rec`.
     pub fn with_recorder(mut self, rec: Recorder) -> Evaluator<'p> {
         self.rec = rec;
+        self
+    }
+
+    /// Turns per-round flight-recorder events on (off by default).
+    ///
+    /// Callers must only enable this for evaluations whose schedule is
+    /// deterministic across thread counts — e.g. a single-guess run, or
+    /// the sequential reference evaluator. A multi-guess fleet races its
+    /// workers, so the set of evaluated guesses (and hence their rounds)
+    /// is thread-count-dependent and would break the event-log contract.
+    pub fn with_events(mut self, on: bool) -> Evaluator<'p> {
+        self.events = on;
         self
     }
 
@@ -384,6 +399,7 @@ impl<'p> Evaluator<'p> {
 
     /// Computes the least model, stopping early if `stop_at` is derived.
     pub fn run_until(&self, stop_at: Option<&GroundAtom>) -> Database {
+        let _span = self.rec.span_debug("eval.run");
         let db = self.run_until_inner(stop_at);
         if self.rec.is_enabled() {
             // Per-predicate atom counts, keyed by predicate name so traces
@@ -436,17 +452,28 @@ impl<'p> Evaluator<'p> {
         // with the previous round's insertions first, so the workers only
         // ever read them. The (body predicate → rule occurrence) table
         // driving the expansion lives in the plan ([`Plan::uses`]).
+        let phases = PhaseTimer::new(&self.rec);
+        let mut round: u64 = 0;
         while !delta.is_empty() {
             if let Err(reason) = self.gov.check() {
+                self.rec
+                    .counter(&format!("eval_interrupted_{}", reason.as_str()))
+                    .incr();
                 db.interrupted = Some(reason);
                 return db;
             }
+            let t0 = phases.is_enabled().then(Instant::now);
             counters.index_builds.add(db.catch_up_indices());
+            if let Some(t0) = t0 {
+                phases.add_us(Phase::IndexBuild, t0.elapsed().as_micros() as u64);
+            }
+            let t0 = phases.is_enabled().then(Instant::now);
             let batches: Vec<Vec<Derived>> =
                 parra_search::ordered_map(self.threads.min(delta.len()), &delta, |_w, _i, &d| {
                     self.derive_from(&db, d, &counters)
                 });
             let mut next_delta = Vec::new();
+            let mut goal_hit = false;
             for derived in batches.into_iter().flatten() {
                 let hit = stop_at
                     .map(|g| g.pred == derived.pred && g.args[..] == derived.args[..])
@@ -456,10 +483,30 @@ impl<'p> Evaluator<'p> {
                     counters.fired.incr();
                     next_delta.push(id);
                     if hit {
-                        return db;
+                        goal_hit = true;
+                        break;
                     }
                 }
             }
+            if let Some(t0) = t0 {
+                phases.add_us(Phase::Fixpoint, t0.elapsed().as_micros() as u64);
+            }
+            if self.events && self.rec.is_enabled() {
+                self.rec.event_with(
+                    "round",
+                    &[
+                        ("round", round.into()),
+                        ("delta", delta.len().into()),
+                        ("derived", next_delta.len().into()),
+                        ("atoms", db.store.len().into()),
+                    ],
+                    &self.gov.headroom().volatile_fields(),
+                );
+            }
+            if goal_hit {
+                return db;
+            }
+            round += 1;
             delta = next_delta;
         }
         db

@@ -9,6 +9,7 @@
 
 use crate::ast::{Atom, Const, GroundAtom, PredId, Program, Rule, Term};
 use parra_limits::{InterruptReason, ResourceBudget};
+use parra_obs::{Counter, Recorder};
 use std::collections::{HashMap, VecDeque};
 
 /// The set of derived ground atoms, with one recorded derivation each.
@@ -142,6 +143,7 @@ fn instantiate(head: &Atom, subst: &Subst) -> GroundAtom {
 #[derive(Debug)]
 pub struct NaiveEvaluator<'p> {
     program: &'p Program,
+    rec: Recorder,
     gov: ResourceBudget,
 }
 
@@ -150,8 +152,21 @@ impl<'p> NaiveEvaluator<'p> {
     pub fn new(program: &'p Program) -> NaiveEvaluator<'p> {
         NaiveEvaluator {
             program,
+            rec: Recorder::disabled(),
             gov: ResourceBudget::unlimited(),
         }
+    }
+
+    /// The same evaluator reporting metrics through `rec`, under the same
+    /// names as the optimized [`Evaluator`](crate::eval::Evaluator) —
+    /// `rules_fired`, `join_attempts`, `atoms/{pred}`,
+    /// `eval_interrupted_{reason}`, and the `eval.run` span — so traces
+    /// from both engines line up in reports. (The optimized engine
+    /// additionally reports index counters this engine has no analogue
+    /// for: `index_builds`, `index_hits`, `arena_atoms`, `arena_bytes`.)
+    pub fn with_recorder(mut self, rec: Recorder) -> NaiveEvaluator<'p> {
+        self.rec = rec;
+        self
     }
 
     /// The same evaluator governed by `gov`, checked every
@@ -165,6 +180,24 @@ impl<'p> NaiveEvaluator<'p> {
 
     /// Computes the least model, stopping early if `stop_at` is derived.
     pub fn run_until(&self, stop_at: Option<&GroundAtom>) -> NaiveDatabase {
+        let _span = self.rec.span_debug("eval.run");
+        let db = self.run_until_inner(stop_at);
+        if self.rec.is_enabled() {
+            for p in self.program.predicates() {
+                let n = db.by_pred.get(&p).map_or(0, Vec::len) as u64;
+                if n > 0 {
+                    self.rec
+                        .counter(&format!("atoms/{}", self.program.pred_name(p)))
+                        .add(n);
+                }
+            }
+        }
+        db
+    }
+
+    fn run_until_inner(&self, stop_at: Option<&GroundAtom>) -> NaiveDatabase {
+        let fired = self.rec.counter("rules_fired");
+        let joins = self.rec.counter("join_attempts");
         let mut db = NaiveDatabase::default();
         let mut queue: VecDeque<usize> = VecDeque::new();
 
@@ -173,6 +206,7 @@ impl<'p> NaiveEvaluator<'p> {
             if rule.is_fact() {
                 let g = rule.head.to_ground();
                 if let Some(idx) = db.insert(g, ri, Vec::new()) {
+                    fired.incr();
                     queue.push_back(idx);
                 }
             }
@@ -195,6 +229,7 @@ impl<'p> NaiveEvaluator<'p> {
         // The governor is checked up-front (so an already-exhausted budget
         // interrupts even the smallest program) and then periodically.
         if let Err(reason) = self.gov.check() {
+            self.note_interrupt(reason);
             db.interrupted = Some(reason);
             return db;
         }
@@ -203,8 +238,22 @@ impl<'p> NaiveEvaluator<'p> {
             pops = pops.wrapping_add(1);
             if pops.is_multiple_of(GOV_CHECK_EVERY) {
                 if let Err(reason) = self.gov.check() {
+                    self.note_interrupt(reason);
                     db.interrupted = Some(reason);
                     return db;
+                }
+                // This engine is sequential, so pop order — and hence this
+                // event stream — is deterministic by construction.
+                if self.rec.is_enabled() {
+                    self.rec.event_with(
+                        "round",
+                        &[
+                            ("round", u64::from(pops / GOV_CHECK_EVERY - 1).into()),
+                            ("delta", queue.len().into()),
+                            ("atoms", db.len().into()),
+                        ],
+                        &self.gov.headroom().volatile_fields(),
+                    );
                 }
             }
             let new_atom = db.atoms[new_idx].clone();
@@ -214,13 +263,15 @@ impl<'p> NaiveEvaluator<'p> {
             for &(ri, bi) in uses.clone().iter() {
                 let rule = &self.program.rules()[ri];
                 let mut subst = Subst::new();
+                joins.incr();
                 if !match_atom(&rule.body[bi], &new_atom, &mut subst) {
                     continue;
                 }
                 let mut used = vec![0usize; rule.body.len()];
                 used[bi] = new_idx;
-                if self.join_rest(rule, ri, bi, 0, &mut subst, &mut used, &mut db, &mut queue)
-                    && stop_at.map(|g| db.contains(g)).unwrap_or(false)
+                if self.join_rest(
+                    rule, ri, bi, 0, &mut subst, &mut used, &mut db, &mut queue, &fired,
+                ) && stop_at.map(|g| db.contains(g)).unwrap_or(false)
                 {
                     return db;
                 }
@@ -244,6 +295,12 @@ impl<'p> NaiveEvaluator<'p> {
         self.run_until(Some(goal)).contains(goal)
     }
 
+    fn note_interrupt(&self, reason: InterruptReason) {
+        self.rec
+            .counter(&format!("eval_interrupted_{}", reason.as_str()))
+            .incr();
+    }
+
     /// Joins the remaining body atoms (all but `skip`) against the
     /// database; returns true if anything was inserted.
     #[allow(clippy::too_many_arguments)]
@@ -257,6 +314,7 @@ impl<'p> NaiveEvaluator<'p> {
         used: &mut Vec<usize>,
         db: &mut NaiveDatabase,
         queue: &mut VecDeque<usize>,
+        fired: &Counter,
     ) -> bool {
         let mut next = from;
         if next == skip {
@@ -265,6 +323,7 @@ impl<'p> NaiveEvaluator<'p> {
         if next >= rule.body.len() {
             let g = instantiate(&rule.head, subst);
             if let Some(idx) = db.insert(g, ri, used.clone()) {
+                fired.incr();
                 queue.push_back(idx);
                 return true;
             }
@@ -284,7 +343,7 @@ impl<'p> NaiveEvaluator<'p> {
                 .collect();
             if match_atom(pattern, &ground, subst) {
                 used[next] = idx;
-                if self.join_rest(rule, ri, skip, next + 1, subst, used, db, queue) {
+                if self.join_rest(rule, ri, skip, next + 1, subst, used, db, queue, fired) {
                     inserted = true;
                 }
             }
@@ -371,6 +430,67 @@ mod tests {
         assert_eq!(governed.interrupted(), None);
         assert_eq!(governed.len(), base.len());
         assert!(governed.contains(&GroundAtom::new(path, vec![c[0], c[3]])));
+    }
+
+    #[test]
+    fn metric_and_span_names_match_the_optimized_evaluator() {
+        use crate::eval::Evaluator;
+        use parra_obs::Level;
+
+        let (p, _path, _c) = tc_program();
+        let naive_rec = Recorder::enabled(Level::Debug);
+        let eval_rec = Recorder::enabled(Level::Debug);
+        NaiveEvaluator::new(&p)
+            .with_recorder(naive_rec.clone())
+            .run();
+        Evaluator::new(&p).with_recorder(eval_rec.clone()).run();
+
+        let ns = naive_rec.snapshot();
+        let es = eval_rec.snapshot();
+        // Every counter the naive engine reports exists under the same
+        // name in the optimized engine's snapshot.
+        for name in ns.counters.keys() {
+            assert!(es.counters.contains_key(name), "eval missing {name}");
+        }
+        // The optimized engine's extras are exactly its index/arena
+        // machinery, which the naive engine has no analogue for.
+        // (`phase/*` counters are the PhaseTimer's — reports pull them
+        // out as phase attributions, not evaluation metrics.)
+        let extras: Vec<&str> = es
+            .counters
+            .keys()
+            .filter(|n| !ns.counters.contains_key(*n) && !n.starts_with("phase/"))
+            .map(String::as_str)
+            .collect();
+        assert_eq!(extras, vec!["index_builds", "index_hits"]);
+        // Both engines define "fired" as a successful insert, so the
+        // values agree exactly — as do the per-predicate atom counts,
+        // since both reach the same fixpoint.
+        assert_eq!(ns.counters["rules_fired"], es.counters["rules_fired"]);
+        assert_eq!(ns.counters["atoms/path"], es.counters["atoms/path"]);
+        assert_eq!(ns.counters["atoms/edge"], es.counters["atoms/edge"]);
+        assert!(ns.counters["join_attempts"] > 0);
+        assert!(es.counters["join_attempts"] > 0);
+        // Both wrap evaluation in the same debug span.
+        for rec in [&naive_rec, &eval_rec] {
+            let spans = rec.spans();
+            assert!(
+                spans.iter().any(|s| s.name == "eval.run"),
+                "missing eval.run span"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupt_reason_counter_matches_eval_naming() {
+        let (p, _path, _c) = tc_program();
+        let rec = Recorder::enabled(parra_obs::Level::Summary);
+        let gov = ResourceBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        NaiveEvaluator::new(&p)
+            .with_recorder(rec.clone())
+            .with_governor(gov)
+            .run();
+        assert_eq!(rec.snapshot().counters["eval_interrupted_deadline"], 1);
     }
 
     #[test]

@@ -215,6 +215,22 @@ pub fn run(oracle: &dyn Oracle, cfg: &FuzzConfig, rec: &Recorder) -> FuzzSummary
                 let shrunk = Shrinker::for_oracle(oracle).shrink(&case.sys);
                 summary.shrink_steps += shrunk.steps as u64;
                 shrink_ctr.add(shrunk.steps as u64);
+                // One flight-recorder event per failing case (passing
+                // cases stay silent to bound log volume). Cases run
+                // sequentially from a seeded generator, so this stream is
+                // deterministic for a given (oracle, seed, budget).
+                if rec.is_enabled() {
+                    rec.event(
+                        "fuzz_fail",
+                        &[
+                            ("oracle", oracle.name().into()),
+                            ("seed", case_seed.into()),
+                            ("case", i.into()),
+                            ("shrink_steps", shrunk.steps.into()),
+                            ("minimized_size", system_size(&shrunk.sys).into()),
+                        ],
+                    );
+                }
                 let saved_to = cfg.corpus_dir.as_ref().and_then(|dir| {
                     corpus::save(dir, oracle.name(), case_seed, &message, &shrunk.sys).ok()
                 });
@@ -230,6 +246,21 @@ pub fn run(oracle: &dyn Oracle, cfg: &FuzzConfig, rec: &Recorder) -> FuzzSummary
         }
     }
     summary.duration_us = start.elapsed().as_micros() as u64;
+    if rec.is_enabled() {
+        rec.event_with(
+            "fuzz_summary",
+            &[
+                ("oracle", summary.oracle.as_str().into()),
+                ("seed", summary.seed.into()),
+                ("cases", summary.cases.into()),
+                ("passed", summary.passed.into()),
+                ("skipped", summary.skipped.into()),
+                ("failures", summary.failures.len().into()),
+                ("shrink_steps", summary.shrink_steps.into()),
+            ],
+            &[("duration_us", summary.duration_us)],
+        );
+    }
     summary
 }
 

@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Live heap bytes allocated through [`TrackingAlloc`].
 static IN_USE: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`IN_USE`] over the process lifetime.
+static PEAK: AtomicUsize = AtomicUsize::new(0);
 /// Whether a [`TrackingAlloc`] has served at least one allocation.
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 
@@ -51,7 +53,8 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         let p = System.alloc(layout);
         if !p.is_null() {
             INSTALLED.store(true, Ordering::Relaxed);
-            IN_USE.fetch_add(layout.size(), Ordering::Relaxed);
+            let now = IN_USE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(now, Ordering::Relaxed);
         }
         p
     }
@@ -65,7 +68,8 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         let p = System.alloc_zeroed(layout);
         if !p.is_null() {
             INSTALLED.store(true, Ordering::Relaxed);
-            IN_USE.fetch_add(layout.size(), Ordering::Relaxed);
+            let now = IN_USE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(now, Ordering::Relaxed);
         }
         p
     }
@@ -74,7 +78,8 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
             INSTALLED.store(true, Ordering::Relaxed);
-            IN_USE.fetch_add(new_size, Ordering::Relaxed);
+            let now = IN_USE.fetch_add(new_size, Ordering::Relaxed) + new_size;
+            PEAK.fetch_max(now, Ordering::Relaxed);
             IN_USE.fetch_sub(layout.size(), Ordering::Relaxed);
         }
         p
@@ -86,6 +91,17 @@ unsafe impl GlobalAlloc for TrackingAlloc {
 pub fn heap_in_use() -> Option<usize> {
     if INSTALLED.load(Ordering::Relaxed) {
         Some(IN_USE.load(Ordering::Relaxed))
+    } else {
+        None
+    }
+}
+
+/// The high-water mark of live heap bytes over the process lifetime, or
+/// `None` when no [`TrackingAlloc`] is installed. The flight recorder
+/// reports this as the memory high-watermark in `run_end` events.
+pub fn heap_peak() -> Option<usize> {
+    if INSTALLED.load(Ordering::Relaxed) {
+        Some(PEAK.load(Ordering::Relaxed))
     } else {
         None
     }

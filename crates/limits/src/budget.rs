@@ -1,6 +1,6 @@
 //! The shared resource budget: deadline, memory limit, cancellation.
 
-use crate::alloc::heap_in_use;
+use crate::alloc::{heap_in_use, heap_peak};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -147,6 +147,60 @@ impl ResourceBudget {
         }
         Ok(())
     }
+
+    /// A point-in-time measurement of how much budget remains — polled by
+    /// the flight recorder into events' volatile sections.
+    pub fn headroom(&self) -> Headroom {
+        Headroom {
+            deadline_left_us: self
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()).as_micros() as u64),
+            memory_left_bytes: match (self.memory_limit, heap_in_use()) {
+                (Some(limit), Some(in_use)) => Some(limit.saturating_sub(in_use) as u64),
+                _ => None,
+            },
+            heap_in_use_bytes: heap_in_use().map(|b| b as u64),
+            heap_peak_bytes: heap_peak().map(|b| b as u64),
+        }
+    }
+}
+
+/// Remaining budget at a point in time (see [`ResourceBudget::headroom`]).
+///
+/// All values are wall-clock / environment dependent, so the flight
+/// recorder only ever places them in an event's `volatile` section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Headroom {
+    /// Microseconds until the deadline (`None` without a deadline).
+    pub deadline_left_us: Option<u64>,
+    /// Bytes left under the memory limit (`None` without a limit or a
+    /// tracking allocator).
+    pub memory_left_bytes: Option<u64>,
+    /// Current live heap bytes (`None` without a tracking allocator).
+    pub heap_in_use_bytes: Option<u64>,
+    /// Process-lifetime heap high-watermark.
+    pub heap_peak_bytes: Option<u64>,
+}
+
+impl Headroom {
+    /// The headroom as `(name, value)` pairs for an event's volatile
+    /// section, skipping unknown dimensions.
+    pub fn volatile_fields(&self) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::new();
+        if let Some(v) = self.deadline_left_us {
+            out.push(("deadline_left_us", v));
+        }
+        if let Some(v) = self.memory_left_bytes {
+            out.push(("memory_left_bytes", v));
+        }
+        if let Some(v) = self.heap_in_use_bytes {
+            out.push(("heap_bytes", v));
+        }
+        if let Some(v) = self.heap_peak_bytes {
+            out.push(("heap_peak_bytes", v));
+        }
+        out
+    }
 }
 
 /// Parses a human byte size: a decimal integer with an optional
@@ -223,6 +277,28 @@ mod tests {
         // ever stop a run early, they never invent an interruption).
         let gov = ResourceBudget::unlimited().with_memory_limit(1);
         assert_eq!(gov.check(), Ok(()));
+    }
+
+    #[test]
+    fn headroom_reports_remaining_deadline_and_skips_unknowns() {
+        let h = ResourceBudget::unlimited().headroom();
+        assert_eq!(h.deadline_left_us, None);
+        // No tracking allocator in this test binary: memory dims unknown.
+        assert_eq!(h.memory_left_bytes, None);
+
+        let h = ResourceBudget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .headroom();
+        let left = h.deadline_left_us.expect("deadline set");
+        assert!(left > 3_000_000_000, "almost the whole hour should remain");
+        let fields = h.volatile_fields();
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].0, "deadline_left_us");
+
+        let h = ResourceBudget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .headroom();
+        assert_eq!(h.deadline_left_us, Some(0));
     }
 
     #[test]

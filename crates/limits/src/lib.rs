@@ -40,5 +40,5 @@
 pub mod alloc;
 pub mod budget;
 
-pub use alloc::{heap_in_use, TrackingAlloc};
-pub use budget::{parse_byte_size, CancelToken, InterruptReason, ResourceBudget};
+pub use alloc::{heap_in_use, heap_peak, TrackingAlloc};
+pub use budget::{parse_byte_size, CancelToken, Headroom, InterruptReason, ResourceBudget};

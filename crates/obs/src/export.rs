@@ -1,0 +1,101 @@
+//! Prometheus text exposition for a [`MetricsSnapshot`].
+//!
+//! Renders the classic `text/plain; version=0.0.4` format so a future
+//! `parra serve` (ROADMAP item 1) can expose per-request metrics with
+//! zero extra work, and `--metrics-out` can drop a scrape-ready file
+//! next to a batch run. Mapping:
+//!
+//! - counter `engine/states` → `parra_engine_states <v>` (TYPE counter)
+//! - gauge `g` → `parra_g <value>` and `parra_g_peak <peak>` (TYPE gauge)
+//! - histogram `h` → a summary: `parra_h{quantile="0.5|0.9|0.99"}`
+//!   (upper-bound estimates from the power-of-two buckets), plus
+//!   `parra_h_sum`, `parra_h_count`, and `parra_h_max`.
+//!
+//! Metric names are sanitized by mapping every character outside
+//! `[a-zA-Z0-9_]` to `_` and prefixing `parra_`.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Maps a parra metric name to a legal Prometheus metric name.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("parra_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `snap` as Prometheus text exposition format.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, &v) in &snap.counters {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, g) in &snap.gauges {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.value));
+        out.push_str(&format!("# TYPE {n}_peak gauge\n{n}_peak {}\n", g.peak));
+    }
+    for (name, h) in &snap.hists {
+        let n = sanitize_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{n}_sum {}\n", h.sum));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+        out.push_str(&format!("# TYPE {n}_max gauge\n{n}_max {}\n", h.max));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Level, Recorder};
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("engine/states"), "parra_engine_states");
+        assert_eq!(
+            sanitize_name("datalog/atoms/rf-edge"),
+            "parra_datalog_atoms_rf_edge"
+        );
+        assert_eq!(sanitize_name("plain_name9"), "parra_plain_name9");
+    }
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let rec = Recorder::enabled(Level::Summary);
+        rec.counter("engine/states").add(7);
+        rec.gauge("queue").set(3);
+        rec.gauge("queue").set(1);
+        for v in 1..=100u64 {
+            rec.histogram("depth").record(v);
+        }
+        let text = render_prometheus(&rec.snapshot());
+        assert!(text.contains("# TYPE parra_engine_states counter\nparra_engine_states 7\n"));
+        assert!(text.contains("parra_queue 1\n"));
+        assert!(text.contains("parra_queue_peak 3\n"));
+        assert!(text.contains("# TYPE parra_depth summary\n"));
+        assert!(text.contains("parra_depth{quantile=\"0.5\"} 63\n"));
+        assert!(text.contains("parra_depth_sum 5050\n"));
+        assert!(text.contains("parra_depth_count 100\n"));
+        assert!(text.contains("parra_depth_max 100\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            value.parse::<f64>().expect("numeric value");
+        }
+    }
+}

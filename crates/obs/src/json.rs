@@ -68,6 +68,14 @@ impl Value {
         }
     }
 
+    /// The value as an object's member map.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Whether the value is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)

@@ -43,12 +43,18 @@
 //! assert!(off.snapshot().counters.is_empty());
 //! ```
 
+pub mod events;
+pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod phase;
+pub mod report;
 pub mod span;
 pub mod trace;
 
+pub use events::{Event, EventValue, SCHEMA_VERSION};
 pub use metrics::{Counter, Gauge, GaugeSnapshot, HistSnapshot, Histogram, MetricsSnapshot};
+pub use phase::{Phase, PhaseGuard, PhaseTimer};
 pub use span::{ArgValue, SpanRecord};
 pub use trace::CounterSeries;
 
@@ -92,6 +98,7 @@ struct Shared {
     heartbeat_interval_us: u64,
     heartbeat_last: AtomicU64,
     series: Mutex<Vec<CounterSeries>>,
+    events: Mutex<Vec<Event>>,
 }
 
 #[derive(Debug)]
@@ -134,6 +141,7 @@ impl Recorder {
                     heartbeat_interval_us: interval_ms.saturating_mul(1000),
                     heartbeat_last: AtomicU64::new(0),
                     series: Mutex::new(Vec::new()),
+                    events: Mutex::new(Vec::new()),
                 }),
             })),
         }
@@ -271,6 +279,56 @@ impl Recorder {
         }
     }
 
+    /// Appends a flight-recorder event with deterministic `fields` only.
+    ///
+    /// Call this **only from sequential merge/commit points** (never from
+    /// worker threads) with fields that are identical at every thread
+    /// count — that is the event-log determinism contract (see
+    /// [`events`]).
+    pub fn event(&self, kind: &str, fields: &[(&str, EventValue)]) {
+        self.event_with(kind, fields, &[]);
+    }
+
+    /// Appends a flight-recorder event with deterministic `fields` plus
+    /// `volatile` measurements (durations, headroom, heap) that are
+    /// exempt from the determinism contract.
+    pub fn event_with(&self, kind: &str, fields: &[(&str, EventValue)], volatile: &[(&str, u64)]) {
+        let Some(i) = &self.inner else { return };
+        let t_us = i.shared.epoch.elapsed().as_micros() as u64;
+        let mut log = i.shared.events.lock().unwrap();
+        let seq = log.len() as u64;
+        log.push(Event {
+            seq,
+            t_us,
+            scope: i.prefix.clone(),
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            volatile: volatile.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// All recorded flight-recorder events, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => i.shared.events.lock().unwrap().clone(),
+        }
+    }
+
+    /// The event log rendered as schema-versioned JSONL; `extra`
+    /// key/value pairs (e.g. `("file", path)`) are added to every line.
+    pub fn render_events_jsonl(&self, extra: &[(&str, &str)]) -> String {
+        events::render_jsonl(&self.events(), extra)
+    }
+
+    /// Writes the event log as JSONL to `path`.
+    pub fn write_events(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render_events_jsonl(&[]))
+    }
+
     /// A point-in-time snapshot of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
@@ -352,6 +410,9 @@ mod tests {
         let _g = rec.span("s");
         rec.heartbeat(|| unreachable!("disabled recorder must not format"));
         rec.record_series("s", vec![1]);
+        rec.event("e", &[("k", 1u64.into())]);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.render_events_jsonl(&[]), "");
         assert!(rec.snapshot().counters.is_empty());
         assert!(rec.spans().is_empty());
         assert!(rec.series().is_empty());
@@ -410,6 +471,32 @@ mod tests {
             let _s = rec.span_debug("world-0");
         }
         assert_eq!(rec.spans().len(), 1);
+    }
+
+    #[test]
+    fn events_carry_scope_and_dense_sequence_numbers() {
+        let rec = Recorder::enabled(Level::Summary);
+        let engine = rec.scoped("reach/");
+        rec.event("run_start", &[]);
+        engine.event_with(
+            "wave",
+            &[("wave", 0u64.into()), ("worlds", 3u64.into())],
+            &[("heap_bytes", 512)],
+        );
+        engine.event("run_end", &[("verdict", "safe".into())]);
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(events[1].scope, "reach/");
+        assert_eq!(events[1].volatile, vec![("heap_bytes".to_string(), 512)]);
+        // JSONL lines all pass the schema check.
+        let text = rec.render_events_jsonl(&[("file", "x.ra")]);
+        for line in text.lines() {
+            events::check_line(line).expect("schema-valid line");
+        }
     }
 
     #[test]

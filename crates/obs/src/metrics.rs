@@ -174,6 +174,50 @@ impl HistSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// An **upper-bound estimate** of the `q`-quantile (`0 < q <= 1`),
+    /// derived from the power-of-two buckets: the reported value is the
+    /// upper edge (`2^b - 1`) of the first bucket whose cumulative count
+    /// reaches `ceil(q * count)`, clamped to the observed maximum. The
+    /// true quantile lies in `(2^(b-1) - 1, reported]`; with bit-length
+    /// buckets the estimate is at most 2× the true value. Returns 0 with
+    /// no samples.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(bucket, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                let upper = if bucket == 0 {
+                    0
+                } else if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Upper-bound estimate of the median. See [`HistSnapshot::percentile`].
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.5)
+    }
+
+    /// Upper-bound estimate of the 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.9)
+    }
+
+    /// Upper-bound estimate of the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
 }
 
 /// The named-metric registry behind an enabled recorder.
@@ -256,6 +300,12 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// See [`crate::export::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        crate::export::render_prometheus(self)
+    }
+
     /// Counters under `prefix`, as `(suffix, delta since before)` — used to
     /// isolate one engine run's numbers out of a shared recorder.
     pub fn counter_deltas(&self, before: &MetricsSnapshot, prefix: &str) -> Vec<(String, u64)> {
@@ -300,6 +350,45 @@ mod tests {
         assert_eq!(s.max, 1000);
         // 0 → bucket 0; 1 → 1; 2,3 → 2; 4 → 3; 1000 → 10.
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn percentiles_are_upper_bounds_on_known_distributions() {
+        let reg = Registry::default();
+        let h = reg.histogram("h");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Rank 50 lands in bucket 6 (32..=63): upper edge 63.
+        assert_eq!(s.p50(), 63);
+        assert!(s.p50() >= 50, "upper bound must not undershoot");
+        // Ranks 90 and 99 land in bucket 7 (64..=127), clamped to max.
+        assert_eq!(s.p90(), 100);
+        assert_eq!(s.p99(), 100);
+
+        // All-zero distribution: every percentile is 0.
+        let z = reg.histogram("z");
+        for _ in 0..10 {
+            z.record(0);
+        }
+        let zs = z.snapshot();
+        assert_eq!((zs.p50(), zs.p99()), (0, 0));
+
+        // Empty histogram.
+        assert_eq!(HistSnapshot::default().p50(), 0);
+
+        // Skewed: 99 fast samples, 1 slow — p99 must reach the tail's
+        // bucket (1000 → bucket 10, upper edge 1023, clamped to 1000).
+        let sk = reg.histogram("sk");
+        for _ in 0..99 {
+            sk.record(1);
+        }
+        sk.record(1000);
+        let ss = sk.snapshot();
+        assert_eq!(ss.p50(), 1);
+        assert_eq!(ss.p99(), 1);
+        assert_eq!(ss.percentile(1.0), 1000);
     }
 
     #[test]

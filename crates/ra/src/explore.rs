@@ -30,7 +30,7 @@
 
 use crate::config::{Instance, ThreadId};
 use parra_limits::{InterruptReason, ResourceBudget};
-use parra_obs::Recorder;
+use parra_obs::{Phase, PhaseTimer, Recorder};
 use parra_program::cfg::{Instr, Loc};
 use parra_program::expr::RegVal;
 use parra_program::ident::VarId;
@@ -255,6 +255,8 @@ impl Explorer {
     /// Runs the search for `target`.
     pub fn run(&self, target: Target) -> ExploreReport {
         let span = self.rec.span("explore.run");
+        let phases = PhaseTimer::new(&self.rec);
+        let _search = phases.start_debug(Phase::Search);
         let report = self.run_inner(target);
         span.arg_u64("states", report.states as u64);
         span.arg_u64("transitions", report.transitions as u64);
@@ -425,6 +427,24 @@ impl Explorer {
                         }
                     }
                 }
+            }
+            // Flight-recorder event at the end of the sequential merge:
+            // the BFS levels replay identically at every worker count, so
+            // every field is deterministic; shard layout and headroom are
+            // environment-dependent and stay volatile.
+            if self.rec.is_enabled() {
+                let mut vol = self.gov.headroom().volatile_fields();
+                vol.push(("shard_imbalance_permille", graph.shard_imbalance_permille()));
+                self.rec.event_with(
+                    "round",
+                    &[
+                        ("round", (round - 1).into()),
+                        ("frontier", frontier.len().into()),
+                        ("states", graph.len().into()),
+                        ("transitions", transitions.into()),
+                    ],
+                    &vol,
+                );
             }
         }
 

@@ -55,6 +55,12 @@ impl<S: Clone + Hash + Eq, L: Clone> SearchGraph<S, L> {
         self.index.contains(s)
     }
 
+    /// Shard imbalance of the dedup index, in permille
+    /// (see [`ShardedIndex::imbalance_permille`]).
+    pub fn shard_imbalance_permille(&self) -> u64 {
+        self.index.imbalance_permille()
+    }
+
     /// Inserts a new state with its parent edge, returning the assigned
     /// id. The caller must have ruled out duplicates via
     /// [`contains`](Self::contains).

@@ -78,6 +78,26 @@ impl<S: Hash + Eq> ShardedIndex<S> {
     pub fn n_shards(&self) -> usize {
         self.shards.len()
     }
+
+    /// Per-shard occupancy, in shard order. Shard routing depends only
+    /// on state hashes, so for a given state set the sizes are
+    /// deterministic across thread counts.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(HashMap::len).collect()
+    }
+
+    /// Shard imbalance in permille: `(max - mean) / mean * 1000` over
+    /// the shard sizes (0 for an empty or perfectly balanced index).
+    /// The flight recorder emits this per wave/round so hash skew shows
+    /// up in reports before it costs wall-clock time.
+    pub fn imbalance_permille(&self) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let max = self.shard_sizes().into_iter().max().unwrap_or(0) as f64;
+        let mean = self.len as f64 / self.shards.len() as f64;
+        ((max - mean) / mean * 1000.0).round() as u64
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +127,29 @@ mod tests {
         // the previous id.
         assert_eq!(idx.insert(7, 99), Some(14));
         assert_eq!(idx.len(), 1000);
+    }
+
+    #[test]
+    fn shard_sizes_and_imbalance() {
+        let mut idx = ShardedIndex::new(4);
+        assert_eq!(idx.shard_sizes(), vec![0, 0, 0, 0]);
+        assert_eq!(idx.imbalance_permille(), 0);
+        for i in 0..1000u32 {
+            idx.insert(i, i);
+        }
+        let sizes = idx.shard_sizes();
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        // The hash spreads 1000 keys reasonably: under 2× the mean.
+        assert!(
+            idx.imbalance_permille() < 1000,
+            "{}",
+            idx.imbalance_permille()
+        );
+
+        // A single-shard index is perfectly balanced by definition.
+        let mut one = ShardedIndex::new(1);
+        one.insert(1u32, 0);
+        assert_eq!(one.imbalance_permille(), 0);
     }
 }

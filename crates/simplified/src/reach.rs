@@ -40,7 +40,7 @@
 
 use crate::state::{Budget, DisStep, SimpState};
 use parra_limits::{InterruptReason, ResourceBudget};
-use parra_obs::{Counter, Gauge, Recorder};
+use parra_obs::{Counter, Gauge, Phase, PhaseTimer, Recorder};
 use parra_program::classify::SystemClass;
 use parra_program::ident::VarId;
 use parra_program::system::ParamSystem;
@@ -244,6 +244,8 @@ impl Reachability {
     /// Runs the search.
     pub fn run(&self, target: SimpTarget) -> ReachReport {
         let span = self.rec.span("reach.run");
+        let phases = PhaseTimer::new(&self.rec);
+        let _search = phases.start_debug(Phase::Search);
         let report = self.run_inner(target);
         span.arg_u64("states", report.states as u64);
         span.arg_u64("worlds", report.worlds as u64);
@@ -316,6 +318,27 @@ impl Reachability {
                 peak_msg = peak_msg.max(res.peak_msg);
                 truncated |= res.truncated;
                 interrupted = interrupted.or(res.interrupted);
+                // Flight-recorder event, from the sequential commit point
+                // (never from workers): fields replay the pop-order
+                // schedule, so they are thread-count independent; wave
+                // batching and shard layout are not, and stay volatile.
+                if self.rec.is_enabled() {
+                    let mut vol = self.gov.headroom().volatile_fields();
+                    vol.push(("shard_imbalance_permille", res.shard_imbalance));
+                    self.rec.event_with(
+                        "world",
+                        &[
+                            ("world", (worlds as u64 - 1).into()),
+                            ("states", res.states.into()),
+                            ("total_states", total_states.into()),
+                            ("peak_env_msgs", res.peak_msg.into()),
+                            ("peak_env_cfgs", res.peak_cfg.into()),
+                            ("spawned", res.spawned.len().into()),
+                            ("witness", u64::from(res.witness.is_some()).into()),
+                        ],
+                        &vol,
+                    );
+                }
                 self.rec.heartbeat(|| {
                     format!(
                         "reach: world {worlds}, {total_states} states, \
@@ -393,6 +416,7 @@ impl Reachability {
             interrupted: None,
             peak_cfg: 0,
             peak_msg: 0,
+            shard_imbalance: 0,
             spawned: Vec::new(),
             witness: None,
         };
@@ -424,6 +448,7 @@ impl Reachability {
                 dis_path: Vec::new(),
                 final_state: graph.state(0).clone(),
             });
+            result.shard_imbalance = graph.shard_imbalance_permille();
             cancel.found(pos);
             return result;
         }
@@ -461,6 +486,7 @@ impl Reachability {
             }
             if let Err(reason) = self.gov.check() {
                 result.interrupted = Some(reason);
+                result.shard_imbalance = graph.shard_imbalance_permille();
                 return result;
             }
             m.c_rounds.incr();
@@ -532,6 +558,7 @@ impl Reachability {
                                 dis_path: graph.unwind(ni),
                                 final_state: graph.state(ni).clone(),
                             });
+                            result.shard_imbalance = graph.shard_imbalance_permille();
                             cancel.found(pos);
                             return result;
                         }
@@ -540,6 +567,7 @@ impl Reachability {
                 }
             }
         }
+        result.shard_imbalance = graph.shard_imbalance_permille();
         result
     }
 }
@@ -567,6 +595,9 @@ struct WorldResult {
     interrupted: Option<InterruptReason>,
     peak_cfg: usize,
     peak_msg: usize,
+    /// Dedup-index shard imbalance at the end of this world's search
+    /// (volatile: the shard count follows the worker split).
+    shard_imbalance: u64,
     /// Blocked CAS gaps, in first-discovery order, each proposing the
     /// world extended by that gap.
     spawned: Vec<(VarId, u32)>,

@@ -12,6 +12,7 @@
 //! parra print    <file.ra>
 //! parra fuzz     [--oracle NAME] [--seconds N | --cases N | --timeout SECS]
 //!                [--seed N] [--corpus DIR] [--minimize FILE] [--json]
+//! parra report   <file|dir ...> | --diff A B | --check-schema <file ...>
 //! ```
 //!
 //! Input files use the `system { … }` syntax (see the README or
@@ -34,10 +35,17 @@
 //! the run; `--trace-out FILE` writes a Chrome-trace JSON (load it in
 //! `chrome://tracing` or Perfetto); `--json` prints each engine's
 //! structured [`RunReport`](parra::core::verify::RunReport) as one JSON
-//! object per line on stdout instead of the human-readable report.
+//! object per line on stdout instead of the human-readable report;
+//! `--events-out FILE` writes the schema-versioned flight-recorder event
+//! log as JSONL (`verify`, `batch`, and `fuzz`); `--metrics-out FILE`
+//! writes the final metric snapshot in Prometheus text exposition format.
+//! `parra report` ingests any mix of those outputs (plus `--json` run
+//! reports, batch lines, and fuzz summaries) into a text dashboard, and
+//! `parra report --diff A B` compares two report sets for verdict flips
+//! and phase-time regressions.
 
 use parra::limits::{parse_byte_size, TrackingAlloc};
-use parra::obs::{Level, Recorder};
+use parra::obs::{Level, Phase, PhaseTimer, Recorder};
 use parra::prelude::*;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -65,6 +73,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "batch" => batch(rest),
         "print" => print_system(rest),
         "fuzz" => fuzz(rest),
+        "report" => report(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -77,12 +86,17 @@ fn usage() -> String {
     "usage:\n  parra classify <file.ra>\n  parra verify <file.ra> \
      [--engine simplified|datalog|linear|concrete] [--unroll N] [--all-engines] \
      [--concretize] [--timeout SECS] [--memory-budget SIZE] [--threads N] \
-     [--stats] [--json] [--trace-out FILE]\n  \
+     [--stats] [--json] [--trace-out FILE] [--events-out FILE] \
+     [--metrics-out FILE]\n  \
      parra batch <dir|file.ra ...> [--engine E] [--all-engines] [--unroll N] \
-     [--timeout SECS] [--memory-budget SIZE] [--threads N]\n  \
+     [--timeout SECS] [--memory-budget SIZE] [--threads N] \
+     [--events-out FILE]\n  \
      parra print <file.ra>\n  parra fuzz [--oracle NAME] [--seconds N | \
      --cases N | --timeout SECS] [--seed N] [--corpus DIR] [--minimize FILE] \
-     [--json]\n\n\
+     [--json] [--events-out FILE] [--metrics-out FILE]\n  \
+     parra report <file|dir ...> [--threshold PCT]\n  \
+     parra report --diff A B [--threshold PCT]\n  \
+     parra report --check-schema <file ...>\n\n\
      PARRA_LOG=off|summary|debug selects the logging level (--stats \
      implies summary). --threads defaults to PARRA_THREADS or the \
      machine's parallelism; reports are identical for every thread \
@@ -98,7 +112,13 @@ fn usage() -> String {
      oracle's calibrated cases/sec), so repeated runs are identical; \
      --timeout is a wall-clock bound instead (the completed cases are \
      still a deterministic prefix); failures are minimized and, with \
-     --corpus DIR, saved as .ra files."
+     --corpus DIR, saved as .ra files.\n\nreport ingests flight-recorder \
+     event logs (--events-out), --json run reports, batch lines, and \
+     fuzz summaries — files or directories (scanned for *.json/*.jsonl) \
+     — and prints a dashboard with per-engine phase breakdowns and \
+     duration percentiles. --diff A B compares two report sets and exits \
+     1 on verdict flips or phase-time regressions beyond --threshold PCT \
+     (default 25). --check-schema strictly validates event logs."
         .to_owned()
 }
 
@@ -107,6 +127,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--engine",
     "--unroll",
     "--trace-out",
+    "--events-out",
+    "--metrics-out",
+    "--threshold",
     "--threads",
     "--timeout",
     "--memory-budget",
@@ -189,15 +212,22 @@ fn classify(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn verify(args: &[String]) -> Result<ExitCode, String> {
-    let sys = load(args)?;
     let unroll = flag_value(args, "--unroll")
         .map(|v| v.parse::<usize>().map_err(|e| format!("--unroll: {e}")))
         .transpose()?;
     let json = args.iter().any(|a| a == "--json");
     let stats_flag = args.iter().any(|a| a == "--stats");
     let trace_out = flag_value(args, "--trace-out");
-    if args.iter().any(|a| a == "--trace-out") && trace_out.is_none() {
-        return Err("--trace-out needs a file path".into());
+    let events_out = flag_value(args, "--events-out");
+    let metrics_out = flag_value(args, "--metrics-out");
+    for (flag, v) in [
+        ("--trace-out", &trace_out),
+        ("--events-out", &events_out),
+        ("--metrics-out", &metrics_out),
+    ] {
+        if args.iter().any(|a| a == flag) && v.is_none() {
+            return Err(format!("{flag} needs a file path"));
+        }
     }
     let threads = flag_value(args, "--threads")
         .map(|v| v.parse::<usize>().map_err(|e| format!("--threads: {e}")))
@@ -206,9 +236,19 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let (timeout, memory_budget) = parse_limit_flags(args)?;
 
     let mut rec = Recorder::from_env();
-    if (stats_flag || trace_out.is_some()) && !rec.is_enabled() {
+    let wants_obs =
+        stats_flag || trace_out.is_some() || events_out.is_some() || metrics_out.is_some();
+    if wants_obs && !rec.is_enabled() {
         rec = Recorder::enabled(Level::Summary);
     }
+
+    // The recorder exists before the input does, so loading gets its own
+    // phase attribution.
+    let sys = {
+        let phases = PhaseTimer::new(&rec);
+        let _parse = phases.start(Phase::Parse);
+        load(args)?
+    };
 
     let options = VerifierOptions {
         unroll_dis: unroll,
@@ -293,6 +333,16 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| format!("--trace-out `{path}`: {e}"))?;
         eprintln!("trace written to {path}");
     }
+    if let Some(path) = events_out {
+        rec.write_events(std::path::Path::new(&path))
+            .map_err(|e| format!("--events-out `{path}`: {e}"))?;
+        eprintln!("events written to {path}");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, rec.snapshot().render_prometheus())
+            .map_err(|e| format!("--metrics-out `{path}`: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
 
     let final_verdict = aggregate_verdicts(&verdicts)?;
     Ok(exit_code_for(final_verdict))
@@ -324,6 +374,7 @@ fn batch_one(
     path: &std::path::Path,
     engines: &[Engine],
     options: &VerifierOptions,
+    rec: &Recorder,
 ) -> Result<(Verdict, Option<InterruptReason>, Vec<String>), String> {
     // Test hook: `PARRA_INJECT_PANIC=<substring>` panics on matching
     // files so the batch loop's panic isolation can be exercised
@@ -333,9 +384,14 @@ fn batch_one(
             panic!("injected panic (PARRA_INJECT_PANIC={needle})");
         }
     }
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
-    let sys = parse_system(&text).map_err(|e| e.to_string())?;
-    let verifier = Verifier::new(&sys, options.clone()).map_err(|e| e.to_string())?;
+    let sys = {
+        let phases = PhaseTimer::new(rec);
+        let _parse = phases.start(Phase::Parse);
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+        parse_system(&text).map_err(|e| e.to_string())?
+    };
+    let verifier = Verifier::new_with_recorder(&sys, options.clone(), rec.clone())
+        .map_err(|e| e.to_string())?;
     let mut verdicts = Vec::new();
     let mut reports = Vec::new();
     let mut interrupted = None;
@@ -401,13 +457,31 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
     if files.is_empty() {
         return Err("batch: no input files (pass .ra files or directories)".into());
     }
+    let events_out = flag_value(args, "--events-out");
+    if args.iter().any(|a| a == "--events-out") && events_out.is_none() {
+        return Err("--events-out needs a file path".into());
+    }
 
     let mut any_unsafe = false;
     let mut any_undecided = false;
+    let mut event_log = String::new();
     for file in &files {
+        // One recorder per file: events carry a `file` attribution and
+        // each file's event sequence starts at 0, so batch logs are
+        // deterministic however the batch is split or re-ordered.
+        let rec = if events_out.is_some() {
+            Recorder::enabled(Level::Summary)
+        } else {
+            Recorder::disabled()
+        };
         let start = std::time::Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| batch_one(file, &engines, &options)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            batch_one(file, &engines, &options, &rec)
+        }));
         let duration_us = start.elapsed().as_micros() as u64;
+        if events_out.is_some() {
+            event_log.push_str(&rec.render_events_jsonl(&[("file", &file.display().to_string())]));
+        }
 
         let mut w = parra::obs::json::ObjWriter::new();
         w.str_field("file", &file.display().to_string());
@@ -447,6 +521,10 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
             }
         }
         println!("{}", w.finish());
+    }
+    if let Some(path) = events_out {
+        std::fs::write(&path, event_log).map_err(|e| format!("--events-out `{path}`: {e}"))?;
+        eprintln!("events written to {path}");
     }
     Ok(if any_unsafe {
         ExitCode::from(1)
@@ -549,7 +627,12 @@ fn fuzz(args: &[String]) -> Result<ExitCode, String> {
         });
     }
 
-    let rec = Recorder::from_env();
+    let events_out = flag_value(args, "--events-out");
+    let metrics_out = flag_value(args, "--metrics-out");
+    let mut rec = Recorder::from_env();
+    if (events_out.is_some() || metrics_out.is_some()) && !rec.is_enabled() {
+        rec = Recorder::enabled(Level::Summary);
+    }
     let cfg = FuzzConfig {
         seed,
         budget,
@@ -582,9 +665,92 @@ fn fuzz(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
+    if let Some(path) = events_out {
+        rec.write_events(std::path::Path::new(&path))
+            .map_err(|e| format!("--events-out `{path}`: {e}"))?;
+        eprintln!("events written to {path}");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, rec.snapshot().render_prometheus())
+            .map_err(|e| format!("--metrics-out `{path}`: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
     Ok(if any_failure {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `parra report`: ingest run reports / batch lines / event logs / fuzz
+/// summaries into a dashboard, diff two report sets, or strictly validate
+/// event-log schemas.
+fn report(args: &[String]) -> Result<ExitCode, String> {
+    use parra::obs::report as rpt;
+    use std::path::PathBuf;
+
+    let mut opts = rpt::DiffOptions::default();
+    if let Some(t) = flag_value(args, "--threshold") {
+        opts.threshold_pct = t.parse::<u64>().map_err(|e| format!("--threshold: {e}"))?;
+    }
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            iter.next();
+        } else if !a.starts_with("--") {
+            paths.push(PathBuf::from(a));
+        }
+    }
+
+    if args.iter().any(|a| a == "--check-schema") {
+        if paths.is_empty() {
+            return Err("report --check-schema: no event-log files given".into());
+        }
+        let mut total = 0;
+        for p in &paths {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read `{}`: {e}", p.display()))?;
+            total += rpt::check_schema(&text)
+                .map_err(|m| format!("{}:{}: {}", p.display(), m.line, m.message))?;
+        }
+        println!(
+            "schema OK: {total} event line{} across {} file{}",
+            if total == 1 { "" } else { "s" },
+            paths.len(),
+            if paths.len() == 1 { "" } else { "s" },
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if args.iter().any(|a| a == "--diff") {
+        if paths.len() != 2 {
+            return Err("report --diff: pass exactly two files/directories (baseline new)".into());
+        }
+        let (a, ma) = rpt::load(&paths[..1]).map_err(|e| e.to_string())?;
+        let (b, mb) = rpt::load(&paths[1..]).map_err(|e| e.to_string())?;
+        for m in ma.iter().chain(&mb) {
+            eprintln!("warning: {}:{}: {}", m.path, m.line, m.message);
+        }
+        let d = rpt::diff(&a, &b, opts);
+        print!("{}", rpt::render_diff(&d));
+        return Ok(if d.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+
+    if paths.is_empty() {
+        return Err("report: no input files (pass report/event files or directories)".into());
+    }
+    let (set, malformed) = rpt::load(&paths).map_err(|e| e.to_string())?;
+    for m in &malformed {
+        eprintln!("warning: {}:{}: {}", m.path, m.line, m.message);
+    }
+    if set.is_empty() {
+        return Err("report: nothing ingestible in the given files".into());
+    }
+    print!("{}", rpt::render_dashboard(&set));
+    Ok(ExitCode::SUCCESS)
 }
