@@ -4,7 +4,7 @@
 
 use parra_bench::experiments::{cas_example_system, handshake_system};
 use parra_bench::micro::Harness;
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 
 fn main() {
     let harness = Harness::from_args();
@@ -18,9 +18,9 @@ fn main() {
     for (name, sys) in systems {
         let verifier = Verifier::new(&sys, VerifierOptions::default()).unwrap();
         for engine in [
-            Engine::SimplifiedReach,
-            Engine::CacheDatalog,
-            Engine::BoundedConcrete,
+            EngineId::SimplifiedReach,
+            EngineId::CacheDatalog,
+            EngineId::BoundedConcrete,
         ] {
             group.bench_function(&format!("{engine}/{name}"), |b| {
                 b.iter(|| std::hint::black_box(verifier.run(engine).verdict))

@@ -2,7 +2,7 @@
 //! simplified-semantics engine.
 
 use parra_bench::micro::Harness;
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 
 fn main() {
     let harness = Harness::from_args();
@@ -12,7 +12,7 @@ fn main() {
         let verifier = Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
         group.bench_function(bench.name, |b| {
             b.iter(|| {
-                let r = verifier.run(Engine::SimplifiedReach);
+                let r = verifier.run(EngineId::SimplifiedReach);
                 std::hint::black_box(r.verdict)
             })
         });

@@ -2,7 +2,7 @@
 //! PSPACE-hardness family (copycat is true, clairvoyant is false).
 
 use parra_bench::micro::Harness;
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 use parra_qbf::gen;
 use parra_qbf::reduce::reduce_to_purera;
 
@@ -15,7 +15,7 @@ fn main() {
         let verifier = Verifier::new(&reduction.system, VerifierOptions::default()).unwrap();
         group.bench_function(&format!("copycat/{n}"), |b| {
             b.iter(|| {
-                let r = verifier.run(Engine::SimplifiedReach);
+                let r = verifier.run(EngineId::SimplifiedReach);
                 std::hint::black_box(r.verdict)
             })
         });
@@ -25,7 +25,7 @@ fn main() {
         let verifier = Verifier::new(&reduction.system, VerifierOptions::default()).unwrap();
         group.bench_function(&format!("clairvoyant/{n}"), |b| {
             b.iter(|| {
-                let r = verifier.run(Engine::SimplifiedReach);
+                let r = verifier.run(EngineId::SimplifiedReach);
                 std::hint::black_box(r.verdict)
             })
         });

@@ -4,7 +4,7 @@
 
 use parra_bench::experiments::{cas_example_system, handshake_system};
 use parra_bench::micro::Harness;
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 
 fn main() {
     let harness = Harness::from_args();
@@ -18,7 +18,7 @@ fn main() {
         let verifier = Verifier::new(&sys, VerifierOptions::default()).unwrap();
         group.bench_function(name, |b| {
             b.iter(|| {
-                let r = verifier.run(Engine::SimplifiedReach);
+                let r = verifier.run(EngineId::SimplifiedReach);
                 std::hint::black_box(r.verdict)
             })
         });

@@ -9,7 +9,7 @@
 //! which is macro-benchmark territory, not a scaling probe.
 
 use parra_bench::micro::Harness;
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 use parra_litmus::by_name;
 use parra_qbf::gen;
 use parra_qbf::reduce::reduce_to_purera;
@@ -23,31 +23,31 @@ fn main() {
         (
             "mutex/peterson",
             by_name("peterson-ra").expect("suite has peterson").system,
-            Engine::SimplifiedReach,
+            EngineId::SimplifiedReach,
             4usize,
         ),
         (
             "mutex/dekker",
             by_name("dekker").expect("suite has dekker").system,
-            Engine::SimplifiedReach,
+            EngineId::SimplifiedReach,
             4,
         ),
         (
             "qbf/clairvoyant2",
             reduce_to_purera(&gen::clairvoyant(2)).system,
-            Engine::SimplifiedReach,
+            EngineId::SimplifiedReach,
             4,
         ),
         (
             "qbf/clairvoyant1-concrete",
             reduce_to_purera(&gen::clairvoyant(1)).system,
-            Engine::BoundedConcrete,
+            EngineId::BoundedConcrete,
             3,
         ),
         (
             "qbf/copycat2-concrete",
             reduce_to_purera(&gen::copycat(2)).system,
-            Engine::BoundedConcrete,
+            EngineId::BoundedConcrete,
             2,
         ),
     ];

@@ -2,7 +2,7 @@
 //! `probe_threads <workload> <engine> <threads>` runs the verifier once
 //! and prints the verdict, state count, and wall-clock time.
 
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 use parra_litmus::by_name;
 use parra_qbf::gen;
 use parra_qbf::reduce::reduce_to_purera;
@@ -29,8 +29,8 @@ fn main() {
         }
     };
     let engine = match engine.as_str() {
-        "simplified" => Engine::SimplifiedReach,
-        "concrete" => Engine::BoundedConcrete,
+        "simplified" => EngineId::SimplifiedReach,
+        "concrete" => EngineId::BoundedConcrete,
         other => panic!("unknown engine {other}"),
     };
     let threads: usize = threads.parse().unwrap();

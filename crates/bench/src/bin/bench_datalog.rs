@@ -16,7 +16,7 @@
 //! fails the gate — the counters are deterministic, so a diff of the
 //! regenerated file shows exactly which plans changed and by how much.
 
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 use parra_obs::json::{self, ObjWriter, Value};
 use parra_obs::{Level, Recorder};
 use std::process::ExitCode;
@@ -36,7 +36,7 @@ const BENCHES: &[&str] = &[
     "corr-parameterized",
 ];
 
-const ENGINES: [Engine; 2] = [Engine::CacheDatalog, Engine::LinearDatalog];
+const ENGINES: [EngineId; 2] = [EngineId::CacheDatalog, EngineId::LinearDatalog];
 
 /// Timed repetitions per entry; the best is recorded.
 const REPS: usize = 3;

@@ -18,7 +18,7 @@
 //! The governed/ungoverned ratio is recorded per entry (permille) but is
 //! informational only — on CI timers it is too noisy to gate on.
 
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 use parra_obs::json::{self, ObjWriter, Value};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -34,7 +34,7 @@ const BENCHES: &[&str] = &[
     "iriw",
 ];
 
-const ENGINES: [Engine; 2] = [Engine::SimplifiedReach, Engine::CacheDatalog];
+const ENGINES: [EngineId; 2] = [EngineId::SimplifiedReach, EngineId::CacheDatalog];
 
 /// Timed repetitions per entry; the best is recorded.
 const REPS: usize = 3;
@@ -63,7 +63,7 @@ impl Entry {
     }
 }
 
-fn best_wall_us(verifier: &Verifier, engine: Engine, verdict: &mut String) -> u64 {
+fn best_wall_us(verifier: &Verifier, engine: EngineId, verdict: &mut String) -> u64 {
     let mut best = u64::MAX;
     for _ in 0..REPS {
         let r = verifier.run(engine);

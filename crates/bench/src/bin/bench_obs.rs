@@ -21,7 +21,7 @@
 //!    must not regress past the baseline by more than 25% and a 20 ms
 //!    floor — the same rule as the other bench gates.
 
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 use parra_obs::json::{self, ObjWriter, Value};
 use parra_obs::{Level, Recorder};
 use std::process::ExitCode;
@@ -37,7 +37,7 @@ const BENCHES: &[&str] = &[
     "iriw",
 ];
 
-const ENGINES: [Engine; 2] = [Engine::SimplifiedReach, Engine::CacheDatalog];
+const ENGINES: [EngineId; 2] = [EngineId::SimplifiedReach, EngineId::CacheDatalog];
 
 /// Timed repetitions per entry; the best is recorded.
 const REPS: usize = 3;

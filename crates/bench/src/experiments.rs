@@ -2,7 +2,7 @@
 //! returning a rendered report. `EXPERIMENTS.md` records their output.
 
 use crate::table::Table;
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verdict, Verifier, VerifierOptions};
 use parra_litmus::sync::producer_consumer;
 use parra_litmus::Expected;
 use parra_program::builder::SystemBuilder;
@@ -63,7 +63,7 @@ pub fn table1() -> String {
         let sys = handshake_system(false);
         let class = SystemClass::of(&sys);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         t.row([
             "env(nocas) ‖ dis(acyc)*".to_string(),
             class.complexity().to_string(),
@@ -80,7 +80,7 @@ pub fn table1() -> String {
             ..Default::default()
         };
         let v = Verifier::new(&sys, opts).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         t.row([
             "env(nocas) ‖ dis(nocas) ‖ dis(nocas)".to_string(),
             class.complexity().to_string(),
@@ -343,7 +343,7 @@ pub fn figure6() -> String {
         let reduction = reduce_to_purera(&qbf);
         let start = Instant::now();
         let v = Verifier::new(&reduction.system, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         let elapsed = start.elapsed();
         assert_eq!(r.verdict == Verdict::Unsafe, truth, "reduction mismatch");
         t.row([
@@ -383,7 +383,7 @@ pub fn benchmark_table() -> String {
         let class = SystemClass::of(&bench.system);
         let start = Instant::now();
         let v = Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         let elapsed = start.elapsed();
         t.row([
             bench.name.to_string(),
@@ -429,7 +429,7 @@ pub fn cache_bound() -> String {
     for (name, sys) in systems {
         let q0 = sys.q0() + 2; // +goal variable added by the transformation
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::CacheDatalog);
+        let r = v.run(EngineId::CacheDatalog);
         let peak = if r.verdict == Verdict::Unsafe {
             r.stats.cache_peak.to_string()
         } else {
@@ -596,13 +596,13 @@ pub fn engine_comparison() -> String {
     for (name, sys) in systems {
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
         for engine in [
-            Engine::SimplifiedReach,
-            Engine::CacheDatalog,
-            Engine::BoundedConcrete,
+            EngineId::SimplifiedReach,
+            EngineId::CacheDatalog,
+            EngineId::BoundedConcrete,
         ] {
             let r = v.run(engine);
             let work = match engine {
-                Engine::CacheDatalog => format!("{} guesses", r.stats.guesses),
+                EngineId::CacheDatalog => format!("{} guesses", r.stats.guesses),
                 _ => format!("{} states", r.stats.states),
             };
             t.row([

@@ -9,21 +9,21 @@
 //!
 //! Four engines, cross-validating each other:
 //!
-//! * [`Engine::SimplifiedReach`] — the direct decision procedure on the
+//! * [`EngineId::SimplifiedReach`] — the direct decision procedure on the
 //!   simplified semantics (`parra-simplified`): saturation of the
 //!   monotone `env` part interleaved with memoized `dis` search;
-//! * [`Engine::CacheDatalog`] — the paper's `makeP` encoding
+//! * [`EngineId::CacheDatalog`] — the paper's `makeP` encoding
 //!   ([`makep`]): enumerate the nondeterministic guesses of the `dis`
 //!   run skeletons, emit a Datalog program per guess (predicates `emp`,
 //!   `etp`, `dmp`, `dtpᵢ`), and evaluate the goal query with the
 //!   `parra-datalog` engine — reporting the cache-schedule peak that
 //!   realizes Lemma 4.4/4.6;
-//! * [`Engine::LinearDatalog`] — the same encoding taken through the
+//! * [`EngineId::LinearDatalog`] — the same encoding taken through the
 //!   paper's full certificate route ([`witness`]): the winning guess is
 //!   re-evaluated with provenance, its Lemma 4.6 schedule is replayed
 //!   under the `⊢ₖ` Cache semantics, and (inside the ≤2-atom-body
 //!   fragment) cross-checked via the Lemma 4.2 cache→linear translation;
-//! * [`Engine::BoundedConcrete`] — the concrete-RA baseline
+//! * [`EngineId::BoundedConcrete`] — the concrete-RA baseline
 //!   (`parra-ra`): explicit-state exploration of instances with growing
 //!   `env` counts; it can only ever return `Unsafe` or `Unknown` for a
 //!   parameterized system, which is exactly the paper's motivation.
@@ -32,10 +32,14 @@
 //! the simplified semantics, the dependency-graph cost bound says how many
 //! `env` threads suffice to reproduce it.
 
+pub mod engine;
 pub mod makep;
 pub mod verify;
 pub mod witness;
 
+pub use engine::{Engine, RaceReport};
 pub use makep::{DisGuess, Guess, MakeP, MakePLimits};
-pub use verify::{ConcreteWitness, Engine, Verdict, VerificationResult, Verifier, VerifierOptions};
+pub use verify::{
+    ConcreteWitness, EngineId, Verdict, VerificationResult, Verifier, VerifierOptions,
+};
 pub use witness::{DatalogWitness, LinearCheck};

@@ -1,10 +1,13 @@
 //! The verifier facade: classification, goal transformation, engine
 //! orchestration, statistics, and the §4.3 thread-count bound.
+//!
+//! The engine-specific decision procedures live behind the
+//! [`Engine`](crate::engine::Engine) trait in [`crate::engine`]; this
+//! module owns the shared plumbing every run goes through — recorder
+//! scoping, resource governance, run-scoped cancellation, panic
+//! containment, and the [`RunReport`].
 
-use crate::makep::{DatalogTarget, Guess, MakeP, MakePError, MakePLimits};
-use crate::witness::{self, LinearCheck};
-use parra_datalog::eval::Evaluator;
-use parra_datalog::plan::PlanCache;
+use crate::makep::{MakePError, MakePLimits};
 use parra_limits::{CancelToken, InterruptReason, ResourceBudget};
 use parra_obs::json::ObjWriter;
 use parra_obs::{GaugeSnapshot, HistSnapshot, Phase, PhaseTimer, Recorder};
@@ -14,16 +17,16 @@ use parra_program::transform;
 use parra_ra::explore::{ExploreLimits, ExploreOutcome, Explorer, Target};
 use parra_ra::Instance;
 use parra_search::Threads;
-use parra_simplified::cost::cost_of_graph;
-use parra_simplified::depgraph::DepGraph;
-use parra_simplified::reach::{ReachLimits, ReachOutcome, Reachability, SimpTarget};
+use parra_simplified::reach::ReachLimits;
 use parra_simplified::state::Budget;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which decision procedure to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Engine {
+pub enum EngineId {
     /// The direct search on the simplified semantics (Section 3) —
     /// the default: exact for the decidable class.
     SimplifiedReach,
@@ -36,7 +39,7 @@ pub enum Engine {
     /// replayed under the `⊢ₖ` Cache semantics, and — where the program
     /// falls in the ≤2-atom-body fragment — cross-checked through the
     /// Lemma 4.2 cache→linear translation. Same verdicts as
-    /// [`Engine::CacheDatalog`], plus the certification notes and an
+    /// [`EngineId::CacheDatalog`], plus the certification notes and an
     /// inference-step witness.
     LinearDatalog,
     /// Bounded concrete-RA exploration of instances — an
@@ -44,13 +47,25 @@ pub enum Engine {
     BoundedConcrete,
 }
 
-impl fmt::Display for Engine {
+impl EngineId {
+    /// Every engine, in the canonical portfolio order (exact engines
+    /// first). This is the `--all-engines` selection and the default
+    /// `--race` field.
+    pub const ALL: [EngineId; 4] = [
+        EngineId::SimplifiedReach,
+        EngineId::CacheDatalog,
+        EngineId::LinearDatalog,
+        EngineId::BoundedConcrete,
+    ];
+}
+
+impl fmt::Display for EngineId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
-            Engine::SimplifiedReach => "simplified-reach",
-            Engine::CacheDatalog => "cache-datalog",
-            Engine::LinearDatalog => "linear-datalog",
-            Engine::BoundedConcrete => "bounded-concrete",
+            EngineId::SimplifiedReach => "simplified-reach",
+            EngineId::CacheDatalog => "cache-datalog",
+            EngineId::LinearDatalog => "linear-datalog",
+            EngineId::BoundedConcrete => "bounded-concrete",
         };
         f.write_str(s)
     }
@@ -129,13 +144,13 @@ pub struct VerificationResult {
     /// The verdict.
     pub verdict: Verdict,
     /// The engine that produced it.
-    pub engine: Engine,
+    pub engine: EngineId,
     /// Run statistics.
     pub stats: Stats,
-    /// For `Unsafe` via [`Engine::SimplifiedReach`]: the §4.3 bound on the
+    /// For `Unsafe` via [`EngineId::SimplifiedReach`]: the §4.3 bound on the
     /// number of `env` threads sufficient to exhibit the bug.
     pub env_thread_bound: Option<u64>,
-    /// For `Unsafe` via [`Engine::SimplifiedReach`]: a human-readable
+    /// For `Unsafe` via [`EngineId::SimplifiedReach`]: a human-readable
     /// witness (the dis steps between saturations).
     pub witness_lines: Vec<String>,
     /// Notes (approximations applied, limits hit).
@@ -152,7 +167,7 @@ pub struct VerificationResult {
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// The engine that ran.
-    pub engine: Engine,
+    pub engine: EngineId,
     /// The verdict.
     pub verdict: Verdict,
     /// Wall-clock duration.
@@ -191,7 +206,7 @@ pub struct RunReport {
 impl RunReport {
     /// An empty report for `engine` (placeholder until [`Verifier::run`]
     /// fills it in).
-    pub fn empty(engine: Engine) -> RunReport {
+    pub fn empty(engine: EngineId) -> RunReport {
         RunReport {
             engine,
             verdict: Verdict::Unknown,
@@ -317,7 +332,7 @@ pub struct VerifierOptions {
     /// Test hook: panic inside the named engine's run, to exercise
     /// [`Verifier::run_isolated`]'s panic containment without an
     /// artificially broken system.
-    pub fail_point_panic: Option<Engine>,
+    pub fail_point_panic: Option<EngineId>,
 }
 
 impl Default for VerifierOptions {
@@ -368,19 +383,6 @@ impl fmt::Display for VerifierError {
 
 impl std::error::Error for VerifierError {}
 
-/// Aggregate outcome of the Datalog guess fleet.
-struct FleetOutcome {
-    /// Max rule count over the evaluated guess programs.
-    rules: usize,
-    /// Max derived-atom count over the evaluated guess databases.
-    atoms: usize,
-    /// Lowest-index guess whose query derived the goal.
-    winner: Option<usize>,
-    /// Set when the governor stopped any worker or evaluation before
-    /// every guess completed; "no winner" is then inconclusive.
-    interrupted: Option<InterruptReason>,
-}
-
 /// Best-effort rendering of a panic payload (`&str` and `String` cover
 /// every `panic!` in this workspace).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -397,15 +399,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[derive(Debug, Clone)]
 pub struct Verifier {
     original_class: SystemClass,
-    goal: transform::GoalSystem,
-    budget: Budget,
-    options: VerifierOptions,
+    pub(crate) goal: transform::GoalSystem,
+    pub(crate) budget: Budget,
+    pub(crate) options: VerifierOptions,
     notes: Vec<String>,
-    rec: Recorder,
+    pub(crate) rec: Recorder,
     /// Time spent in the preparation (classify/unroll/goal-transform)
-    /// phase, attributed to every engine report as `plan` (preparation is
-    /// shared by all engines of this verifier).
+    /// phase. Preparation is shared by every engine run of this
+    /// verifier, so it is attributed as the `plan` phase exactly once —
+    /// to the first report — rather than re-counted per run.
     plan_us: u64,
+    /// Whether some run already claimed the `plan` phase. Shared across
+    /// clones: a cloned verifier reuses the same preparation work.
+    plan_attributed: Arc<AtomicBool>,
 }
 
 impl Verifier {
@@ -466,6 +472,7 @@ impl Verifier {
             notes,
             rec,
             plan_us,
+            plan_attributed: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -490,11 +497,14 @@ impl Verifier {
         &self.budget
     }
 
-    /// The resource budget for one engine run. Built fresh per run so the
-    /// wall-clock deadline starts when the engine does — under
-    /// `--all-engines`, each engine gets the full timeout.
-    fn governor(&self) -> ResourceBudget {
-        let mut gov = ResourceBudget::unlimited().with_cancel(self.options.cancel.clone());
+    /// The deadline/memory half of a run's resource budget — without a
+    /// cancellation token; callers attach a run- or race-scoped child of
+    /// [`VerifierOptions::cancel`]. Built fresh per sequential run so
+    /// the wall-clock deadline starts when the engine does (under
+    /// `--all-engines`, each engine gets the full timeout); built once
+    /// per race so `--timeout` bounds the race as a whole.
+    pub(crate) fn base_budget(&self) -> ResourceBudget {
+        let mut gov = ResourceBudget::unlimited();
         if let Some(t) = self.options.timeout {
             gov = gov.with_deadline(t);
         }
@@ -505,30 +515,56 @@ impl Verifier {
     }
 
     /// Runs the selected engine.
-    pub fn run(&self, engine: Engine) -> VerificationResult {
+    ///
+    /// Cancellation is scoped to this run: the engine polls a fresh
+    /// child of [`VerifierOptions::cancel`], and a cancellation that
+    /// interrupted this run is acknowledged (consumed) on the parent
+    /// before returning — so the *next* run under the same options
+    /// starts armed but not stillborn, instead of every subsequent
+    /// engine reporting `Interrupted(cancelled)` forever.
+    pub fn run(&self, engine: EngineId) -> VerificationResult {
+        let run_cancel = self.options.cancel.child();
+        let result = self
+            .engine(engine)
+            .run(&self.base_budget(), &run_cancel, &self.rec);
+        if result.verdict == Verdict::Interrupted(InterruptReason::Cancelled) {
+            self.options.cancel.acknowledge();
+        }
+        result
+    }
+
+    /// Shared instrumentation wrapping every engine body: scopes the
+    /// recorder to `{engine}/`, attaches the cancel token to the budget,
+    /// emits `run_start`/`run_end` events, and attributes counter deltas
+    /// and phase times to the run's [`RunReport`]. The
+    /// [`Engine`](crate::engine::Engine) impls call this; everything
+    /// engine-specific happens inside `body`.
+    pub(crate) fn instrumented(
+        &self,
+        engine: EngineId,
+        budget: &ResourceBudget,
+        cancel: &CancelToken,
+        rec: &Recorder,
+        body: impl FnOnce(&Recorder, &ResourceBudget) -> VerificationResult,
+    ) -> VerificationResult {
         let start = Instant::now();
         // Metrics for this run land under `{engine}/`; the before/after
         // snapshot delta attributes counters to this run even when the
         // same Verifier runs the same engine repeatedly.
-        let scope = self.rec.scoped(&format!("{engine}/"));
-        let before = self.rec.snapshot();
+        let scope = rec.scoped(&format!("{engine}/"));
+        let before = rec.snapshot();
         scope.event_with(
             "run_start",
             &[],
             &[("threads", self.options.threads as u64)],
         );
-        let gov = self.governor();
+        let gov = budget.clone().with_cancel(cancel.clone());
         let mut result = {
-            let span = self.rec.span(&format!("engine:{engine}"));
+            let span = rec.span(&format!("engine:{engine}"));
             if self.options.fail_point_panic == Some(engine) {
                 panic!("fail point: injected panic in {engine}");
             }
-            let r = match engine {
-                Engine::SimplifiedReach => self.run_simplified(&scope, &gov),
-                Engine::CacheDatalog => self.run_datalog(&scope, &gov),
-                Engine::LinearDatalog => self.run_linear(&scope, &gov),
-                Engine::BoundedConcrete => self.run_concrete(&scope, &gov),
-            };
+            let r = body(&scope, &gov);
             span.arg_str("verdict", &r.verdict.to_string());
             r
         };
@@ -538,7 +574,7 @@ impl Verifier {
         result.stats.duration = start.elapsed();
         result.notes.extend(self.notes.iter().cloned());
 
-        let after = self.rec.snapshot();
+        let after = rec.snapshot();
         let prefix = format!("{engine}/");
         let mut report = RunReport::empty(engine);
         report.verdict = result.verdict;
@@ -560,7 +596,10 @@ impl Verifier {
                 (name, v)
             })
             .collect();
-        if self.plan_us > 0 {
+        // Preparation is shared by every run of this verifier, so the
+        // `plan` phase is claimed by the first report only — re-counting
+        // it per engine would inflate aggregate phase breakdowns.
+        if self.plan_us > 0 && !self.plan_attributed.swap(true, Ordering::Relaxed) {
             report.phases.push(("plan".to_string(), self.plan_us));
             report.phases.sort();
         }
@@ -579,7 +618,7 @@ impl Verifier {
         report.witness = result.witness_lines.clone();
         report.notes = result.notes.clone();
         report.interrupted = result.verdict.interrupt_reason();
-        if self.rec.is_enabled() {
+        if rec.is_enabled() {
             // The run_end event carries the deterministic verdict in
             // `fields`; durations, phase times, threads, and the stats
             // (fleet maxima are schedule-dependent) go in `volatile`.
@@ -612,12 +651,47 @@ impl Verifier {
     /// `Unknown` result carrying the panic message as a note, instead of
     /// unwinding through `--all-engines` or `parra batch` and killing the
     /// other runs.
-    pub fn run_isolated(&self, engine: Engine) -> VerificationResult {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(engine))) {
+    pub fn run_isolated(&self, engine: EngineId) -> VerificationResult {
+        let run_cancel = self.options.cancel.child();
+        let result = self.catch_panics(engine, &self.rec, || {
+            self.engine(engine)
+                .run(&self.base_budget(), &run_cancel, &self.rec)
+        });
+        if result.verdict == Verdict::Interrupted(InterruptReason::Cancelled) {
+            self.options.cancel.acknowledge();
+        }
+        result
+    }
+
+    /// Panic containment shared by [`Verifier::run_isolated`] and the
+    /// race jobs: a panic degrades to `Unknown` with a diagnostic note,
+    /// and a degraded `run_end` event closes the `run_start` the panic
+    /// orphaned — `parra report` run pairing and `--check-schema` stay
+    /// sound even for a crashed engine.
+    pub(crate) fn catch_panics(
+        &self,
+        engine: EngineId,
+        rec: &Recorder,
+        f: impl FnOnce() -> VerificationResult,
+    ) -> VerificationResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
             Ok(result) => result,
             Err(payload) => {
                 let msg = panic_message(payload.as_ref());
                 let note = format!("engine panicked: {msg}; verdict degraded to UNKNOWN");
+                if rec.is_enabled() {
+                    // The panic message may carry addresses or other
+                    // nondeterminism, so only the fixed marker goes in
+                    // the deterministic fields; the note has the text.
+                    rec.scoped(&format!("{engine}/")).event_with(
+                        "run_end",
+                        &[
+                            ("verdict", Verdict::Unknown.to_string().into()),
+                            ("panic", 1u64.into()),
+                        ],
+                        &[],
+                    );
+                }
                 let mut report = RunReport::empty(engine);
                 report.notes = vec![note.clone()];
                 VerificationResult {
@@ -633,7 +707,7 @@ impl Verifier {
         }
     }
 
-    fn trivially_safe(&self, engine: Engine) -> Option<VerificationResult> {
+    pub(crate) fn trivially_safe(&self, engine: EngineId) -> Option<VerificationResult> {
         if self.goal.had_assert {
             return None;
         }
@@ -646,451 +720,6 @@ impl Verifier {
             notes: vec!["program contains no assertions".into()],
             report: RunReport::empty(engine),
         })
-    }
-
-    fn run_simplified(&self, rec: &Recorder, gov: &ResourceBudget) -> VerificationResult {
-        if let Some(r) = self.trivially_safe(Engine::SimplifiedReach) {
-            return r;
-        }
-        let sys = &self.goal.system;
-        let engine = Reachability::new(sys.clone(), self.budget.clone(), self.options.reach_limits)
-            .expect("env CAS-freedom checked in Verifier::new")
-            .with_recorder(rec.clone())
-            .with_threads(self.options.threads)
-            .with_governor(gov.clone());
-        let target = SimpTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
-        let report = engine.run(target);
-        let mut notes = Vec::new();
-        let verdict = match report.outcome {
-            ReachOutcome::Unsafe => Verdict::Unsafe,
-            ReachOutcome::Safe => Verdict::Safe,
-            ReachOutcome::Truncated => {
-                notes.push("search limits hit; Safe could not be concluded".into());
-                Verdict::Unknown
-            }
-            ReachOutcome::Interrupted(reason) => {
-                notes.push(format!(
-                    "interrupted ({reason}): the {reason} budget was exhausted; \
-                     partial statistics only, Safe could not be concluded"
-                ));
-                Verdict::Interrupted(reason)
-            }
-        };
-        let (env_thread_bound, witness_lines) = match &report.witness {
-            Some(w) => {
-                let graph = DepGraph::build(sys, &self.budget, w);
-                let bound = graph
-                    .find_message(self.goal.goal_var, self.goal.goal_val)
-                    .map(|n| cost_of_graph(&graph, n));
-                let lines = w
-                    .dis_path
-                    .iter()
-                    .map(|s| {
-                        let p = &sys.dis[s.thread];
-                        let names = parra_program::pretty::Names::for_program(&sys.vars, p);
-                        let instr = parra_program::pretty::instr_to_string(
-                            &p.cfa().edges()[s.edge].instr,
-                            names,
-                        );
-                        format!("dis{}: {}", s.thread + 1, instr)
-                    })
-                    .collect();
-                (bound, lines)
-            }
-            None => (None, Vec::new()),
-        };
-        VerificationResult {
-            verdict,
-            engine: Engine::SimplifiedReach,
-            stats: Stats {
-                states: report.states,
-                worlds: report.worlds,
-                peak_env_msgs: report.peak_env_msgs,
-                ..Stats::default()
-            },
-            env_thread_bound,
-            witness_lines,
-            notes,
-            report: RunReport::empty(Engine::SimplifiedReach),
-        }
-    }
-
-    /// Builds `makeP` and enumerates its guesses, mapping failures to an
-    /// `Unknown` result for `engine`.
-    fn makep_setup(
-        &self,
-        rec: &Recorder,
-        engine: Engine,
-    ) -> Result<(MakeP<'_>, Vec<Guess>), Box<VerificationResult>> {
-        let unknown = |note: String| {
-            Box::new(VerificationResult {
-                verdict: Verdict::Unknown,
-                engine,
-                stats: Stats::default(),
-                env_thread_bound: None,
-                witness_lines: vec![],
-                notes: vec![note],
-                report: RunReport::empty(engine),
-            })
-        };
-        let sys = &self.goal.system;
-        let mk = match MakeP::new(sys, self.budget.clone(), self.options.makep_limits) {
-            Ok(mk) => mk.with_recorder(rec.clone()),
-            Err(e) => return Err(unknown(format!("makeP not applicable: {e}"))),
-        };
-        let guesses = match mk.guesses() {
-            Ok(g) => g,
-            Err(e) => return Err(unknown(format!("guess enumeration failed: {e}"))),
-        };
-        Ok((mk, guesses))
-    }
-
-    /// Evaluates every guess's Datalog query with provenance *off*,
-    /// racing the fleet and stopping as soon as one derives the goal.
-    /// Returns the max program/database sizes seen and the lowest-index
-    /// winning guess (`None` means every query completed without the
-    /// goal: `Safe`).
-    fn datalog_fleet(
-        &self,
-        rec: &Recorder,
-        mk: &MakeP,
-        guesses: &[Guess],
-        target: DatalogTarget,
-        cache: &std::sync::Mutex<PlanCache>,
-        gov: &ResourceBudget,
-    ) -> FleetOutcome {
-        let n_workers = self.options.threads.max(1);
-        // With a single guess there is no fleet to parallelize; hand the
-        // thread budget to the evaluator's delta batches instead.
-        let eval_threads = if guesses.len() <= 1 { n_workers } else { 1 };
-        let found = std::sync::atomic::AtomicBool::new(false);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let n_guesses = guesses.len();
-        let interrupted: std::sync::Mutex<Option<InterruptReason>> = std::sync::Mutex::new(None);
-        // Per-guess records: (guess index, rules, atoms, derived goal).
-        let records: Vec<(usize, usize, usize, bool)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n_workers)
-                .map(|_| {
-                    let found = &found;
-                    let next = &next;
-                    let interrupted = &interrupted;
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            if found.load(std::sync::atomic::Ordering::Relaxed) {
-                                break;
-                            }
-                            // Round granularity for the fleet is one guess;
-                            // the evaluator below also checks per
-                            // semi-naive round within a guess.
-                            if let Err(reason) = gov.check() {
-                                let mut slot = interrupted.lock().expect("interrupt slot poisoned");
-                                slot.get_or_insert(reason);
-                                break;
-                            }
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= guesses.len() {
-                                break;
-                            }
-                            rec.heartbeat(|| format!("datalog: guess {i}/{n_guesses}"));
-                            let (prog, goal) = mk.program(&guesses[i], target);
-                            // Guess programs share rule lists; the cache
-                            // hands every worker the same plan after the
-                            // first computes it.
-                            let plan = cache.lock().expect("plan cache poisoned").plan(&prog);
-                            // Round events stay deterministic only when a
-                            // single guess runs (the fleet races workers,
-                            // so multi-guess schedules are timing-bound).
-                            let db = Evaluator::with_plan(&prog, plan)
-                                .with_recorder(rec.clone())
-                                .with_events(n_guesses == 1)
-                                .with_threads(eval_threads)
-                                .with_governor(gov.clone())
-                                .run_until(Some(&goal));
-                            let won = db.contains(&goal);
-                            if let Some(reason) = db.interrupted() {
-                                // The partial database is a sound under-
-                                // approximation: "goal not derived" proves
-                                // nothing for this guess.
-                                let mut slot = interrupted.lock().expect("interrupt slot poisoned");
-                                slot.get_or_insert(reason);
-                                if !won {
-                                    break;
-                                }
-                            }
-                            local.push((i, prog.rules().len(), db.len(), won));
-                            if won {
-                                found.store(true, std::sync::atomic::Ordering::Relaxed);
-                                break;
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("guess worker panicked"))
-                .collect()
-        });
-        let mut out = FleetOutcome {
-            rules: 0,
-            atoms: 0,
-            winner: None,
-            interrupted: interrupted.into_inner().expect("interrupt slot poisoned"),
-        };
-        for &(i, rules, atoms, won) in &records {
-            out.rules = out.rules.max(rules);
-            out.atoms = out.atoms.max(atoms);
-            if won {
-                out.winner = Some(out.winner.map_or(i, |w: usize| w.min(i)));
-            }
-        }
-        if rec.is_enabled() {
-            // Which guesses got evaluated (and so the maxima, and even the
-            // winning index when several guesses win) depends on worker
-            // timing — everything but the guess count is volatile.
-            let mut vol: Vec<(&str, u64)> = vec![
-                ("rules_max", out.rules as u64),
-                ("atoms_max", out.atoms as u64),
-            ];
-            if let Some(w) = out.winner {
-                vol.push(("winner", w as u64));
-            }
-            rec.event_with("fleet", &[("n_guesses", n_guesses.into())], &vol);
-        }
-        out
-    }
-
-    fn run_datalog(&self, rec: &Recorder, gov: &ResourceBudget) -> VerificationResult {
-        if let Some(r) = self.trivially_safe(Engine::CacheDatalog) {
-            return r;
-        }
-        let target = DatalogTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
-        let (mk, guesses) = match self.makep_setup(rec, Engine::CacheDatalog) {
-            Ok(x) => x,
-            Err(r) => return *r,
-        };
-        let plan_cache = std::sync::Mutex::new(PlanCache::new());
-        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache, gov);
-        let mut stats = Stats {
-            guesses: guesses.len(),
-            datalog_rules: fleet.rules,
-            datalog_atoms: fleet.atoms,
-            ..Stats::default()
-        };
-        let mut report = RunReport::empty(Engine::CacheDatalog);
-        let mut notes = Vec::new();
-        // A winning guess is a sound Unsafe witness even if other guesses
-        // were cut short; without one, an interrupted fleet is
-        // inconclusive, never Safe.
-        let mut verdict = match fleet.interrupted {
-            Some(reason) if fleet.winner.is_none() => {
-                notes.push(format!(
-                    "interrupted ({reason}): not every guess was evaluated; \
-                     partial statistics only, Safe could not be concluded"
-                ));
-                Verdict::Interrupted(reason)
-            }
-            _ => Verdict::Safe,
-        };
-        if let Some(wi) = fleet.winner {
-            verdict = Verdict::Unsafe;
-            // Lemma 4.6: re-run only the winning guess with provenance on
-            // and read a bounded-cache schedule off its derivation,
-            // counting intensional atoms only.
-            let (prog, goal) = mk.program(&guesses[wi], target);
-            let plan = plan_cache.lock().expect("plan cache poisoned").plan(&prog);
-            let phases = PhaseTimer::new(rec);
-            let _replay = phases.start(Phase::WitnessReplay);
-            if let Some(w) = witness::extract(&prog, &goal, rec, self.options.threads, Some(plan)) {
-                stats.cache_peak = w.peak_intensional;
-                stats.datalog_atoms = stats.datalog_atoms.max(w.atoms);
-                let occupancy: Vec<u64> = w.occupancy.iter().map(|&c| c as u64).collect();
-                if !occupancy.is_empty() {
-                    rec.record_series("cache_occupancy", occupancy.clone());
-                }
-                report.cache_occupancy = occupancy;
-            }
-        }
-        VerificationResult {
-            verdict,
-            engine: Engine::CacheDatalog,
-            stats,
-            env_thread_bound: None,
-            witness_lines: vec![],
-            notes,
-            report,
-        }
-    }
-
-    fn run_linear(&self, rec: &Recorder, gov: &ResourceBudget) -> VerificationResult {
-        if let Some(r) = self.trivially_safe(Engine::LinearDatalog) {
-            return r;
-        }
-        let target = DatalogTarget::MessageGenerated(self.goal.goal_var, self.goal.goal_val);
-        let (mk, guesses) = match self.makep_setup(rec, Engine::LinearDatalog) {
-            Ok(x) => x,
-            Err(r) => return *r,
-        };
-        let plan_cache = std::sync::Mutex::new(PlanCache::new());
-        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache, gov);
-        let mut stats = Stats {
-            guesses: guesses.len(),
-            datalog_rules: fleet.rules,
-            datalog_atoms: fleet.atoms,
-            ..Stats::default()
-        };
-        let mut report = RunReport::empty(Engine::LinearDatalog);
-        let mut notes = Vec::new();
-        let mut witness_lines = Vec::new();
-        let mut verdict = match fleet.interrupted {
-            Some(reason) if fleet.winner.is_none() => {
-                notes.push(format!(
-                    "interrupted ({reason}): not every guess was evaluated; \
-                     partial statistics only, Safe could not be concluded"
-                ));
-                Verdict::Interrupted(reason)
-            }
-            _ => Verdict::Safe,
-        };
-        if let Some(wi) = fleet.winner {
-            verdict = Verdict::Unsafe;
-            let (prog, goal) = mk.program(&guesses[wi], target);
-            let plan = plan_cache.lock().expect("plan cache poisoned").plan(&prog);
-            let phases = PhaseTimer::new(rec);
-            let _replay = phases.start(Phase::WitnessReplay);
-            match witness::extract(&prog, &goal, rec, self.options.threads, Some(plan)) {
-                Some(w) => {
-                    stats.cache_peak = w.peak_intensional;
-                    stats.datalog_atoms = stats.datalog_atoms.max(w.atoms);
-                    let occupancy: Vec<u64> = w.occupancy.iter().map(|&c| c as u64).collect();
-                    if !occupancy.is_empty() {
-                        rec.record_series("cache_occupancy", occupancy.clone());
-                    }
-                    report.cache_occupancy = occupancy;
-                    if w.certified {
-                        notes.push(format!(
-                            "Lemma 4.6 schedule ({} steps) certified under ⊢ₖ with \
-                             k = {} (intensional peak {})",
-                            w.schedule.steps.len(),
-                            w.schedule.peak,
-                            w.peak_intensional,
-                        ));
-                    } else {
-                        notes.push(
-                            "certificate replay FAILED: the schedule does not re-derive \
-                             the goal under the Cache semantics (engine bug)"
-                                .into(),
-                        );
-                    }
-                    match w.linear_check {
-                        LinearCheck::Agrees => notes
-                            .push("Lemma 4.2 cache→linear translation re-derives the goal".into()),
-                        LinearCheck::Disagrees => notes.push(
-                            "Lemma 4.2 cross-check FAILED: the translated linear program \
-                             does not derive the goal (engine bug)"
-                                .into(),
-                        ),
-                        LinearCheck::OutsideFragment => notes.push(
-                            "Lemma 4.2 cross-check skipped: program outside the \
-                             ≤2-atom-body fragment"
-                                .into(),
-                        ),
-                    }
-                    witness_lines = witness::render_lines(&prog, &w, 64);
-                }
-                None => notes.push(
-                    "witness extraction failed: winning guess did not replay (engine bug)".into(),
-                ),
-            }
-        }
-        VerificationResult {
-            verdict,
-            engine: Engine::LinearDatalog,
-            stats,
-            env_thread_bound: None,
-            witness_lines,
-            notes,
-            report,
-        }
-    }
-
-    fn run_concrete(&self, rec: &Recorder, gov: &ResourceBudget) -> VerificationResult {
-        if let Some(r) = self.trivially_safe(Engine::BoundedConcrete) {
-            return r;
-        }
-        let sys = &self.goal.system;
-        let mut stats = Stats::default();
-        let mut exhausted_all = true;
-        for n_env in 0..=self.options.concrete_max_env {
-            let explorer = Explorer::new(
-                Instance::new(sys.clone(), n_env),
-                self.options.concrete_limits,
-            )
-            .with_recorder(rec.clone())
-            .with_threads(self.options.threads)
-            .with_governor(gov.clone());
-            let report = explorer.run(Target::MessageGenerated(
-                self.goal.goal_var,
-                self.goal.goal_val,
-            ));
-            stats.states += report.states;
-            match report.outcome {
-                ExploreOutcome::Unsafe => {
-                    return VerificationResult {
-                        verdict: Verdict::Unsafe,
-                        engine: Engine::BoundedConcrete,
-                        stats,
-                        env_thread_bound: Some(n_env as u64),
-                        witness_lines: report
-                            .witness
-                            .unwrap_or_default()
-                            .into_iter()
-                            .map(|s| s.description)
-                            .collect(),
-                        notes: vec![format!("violation found with {n_env} env threads")],
-                        report: RunReport::empty(Engine::BoundedConcrete),
-                    }
-                }
-                ExploreOutcome::SafeExhausted => {}
-                ExploreOutcome::SafeWithinBounds => exhausted_all = false,
-                ExploreOutcome::Interrupted(reason) => {
-                    // The budget covers the whole engine run, so the
-                    // remaining instances would be interrupted too.
-                    return VerificationResult {
-                        verdict: Verdict::Interrupted(reason),
-                        engine: Engine::BoundedConcrete,
-                        stats,
-                        env_thread_bound: None,
-                        witness_lines: vec![],
-                        notes: vec![format!(
-                            "interrupted ({reason}) while exploring the instance with \
-                             {n_env} env threads; partial statistics only"
-                        )],
-                        report: RunReport::empty(Engine::BoundedConcrete),
-                    };
-                }
-            }
-        }
-        VerificationResult {
-            verdict: Verdict::Unknown,
-            engine: Engine::BoundedConcrete,
-            stats,
-            env_thread_bound: None,
-            witness_lines: vec![],
-            notes: vec![format!(
-                "no violation up to {} env threads ({}); the engine cannot prove \
-                 parameterized safety",
-                self.options.concrete_max_env,
-                if exhausted_all {
-                    "each instance exhausted"
-                } else {
-                    "bounds hit"
-                }
-            )],
-            report: RunReport::empty(Engine::BoundedConcrete),
-        }
     }
 
     /// Concretizes an `Unsafe` verdict: searches concrete-RA instances —
@@ -1202,7 +831,7 @@ pub struct ConcreteWitness {
 /// A `Safe` next to an `Unsafe` is a contradiction — one of the exact
 /// engines is wrong — and surfaces as an error naming the disagreeing
 /// engines, never as a silent last-run-wins.
-pub fn aggregate_verdicts(verdicts: &[(Engine, Verdict)]) -> Result<Verdict, String> {
+pub fn aggregate_verdicts(verdicts: &[(EngineId, Verdict)]) -> Result<Verdict, String> {
     let any_unsafe = verdicts.iter().any(|(_, v)| *v == Verdict::Unsafe);
     let any_safe = verdicts.iter().any(|(_, v)| *v == Verdict::Safe);
     if any_unsafe && any_safe {
@@ -1251,17 +880,17 @@ mod tests {
     fn all_engines_on_unsafe_handshake() {
         let sys = handshake(false);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r1 = v.run(Engine::SimplifiedReach);
+        let r1 = v.run(EngineId::SimplifiedReach);
         assert_eq!(r1.verdict, Verdict::Unsafe);
         assert!(!r1.witness_lines.is_empty());
         assert!(r1.env_thread_bound.unwrap() >= 1);
-        let r2 = v.run(Engine::CacheDatalog);
+        let r2 = v.run(EngineId::CacheDatalog);
         assert_eq!(r2.verdict, Verdict::Unsafe);
         assert!(r2.stats.guesses >= 1);
         assert!(r2.stats.cache_peak >= 1);
-        let r3 = v.run(Engine::BoundedConcrete);
+        let r3 = v.run(EngineId::BoundedConcrete);
         assert_eq!(r3.verdict, Verdict::Unsafe);
-        let r4 = v.run(Engine::LinearDatalog);
+        let r4 = v.run(EngineId::LinearDatalog);
         assert_eq!(r4.verdict, Verdict::Unsafe);
         assert!(r4.stats.cache_peak >= 1);
         assert!(
@@ -1277,7 +906,7 @@ mod tests {
     fn linear_engine_on_safe_handshake() {
         let sys = handshake(true);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::LinearDatalog);
+        let r = v.run(EngineId::LinearDatalog);
         assert_eq!(r.verdict, Verdict::Safe);
         assert!(r.witness_lines.is_empty());
     }
@@ -1286,10 +915,10 @@ mod tests {
     fn all_engines_on_safe_handshake() {
         let sys = handshake(true);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        assert_eq!(v.run(Engine::SimplifiedReach).verdict, Verdict::Safe);
-        assert_eq!(v.run(Engine::CacheDatalog).verdict, Verdict::Safe);
+        assert_eq!(v.run(EngineId::SimplifiedReach).verdict, Verdict::Safe);
+        assert_eq!(v.run(EngineId::CacheDatalog).verdict, Verdict::Safe);
         // The concrete engine can never prove parameterized safety.
-        assert_eq!(v.run(Engine::BoundedConcrete).verdict, Verdict::Unknown);
+        assert_eq!(v.run(EngineId::BoundedConcrete).verdict, Verdict::Unknown);
     }
 
     #[test]
@@ -1301,7 +930,7 @@ mod tests {
         let env = env.finish();
         let sys = b.build(env, vec![]);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         assert_eq!(r.verdict, Verdict::Safe);
         assert!(r.notes.iter().any(|n| n.contains("no assertions")));
     }
@@ -1344,7 +973,7 @@ mod tests {
             ..Default::default()
         };
         let v = Verifier::new(&sys, opts).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         assert_eq!(r.verdict, Verdict::Unsafe);
         assert!(r.notes.iter().any(|n| n.contains("unrolled")));
     }
@@ -1353,7 +982,7 @@ mod tests {
     fn concretize_reproduces_abstract_bugs() {
         let sys = handshake(false);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let abstract_result = v.run(Engine::SimplifiedReach);
+        let abstract_result = v.run(EngineId::SimplifiedReach);
         assert_eq!(abstract_result.verdict, Verdict::Unsafe);
         let concrete = v
             .concretize(&abstract_result, 4)
@@ -1363,7 +992,7 @@ mod tests {
         // Safe results do not concretize.
         let safe_sys = handshake(true);
         let vs = Verifier::new(&safe_sys, VerifierOptions::default()).unwrap();
-        let safe = vs.run(Engine::SimplifiedReach);
+        let safe = vs.run(EngineId::SimplifiedReach);
         assert!(vs.concretize(&safe, 4).is_none());
     }
 
@@ -1372,7 +1001,7 @@ mod tests {
         let sys = handshake(false);
         let rec = Recorder::enabled(parra_obs::Level::Summary);
         let v = Verifier::new_with_recorder(&sys, VerifierOptions::default(), rec.clone()).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         assert_eq!(r.report.verdict, r.verdict);
         assert_eq!(r.report.stats.states, r.stats.states);
         assert_eq!(r.report.witness, r.witness_lines);
@@ -1386,7 +1015,7 @@ mod tests {
         );
         assert!(r.report.gauges.iter().any(|(n, _)| n == "env_msgs"));
         // The datalog engine attaches the Lemma 4.6 occupancy series.
-        let r2 = v.run(Engine::CacheDatalog);
+        let r2 = v.run(EngineId::CacheDatalog);
         assert_eq!(r2.verdict, Verdict::Unsafe);
         assert!(!r2.report.cache_occupancy.is_empty());
         assert_eq!(
@@ -1408,7 +1037,7 @@ mod tests {
     fn run_report_json_roundtrips() {
         let sys = handshake(false);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::CacheDatalog);
+        let r = v.run(EngineId::CacheDatalog);
         let json = parra_obs::json::parse(&r.report.to_json()).expect("valid JSON");
         assert_eq!(json.get("engine").unwrap().as_str(), Some("cache-datalog"));
         assert_eq!(json.get("verdict").unwrap().as_str(), Some("UNSAFE"));
@@ -1430,7 +1059,7 @@ mod tests {
         );
     }
 
-    /// Engine agreement on a CAS-heavy example.
+    /// EngineId agreement on a CAS-heavy example.
     #[test]
     fn engines_agree_on_cas_example() {
         let mut b = SystemBuilder::new(3);
@@ -1444,8 +1073,8 @@ mod tests {
         let d = d.finish();
         let sys = b.build(env, vec![d]);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r1 = v.run(Engine::SimplifiedReach);
-        let r2 = v.run(Engine::CacheDatalog);
+        let r1 = v.run(EngineId::SimplifiedReach);
+        let r2 = v.run(EngineId::CacheDatalog);
         assert_eq!(r1.verdict, Verdict::Unsafe);
         assert_eq!(r2.verdict, Verdict::Unsafe);
     }
@@ -1464,7 +1093,7 @@ mod tests {
             ..Default::default()
         };
         let v = Verifier::new(&sys, tight).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         assert_eq!(r.verdict, Verdict::Unknown);
         assert_eq!(r.report.verdict, Verdict::Unknown);
         assert!(r.notes.iter().any(|n| n.contains("limits hit")));
@@ -1479,7 +1108,7 @@ mod tests {
             ..Default::default()
         };
         let v = Verifier::new(&sys, shallow).unwrap();
-        let r = v.run(Engine::BoundedConcrete);
+        let r = v.run(EngineId::BoundedConcrete);
         assert_eq!(r.verdict, Verdict::Unknown);
         assert_eq!(r.report.verdict, Verdict::Unknown);
         assert!(r.notes.iter().any(|n| n.contains("bounds hit")));
@@ -1487,7 +1116,7 @@ mod tests {
 
     #[test]
     fn aggregation_unsafe_wins_and_unknown_never_promotes() {
-        use Engine::*;
+        use EngineId::*;
         use Verdict::*;
         assert_eq!(
             aggregate_verdicts(&[(SimplifiedReach, Unsafe), (BoundedConcrete, Unknown)]),
@@ -1522,10 +1151,10 @@ mod tests {
         let rec = Recorder::enabled(parra_obs::Level::Summary);
         let v = Verifier::new_with_recorder(&sys, opts, rec.clone()).unwrap();
         for engine in [
-            Engine::SimplifiedReach,
-            Engine::CacheDatalog,
-            Engine::LinearDatalog,
-            Engine::BoundedConcrete,
+            EngineId::SimplifiedReach,
+            EngineId::CacheDatalog,
+            EngineId::LinearDatalog,
+            EngineId::BoundedConcrete,
         ] {
             let r = v.run(engine);
             assert_eq!(
@@ -1553,6 +1182,108 @@ mod tests {
         assert_eq!(hits, 4, "counters: {:?}", snap.counters);
     }
 
+    /// Regression: a cancellation that interrupts engine A must not leak
+    /// into engine B's run. The token used to be a single shared flag
+    /// that was never re-armed, so after one cancelled run every
+    /// subsequent engine under `--all-engines` (or the next file in
+    /// `parra batch`) was instantly `Interrupted(cancelled)`.
+    #[test]
+    fn cancelling_engine_a_does_not_starve_engine_b() {
+        let cancel = CancelToken::new();
+        let opts = VerifierOptions {
+            cancel: cancel.clone(),
+            ..Default::default()
+        };
+        let v = Verifier::new(&handshake(false), opts).unwrap();
+        cancel.cancel();
+        let a = v.run(EngineId::SimplifiedReach);
+        assert_eq!(a.verdict, Verdict::Interrupted(InterruptReason::Cancelled));
+        // The run consumed the request: engine B gets a clean slate.
+        let b = v.run(EngineId::CacheDatalog);
+        assert_eq!(
+            b.verdict,
+            Verdict::Unsafe,
+            "engine B was starved: {:?}",
+            b.notes
+        );
+        // And the same holds through the isolated path.
+        cancel.cancel();
+        let c = v.run_isolated(EngineId::SimplifiedReach);
+        assert_eq!(c.verdict, Verdict::Interrupted(InterruptReason::Cancelled));
+        let d = v.run_isolated(EngineId::LinearDatalog);
+        assert_eq!(d.verdict, Verdict::Unsafe);
+    }
+
+    /// Regression: shared preparation time (`plan`) used to be pushed
+    /// into every report's phases, so aggregate phase breakdowns counted
+    /// it once per engine; it belongs to exactly one report.
+    #[test]
+    fn plan_time_is_attributed_to_one_report_only() {
+        let rec = Recorder::enabled(parra_obs::Level::Summary);
+        let v = Verifier::new_with_recorder(&handshake(false), VerifierOptions::default(), rec)
+            .unwrap();
+        let has_plan = |r: &VerificationResult| r.report.phases.iter().any(|(n, _)| n == "plan");
+        let first = v.run(EngineId::SimplifiedReach);
+        assert!(
+            has_plan(&first),
+            "first report should carry the plan phase: {:?}",
+            first.report.phases
+        );
+        for engine in [
+            EngineId::CacheDatalog,
+            EngineId::LinearDatalog,
+            EngineId::SimplifiedReach,
+        ] {
+            let later = v.run(engine);
+            assert!(
+                !has_plan(&later),
+                "{engine} re-counted the shared plan time: {:?}",
+                later.report.phases
+            );
+        }
+    }
+
+    /// Regression: a panicking engine used to leave an orphan
+    /// `run_start` in the flight-recorder log; the degraded result must
+    /// close it with a `run_end` (verdict UNKNOWN, panic marker) so
+    /// `parra report` pairing and `--check-schema` stay sound.
+    #[test]
+    fn panicking_engine_still_emits_run_end_event() {
+        let rec = Recorder::enabled(parra_obs::Level::Summary);
+        let opts = VerifierOptions {
+            fail_point_panic: Some(EngineId::SimplifiedReach),
+            ..Default::default()
+        };
+        let v = Verifier::new_with_recorder(&handshake(false), opts, rec.clone()).unwrap();
+        let r = v.run_isolated(EngineId::SimplifiedReach);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        let events = rec.events();
+        let in_scope = |kind: &str| {
+            events
+                .iter()
+                .filter(|e| e.scope == "simplified-reach/" && e.kind == kind)
+                .count()
+        };
+        assert_eq!(in_scope("run_start"), 1);
+        assert_eq!(in_scope("run_end"), 1, "panic orphaned the run_start");
+        let end = events
+            .iter()
+            .find(|e| e.scope == "simplified-reach/" && e.kind == "run_end")
+            .unwrap();
+        assert!(
+            end.fields
+                .iter()
+                .any(|(k, v)| k == "verdict" && *v == parra_obs::EventValue::Str("UNKNOWN".into())),
+            "degraded run_end fields: {:?}",
+            end.fields
+        );
+        assert!(
+            end.fields.iter().any(|(k, _)| k == "panic"),
+            "degraded run_end should carry the panic marker: {:?}",
+            end.fields
+        );
+    }
+
     /// A pre-cancelled token interrupts with `Cancelled`, and a witness
     /// found before the budget trips still wins (interruption never
     /// weakens a sound `Unsafe`).
@@ -1565,7 +1296,7 @@ mod tests {
             ..Default::default()
         };
         let v = Verifier::new(&handshake(true), opts).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         assert_eq!(r.verdict, Verdict::Interrupted(InterruptReason::Cancelled));
 
         // Generous limits never change a decided verdict.
@@ -1575,7 +1306,7 @@ mod tests {
             ..Default::default()
         };
         let v = Verifier::new(&handshake(false), generous).unwrap();
-        assert_eq!(v.run(Engine::SimplifiedReach).verdict, Verdict::Unsafe);
+        assert_eq!(v.run(EngineId::SimplifiedReach).verdict, Verdict::Unsafe);
     }
 
     /// A completed run under generous limits is byte-identical (modulo
@@ -1608,7 +1339,7 @@ mod tests {
                     },
                 )
                 .unwrap();
-                for engine in [Engine::SimplifiedReach, Engine::BoundedConcrete] {
+                for engine in [EngineId::SimplifiedReach, EngineId::BoundedConcrete] {
                     assert_eq!(
                         canonical_json(unlimited.run(engine).report),
                         canonical_json(governed.run(engine).report),
@@ -1624,11 +1355,11 @@ mod tests {
     #[test]
     fn engine_panic_degrades_to_unknown() {
         let opts = VerifierOptions {
-            fail_point_panic: Some(Engine::SimplifiedReach),
+            fail_point_panic: Some(EngineId::SimplifiedReach),
             ..Default::default()
         };
         let v = Verifier::new(&handshake(false), opts).unwrap();
-        let r = v.run_isolated(Engine::SimplifiedReach);
+        let r = v.run_isolated(EngineId::SimplifiedReach);
         assert_eq!(r.verdict, Verdict::Unknown);
         assert!(
             r.notes.iter().any(|n| n.contains("engine panicked")),
@@ -1638,7 +1369,7 @@ mod tests {
         assert!(r.report.notes.iter().any(|n| n.contains("engine panicked")));
         // Other engines are unaffected by the fail point.
         assert_eq!(
-            v.run_isolated(Engine::CacheDatalog).verdict,
+            v.run_isolated(EngineId::CacheDatalog).verdict,
             Verdict::Unsafe
         );
     }
@@ -1648,7 +1379,7 @@ mod tests {
     /// stay undecided.
     #[test]
     fn aggregation_interrupted_never_promotes_to_safe() {
-        use Engine::*;
+        use EngineId::*;
         use Verdict::*;
         let deadline = Interrupted(InterruptReason::Deadline);
         let memory = Interrupted(InterruptReason::Memory);
@@ -1676,7 +1407,7 @@ mod tests {
     fn concretize_auto_seeds_cap_from_cost_bound() {
         let sys = handshake(false);
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         let bound = r.env_thread_bound.expect("unsafe run carries the bound") as usize;
         let out = v.concretize_auto(&r);
         assert!(out.from_bound);
@@ -1686,7 +1417,7 @@ mod tests {
 
         // Without a bound (datalog verdicts carry none) the default cap
         // applies.
-        let r2 = v.run(Engine::CacheDatalog);
+        let r2 = v.run(EngineId::CacheDatalog);
         assert_eq!(r2.verdict, Verdict::Unsafe);
         if r2.env_thread_bound.is_none() {
             let out2 = v.concretize_auto(&r2);
@@ -1717,7 +1448,7 @@ mod tests {
                 },
             )
             .unwrap();
-            for engine in [Engine::SimplifiedReach, Engine::BoundedConcrete] {
+            for engine in [EngineId::SimplifiedReach, EngineId::BoundedConcrete] {
                 let a = base.run(engine);
                 let b = par.run(engine);
                 assert_eq!(a.verdict, b.verdict, "{engine}, safe={safe}");
@@ -1729,8 +1460,8 @@ mod tests {
             // The datalog fleet races guesses, so only the verdict is
             // pinned there.
             assert_eq!(
-                base.run(Engine::CacheDatalog).verdict,
-                par.run(Engine::CacheDatalog).verdict,
+                base.run(EngineId::CacheDatalog).verdict,
+                par.run(EngineId::CacheDatalog).verdict,
                 "safe={safe}"
             );
         }

@@ -16,7 +16,7 @@
 
 use crate::gen::GenConfig;
 use parra_core::makep::{DatalogTarget, MakeP, MakePLimits};
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierError, VerifierOptions};
+use parra_core::verify::{EngineId, Verdict, Verifier, VerifierError, VerifierOptions};
 use parra_datalog::{Evaluator, NaiveEvaluator};
 use parra_program::parser::parse_system;
 use parra_program::pretty;
@@ -127,8 +127,8 @@ impl Oracle for EnginesAgree {
             Ok(v) => v,
             Err(skip) => return skip,
         };
-        let r1 = v.run(Engine::SimplifiedReach);
-        let r2 = v.run(Engine::CacheDatalog);
+        let r1 = v.run(EngineId::SimplifiedReach);
+        let r2 = v.run(EngineId::CacheDatalog);
         if r1.verdict == Verdict::Unknown || r2.verdict == Verdict::Unknown {
             return OracleOutcome::Skip("an exact engine hit its search limits".into());
         }
@@ -138,7 +138,7 @@ impl Oracle for EnginesAgree {
                 r1.verdict, r2.verdict
             ));
         }
-        let r3 = v.run(Engine::BoundedConcrete);
+        let r3 = v.run(EngineId::BoundedConcrete);
         if r3.verdict == Verdict::Unsafe && r1.verdict != Verdict::Unsafe {
             return OracleOutcome::Fail(format!(
                 "bounded-concrete found a violation but the exact engines say {}",
@@ -295,7 +295,7 @@ impl Oracle for ThreadDeterminism {
             (Ok(a), Ok(b)) => (a, b),
             (Err(skip), _) | (_, Err(skip)) => return skip,
         };
-        for engine in [Engine::SimplifiedReach, Engine::BoundedConcrete] {
+        for engine in [EngineId::SimplifiedReach, EngineId::BoundedConcrete] {
             let a = seq.run(engine);
             let b = par.run(engine);
             let mismatch = |field: &str| {
@@ -415,7 +415,7 @@ impl Oracle for Monotonicity {
                 Ok(v) => v,
                 Err(skip) => return skip,
             };
-            let r = v.run(Engine::SimplifiedReach);
+            let r = v.run(EngineId::SimplifiedReach);
             if let Some((prev_cap, prev)) = decided {
                 if r.verdict != Verdict::Unknown && r.verdict != prev {
                     return OracleOutcome::Fail(format!(
@@ -447,7 +447,7 @@ impl Oracle for Monotonicity {
                     Ok(v) => v,
                     Err(e) => return OracleOutcome::Skip(format!("verifier rejected system: {e}")),
                 };
-                let r = v.run(Engine::SimplifiedReach);
+                let r = v.run(EngineId::SimplifiedReach);
                 match (unsafe_at, r.verdict) {
                     (Some(k), verdict) if verdict != Verdict::Unsafe => {
                         return OracleOutcome::Fail(format!(

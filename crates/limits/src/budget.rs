@@ -2,7 +2,7 @@
 
 use crate::alloc::{heap_in_use, heap_peak};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,30 +37,86 @@ impl fmt::Display for InterruptReason {
     }
 }
 
-/// A shared flag for cooperative cancellation.
+/// One token's own cancellation state: a request generation counter and
+/// the generation up to which requests have been consumed.
+#[derive(Debug, Default)]
+struct CancelFlag {
+    requested: AtomicU64,
+    acknowledged: AtomicU64,
+}
+
+impl CancelFlag {
+    fn pending(&self) -> bool {
+        self.requested.load(Ordering::Acquire) > self.acknowledged.load(Ordering::Acquire)
+    }
+}
+
+/// A shared flag for cooperative cancellation, organised as a tree.
 ///
 /// Clones share the same underlying flag; cancelling any clone cancels
 /// all of them. Engines observe cancellation at round granularity via
 /// [`ResourceBudget::check`].
+///
+/// Tokens are hierarchical: [`child`](CancelToken::child) derives a
+/// token that observes the parent's cancellation (and every ancestor's)
+/// but whose own [`cancel`](CancelToken::cancel) never propagates
+/// upward. This is how one verification run — or one portfolio race —
+/// scopes cancellation: the scheduler cancels a race-local child to stop
+/// the losing engines without tripping the caller's token.
+///
+/// A cancellation request is *consumed* with
+/// [`acknowledge`](CancelToken::acknowledge): once the owner of a token
+/// has observed and handled a request (e.g. reported the run as
+/// interrupted), acknowledging it re-arms the token so later runs under
+/// the same token proceed. Requests are counted, so a cancel that
+/// arrives after an acknowledge is a fresh, observable request.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    own: Arc<CancelFlag>,
+    /// Root-first chain of ancestor flags, excluding `own`.
+    ancestors: Arc<[Arc<CancelFlag>]>,
 }
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled root token.
     pub fn new() -> CancelToken {
         CancelToken::default()
     }
 
-    /// Requests cancellation; every clone observes it.
+    /// Requests cancellation; every clone and every descendant observes
+    /// it. Ancestors do not.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+        self.own.requested.fetch_add(1, Ordering::Release);
     }
 
-    /// Whether cancellation was requested.
+    /// Whether an unconsumed cancellation request is pending on this
+    /// token or any of its ancestors.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        self.own.pending() || self.ancestors.iter().any(|a| a.pending())
+    }
+
+    /// Derives a child token: it observes this token's cancellation, but
+    /// cancelling the child is invisible here.
+    pub fn child(&self) -> CancelToken {
+        let mut chain = Vec::with_capacity(self.ancestors.len() + 1);
+        chain.extend(self.ancestors.iter().cloned());
+        chain.push(Arc::clone(&self.own));
+        CancelToken {
+            own: Arc::default(),
+            ancestors: chain.into(),
+        }
+    }
+
+    /// Consumes every cancellation request made *on this token* so far,
+    /// re-arming it for subsequent runs. Pending requests on ancestors
+    /// are untouched (they belong to the ancestors' owners). No-op if
+    /// nothing is pending. A concurrent `cancel` racing with the
+    /// acknowledge may be consumed along with the ones already observed.
+    pub fn acknowledge(&self) {
+        self.own.acknowledged.store(
+            self.own.requested.load(Ordering::Acquire),
+            Ordering::Release,
+        );
     }
 }
 
@@ -268,6 +324,69 @@ mod tests {
         token.cancel();
         assert_eq!(gov.check(), Err(InterruptReason::Cancelled));
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn child_observes_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+
+        // Cancelling the child is invisible to the parent (race-scoped
+        // cancellation must never trip the caller's token).
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+
+        // Cancelling the parent reaches the child — and a grandchild.
+        let child2 = parent.child();
+        let grandchild = child2.child();
+        parent.cancel();
+        assert!(child2.is_cancelled());
+        assert!(grandchild.is_cancelled());
+    }
+
+    #[test]
+    fn acknowledge_consumes_request_and_rearms() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        token.acknowledge();
+        assert!(!token.is_cancelled(), "acknowledged request is consumed");
+        // A later request is a fresh, observable one.
+        token.cancel();
+        assert!(token.is_cancelled());
+        // Acknowledging an un-cancelled token is a no-op.
+        token.acknowledge();
+        token.acknowledge();
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn acknowledge_on_child_does_not_consume_parent_request() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        parent.cancel();
+        assert!(child.is_cancelled());
+        // The child cannot consume its parent's request; only the
+        // parent's owner may.
+        child.acknowledge();
+        assert!(child.is_cancelled());
+        assert!(parent.is_cancelled());
+        parent.acknowledge();
+        assert!(!child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_state_with_children_too() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let child_clone = child.clone();
+        child.cancel();
+        assert!(child_clone.is_cancelled());
+        child_clone.acknowledge();
+        assert!(!child.is_cancelled());
     }
 
     #[test]

@@ -32,6 +32,23 @@ pub struct RunRecord {
     pub phases: BTreeMap<String, u64>,
 }
 
+/// One portfolio race, as recovered from a `race` flight-recorder event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceRecord {
+    /// The input file, when the line carried attribution.
+    pub file: Option<String>,
+    /// The racers, in portfolio order.
+    pub engines: Vec<String>,
+    /// The aggregate verdict (equals the sequential aggregate).
+    pub verdict: String,
+    /// The engine whose decisive answer won, if any. The `winner` index
+    /// lives in the event's volatile section (which racer wins is
+    /// wall-clock-bound); it is resolved against `engines` here.
+    pub winner: Option<String>,
+    /// Wall-clock duration of the race in microseconds.
+    pub duration_us: u64,
+}
+
 /// A fuzz-campaign summary line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzRecord {
@@ -48,6 +65,8 @@ pub struct FuzzRecord {
 pub struct ReportSet {
     /// Every recovered run.
     pub runs: Vec<RunRecord>,
+    /// Every recovered portfolio race.
+    pub races: Vec<RaceRecord>,
     /// Fuzz summaries.
     pub fuzz: Vec<FuzzRecord>,
     /// Flight-recorder event lines seen (all kinds).
@@ -81,8 +100,10 @@ impl ReportSet {
             // Flight-recorder event: validate strictly.
             let v = events::check_line(line).map_err(|e| e.message)?;
             self.event_lines += 1;
-            if v.get("kind").and_then(Value::as_str) == Some("run_end") {
-                self.runs.push(run_from_event(&v));
+            match v.get("kind").and_then(Value::as_str) {
+                Some("run_end") => self.runs.push(run_from_event(&v)),
+                Some("race") => self.races.push(race_from_event(&v)),
+                _ => {}
             }
             return Ok(());
         }
@@ -155,6 +176,39 @@ fn run_from_event(v: &Value) -> RunRecord {
             .map(str::to_string),
         duration_us,
         phases,
+    }
+}
+
+fn race_from_event(v: &Value) -> RaceRecord {
+    let fields = v.get("fields");
+    let get_field = |k: &str| fields.and_then(|f| f.get(k));
+    let engines: Vec<String> = get_field("engines")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let mut duration_us = 0;
+    let mut winner_idx = None;
+    if let Some(vol) = v.get("volatile").and_then(Value::as_obj) {
+        for (k, val) in vol {
+            match (k.as_str(), val.as_u64()) {
+                ("duration_us", Some(n)) => duration_us = n,
+                ("winner", Some(n)) => winner_idx = Some(n as usize),
+                _ => {}
+            }
+        }
+    }
+    RaceRecord {
+        file: v.get("file").and_then(Value::as_str).map(str::to_string),
+        verdict: get_field("verdict")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        winner: winner_idx.and_then(|i| engines.get(i).cloned()),
+        engines,
+        duration_us,
     }
 }
 
@@ -350,6 +404,32 @@ pub fn render_dashboard(set: &ReportSet) -> String {
                 .join(" · ");
             out.push_str(&format!("  {engine:<20} {body}\n"));
         }
+    }
+    if !set.races.is_empty() {
+        let h = hist_of(set.races.iter().map(|r| r.duration_us));
+        out.push_str(&format!(
+            "\nportfolio races: {} (p50 {}, p90 {}, p99 {})\n",
+            set.races.len(),
+            fmt_us(h.p50()),
+            fmt_us(h.p90()),
+            fmt_us(h.p99()),
+        ));
+        let mut wins: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut verdicts: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in &set.races {
+            *wins
+                .entry(r.winner.as_deref().unwrap_or("(no decisive answer)"))
+                .or_default() += 1;
+            *verdicts.entry(&r.verdict).or_default() += 1;
+        }
+        let fmt_tally = |m: &BTreeMap<&str, usize>| {
+            m.iter()
+                .map(|(k, n)| format!("{k} ×{n}"))
+                .collect::<Vec<_>>()
+                .join(" · ")
+        };
+        out.push_str(&format!("  verdicts       : {}\n", fmt_tally(&verdicts)));
+        out.push_str(&format!("  first decisive : {}\n", fmt_tally(&wins)));
     }
     for f in &set.fuzz {
         out.push_str(&format!(
@@ -577,6 +657,26 @@ mod tests {
         let dash = render_dashboard(&set);
         assert!(dash.contains("simplified-reach"));
         assert!(dash.contains("fuzz [cross]: 50 cases, 1 failures"));
+    }
+
+    #[test]
+    fn ingests_race_events_and_attributes_the_winner() {
+        let mut set = ReportSet::default();
+        set.ingest_line(r#"{"v":1,"file":"a.ra","seq":9,"t_us":50,"scope":"race/","kind":"race","fields":{"n_engines":4,"engines":"simplified-reach,cache-datalog,linear-datalog,bounded-concrete","verdict":"UNSAFE"},"volatile":{"duration_us":1234,"winner":1}}"#).unwrap();
+        set.ingest_line(r#"{"v":1,"seq":9,"t_us":50,"scope":"race/","kind":"race","fields":{"n_engines":2,"engines":"simplified-reach,cache-datalog","verdict":"UNKNOWN"},"volatile":{"duration_us":7}}"#).unwrap();
+        assert_eq!(set.races.len(), 2);
+        let r = &set.races[0];
+        assert_eq!(r.file.as_deref(), Some("a.ra"));
+        assert_eq!(r.engines.len(), 4);
+        // The volatile winner index resolves against the engines field.
+        assert_eq!(r.winner.as_deref(), Some("cache-datalog"));
+        assert_eq!((r.verdict.as_str(), r.duration_us), ("UNSAFE", 1234));
+        assert_eq!(set.races[1].winner, None);
+
+        let dash = render_dashboard(&set);
+        assert!(dash.contains("portfolio races: 2"));
+        assert!(dash.contains("first decisive : (no decisive answer) ×1 · cache-datalog ×1"));
+        assert!(dash.contains("UNKNOWN ×1 · UNSAFE ×1"));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | expand a frontier in parallel, merge in order | [`ordered_map`] |
 //! | hash-sharded visited set | [`ShardedIndex`] |
 //! | states + parents + dedup + witness unwind | [`SearchGraph`] |
+//! | race N heterogeneous jobs to the first decisive result | [`race`] |
 //!
 //! The invariant every engine built on this crate maintains: **worker
 //! threads only produce per-item results; all decisions that affect the
@@ -32,10 +33,12 @@
 
 pub mod frontier;
 pub mod graph;
+pub mod race;
 pub mod shard;
 pub mod threads;
 
 pub use frontier::{ordered_map, round_chunk};
 pub use graph::SearchGraph;
+pub use race::{race, RaceOutcome};
 pub use shard::ShardedIndex;
 pub use threads::Threads;

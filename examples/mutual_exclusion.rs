@@ -25,7 +25,7 @@ fn main() {
         let class = SystemClass::of(&bench.system);
         let verifier =
             Verifier::new(&bench.system, VerifierOptions::default()).expect("decidable class");
-        let result = verifier.run(Engine::SimplifiedReach);
+        let result = verifier.run(EngineId::SimplifiedReach);
         println!(
             "{:<22} {:<14} {:<9} {:>8} {:>7} {:>12}",
             bench.name,

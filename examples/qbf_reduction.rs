@@ -32,7 +32,7 @@ fn main() {
         let reduction = reduce_to_purera(&qbf);
         let verifier = Verifier::new(&reduction.system, VerifierOptions::default())
             .expect("PureRA is in the decidable class");
-        let result = verifier.run(Engine::SimplifiedReach);
+        let result = verifier.run(EngineId::SimplifiedReach);
         let agrees = (result.verdict == Verdict::Unsafe) == truth;
         println!(
             "{:<45} {:>6} {:>9} {:>8} {:>8}  {}",

@@ -37,9 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let verifier = Verifier::new(&sys, VerifierOptions::default())?;
     for engine in [
-        Engine::SimplifiedReach,
-        Engine::CacheDatalog,
-        Engine::BoundedConcrete,
+        EngineId::SimplifiedReach,
+        EngineId::CacheDatalog,
+        EngineId::BoundedConcrete,
     ] {
         let result = verifier.run(engine);
         println!(

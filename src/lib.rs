@@ -53,7 +53,7 @@
 //!     "#,
 //! )?;
 //! let verifier = Verifier::new(&sys, VerifierOptions::default())?;
-//! let result = verifier.run(Engine::SimplifiedReach);
+//! let result = verifier.run(EngineId::SimplifiedReach);
 //! assert_eq!(result.verdict, Verdict::Unsafe);
 //! // How many env threads does the bug need? (§4.3)
 //! assert_eq!(result.env_thread_bound, Some(1));
@@ -74,8 +74,9 @@ pub use parra_simplified as simplified;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use parra_core::engine::{Engine, RaceReport};
     pub use parra_core::verify::{
-        aggregate_verdicts, Engine, RunReport, Verdict, VerificationResult, Verifier,
+        aggregate_verdicts, EngineId, RunReport, Verdict, VerificationResult, Verifier,
         VerifierOptions,
     };
     pub use parra_limits::{CancelToken, InterruptReason, ResourceBudget};
@@ -103,6 +104,9 @@ mod tests {
         let sys = b.build(env, vec![]);
         assert!(SystemClass::of(&sys).is_decidable_fragment());
         let verifier = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        assert_eq!(verifier.run(Engine::SimplifiedReach).verdict, Verdict::Safe);
+        assert_eq!(
+            verifier.run(EngineId::SimplifiedReach).verdict,
+            Verdict::Safe
+        );
     }
 }

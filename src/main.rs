@@ -3,10 +3,10 @@
 //! ```text
 //! parra classify <file.ra>
 //! parra verify   <file.ra> [--engine simplified|datalog|linear|concrete]
-//!                          [--unroll N] [--all-engines] [--concretize]
+//!                          [--unroll N] [--all-engines] [--race] [--concretize]
 //!                          [--timeout SECS] [--memory-budget SIZE]
 //!                          [--stats] [--json] [--trace-out FILE]
-//! parra batch    <dir|file.ra ...> [--engine E] [--all-engines]
+//! parra batch    <dir|file.ra ...> [--engine E] [--all-engines] [--race]
 //!                          [--unroll N] [--timeout SECS]
 //!                          [--memory-budget SIZE] [--threads N]
 //! parra print    <file.ra>
@@ -19,6 +19,14 @@
 //! `examples/`). Exit code 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN or
 //! INTERRUPTED, 64+ = usage/input errors (including exact-engine
 //! disagreement under `--all-engines`).
+//!
+//! `--race` races the whole portfolio concurrently: the first decisive
+//! verdict (SAFE or UNSAFE) cancels the remaining engines, whose
+//! `INTERRUPTED(cancelled)` results are reported as portfolio metadata.
+//! The raced verdict is identical to the sequential `--all-engines`
+//! aggregate; unlike `--all-engines` (per-engine timeout), `--timeout`
+//! bounds the race as a whole. `--race` conflicts with `--engine` and
+//! `--all-engines`.
 //!
 //! Resource governance: `--timeout SECS` (fractional seconds) and
 //! `--memory-budget SIZE` (`512m`, `2g`, plain bytes) bound each engine
@@ -85,11 +93,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn usage() -> String {
     "usage:\n  parra classify <file.ra>\n  parra verify <file.ra> \
      [--engine simplified|datalog|linear|concrete] [--unroll N] [--all-engines] \
-     [--concretize] [--timeout SECS] [--memory-budget SIZE] [--threads N] \
+     [--race] [--concretize] [--timeout SECS] [--memory-budget SIZE] [--threads N] \
      [--stats] [--json] [--trace-out FILE] [--events-out FILE] \
      [--metrics-out FILE]\n  \
-     parra batch <dir|file.ra ...> [--engine E] [--all-engines] [--unroll N] \
-     [--timeout SECS] [--memory-budget SIZE] [--threads N] \
+     parra batch <dir|file.ra ...> [--engine E] [--all-engines] [--race] \
+     [--unroll N] [--timeout SECS] [--memory-budget SIZE] [--threads N] \
      [--events-out FILE]\n  \
      parra print <file.ra>\n  parra fuzz [--oracle NAME] [--seconds N | \
      --cases N | --timeout SECS] [--seed N] [--corpus DIR] [--minimize FILE] \
@@ -103,6 +111,11 @@ fn usage() -> String {
      count. --timeout takes fractional seconds; --memory-budget takes \
      bytes with an optional k/m/g suffix (e.g. 512m). Exhausted budgets \
      degrade the verdict to INTERRUPTED (exit code 2), never to SAFE.\n\n\
+     --race races every engine concurrently; the first decisive verdict \
+     cancels the rest (reported as INTERRUPTED(cancelled) portfolio \
+     metadata) and --timeout bounds the race as a whole. The raced \
+     verdict equals the sequential --all-engines aggregate. --race \
+     conflicts with --engine and --all-engines.\n\n\
      batch verifies each input under per-file limits and prints one JSON \
      line per file; a panic or exhausted budget on one file does not \
      stop the rest.\n\nfuzz oracles: engines-agree, equivalence, \
@@ -263,9 +276,23 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let engines = engine_selection(args)?;
 
     let concretize = args.iter().any(|a| a == "--concretize");
-    let mut verdicts: Vec<(Engine, Verdict)> = Vec::new();
-    for engine in engines {
-        let mut result = verifier.run_isolated(engine);
+    let race_flag = args.iter().any(|a| a == "--race");
+    let (results, race_meta) = if race_flag {
+        let race = verifier.race(&engines)?;
+        let meta = (race.winner_engine(), race.verdict, race.duration);
+        (race.results, Some(meta))
+    } else {
+        (
+            engines
+                .iter()
+                .map(|&engine| verifier.run_isolated(engine))
+                .collect::<Vec<_>>(),
+            None,
+        )
+    };
+    let mut verdicts: Vec<(EngineId, Verdict)> = Vec::new();
+    for mut result in results {
+        let engine = result.engine;
         // Concretization runs regardless of the output format, so the
         // witness lands in the JSON report too.
         let concrete = if concretize && result.verdict == Verdict::Unsafe {
@@ -314,6 +341,22 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         }
         verdicts.push((result.engine, result.verdict));
     }
+    if let Some((winner, verdict, duration)) = &race_meta {
+        if !json {
+            match winner {
+                Some(engine) => println!(
+                    "[race] {verdict} in {duration:.2?} — first decisive answer: {engine} \
+                     ({} engines raced)",
+                    verdicts.len()
+                ),
+                None => println!(
+                    "[race] {verdict} in {duration:.2?} — no decisive answer \
+                     ({} engines raced to completion)",
+                    verdicts.len()
+                ),
+            }
+        }
+    }
 
     if stats_flag {
         let tree = rec.render_tree();
@@ -344,25 +387,53 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("metrics written to {path}");
     }
 
-    let final_verdict = aggregate_verdicts(&verdicts)?;
+    // The raced aggregate is computed inside `race` (and equals the
+    // sequential aggregate over the same engines).
+    let final_verdict = match race_meta {
+        Some((_, verdict, _)) => verdict,
+        None => aggregate_verdicts(&verdicts)?,
+    };
     Ok(exit_code_for(final_verdict))
 }
 
-/// Resolves `--engine`/`--all-engines` into the engine list to run.
-fn engine_selection(args: &[String]) -> Result<Vec<Engine>, String> {
-    if args.iter().any(|a| a == "--all-engines") {
-        return Ok(vec![
-            Engine::SimplifiedReach,
-            Engine::CacheDatalog,
-            Engine::LinearDatalog,
-            Engine::BoundedConcrete,
-        ]);
+/// Resolves `--engine`/`--all-engines`/`--race` into the engine list to
+/// run. The three flags are mutually exclusive: `--engine` picks one
+/// engine, `--all-engines` runs the portfolio sequentially, `--race`
+/// races it. Conflicting combinations are rejected rather than silently
+/// resolved (an ignored `--engine` used to mask typos).
+fn engine_selection(args: &[String]) -> Result<Vec<EngineId>, String> {
+    let race = args.iter().any(|a| a == "--race");
+    let all = args.iter().any(|a| a == "--all-engines");
+    let single = flag_value(args, "--engine");
+    if all && single.is_some() {
+        return Err(
+            "--engine and --all-engines conflict: pass one engine or the whole portfolio, \
+             not both"
+                .into(),
+        );
     }
-    let engine = match flag_value(args, "--engine").as_deref() {
-        None | Some("simplified") => Engine::SimplifiedReach,
-        Some("datalog") => Engine::CacheDatalog,
-        Some("linear") => Engine::LinearDatalog,
-        Some("concrete") => Engine::BoundedConcrete,
+    if race && single.is_some() {
+        return Err(
+            "--engine and --race conflict: --race races the whole portfolio; \
+             drop --engine (or drop --race to run one engine)"
+                .into(),
+        );
+    }
+    if race && all {
+        return Err(
+            "--all-engines and --race conflict: --all-engines runs the portfolio \
+             sequentially (per-engine timeout), --race races it (one race-wide timeout)"
+                .into(),
+        );
+    }
+    if all || race {
+        return Ok(EngineId::ALL.to_vec());
+    }
+    let engine = match single.as_deref() {
+        None | Some("simplified") => EngineId::SimplifiedReach,
+        Some("datalog") => EngineId::CacheDatalog,
+        Some("linear") => EngineId::LinearDatalog,
+        Some("concrete") => EngineId::BoundedConcrete,
         Some(other) => return Err(format!("unknown engine `{other}`")),
     };
     Ok(vec![engine])
@@ -372,7 +443,8 @@ fn engine_selection(args: &[String]) -> Result<Vec<Engine>, String> {
 /// rejected system, engine disagreement) become the line's `error` field.
 fn batch_one(
     path: &std::path::Path,
-    engines: &[Engine],
+    engines: &[EngineId],
+    race: bool,
     options: &VerifierOptions,
     rec: &Recorder,
 ) -> Result<(Verdict, Option<InterruptReason>, Vec<String>), String> {
@@ -395,13 +467,22 @@ fn batch_one(
     let mut verdicts = Vec::new();
     let mut reports = Vec::new();
     let mut interrupted = None;
-    for &engine in engines {
-        let result = verifier.run_isolated(engine);
-        interrupted = interrupted.or(result.verdict.interrupt_reason());
-        reports.push(result.report.to_json());
-        verdicts.push((result.engine, result.verdict));
-    }
-    let verdict = aggregate_verdicts(&verdicts)?;
+    let verdict = if race {
+        let outcome = verifier.race(engines)?;
+        for result in &outcome.results {
+            interrupted = interrupted.or(result.verdict.interrupt_reason());
+            reports.push(result.report.to_json());
+        }
+        outcome.verdict
+    } else {
+        for &engine in engines {
+            let result = verifier.run_isolated(engine);
+            interrupted = interrupted.or(result.verdict.interrupt_reason());
+            reports.push(result.report.to_json());
+            verdicts.push((result.engine, result.verdict));
+        }
+        aggregate_verdicts(&verdicts)?
+    };
     // Aggregation folds Interrupted into Unknown; keep the reason on the
     // line only while the file is still undecided.
     let interrupted = if verdict.is_decided() {
@@ -431,6 +512,7 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
         ..Default::default()
     };
     let engines = engine_selection(args)?;
+    let race = args.iter().any(|a| a == "--race");
 
     // Inputs are the non-flag arguments; a directory expands to its
     // `.ra` files in sorted order, so line order is deterministic.
@@ -476,7 +558,7 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
         };
         let start = std::time::Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            batch_one(file, &engines, &options, &rec)
+            batch_one(file, &engines, race, &options, &rec)
         }));
         let duration_us = start.elapsed().as_micros() as u64;
         if events_out.is_some() {

@@ -35,7 +35,7 @@ fn json_output_parses_and_matches_legacy_stats() {
     let sys = parse_system(&std::fs::read_to_string(&input).unwrap()).unwrap();
     let r = Verifier::new(&sys, VerifierOptions::default())
         .unwrap()
-        .run(Engine::SimplifiedReach);
+        .run(EngineId::SimplifiedReach);
     let stats = v.get("stats").unwrap();
     assert_eq!(
         stats.get("states").unwrap().as_u64(),

@@ -8,7 +8,7 @@
 //! * `Verifier` verdicts and report statistics are insensitive to the
 //!   order in which a `SystemBuilder` interned variables and registers.
 
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 use parra_fuzz::oracle::all_oracles;
 use parra_fuzz::{corpus, runner};
 use parra_program::builder::SystemBuilder;
@@ -147,9 +147,9 @@ fn verdicts_and_stats_are_insensitive_to_interning_order() {
     let va = Verifier::new(&a, VerifierOptions::default()).unwrap();
     let vb = Verifier::new(&b, VerifierOptions::default()).unwrap();
     for engine in [
-        Engine::SimplifiedReach,
-        Engine::CacheDatalog,
-        Engine::BoundedConcrete,
+        EngineId::SimplifiedReach,
+        EngineId::CacheDatalog,
+        EngineId::BoundedConcrete,
     ] {
         let ra = va.run(engine);
         let rb = vb.run(engine);

@@ -13,7 +13,7 @@
 //!
 //! and paste the printed table over `GOLDEN`.
 
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verdict, Verifier, VerifierOptions};
 use parra_litmus::all;
 
 /// One pinned row: benchmark name, then the verdict of each engine in
@@ -50,11 +50,11 @@ const GOLDEN: &[(&str, &str, &str, &str, &str, &str)] = &[
     ("2+2w", "UNSAFE", "UNSAFE", "UNSAFE", "UNSAFE", "0"),
 ];
 
-const ENGINES: [Engine; 4] = [
-    Engine::SimplifiedReach,
-    Engine::CacheDatalog,
-    Engine::LinearDatalog,
-    Engine::BoundedConcrete,
+const ENGINES: [EngineId; 4] = [
+    EngineId::SimplifiedReach,
+    EngineId::CacheDatalog,
+    EngineId::LinearDatalog,
+    EngineId::BoundedConcrete,
 ];
 
 fn verdict_str(v: Verdict) -> &'static str {
@@ -79,7 +79,7 @@ fn actual_rows() -> Vec<(String, [String; 5])> {
             for engine in ENGINES {
                 let r = verifier.run(engine);
                 cells.push(verdict_str(r.verdict).to_string());
-                if engine == Engine::SimplifiedReach {
+                if engine == EngineId::SimplifiedReach {
                     if let Some(b) = r.env_thread_bound {
                         env_bound = b.to_string();
                     }

@@ -2,7 +2,7 @@
 //! simplified-semantics engine must match its expected verdict, and the
 //! concrete baseline must corroborate every `Unsafe`.
 
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verdict, Verifier, VerifierOptions};
 use parra_litmus::{all, Expected};
 
 #[test]
@@ -10,7 +10,7 @@ fn suite_verdicts_match_expectations() {
     for bench in all() {
         let verifier = Verifier::new(&bench.system, VerifierOptions::default())
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        let result = verifier.run(Engine::SimplifiedReach);
+        let result = verifier.run(EngineId::SimplifiedReach);
         let expected = match bench.expected {
             Expected::Safe => Verdict::Safe,
             Expected::Unsafe => Verdict::Unsafe,
@@ -37,7 +37,7 @@ fn concrete_baseline_corroborates_unsafe_benchmarks() {
             continue;
         }
         let verifier = Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
-        let result = verifier.run(Engine::BoundedConcrete);
+        let result = verifier.run(EngineId::BoundedConcrete);
         assert_eq!(
             result.verdict,
             Verdict::Unsafe,
@@ -54,7 +54,7 @@ fn concrete_baseline_finds_nothing_in_safe_benchmarks() {
             continue;
         }
         let verifier = Verifier::new(&bench.system, VerifierOptions::default()).unwrap();
-        let result = verifier.run(Engine::BoundedConcrete);
+        let result = verifier.run(EngineId::BoundedConcrete);
         // Parameterized safety cannot be concluded by the bounded engine,
         // but it must not find a (spurious) violation.
         assert_eq!(

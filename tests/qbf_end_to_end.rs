@@ -2,7 +2,7 @@
 //! program is unsafe iff the TQBF instance is true. The verifier verdict is
 //! compared against the recursive TQBF oracle.
 
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verdict, Verifier, VerifierOptions};
 use parra_qbf::eval::evaluate;
 use parra_qbf::formula::{BoolExpr, Qbf};
 use parra_qbf::gen;
@@ -14,7 +14,7 @@ fn check(qbf: &Qbf, label: &str) {
     let reduction = reduce_to_purera(qbf);
     let verifier =
         Verifier::new(&reduction.system, VerifierOptions::default()).expect("PureRA class");
-    let result = verifier.run(Engine::SimplifiedReach);
+    let result = verifier.run(EngineId::SimplifiedReach);
     let expected = if truth {
         Verdict::Unsafe
     } else {

@@ -1,7 +1,7 @@
 //! The shipped `.ra` sample files parse, classify, and verify with the
 //! documented verdicts — what a user of the CLI would see.
 
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verdict, Verifier, VerifierOptions};
 use parra_program::classify::SystemClass;
 use parra_program::parser::parse_system;
 
@@ -11,7 +11,7 @@ fn check(source: &str, name: &str, expected: Verdict) {
     assert!(class.is_decidable_fragment(), "{name}: {class}");
     let verifier =
         Verifier::new(&sys, VerifierOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let result = verifier.run(Engine::SimplifiedReach);
+    let result = verifier.run(EngineId::SimplifiedReach);
     assert_eq!(result.verdict, expected, "{name}");
 }
 

@@ -9,7 +9,7 @@
 //! seeds. Generation and properties live in `parra-fuzz`; this file only
 //! picks families and seed counts.
 
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verdict, Verifier, VerifierOptions};
 use parra_fuzz::gen::{Ending, GenConfig, SystemGen};
 use parra_fuzz::oracle::{EnginesAgree, Equivalence, Monotonicity, Oracle, OracleOutcome};
 
@@ -88,7 +88,7 @@ fn concretization_wide_sweep() {
     for seed in 0..200u64 {
         let sys = gen.case(seed).sys;
         let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-        let r = v.run(Engine::SimplifiedReach);
+        let r = v.run(EngineId::SimplifiedReach);
         if r.verdict == Verdict::Unsafe {
             checked += 1;
             assert!(

@@ -2,7 +2,7 @@
 //! benchmark and both state-space engines, running with 1 and 4 worker
 //! threads yields byte-identical verdicts, statistics, and witnesses.
 
-use parra_core::verify::{Engine, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verifier, VerifierOptions};
 use parra_litmus::all;
 
 fn options(threads: usize) -> VerifierOptions {
@@ -18,7 +18,7 @@ fn litmus_suite_reports_identical_across_thread_counts() {
         let seq = Verifier::new(&bench.system, options(1))
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let par = Verifier::new(&bench.system, options(4)).unwrap();
-        for engine in [Engine::SimplifiedReach, Engine::BoundedConcrete] {
+        for engine in [EngineId::SimplifiedReach, EngineId::BoundedConcrete] {
             let a = seq.run(engine);
             let b = par.run(engine);
             assert_eq!(a.verdict, b.verdict, "{} / {engine}", bench.name);

@@ -10,7 +10,7 @@
 //! * a violation requiring exactly `k` iterations appears at depth `k`
 //!   and not before.
 
-use parra_core::verify::{Engine, Verdict, Verifier, VerifierOptions};
+use parra_core::verify::{EngineId, Verdict, Verifier, VerifierOptions};
 use parra_program::builder::SystemBuilder;
 use parra_program::expr::Expr;
 use parra_program::system::ParamSystem;
@@ -45,7 +45,7 @@ fn verdict_at_depth(sys: &ParamSystem, depth: usize) -> Verdict {
     };
     Verifier::new(sys, opts)
         .expect("env is CAS-free")
-        .run(Engine::SimplifiedReach)
+        .run(EngineId::SimplifiedReach)
         .verdict
 }
 
@@ -80,10 +80,10 @@ fn unrolled_bugs_are_concrete_bugs() {
         ..Default::default()
     };
     let v = Verifier::new(&sys, opts).unwrap();
-    assert_eq!(v.run(Engine::SimplifiedReach).verdict, Verdict::Unsafe);
+    assert_eq!(v.run(EngineId::SimplifiedReach).verdict, Verdict::Unsafe);
     // BoundedConcrete runs on the unrolled goal system inside the
     // verifier; additionally check the *looping* original directly.
-    let concrete = v.run(Engine::BoundedConcrete);
+    let concrete = v.run(EngineId::BoundedConcrete);
     assert_eq!(concrete.verdict, Verdict::Unsafe);
 }
 
@@ -95,7 +95,7 @@ fn safe_verdicts_carry_the_bounded_note() {
         ..Default::default()
     };
     let v = Verifier::new(&sys, opts).unwrap();
-    let r = v.run(Engine::SimplifiedReach);
+    let r = v.run(EngineId::SimplifiedReach);
     assert_eq!(r.verdict, Verdict::Safe);
     assert!(
         r.notes.iter().any(|n| n.contains("unrolled")),
@@ -123,5 +123,5 @@ fn unrolling_monotone_on_env_loops_too() {
     let d = d.finish();
     let sys = b.build(env, vec![d]);
     let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
-    assert_eq!(v.run(Engine::SimplifiedReach).verdict, Verdict::Unsafe);
+    assert_eq!(v.run(EngineId::SimplifiedReach).verdict, Verdict::Unsafe);
 }
