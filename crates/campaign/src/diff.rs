@@ -1,0 +1,171 @@
+//! Campaign-vs-campaign comparison — crater's toolchain diff, for
+//! verification sweeps.
+//!
+//! Two stores are reduced to `parra report` run records (one per input,
+//! last-wins) and pushed through the existing
+//! [`parra_obs::report::diff`] machinery, so campaign diffs and flight-
+//! recorder diffs agree on what a flip or a regression is. Campaign
+//! specifics sit on top:
+//!
+//! * **verdict flips are always fatal** — an input that answered `SAFE`
+//!   in the baseline and `UNSAFE` (or `ERROR`) now fails the gate
+//!   unconditionally;
+//! * **duration regressions** use a 50 ms floor (vs the report
+//!   machinery's 1 ms): campaign inputs run end-to-end portfolios whose
+//!   micro-jitter dwarfs single-phase noise, and a gate that flaps on
+//!   scheduler luck is worse than none;
+//! * **added/removed inputs** are listed but never fatal — campaigns
+//!   grow corpora as a matter of course.
+
+use crate::store::Store;
+use parra_obs::report::{self as rpt, DiffOptions, DiffReport, ReportSet, RunRecord};
+use std::path::Path;
+
+/// The duration-regression floor for campaign diffs, in microseconds.
+pub const CAMPAIGN_FLOOR_US: u64 = 50_000;
+
+/// The outcome of diffing two campaign stores.
+#[derive(Debug, Clone)]
+pub struct CampaignDiff {
+    /// The underlying report diff (flips, regressions, coverage).
+    pub report: DiffReport,
+}
+
+impl CampaignDiff {
+    /// Whether the diff gate passes: no verdict flips, no duration
+    /// regressions. Added/removed inputs do not fail the gate.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+}
+
+/// The report-set projection of a store: one run record per input
+/// (last-wins), keyed by input path, with the record's wall clock as
+/// the run duration. Errors surface as the pseudo-verdict `ERROR` so an
+/// input that *stopped verifying* flips rather than vanishing.
+fn report_set(store: &Store) -> Result<ReportSet, String> {
+    let mut set = ReportSet::default();
+    for (input, r) in store.by_input()? {
+        if r.error.is_some() {
+            set.errors += 1;
+        }
+        set.runs.push(RunRecord {
+            file: Some(input),
+            engine: r.engine.clone(),
+            verdict: r.verdict.clone().unwrap_or_else(|| "ERROR".to_string()),
+            interrupted: r.interrupted.clone(),
+            duration_us: r.duration_us,
+            phases: Default::default(),
+        });
+    }
+    Ok(set)
+}
+
+/// Diffs two store directories (`a` = baseline, `b` = new).
+/// `threshold_pct` overrides the default 25% duration-regression
+/// threshold; the floor stays at [`CAMPAIGN_FLOOR_US`].
+///
+/// # Errors
+///
+/// Unopenable or corrupt stores.
+pub fn diff_stores(a: &Path, b: &Path, threshold_pct: Option<u64>) -> Result<CampaignDiff, String> {
+    let (store_a, _) = Store::open(a)?;
+    let (store_b, _) = Store::open(b)?;
+    let report = rpt::diff(
+        &report_set(&store_a)?,
+        &report_set(&store_b)?,
+        DiffOptions {
+            threshold_pct: threshold_pct.unwrap_or(25),
+            floor_us: CAMPAIGN_FLOOR_US,
+        },
+    );
+    Ok(CampaignDiff { report })
+}
+
+/// Renders a campaign diff as text (a campaign header over the shared
+/// report-diff rendering).
+pub fn render_diff(a: &Path, b: &Path, d: &CampaignDiff) -> String {
+    let mut out = format!(
+        "campaign diff: baseline `{}` vs new `{}`\n",
+        a.display(),
+        b.display()
+    );
+    out.push_str(&rpt::render_diff(&d.report));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Manifest, Record};
+
+    fn store_with(dir: &Path, records: &[Record]) -> Store {
+        let _ = std::fs::remove_dir_all(dir);
+        let manifest = Manifest {
+            engine: "all-engines".into(),
+            options_fp: "fp".into(),
+            unroll: None,
+            timeout_us: None,
+            memory_budget: None,
+            shard: None,
+            inputs: records.iter().map(|r| r.input.clone()).collect(),
+        };
+        let store = Store::create(dir, &manifest).unwrap();
+        for r in records {
+            store.append(r).unwrap();
+        }
+        store
+    }
+
+    fn rec(key: &str, input: &str, verdict: &str, dur: u64) -> Record {
+        Record {
+            key: key.into(),
+            input: input.into(),
+            engine: "all-engines".into(),
+            verdict: Some(verdict.into()),
+            interrupted: None,
+            error: None,
+            duration_us: dur,
+        }
+    }
+
+    #[test]
+    fn flags_flips_regressions_and_coverage() {
+        let base = std::env::temp_dir().join(format!("parra-cdiff-a-{}", std::process::id()));
+        let new = std::env::temp_dir().join(format!("parra-cdiff-b-{}", std::process::id()));
+        store_with(
+            &base,
+            &[
+                rec("k1", "a.ra", "SAFE", 100_000),
+                rec("k2", "b.ra", "UNSAFE", 100_000),
+                rec("k3", "c.ra", "SAFE", 100_000),
+            ],
+        );
+        store_with(
+            &new,
+            &[
+                rec("k1", "a.ra", "UNSAFE", 100_000), // flip
+                rec("k2", "b.ra", "UNSAFE", 300_000), // regression
+                rec("k4", "d.ra", "SAFE", 100_000),   // added; c.ra removed
+            ],
+        );
+        let d = diff_stores(&base, &new, None).unwrap();
+        assert!(!d.is_clean());
+        assert_eq!(d.report.flips.len(), 1);
+        assert_eq!(d.report.flips[0].from, "SAFE");
+        assert_eq!(d.report.regressions.len(), 1);
+        assert_eq!(d.report.only_in_a, vec!["c.ra · all-engines"]);
+        assert_eq!(d.report.only_in_b, vec!["d.ra · all-engines"]);
+        let text = render_diff(&base, &new, &d);
+        assert!(text.contains("FLIP a.ra"));
+        assert!(text.contains("SLOWER b.ra"));
+
+        // Sub-floor jitter does not regress.
+        store_with(&new, &[rec("k1", "a.ra", "SAFE", 130_000)]);
+        store_with(&base, &[rec("k1", "a.ra", "SAFE", 100_000)]);
+        let d = diff_stores(&base, &new, None).unwrap();
+        assert!(d.is_clean());
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_dir_all(&new);
+    }
+}

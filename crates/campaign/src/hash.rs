@@ -1,0 +1,79 @@
+//! The stable content key identifying one unit of campaign work.
+//!
+//! A campaign must recognize work it has already done across processes,
+//! machines, and re-orderings of the input list, so the key cannot be a
+//! path, an index, or anything session-scoped. It is a 128-bit hash over
+//! three framed components:
+//!
+//! 1. the **canonical system text** — the pretty-printer's rendering of
+//!    the *parsed* system, so formatting, comments-free whitespace, and
+//!    file renames do not change the key;
+//! 2. the **engine id** — the portfolio selection label
+//!    (`simplified-reach`, `all-engines`, `race`, ...);
+//! 3. the **options fingerprint** — the verdict-relevant half of
+//!    `VerifierOptions` (see `VerifierOptions::fingerprint`): unroll
+//!    depth and engine search limits, but *not* thread counts (verdicts
+//!    are thread-count-deterministic) and *not* deadlines or memory
+//!    budgets (an exhausted budget degrades to `Interrupted`, which a
+//!    resume re-runs anyway — keying on the budget would throw away
+//!    every decisive verdict whenever a sweep's time slice changes).
+//!
+//! The hash is FNV-1a/64 run twice with independent offset bases over
+//! the same framed stream, concatenated to 32 hex digits. FNV is not
+//! cryptographic, but campaign keys only need collision resistance
+//! against accidental coincidence across at most ~10⁵–10⁶ inputs, where
+//! a 128-bit digest has collision probability below 10⁻²⁴; the std-only
+//! constraint rules out pulling in a real SHA implementation.
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(offset: u64, parts: &[&str]) -> u64 {
+    let mut h = offset;
+    for part in parts {
+        // Length framing: ("ab","c") and ("a","bc") must not collide.
+        for b in part.len().to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        for &b in part.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// The campaign key of one `(system, engine, options)` work unit, as 32
+/// lower-case hex digits. `canonical_text` must already be canonical
+/// (parse + pretty-print); this function hashes exactly what it is
+/// given.
+pub fn content_key(canonical_text: &str, engine_id: &str, options_fp: &str) -> String {
+    let parts = [canonical_text, engine_id, options_fp];
+    format!(
+        "{:016x}{:016x}",
+        fnv1a(FNV_OFFSET_A, &parts),
+        fnv1a(FNV_OFFSET_B, &parts)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_stable_and_component_sensitive() {
+        let k = content_key("sys", "all-engines", "unroll=None");
+        assert_eq!(k, content_key("sys", "all-engines", "unroll=None"));
+        assert_eq!(k.len(), 32);
+        assert!(k.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_ne!(k, content_key("sys2", "all-engines", "unroll=None"));
+        assert_ne!(k, content_key("sys", "race", "unroll=None"));
+        assert_ne!(k, content_key("sys", "all-engines", "unroll=Some(2)"));
+    }
+
+    #[test]
+    fn framing_prevents_concatenation_collisions() {
+        assert_ne!(content_key("ab", "c", ""), content_key("a", "bc", ""));
+        assert_ne!(content_key("", "x", ""), content_key("x", "", ""));
+    }
+}

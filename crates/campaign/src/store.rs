@@ -1,0 +1,497 @@
+//! The on-disk experiment store.
+//!
+//! A store is a plain directory:
+//!
+//! ```text
+//! store/
+//!   manifest.json    # campaign identity: engine, options, shard, inputs
+//!   results.jsonl    # append-only per-input records, one JSON object per line
+//! ```
+//!
+//! `results.jsonl` is the checkpoint: a record is appended (and flushed)
+//! the moment its input finishes, so a killed sweep loses at most the
+//! input in flight. Re-runs append rather than rewrite; readers merge
+//! **last-wins per key**, which makes append both the checkpoint and the
+//! update primitive. Each record keeps its deterministic fields first
+//! and wall-clock measurements in a trailing `volatile` object, so two
+//! stores are comparable byte-for-byte via [`Store::canonical_results`]
+//! (merge, sort by key, drop `volatile`) — the contract the
+//! crash-injection resume test checks.
+
+use parra_obs::json::{self, ObjWriter, Value};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The store format version written to (and required in) the manifest.
+pub const STORE_VERSION: u64 = 1;
+
+/// The campaign's identity and input list, persisted as `manifest.json`.
+///
+/// The manifest carries everything `campaign resume` needs to rebuild
+/// the run without the original command line: the engine selection
+/// label, the raw option values (not just their fingerprint — a
+/// fingerprint cannot be inverted), the shard assignment, and the input
+/// paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Engine-selection label: one engine's name, `all-engines`, or
+    /// `race`. Part of every record's content key.
+    pub engine: String,
+    /// `VerifierOptions::fingerprint()` of the campaign's options.
+    pub options_fp: String,
+    /// `--unroll` depth, when given.
+    pub unroll: Option<u64>,
+    /// Per-input wall-clock budget in microseconds, when given.
+    pub timeout_us: Option<u64>,
+    /// Per-input memory budget in bytes, when given.
+    pub memory_budget: Option<u64>,
+    /// `--shard K/N` assignment (1-based `K`), when this store holds one
+    /// shard of a fanned-out sweep.
+    pub shard: Option<(u64, u64)>,
+    /// Input paths, in the order they were given.
+    pub inputs: Vec<String>,
+}
+
+impl Manifest {
+    /// Renders the manifest as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.num_field("version", STORE_VERSION);
+        w.str_field("engine", &self.engine);
+        w.str_field("options_fp", &self.options_fp);
+        match self.unroll {
+            Some(n) => w.num_field("unroll", n),
+            None => w.raw_field("unroll", "null"),
+        }
+        match self.timeout_us {
+            Some(n) => w.num_field("timeout_us", n),
+            None => w.raw_field("timeout_us", "null"),
+        }
+        match self.memory_budget {
+            Some(n) => w.num_field("memory_budget", n),
+            None => w.raw_field("memory_budget", "null"),
+        }
+        match self.shard {
+            Some((k, n)) => {
+                w.num_field("shard_k", k);
+                w.num_field("shard_n", n);
+            }
+            None => {
+                w.raw_field("shard_k", "null");
+                w.raw_field("shard_n", "null");
+            }
+        }
+        w.str_arr_field("inputs", &self.inputs);
+        w.finish()
+    }
+
+    /// Parses a manifest, rejecting unknown store versions.
+    pub fn from_json(text: &str) -> Result<Manifest, String> {
+        let v = json::parse(text.trim()).map_err(|e| format!("manifest: {e}"))?;
+        match v.get("version").and_then(Value::as_u64) {
+            Some(STORE_VERSION) => {}
+            Some(other) => return Err(format!("manifest: unsupported store version {other}")),
+            None => return Err("manifest: missing numeric `version`".into()),
+        }
+        let req_str = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest: missing string `{k}`"))
+        };
+        let opt_num = |k: &str| v.get(k).and_then(Value::as_u64);
+        let inputs = v
+            .get("inputs")
+            .and_then(Value::as_arr)
+            .ok_or("manifest: missing array `inputs`")?
+            .iter()
+            .filter_map(|x| x.as_str().map(str::to_string))
+            .collect();
+        let shard = match (opt_num("shard_k"), opt_num("shard_n")) {
+            (Some(k), Some(n)) => Some((k, n)),
+            _ => None,
+        };
+        Ok(Manifest {
+            engine: req_str("engine")?,
+            options_fp: req_str("options_fp")?,
+            unroll: opt_num("unroll"),
+            timeout_us: opt_num("timeout_us"),
+            memory_budget: opt_num("memory_budget"),
+            shard,
+            inputs,
+        })
+    }
+}
+
+/// One per-input result record, one line of `results.jsonl`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The content key (see [`crate::hash::content_key`]).
+    pub key: String,
+    /// The input path as given to the campaign (informational — the key,
+    /// not the path, identifies the work unit).
+    pub input: String,
+    /// The engine-selection label the verdict came from.
+    pub engine: String,
+    /// The aggregate verdict string; `None` when the input errored
+    /// (unreadable, unparseable, rejected, or a panicking engine).
+    pub verdict: Option<String>,
+    /// The interruption reason when the input ended undecided because a
+    /// budget tripped (`deadline` / `memory` / `cancelled`). `None` for
+    /// decisive verdicts — mirroring `parra batch` lines.
+    pub interrupted: Option<String>,
+    /// The error message, for inputs that never produced a verdict.
+    pub error: Option<String>,
+    /// Wall-clock duration of the verification in microseconds
+    /// (volatile: exempt from the byte-identical store contract).
+    pub duration_us: u64,
+}
+
+impl Record {
+    /// Whether a re-run should keep this record as-is. Decisive verdicts
+    /// and completed `Unknown` runs are kept (both are deterministic);
+    /// interrupted and errored inputs are the resume frontier.
+    pub fn is_settled(&self) -> bool {
+        self.error.is_none() && self.interrupted.is_none() && self.verdict.is_some()
+    }
+
+    fn write_fields(&self, w: &mut ObjWriter) {
+        w.str_field("key", &self.key);
+        w.str_field("input", &self.input);
+        w.str_field("engine", &self.engine);
+        match &self.verdict {
+            Some(s) => w.str_field("verdict", s),
+            None => w.raw_field("verdict", "null"),
+        }
+        match &self.interrupted {
+            Some(s) => w.str_field("interrupted", s),
+            None => w.raw_field("interrupted", "null"),
+        }
+        match &self.error {
+            Some(s) => w.str_field("error", s),
+            None => w.raw_field("error", "null"),
+        }
+    }
+
+    /// Renders the full record line, volatile section last.
+    pub fn render_line(&self) -> String {
+        let mut w = ObjWriter::new();
+        self.write_fields(&mut w);
+        let mut vol = ObjWriter::new();
+        vol.num_field("duration_us", self.duration_us);
+        w.raw_field("volatile", &vol.finish());
+        w.finish()
+    }
+
+    /// Renders only the deterministic fields — the projection the
+    /// byte-identical store comparisons use.
+    pub fn deterministic_line(&self) -> String {
+        let mut w = ObjWriter::new();
+        self.write_fields(&mut w);
+        w.finish()
+    }
+
+    /// Parses one `results.jsonl` line.
+    pub fn parse_line(line: &str) -> Result<Record, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let req_str = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record: missing string `{k}`"))
+        };
+        let opt_str = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+        Ok(Record {
+            key: req_str("key")?,
+            input: req_str("input")?,
+            engine: req_str("engine")?,
+            verdict: opt_str("verdict"),
+            interrupted: opt_str("interrupted"),
+            error: opt_str("error"),
+            duration_us: v
+                .get("volatile")
+                .and_then(|vol| vol.get("duration_us"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+        })
+    }
+}
+
+/// An open experiment store.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join("manifest.json")
+    }
+
+    fn results_path(&self) -> PathBuf {
+        self.dir.join("results.jsonl")
+    }
+
+    /// Creates a new store directory (parents included) and writes the
+    /// manifest. Fails if the directory already holds a store.
+    pub fn create(dir: &Path, manifest: &Manifest) -> Result<Store, String> {
+        if Self::manifest_path(dir).exists() {
+            return Err(format!(
+                "store `{}` already exists (use resume, or a fresh directory)",
+                dir.display()
+            ));
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create store `{}`: {e}", dir.display()))?;
+        let store = Store {
+            dir: dir.to_path_buf(),
+        };
+        store.write_manifest(manifest)?;
+        Ok(store)
+    }
+
+    /// Opens an existing store and reads its manifest.
+    pub fn open(dir: &Path) -> Result<(Store, Manifest), String> {
+        let text = std::fs::read_to_string(Self::manifest_path(dir))
+            .map_err(|e| format!("cannot open store `{}`: {e}", dir.display()))?;
+        let manifest = Manifest::from_json(&text)?;
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+            },
+            manifest,
+        ))
+    }
+
+    /// Opens the store if it exists — requiring the same engine
+    /// selection and options fingerprint, since records keyed under
+    /// different options must not share a store — or creates it. The
+    /// manifest's input list and shard are refreshed to `manifest`'s on
+    /// every open, so a warm re-run can add or drop inputs.
+    pub fn open_or_create(dir: &Path, manifest: &Manifest) -> Result<Store, String> {
+        if !Self::manifest_path(dir).exists() {
+            return Store::create(dir, manifest);
+        }
+        let (store, existing) = Store::open(dir)?;
+        if existing.engine != manifest.engine {
+            return Err(format!(
+                "store `{}` was built with engine `{}`, not `{}`; use a fresh store directory",
+                dir.display(),
+                existing.engine,
+                manifest.engine
+            ));
+        }
+        if existing.options_fp != manifest.options_fp {
+            return Err(format!(
+                "store `{}` was built with different verdict-relevant options \
+                 (fingerprint `{}` vs `{}`); use a fresh store directory",
+                dir.display(),
+                existing.options_fp,
+                manifest.options_fp
+            ));
+        }
+        store.write_manifest(manifest)?;
+        Ok(store)
+    }
+
+    /// (Re)writes the manifest.
+    pub fn write_manifest(&self, manifest: &Manifest) -> Result<(), String> {
+        std::fs::write(Self::manifest_path(&self.dir), manifest.to_json() + "\n")
+            .map_err(|e| format!("cannot write manifest in `{}`: {e}", self.dir.display()))
+    }
+
+    /// Appends one record and flushes it to disk — the checkpoint.
+    pub fn append(&self, record: &Record) -> Result<(), String> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.results_path())
+            .map_err(|e| format!("cannot append to `{}`: {e}", self.results_path().display()))?;
+        f.write_all((record.render_line() + "\n").as_bytes())
+            .and_then(|()| f.flush())
+            .and_then(|()| f.sync_data())
+            .map_err(|e| format!("cannot append to `{}`: {e}", self.results_path().display()))
+    }
+
+    /// Every record, in append (chronological) order. A store with no
+    /// `results.jsonl` yet is empty, not an error.
+    pub fn records(&self) -> Result<Vec<Record>, String> {
+        let path = self.results_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("cannot read `{}`: {e}", path.display())),
+        };
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            out.push(
+                Record::parse_line(line)
+                    .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Records merged last-wins per content key (the store's logical
+    /// state: appends supersede earlier records for the same key).
+    pub fn merged(&self) -> Result<BTreeMap<String, Record>, String> {
+        let mut map = BTreeMap::new();
+        for r in self.records()? {
+            map.insert(r.key.clone(), r);
+        }
+        Ok(map)
+    }
+
+    /// Records merged last-wins per *input path* — the view `diff` and
+    /// `status` use, so a re-keyed input (its content changed) is
+    /// represented by its latest record only.
+    pub fn by_input(&self) -> Result<BTreeMap<String, Record>, String> {
+        let mut map = BTreeMap::new();
+        for r in self.records()? {
+            map.insert(r.input.clone(), r);
+        }
+        Ok(map)
+    }
+
+    /// The canonical deterministic rendering of the store's logical
+    /// state: merged per key, sorted by key, `volatile` dropped. Two
+    /// sweeps over the same inputs — interrupted + resumed or not,
+    /// sharded or not, at any thread count — must agree on this text
+    /// byte for byte.
+    pub fn canonical_results(&self) -> Result<String, String> {
+        let mut out = String::new();
+        for r in self.merged()?.values() {
+            out.push_str(&r.deterministic_line());
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Writes a merged store at `dir`: `manifest` plus `records`
+    /// rendered in key order. Used by `campaign status --merge-out` to
+    /// fold shard stores into one.
+    pub fn write_merged(
+        dir: &Path,
+        manifest: &Manifest,
+        records: &BTreeMap<String, Record>,
+    ) -> Result<Store, String> {
+        let store = Store::create(dir, manifest)?;
+        let mut text = String::new();
+        for r in records.values() {
+            text.push_str(&r.render_line());
+            text.push('\n');
+        }
+        std::fs::write(store.results_path(), text)
+            .map_err(|e| format!("cannot write `{}`: {e}", store.results_path().display()))?;
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            engine: "all-engines".into(),
+            options_fp: "unroll=None;reach=1,2,3".into(),
+            unroll: None,
+            timeout_us: Some(5_000_000),
+            memory_budget: None,
+            shard: Some((1, 2)),
+            inputs: vec!["a.ra".into(), "b.ra".into()],
+        }
+    }
+
+    fn rec(key: &str, input: &str, verdict: Option<&str>, dur: u64) -> Record {
+        Record {
+            key: key.into(),
+            input: input.into(),
+            engine: "all-engines".into(),
+            verdict: verdict.map(str::to_string),
+            interrupted: None,
+            error: if verdict.is_none() {
+                Some("boom".into())
+            } else {
+                None
+            },
+            duration_us: dur,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample_manifest();
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+        let mut unsharded = m.clone();
+        unsharded.shard = None;
+        unsharded.timeout_us = None;
+        assert_eq!(
+            Manifest::from_json(&unsharded.to_json()).unwrap(),
+            unsharded
+        );
+    }
+
+    #[test]
+    fn record_round_trips_and_splits_volatile() {
+        let r = rec("k1", "a.ra", Some("SAFE"), 42);
+        assert_eq!(Record::parse_line(&r.render_line()).unwrap(), r);
+        assert!(r
+            .render_line()
+            .contains("\"volatile\":{\"duration_us\":42}"));
+        assert!(!r.deterministic_line().contains("volatile"));
+        assert!(r.is_settled());
+        assert!(!rec("k2", "b.ra", None, 1).is_settled());
+        let interrupted = Record {
+            interrupted: Some("deadline".into()),
+            verdict: Some("UNKNOWN".into()),
+            ..rec("k3", "c.ra", Some("UNKNOWN"), 1)
+        };
+        assert!(!interrupted.is_settled());
+    }
+
+    #[test]
+    fn store_append_merge_and_canonical_text() {
+        let dir = std::env::temp_dir().join(format!("parra-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::create(&dir, &sample_manifest()).unwrap();
+        store
+            .append(&rec("k2", "b.ra", Some("UNSAFE"), 10))
+            .unwrap();
+        store.append(&rec("k1", "a.ra", None, 5)).unwrap();
+        // Re-run of a.ra supersedes the error record.
+        store.append(&rec("k1", "a.ra", Some("SAFE"), 7)).unwrap();
+        assert_eq!(store.records().unwrap().len(), 3);
+        let merged = store.merged().unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged["k1"].verdict.as_deref(), Some("SAFE"));
+        // Canonical text: sorted by key, no volatile, last-wins.
+        let canon = store.canonical_results().unwrap();
+        let lines: Vec<&str> = canon.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"key\":\"k1\"") && lines[0].contains("SAFE"));
+        assert!(lines[1].contains("\"key\":\"k2\""));
+        assert!(!canon.contains("duration_us"));
+        // Reopen requires matching identity.
+        let err = Store::open_or_create(
+            &dir,
+            &Manifest {
+                engine: "race".into(),
+                ..sample_manifest()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("engine"));
+        assert!(Store::open_or_create(&dir, &sample_manifest()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,193 @@
+//! Content-key stability properties, seeded by the fuzz generator.
+//!
+//! The campaign key must be a function of *what is verified* — the
+//! parsed system, the engine selection, the verdict-relevant options —
+//! and nothing else. These tests drive `SystemGen` through the planner
+//! and the hash directly to pin the invariances down:
+//!
+//! * invariant under input list order, file renames, and
+//!   whitespace-preserving re-serialization (round-trips through the
+//!   pretty-printer);
+//! * changed by any change to the system text, the engine id, or a
+//!   verdict-relevant option.
+
+use parra_campaign::{content_key, plan, CampaignOptions, Manifest, Store};
+use parra_core::verify::VerifierOptions;
+use parra_core::EngineId;
+use parra_fuzz::gen::{GenConfig, SystemGen};
+use parra_program::parser::parse_system;
+use parra_program::pretty::system_to_string;
+use parra_simplified::reach::ReachLimits;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+const SEEDS: u64 = 25;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("parra-hash-stability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copts() -> CampaignOptions {
+    CampaignOptions {
+        engines: vec![EngineId::SimplifiedReach],
+        race: false,
+        engine_label: EngineId::SimplifiedReach.to_string(),
+        options: VerifierOptions::default(),
+        shard: None,
+    }
+}
+
+fn store_for(dir: &Path, copts: &CampaignOptions, inputs: &[String]) -> Store {
+    Store::create(
+        &dir.join("store"),
+        &Manifest {
+            engine: copts.engine_label.clone(),
+            options_fp: copts.options_fp(),
+            unroll: None,
+            timeout_us: None,
+            memory_budget: None,
+            shard: None,
+            inputs: inputs.to_vec(),
+        },
+    )
+    .unwrap()
+}
+
+/// Re-serializing through the pretty-printer and perturbing the raw
+/// file's whitespace never moves the key; a different system always
+/// does.
+#[test]
+fn key_survives_reserialization_and_whitespace() {
+    let gen = SystemGen::new(GenConfig::agreement());
+    let mut keys = BTreeMap::new();
+    for seed in 0..SEEDS {
+        let case = gen.case(seed);
+        let canonical = system_to_string(&case.sys);
+        // Pretty-printing is canonical: parse ∘ print is idempotent.
+        let reparsed = system_to_string(&parse_system(&canonical).unwrap());
+        assert_eq!(
+            canonical, reparsed,
+            "seed {seed}: pretty-print not a fixpoint"
+        );
+        // A whitespace-mangled source parses back to the same canonical
+        // text, hence the same key.
+        let mangled = format!("\n\n  {}", canonical.replace('\n', "\n\n  "));
+        let remangled = system_to_string(&parse_system(&mangled).unwrap());
+        assert_eq!(
+            canonical, remangled,
+            "seed {seed}: whitespace changed the key input"
+        );
+        keys.insert(content_key(&canonical, "simplified-reach", "fp"), seed);
+    }
+    // Distinct systems get distinct keys (collisions across a 128-bit
+    // digest would point at a hashing bug, not bad luck).
+    assert_eq!(keys.len() as u64, SEEDS, "distinct seeds collided");
+}
+
+/// The planner assigns the same key to the same content regardless of
+/// the file's name or its position in the input list.
+#[test]
+fn plan_keys_are_order_and_name_invariant() {
+    let gen = SystemGen::new(GenConfig::agreement());
+    let dir = scratch("plan");
+    let mut texts = Vec::new();
+    for seed in 0..5 {
+        texts.push(system_to_string(&gen.case(seed).sys));
+    }
+    let write_all = |names: &[String]| -> Vec<String> {
+        names
+            .iter()
+            .zip(&texts)
+            .map(|(name, text)| {
+                let p = dir.join(name);
+                std::fs::write(&p, text).unwrap();
+                p.display().to_string()
+            })
+            .collect()
+    };
+    let copts = copts();
+
+    let forward = write_all(&(0..5).map(|i| format!("sys{i}.ra")).collect::<Vec<_>>());
+    let store = store_for(&dir, &copts, &forward);
+    let plan_fwd = plan(&forward, &store, &copts).unwrap();
+
+    let mut reversed = forward.clone();
+    reversed.reverse();
+    let plan_rev = plan(&reversed, &store, &copts).unwrap();
+    for e in &plan_fwd {
+        let key_rev = &plan_rev
+            .iter()
+            .find(|r| r.input == e.input)
+            .expect("same inputs planned")
+            .key;
+        assert_eq!(&e.key, key_rev, "input order moved the key of {}", e.input);
+    }
+
+    // Same content under fresh names: keys unchanged, pairwise.
+    let renamed = write_all(
+        &(0..5)
+            .map(|i| format!("renamed-{i}.ra"))
+            .collect::<Vec<_>>(),
+    );
+    let plan_ren = plan(&renamed, &store, &copts).unwrap();
+    for (a, b) in plan_fwd.iter().zip(&plan_ren) {
+        assert_eq!(
+            a.key, b.key,
+            "renaming {} -> {} moved the key",
+            a.input, b.input
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Each key component matters: system text, engine id, and any
+/// verdict-relevant option each move the key on their own.
+#[test]
+fn key_tracks_every_component() {
+    let gen = SystemGen::new(GenConfig::agreement());
+    let base_opts = VerifierOptions::default();
+    for seed in 0..SEEDS {
+        let canonical = system_to_string(&gen.case(seed).sys);
+        let other = system_to_string(&gen.case(seed + SEEDS).sys);
+        let fp = base_opts.fingerprint();
+        let key = content_key(&canonical, "all-engines", &fp);
+        assert_ne!(
+            key,
+            content_key(&other, "all-engines", &fp),
+            "seed {seed}: system text did not move the key"
+        );
+        assert_ne!(
+            key,
+            content_key(&canonical, "race", &fp),
+            "seed {seed}: engine id did not move the key"
+        );
+        let widened = VerifierOptions {
+            reach_limits: ReachLimits {
+                max_states: base_opts.reach_limits.max_states + 1,
+                ..base_opts.reach_limits
+            },
+            ..base_opts.clone()
+        };
+        assert_ne!(
+            key,
+            content_key(&canonical, "all-engines", &widened.fingerprint()),
+            "seed {seed}: a verdict-relevant option did not move the key"
+        );
+        // Non-verdict-relevant knobs (threads, budgets) keep the key.
+        let rescheduled = VerifierOptions {
+            threads: base_opts.threads + 3,
+            timeout: Some(std::time::Duration::from_secs(1)),
+            memory_budget: Some(1 << 30),
+            ..base_opts.clone()
+        };
+        assert_eq!(
+            key,
+            content_key(&canonical, "all-engines", &rescheduled.fingerprint()),
+            "seed {seed}: a scheduling knob moved the key"
+        );
+    }
+}

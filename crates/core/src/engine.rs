@@ -292,6 +292,64 @@ impl Verifier {
             duration,
         })
     }
+
+    /// Runs an engine *selection* — the portfolio shape both `parra
+    /// batch` and `parra campaign` expose: either each engine in turn
+    /// (isolated, each with the full budget) or all of them raced. The
+    /// aggregate verdict is identical either way; only the scheduling
+    /// differs.
+    ///
+    /// # Errors
+    ///
+    /// Decisive engines that disagree surface as an error (an engine
+    /// bug), as in [`Verifier::race`] and [`aggregate_verdicts`].
+    pub fn run_selection(
+        &self,
+        engines: &[EngineId],
+        race: bool,
+    ) -> Result<SelectionOutcome, String> {
+        if race {
+            let outcome = self.race(engines)?;
+            let interrupted = outcome
+                .results
+                .iter()
+                .find_map(|r| r.verdict.interrupt_reason());
+            return Ok(SelectionOutcome {
+                verdict: outcome.verdict,
+                interrupted,
+                results: outcome.results,
+            });
+        }
+        let mut results = Vec::new();
+        let mut verdicts = Vec::new();
+        let mut interrupted = None;
+        for &engine in engines {
+            let result = self.run_isolated(engine);
+            interrupted = interrupted.or(result.verdict.interrupt_reason());
+            verdicts.push((result.engine, result.verdict));
+            results.push(result);
+        }
+        let verdict = aggregate_verdicts(&verdicts)?;
+        Ok(SelectionOutcome {
+            verdict,
+            interrupted,
+            results,
+        })
+    }
+}
+
+/// The outcome of [`Verifier::run_selection`].
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// The aggregate verdict over the selection.
+    pub verdict: Verdict,
+    /// The first interruption reason any engine run reported, decided
+    /// aggregate or not. Callers that mirror `parra batch` lines null
+    /// this out once `verdict.is_decided()`; callers that audit budget
+    /// health (`batch --strict`) read it raw.
+    pub interrupted: Option<InterruptReason>,
+    /// One result per engine, in selection order.
+    pub results: Vec<VerificationResult>,
 }
 
 /// Aggregate outcome of the Datalog guess fleet.

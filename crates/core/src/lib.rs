@@ -37,7 +37,7 @@ pub mod makep;
 pub mod verify;
 pub mod witness;
 
-pub use engine::{Engine, RaceReport};
+pub use engine::{Engine, RaceReport, SelectionOutcome};
 pub use makep::{DisGuess, Guess, MakeP, MakePLimits};
 pub use verify::{
     ConcreteWitness, EngineId, Verdict, VerificationResult, Verifier, VerifierOptions,

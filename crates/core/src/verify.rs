@@ -352,6 +352,37 @@ impl Default for VerifierOptions {
     }
 }
 
+impl VerifierOptions {
+    /// A stable fingerprint of the *verdict-relevant* options — the part
+    /// of this struct that can change what a completed run answers, as
+    /// opposed to whether it completes:
+    ///
+    /// * included: unroll depth and every engine search limit (a larger
+    ///   limit can turn `Unknown` into `Safe`/`Unsafe`, so records taken
+    ///   under different limits are different experiments);
+    /// * excluded: `threads` (verdicts are thread-count-deterministic by
+    ///   the engines' merge-order contract), `timeout`/`memory_budget`
+    ///   (exhaustion degrades to `Interrupted`, which campaign resumes
+    ///   re-run anyway), and the `cancel`/`fail_point_panic` plumbing.
+    ///
+    /// The campaign layer keys its experiment store on this string; its
+    /// format is stable within one store version.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "unroll={:?};reach={},{},{};makep={},{};concrete={},{},{}",
+            self.unroll_dis,
+            self.reach_limits.max_states,
+            self.reach_limits.max_env_size,
+            self.reach_limits.max_worlds,
+            self.makep_limits.max_guesses,
+            self.makep_limits.max_env_states,
+            self.concrete_max_env,
+            self.concrete_limits.max_depth,
+            self.concrete_limits.max_states,
+        )
+    }
+}
+
 /// Errors preparing a verification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifierError {

@@ -13,6 +13,14 @@ use parra_datalog::ast::{Const, PredId};
 use parra_datalog::TupleStore;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The tests share one process-global allocation counter, so their
+/// measured windows must not overlap: the harness runs tests on
+/// parallel threads by default, and another test's (or the harness's
+/// own) allocations landing inside a window turns a true zero into a
+/// flaky nonzero. Every test holds this lock across its measurement.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Counts every allocation and reallocation; frees are irrelevant to the
 /// steady-state property.
@@ -53,6 +61,7 @@ const ARITY: usize = 3;
 
 #[test]
 fn steady_state_intern_allocates_nothing() {
+    let _guard = SERIAL.lock().unwrap();
     let pred = PredId(0);
     let mut store = TupleStore::new();
     store.reserve(TUPLES as usize, TUPLES as usize * ARITY);
@@ -80,6 +89,7 @@ fn steady_state_intern_allocates_nothing() {
 
 #[test]
 fn lookup_and_duplicate_intern_allocate_nothing() {
+    let _guard = SERIAL.lock().unwrap();
     let pred = PredId(0);
     let mut store = TupleStore::new();
     store.reserve(TUPLES as usize, TUPLES as usize * ARITY);
@@ -113,6 +123,7 @@ fn lookup_and_duplicate_intern_allocate_nothing() {
 /// only O(log n) times (amortized doubling), never per tuple.
 #[test]
 fn unreserved_growth_allocates_logarithmically() {
+    let _guard = SERIAL.lock().unwrap();
     let pred = PredId(0);
     let mut store = TupleStore::new();
     let before = allocations();

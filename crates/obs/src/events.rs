@@ -24,6 +24,19 @@
 //! An optional top-level `"file"` string attributes an event to an input
 //! system (added by `parra batch`). Unknown top-level keys are rejected
 //! by [`check_line`] so the schema can grow only by bumping the version.
+//!
+//! `parra campaign` emits its own event kinds through the same schema:
+//! `campaign_start` (fields: `engine`, `inputs`, `shard`), one
+//! `input_done` per owned input (fields: `input`, `key`, `cached`,
+//! `verdict`; volatile `duration_us` on fresh runs), and `campaign_end`
+//! (fields: `assigned`, `cached`, `verified`), under the `campaign/`
+//! scope. The campaign *store* (`results.jsonl` inside a `--store`
+//! directory) is a separate, non-event format with the same
+//! deterministic/volatile split: one record per input with `key`,
+//! `input`, `engine`, `verdict`, `interrupted`, `error` as the
+//! deterministic contract and wall-clock `duration_us` under a trailing
+//! `"volatile"` object — `parra report` ingests those lines too,
+//! keyed by input path.
 
 use crate::json::{write_escaped, ObjWriter, Value};
 

@@ -118,6 +118,40 @@ impl ReportSet {
             }
             return Ok(());
         }
+        if v.get("key").is_some() && v.get("input").is_some() {
+            // A campaign store record (`results.jsonl`): one run per
+            // input, attributed to the input path, with the wall clock
+            // in the record's volatile section. Errored inputs count as
+            // errors and still surface as `ERROR`-verdict runs so a diff
+            // sees them flip rather than disappear.
+            if v.get("error").map(Value::is_null) == Some(false) {
+                self.errors += 1;
+            }
+            self.runs.push(RunRecord {
+                file: v.get("input").and_then(Value::as_str).map(str::to_string),
+                engine: v
+                    .get("engine")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                verdict: v
+                    .get("verdict")
+                    .and_then(Value::as_str)
+                    .unwrap_or("ERROR")
+                    .to_string(),
+                interrupted: v
+                    .get("interrupted")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                duration_us: v
+                    .get("volatile")
+                    .and_then(|vol| vol.get("duration_us"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                phases: BTreeMap::new(),
+            });
+            return Ok(());
+        }
         if v.get("engine").is_some() && v.get("verdict").is_some() {
             // A single `--json` run report.
             self.runs.push(run_from_report(None, &v)?);
@@ -657,6 +691,22 @@ mod tests {
         let dash = render_dashboard(&set);
         assert!(dash.contains("simplified-reach"));
         assert!(dash.contains("fuzz [cross]: 50 cases, 1 failures"));
+    }
+
+    #[test]
+    fn ingests_campaign_store_records() {
+        let mut set = ReportSet::default();
+        set.ingest_line(r#"{"key":"0123abcd","input":"a.ra","engine":"all-engines","verdict":"SAFE","interrupted":null,"error":null,"volatile":{"duration_us":42}}"#).unwrap();
+        set.ingest_line(r#"{"key":"4567abcd","input":"b.ra","engine":"all-engines","verdict":null,"interrupted":null,"error":"parse: boom","volatile":{"duration_us":1}}"#).unwrap();
+        assert_eq!(set.runs.len(), 2);
+        assert_eq!(set.errors, 1);
+        let r = &set.runs[0];
+        assert_eq!(
+            (r.file.as_deref(), r.engine.as_str(), r.verdict.as_str()),
+            (Some("a.ra"), "all-engines", "SAFE")
+        );
+        assert_eq!(r.duration_us, 42);
+        assert_eq!(set.runs[1].verdict, "ERROR");
     }
 
     #[test]

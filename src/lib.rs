@@ -25,6 +25,7 @@
 //! | [`search`] | deterministic parallel-search layer shared by the state-space engines |
 //! | [`fuzz`] | differential fuzzing: system generator, cross-engine oracles, shrinker, corpus |
 //! | [`limits`] | resource governance: deadlines, memory budgets, cooperative cancellation |
+//! | [`campaign`] | checkpointed, sharded, resumable, diffable verification campaigns |
 //!
 //! # Quickstart
 //!
@@ -60,6 +61,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use parra_campaign as campaign;
 pub use parra_core as core;
 pub use parra_datalog as datalog;
 pub use parra_fuzz as fuzz;

@@ -82,6 +82,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "print" => print_system(rest),
         "fuzz" => fuzz(rest),
         "report" => report(rest),
+        "campaign" => campaign(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -98,7 +99,13 @@ fn usage() -> String {
      [--metrics-out FILE]\n  \
      parra batch <dir|file.ra ...> [--engine E] [--all-engines] [--race] \
      [--unroll N] [--timeout SECS] [--memory-budget SIZE] [--threads N] \
-     [--events-out FILE]\n  \
+     [--events-out FILE] [--strict]\n  \
+     parra campaign run <dir|file.ra ...> --store DIR [--engine E] \
+     [--all-engines] [--race] [--unroll N] [--timeout SECS] \
+     [--memory-budget SIZE] [--threads N] [--shard K/N] [--events-out FILE]\n  \
+     parra campaign resume --store DIR [--threads N] [--events-out FILE]\n  \
+     parra campaign status <store ...> [--merge-out DIR]\n  \
+     parra campaign diff <baseline-store> <new-store> [--threshold PCT]\n  \
      parra print <file.ra>\n  parra fuzz [--oracle NAME] [--seconds N | \
      --cases N | --timeout SECS] [--seed N] [--corpus DIR] [--minimize FILE] \
      [--json] [--events-out FILE] [--metrics-out FILE]\n  \
@@ -118,7 +125,20 @@ fn usage() -> String {
      conflicts with --engine and --all-engines.\n\n\
      batch verifies each input under per-file limits and prints one JSON \
      line per file; a panic or exhausted budget on one file does not \
-     stop the rest.\n\nfuzz oracles: engines-agree, equivalence, \
+     stop the rest. --strict additionally exits 2 when any *decided* \
+     file lost an engine run to a deadline or memory budget (a silently \
+     degraded portfolio).\n\ncampaign runs batch sweeps against a \
+     persistent store (manifest.json + append-only results.jsonl), \
+     checkpointed per input: re-runs skip inputs whose content key — \
+     hash of (canonical system text, engine selection, verdict-relevant \
+     options) — is already settled; `resume` re-runs interrupted/errored \
+     inputs after a crash or kill; --shard K/N deterministically \
+     partitions the key set across N workers and `status --merge-out` \
+     folds shard stores back into one; `campaign diff` compares two \
+     stores (verdict flips always fail; duration regressions past \
+     --threshold PCT with a 50ms floor; added/removed inputs listed, \
+     never fatal) and exits 1 when dirty.\n\nfuzz oracles: engines-agree, \
+     equivalence, \
      thread-determinism, round-trip, monotonicity, eval-agree \
      (default: all). A \
      --seconds budget is a deterministic case target (seconds x the \
@@ -152,6 +172,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--seed",
     "--corpus",
     "--minimize",
+    "--store",
+    "--shard",
+    "--merge-out",
 ];
 
 fn load(args: &[String]) -> Result<ParamSystem, String> {
@@ -464,33 +487,40 @@ fn batch_one(
     };
     let verifier = Verifier::new_with_recorder(&sys, options.clone(), rec.clone())
         .map_err(|e| e.to_string())?;
-    let mut verdicts = Vec::new();
-    let mut reports = Vec::new();
-    let mut interrupted = None;
-    let verdict = if race {
-        let outcome = verifier.race(engines)?;
-        for result in &outcome.results {
-            interrupted = interrupted.or(result.verdict.interrupt_reason());
-            reports.push(result.report.to_json());
-        }
-        outcome.verdict
+    // Test hook: `PARRA_INJECT_DEADLINE=<substring>` re-runs the
+    // selection's last engine under a zero wall-clock deadline on
+    // matching files (sequential selections only). This manufactures the
+    // shape `--strict` exists for — a *decided* file whose portfolio
+    // still lost an engine to a budget — deterministically, without a
+    // real timeout race.
+    let inject_deadline = !race
+        && std::env::var("PARRA_INJECT_DEADLINE")
+            .is_ok_and(|needle| !needle.is_empty() && path.display().to_string().contains(&needle));
+    let sel = if inject_deadline {
+        let (head, last) = engines.split_at(engines.len() - 1);
+        let mut sel = verifier.run_selection(head, false)?;
+        let zero = Verifier::new_with_recorder(
+            &sys,
+            VerifierOptions {
+                timeout: Some(Duration::ZERO),
+                ..options.clone()
+            },
+            rec.clone(),
+        )
+        .map_err(|e| e.to_string())?;
+        let result = zero.run_isolated(last[0]);
+        sel.interrupted = sel.interrupted.or(result.verdict.interrupt_reason());
+        let mut verdicts: Vec<(EngineId, Verdict)> =
+            sel.results.iter().map(|r| (r.engine, r.verdict)).collect();
+        verdicts.push((result.engine, result.verdict));
+        sel.verdict = aggregate_verdicts(&verdicts)?;
+        sel.results.push(result);
+        sel
     } else {
-        for &engine in engines {
-            let result = verifier.run_isolated(engine);
-            interrupted = interrupted.or(result.verdict.interrupt_reason());
-            reports.push(result.report.to_json());
-            verdicts.push((result.engine, result.verdict));
-        }
-        aggregate_verdicts(&verdicts)?
+        verifier.run_selection(engines, race)?
     };
-    // Aggregation folds Interrupted into Unknown; keep the reason on the
-    // line only while the file is still undecided.
-    let interrupted = if verdict.is_decided() {
-        None
-    } else {
-        interrupted
-    };
-    Ok((verdict, interrupted, reports))
+    let reports = sel.results.iter().map(|r| r.report.to_json()).collect();
+    Ok((sel.verdict, sel.interrupted, reports))
 }
 
 fn batch(args: &[String]) -> Result<ExitCode, String> {
@@ -544,8 +574,14 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
         return Err("--events-out needs a file path".into());
     }
 
+    let strict = args.iter().any(|a| a == "--strict");
     let mut any_unsafe = false;
     let mut any_undecided = false;
+    // `--strict` health audit: decided files whose portfolio still lost
+    // an engine run to a deadline or memory budget. Race cancellations
+    // don't count — a raced loser is cancelled *because* the portfolio
+    // answered, which is healthy, not degraded.
+    let mut any_degraded = false;
     let mut event_log = String::new();
     for file in &files {
         // One recorder per file: events carry a `file` attribution and
@@ -571,6 +607,17 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
             Ok(Ok((verdict, interrupted, reports))) => {
                 any_unsafe |= verdict == Verdict::Unsafe;
                 any_undecided |= !verdict.is_decided();
+                any_degraded |= matches!(
+                    interrupted,
+                    Some(InterruptReason::Deadline | InterruptReason::Memory)
+                );
+                // Aggregation folds Interrupted into Unknown; the line
+                // keeps the reason only while the file is undecided.
+                let interrupted = if verdict.is_decided() {
+                    None
+                } else {
+                    interrupted
+                };
                 w.str_field("verdict", &verdict.to_string());
                 match interrupted {
                     Some(r) => w.str_field("interrupted", r.as_str()),
@@ -610,7 +657,7 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
     }
     Ok(if any_unsafe {
         ExitCode::from(1)
-    } else if any_undecided {
+    } else if any_undecided || (strict && any_degraded) {
         ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
@@ -835,4 +882,349 @@ fn report(args: &[String]) -> Result<ExitCode, String> {
     }
     print!("{}", rpt::render_dashboard(&set));
     Ok(ExitCode::SUCCESS)
+}
+
+/// `parra campaign`: checkpointed, sharded, resumable, diffable sweeps
+/// against a persistent experiment store (see `crates/campaign`).
+fn campaign(args: &[String]) -> Result<ExitCode, String> {
+    let (sub, rest) = args
+        .split_first()
+        .ok_or("campaign: expected run, resume, status, or diff")?;
+    match sub.as_str() {
+        "run" => campaign_run(rest),
+        "resume" => campaign_resume(rest),
+        "status" => campaign_status(rest),
+        "diff" => campaign_diff(rest),
+        other => Err(format!(
+            "campaign: unknown subcommand `{other}` (expected run, resume, status, or diff)"
+        )),
+    }
+}
+
+/// The engine-selection label stored in manifests and content keys.
+fn selection_label(engines: &[EngineId], race: bool, all: bool) -> String {
+    if race {
+        "race".to_string()
+    } else if all {
+        "all-engines".to_string()
+    } else {
+        engines[0].to_string()
+    }
+}
+
+/// Inverts [`selection_label`] — how `campaign resume` reconstructs the
+/// engine selection from a manifest.
+fn selection_from_label(label: &str) -> Result<(Vec<EngineId>, bool), String> {
+    match label {
+        "race" => Ok((EngineId::ALL.to_vec(), true)),
+        "all-engines" => Ok((EngineId::ALL.to_vec(), false)),
+        single => EngineId::ALL
+            .iter()
+            .find(|e| e.to_string() == single)
+            .map(|&e| (vec![e], false))
+            .ok_or_else(|| format!("manifest: unknown engine label `{single}`")),
+    }
+}
+
+/// Expands positional arguments into the input list (directories expand
+/// to their `.ra` files in sorted order, as in `parra batch`).
+fn campaign_inputs(args: &[String]) -> Result<Vec<String>, String> {
+    let mut inputs = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            iter.next();
+        } else if !a.starts_with("--") {
+            let path = std::path::PathBuf::from(a);
+            if path.is_dir() {
+                let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(&path)
+                    .map_err(|e| format!("cannot read directory `{a}`: {e}"))?
+                    .filter_map(|entry| entry.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|ext| ext == "ra"))
+                    .collect();
+                entries.sort();
+                inputs.extend(entries.iter().map(|p| p.display().to_string()));
+            } else {
+                inputs.push(a.clone());
+            }
+        }
+    }
+    Ok(inputs)
+}
+
+fn campaign_run(args: &[String]) -> Result<ExitCode, String> {
+    use parra::campaign::{CampaignOptions, Manifest, Shard, Store};
+
+    let store_dir = flag_value(args, "--store").ok_or("campaign run: --store DIR is required")?;
+    let inputs = campaign_inputs(args)?;
+    if inputs.is_empty() {
+        return Err("campaign run: no input files (pass .ra files or directories)".into());
+    }
+    let (timeout, memory_budget) = parse_limit_flags(args)?;
+    let unroll = flag_value(args, "--unroll")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--unroll: {e}")))
+        .transpose()?;
+    let threads = flag_value(args, "--threads")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+        .transpose()?;
+    let options = VerifierOptions {
+        unroll_dis: unroll,
+        threads: parra::search::Threads::resolve(threads).get(),
+        timeout,
+        memory_budget,
+        ..Default::default()
+    };
+    let engines = engine_selection(args)?;
+    let race = args.iter().any(|a| a == "--race");
+    let all = args.iter().any(|a| a == "--all-engines");
+    let shard = flag_value(args, "--shard")
+        .map(|s| Shard::parse(&s))
+        .transpose()?;
+    let copts = CampaignOptions {
+        engine_label: selection_label(&engines, race, all),
+        engines,
+        race,
+        options,
+        shard,
+    };
+    let manifest = Manifest {
+        engine: copts.engine_label.clone(),
+        options_fp: copts.options_fp(),
+        unroll: unroll.map(|n| n as u64),
+        timeout_us: timeout.map(|d| d.as_micros() as u64),
+        memory_budget: memory_budget.map(|n| n as u64),
+        shard: shard.map(|s| (s.k, s.n)),
+        inputs,
+    };
+    let store = Store::open_or_create(std::path::Path::new(&store_dir), &manifest)?;
+    campaign_execute(&store, &manifest, &copts, args)
+}
+
+fn campaign_resume(args: &[String]) -> Result<ExitCode, String> {
+    use parra::campaign::{CampaignOptions, Shard, Store};
+
+    let store_dir =
+        flag_value(args, "--store").ok_or("campaign resume: --store DIR is required")?;
+    let (store, manifest) = Store::open(std::path::Path::new(&store_dir))?;
+    let (engines, race) = selection_from_label(&manifest.engine)?;
+    let threads = flag_value(args, "--threads")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+        .transpose()?;
+    let options = VerifierOptions {
+        unroll_dis: manifest.unroll.map(|n| n as usize),
+        threads: parra::search::Threads::resolve(threads).get(),
+        timeout: manifest.timeout_us.map(Duration::from_micros),
+        memory_budget: manifest.memory_budget.map(|n| n as usize),
+        ..Default::default()
+    };
+    let copts = CampaignOptions {
+        engine_label: manifest.engine.clone(),
+        engines,
+        race,
+        options,
+        shard: manifest.shard.map(|(k, n)| Shard { k, n }),
+    };
+    if copts.options_fp() != manifest.options_fp {
+        return Err(format!(
+            "store `{store_dir}`: manifest options (fingerprint `{}`) no longer reproduce \
+             fingerprint `{}` — the store predates an options-format change; re-run the campaign",
+            manifest.options_fp,
+            copts.options_fp()
+        ));
+    }
+    campaign_execute(&store, &manifest, &copts, args)
+}
+
+/// Shared `run`/`resume` execution: plan, verify, stream one JSON line
+/// per owned input plus a final summary line, write the event log, and
+/// map the owned inputs' verdict tallies to the exit code.
+fn campaign_execute(
+    store: &parra::campaign::Store,
+    manifest: &parra::campaign::Manifest,
+    copts: &parra::campaign::CampaignOptions,
+    args: &[String],
+) -> Result<ExitCode, String> {
+    let events_out = flag_value(args, "--events-out");
+    if args.iter().any(|a| a == "--events-out") && events_out.is_none() {
+        return Err("--events-out needs a file path".into());
+    }
+    let rec = if events_out.is_some() {
+        Recorder::enabled(Level::Summary)
+    } else {
+        Recorder::disabled()
+    };
+    let entries = parra::campaign::plan(&manifest.inputs, store, copts)?;
+    let mut input_events = String::new();
+    let summary =
+        parra::campaign::run_campaign(store, &entries, copts, &rec, |entry, record, irec| {
+            let mut w = parra::obs::json::ObjWriter::new();
+            w.str_field("input", &entry.input);
+            w.str_field("key", &entry.key);
+            match &record.verdict {
+                Some(v) => w.str_field("verdict", v),
+                None => w.raw_field("verdict", "null"),
+            }
+            match &record.interrupted {
+                Some(r) => w.str_field("interrupted", r),
+                None => w.raw_field("interrupted", "null"),
+            }
+            match &record.error {
+                Some(e) => w.str_field("error", e),
+                None => w.raw_field("error", "null"),
+            }
+            w.raw_field("cached", if entry.cached { "true" } else { "false" });
+            w.num_field("duration_us", record.duration_us);
+            println!("{}", w.finish());
+            if irec.is_enabled() {
+                input_events.push_str(&irec.render_events_jsonl(&[("file", &entry.input)]));
+            }
+        })?;
+    let mut w = parra::obs::json::ObjWriter::new();
+    w.num_field("planned", summary.planned);
+    w.num_field("assigned", summary.assigned);
+    w.num_field("cached", summary.cached);
+    w.num_field("verified", summary.verified);
+    w.num_field("safe", summary.safe);
+    w.num_field("unsafe", summary.unsafe_);
+    w.num_field("unknown", summary.unknown);
+    w.num_field("interrupted", summary.interrupted);
+    w.num_field("errors", summary.errors);
+    println!("{}", w.finish());
+    if let Some(path) = events_out {
+        // Campaign-scope events first, then each input's engine events
+        // with `file` attribution — the same shape `parra report` ingests
+        // from `batch --events-out`.
+        let log = rec.render_events_jsonl(&[]) + &input_events;
+        std::fs::write(&path, log).map_err(|e| format!("--events-out `{path}`: {e}"))?;
+        eprintln!("events written to {path}");
+    }
+    Ok(if summary.unsafe_ > 0 {
+        ExitCode::from(1)
+    } else if summary.unknown + summary.interrupted + summary.errors > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn campaign_status(args: &[String]) -> Result<ExitCode, String> {
+    use parra::campaign::{Manifest, Record, Store};
+    use std::collections::BTreeMap;
+
+    let stores: Vec<String> = {
+        let mut v = Vec::new();
+        let mut iter = args.iter();
+        while let Some(a) = iter.next() {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                iter.next();
+            } else if !a.starts_with("--") {
+                v.push(a.clone());
+            }
+        }
+        v
+    };
+    if stores.is_empty() {
+        return Err("campaign status: pass one or more store directories".into());
+    }
+    let mut merged: BTreeMap<String, Record> = BTreeMap::new();
+    let mut all_inputs: Vec<String> = Vec::new();
+    let mut first_manifest: Option<Manifest> = None;
+    for dir in &stores {
+        let (store, manifest) = Store::open(std::path::Path::new(dir))?;
+        if let Some(first) = &first_manifest {
+            if manifest.engine != first.engine || manifest.options_fp != first.options_fp {
+                return Err(format!(
+                    "campaign status: store `{dir}` (engine `{}`, options `{}`) does not \
+                     belong to the same campaign as `{}` (engine `{}`, options `{}`)",
+                    manifest.engine, manifest.options_fp, stores[0], first.engine, first.options_fp
+                ));
+            }
+        }
+        let records = store.records()?;
+        let settled = store.merged()?.values().filter(|r| r.is_settled()).count();
+        let shard = manifest
+            .shard
+            .map(|(k, n)| format!("shard {k}/{n}"))
+            .unwrap_or_else(|| "unsharded".to_string());
+        println!(
+            "{dir}: {} ({}), {} inputs listed, {} records, {} settled keys",
+            manifest.engine,
+            shard,
+            manifest.inputs.len(),
+            records.len(),
+            settled,
+        );
+        for input in &manifest.inputs {
+            if !all_inputs.contains(input) {
+                all_inputs.push(input.clone());
+            }
+        }
+        // Chronological within each store; across stores, later
+        // command-line position wins — status is a fold, not a race.
+        for r in records {
+            merged.insert(r.key.clone(), r);
+        }
+        first_manifest.get_or_insert(manifest);
+    }
+    let (mut safe, mut unsafe_, mut unknown, mut interrupted, mut errors) = (0, 0, 0, 0, 0);
+    for r in merged.values() {
+        if r.error.is_some() {
+            errors += 1;
+        } else if r.interrupted.is_some() {
+            interrupted += 1;
+        } else {
+            match r.verdict.as_deref() {
+                Some("SAFE") => safe += 1,
+                Some("UNSAFE") => unsafe_ += 1,
+                _ => unknown += 1,
+            }
+        }
+    }
+    println!(
+        "merged: {} keys — {safe} safe, {unsafe_} unsafe, {unknown} unknown, \
+         {interrupted} interrupted, {errors} errors",
+        merged.len()
+    );
+    if let Some(out) = flag_value(args, "--merge-out") {
+        let manifest = Manifest {
+            shard: None,
+            inputs: all_inputs,
+            ..first_manifest.expect("stores is non-empty")
+        };
+        Store::write_merged(std::path::Path::new(&out), &manifest, &merged)?;
+        println!("merged store written to {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn campaign_diff(args: &[String]) -> Result<ExitCode, String> {
+    let dirs: Vec<String> = {
+        let mut v = Vec::new();
+        let mut iter = args.iter();
+        while let Some(a) = iter.next() {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                iter.next();
+            } else if !a.starts_with("--") {
+                v.push(a.clone());
+            }
+        }
+        v
+    };
+    if dirs.len() != 2 {
+        return Err("campaign diff: pass exactly two store directories (baseline new)".into());
+    }
+    let threshold = flag_value(args, "--threshold")
+        .map(|t| t.parse::<u64>().map_err(|e| format!("--threshold: {e}")))
+        .transpose()?;
+    let (a, b) = (
+        std::path::Path::new(&dirs[0]),
+        std::path::Path::new(&dirs[1]),
+    );
+    let d = parra::campaign::diff_stores(a, b, threshold)?;
+    print!("{}", parra::campaign::render_diff(a, b, &d));
+    Ok(if d.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
