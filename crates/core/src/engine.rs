@@ -593,8 +593,18 @@ impl Verifier {
             Ok(x) => x,
             Err(r) => return *r,
         };
-        let plan_cache = std::sync::Mutex::new(PlanCache::new());
-        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache, gov);
+        // A host-provided shared cache (warm serve requests) takes the
+        // place of the run-local one; plans are deterministic, so the
+        // only difference is who pays for planning.
+        let local_cache;
+        let plan_cache: &std::sync::Mutex<PlanCache> = match self.options.plan_cache.as_ref() {
+            Some(shared) => shared.as_mutex(),
+            None => {
+                local_cache = std::sync::Mutex::new(PlanCache::new());
+                &local_cache
+            }
+        };
+        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, plan_cache, gov);
         let mut stats = Stats {
             guesses: guesses.len(),
             datalog_rules: fleet.rules,
@@ -655,8 +665,15 @@ impl Verifier {
             Ok(x) => x,
             Err(r) => return *r,
         };
-        let plan_cache = std::sync::Mutex::new(PlanCache::new());
-        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, &plan_cache, gov);
+        let local_cache;
+        let plan_cache: &std::sync::Mutex<PlanCache> = match self.options.plan_cache.as_ref() {
+            Some(shared) => shared.as_mutex(),
+            None => {
+                local_cache = std::sync::Mutex::new(PlanCache::new());
+                &local_cache
+            }
+        };
+        let fleet = self.datalog_fleet(rec, &mk, &guesses, target, plan_cache, gov);
         let mut stats = Stats {
             guesses: guesses.len(),
             datalog_rules: fleet.rules,

@@ -32,14 +32,17 @@
 //! the simplified semantics, the dependency-graph cost bound says how many
 //! `env` threads suffice to reproduce it.
 
+pub mod cache;
 pub mod engine;
 pub mod makep;
 pub mod verify;
 pub mod witness;
 
+pub use cache::VerifierCache;
 pub use engine::{Engine, RaceReport, SelectionOutcome};
 pub use makep::{DisGuess, Guess, MakeP, MakePLimits};
 pub use verify::{
-    ConcreteWitness, EngineId, Verdict, VerificationResult, Verifier, VerifierOptions,
+    ConcreteWitness, EngineId, SharedPlanCache, Verdict, VerificationResult, Verifier,
+    VerifierOptions,
 };
 pub use witness::{DatalogWitness, LinearCheck};

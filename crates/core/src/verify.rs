@@ -8,6 +8,7 @@
 //! containment, and the [`RunReport`].
 
 use crate::makep::{MakePError, MakePLimits};
+use parra_datalog::plan::PlanCache;
 use parra_limits::{CancelToken, InterruptReason, ResourceBudget};
 use parra_obs::json::ObjWriter;
 use parra_obs::{GaugeSnapshot, HistSnapshot, Phase, PhaseTimer, Recorder};
@@ -21,8 +22,39 @@ use parra_simplified::reach::ReachLimits;
 use parra_simplified::state::Budget;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A [`PlanCache`] shared across verifiers — the warm-cache backbone of
+/// long-lived hosts like `parra serve`: every Datalog engine run of every
+/// request plans against the same cache, so a query shape planned once is
+/// never re-planned, whichever request (or guess) meets it next.
+///
+/// Cloning is shallow ([`Arc`]); the shared cache is protected by a
+/// [`Mutex`] exactly like the per-run local caches the engines fall back
+/// to when no shared cache is configured.
+#[derive(Clone, Default)]
+pub struct SharedPlanCache(Arc<Mutex<PlanCache>>);
+
+impl SharedPlanCache {
+    /// An empty shared cache.
+    pub fn new() -> SharedPlanCache {
+        SharedPlanCache::default()
+    }
+
+    /// The underlying lock, in the shape the engine fleet consumes.
+    pub fn as_mutex(&self) -> &Mutex<PlanCache> {
+        &self.0
+    }
+}
+
+impl fmt::Debug for SharedPlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // PlanCache itself is opaque (and may be locked); identity plus
+        // sharing degree is the useful part.
+        write!(f, "SharedPlanCache(refs={})", Arc::strong_count(&self.0))
+    }
+}
 
 /// Which decision procedure to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -321,6 +353,14 @@ pub struct VerifierOptions {
     /// gets the full timeout); `None` is unlimited. An exhausted budget
     /// yields [`Verdict::Interrupted`] with partial statistics.
     pub timeout: Option<Duration>,
+    /// Absolute wall-clock deadline, taking precedence over
+    /// [`timeout`](VerifierOptions::timeout) when set. Long-lived hosts
+    /// (`parra serve`) anchor a per-request timeout at *admission* —
+    /// `Instant::now() + timeout` when the request is accepted — so the
+    /// budget window cannot silently shrink between admission and the
+    /// engine actually starting, and every engine of an `--all-engines`
+    /// request shares one request-level envelope.
+    pub deadline_at: Option<Instant>,
     /// Approximate live-heap budget in bytes per engine run; `None` is
     /// unlimited. Enforced only when the process installed
     /// `parra_limits::TrackingAlloc` as its global allocator (the `parra`
@@ -329,6 +369,11 @@ pub struct VerifierOptions {
     /// Cooperative cancellation shared by every engine run of this
     /// verifier.
     pub cancel: CancelToken,
+    /// A query-plan cache shared *across* verifiers; `None` keeps the
+    /// engines' per-run local caches. Purely an amortization: plans are
+    /// deterministic functions of the emitted program, so sharing never
+    /// changes a verdict, a note, or a deterministic event field.
+    pub plan_cache: Option<SharedPlanCache>,
     /// Test hook: panic inside the named engine's run, to exercise
     /// [`Verifier::run_isolated`]'s panic containment without an
     /// artificially broken system.
@@ -345,8 +390,10 @@ impl Default for VerifierOptions {
             concrete_limits: ExploreLimits::default(),
             threads: Threads::resolve(None).get(),
             timeout: None,
+            deadline_at: None,
             memory_budget: None,
             cancel: CancelToken::new(),
+            plan_cache: None,
             fail_point_panic: None,
         }
     }
@@ -361,9 +408,11 @@ impl VerifierOptions {
     ///   limit can turn `Unknown` into `Safe`/`Unsafe`, so records taken
     ///   under different limits are different experiments);
     /// * excluded: `threads` (verdicts are thread-count-deterministic by
-    ///   the engines' merge-order contract), `timeout`/`memory_budget`
-    ///   (exhaustion degrades to `Interrupted`, which campaign resumes
-    ///   re-run anyway), and the `cancel`/`fail_point_panic` plumbing.
+    ///   the engines' merge-order contract), `timeout`/`deadline_at`/
+    ///   `memory_budget` (exhaustion degrades to `Interrupted`, which
+    ///   campaign resumes re-run anyway), `plan_cache` (plans are
+    ///   deterministic; sharing is invisible to verdicts), and the
+    ///   `cancel`/`fail_point_panic` plumbing.
     ///
     /// The campaign layer keys its experiment store on this string; its
     /// format is stable within one store version.
@@ -513,6 +562,20 @@ impl Verifier {
         self
     }
 
+    /// A request-scoped clone of this verifier: the prepared system (the
+    /// classify/unroll/goal-transform work) is reused, while the options
+    /// and recorder are replaced with the new request's. This is the warm
+    /// path of a long-lived host: a cache hit skips preparation entirely,
+    /// so the clone carries *no* `plan` phase — `plan_us` stays with the
+    /// preparing verifier and the shared `plan_attributed` flag keeps the
+    /// phase claimed exactly once across all clones.
+    pub fn rescoped(&self, options: VerifierOptions, rec: Recorder) -> Verifier {
+        let mut v = self.clone();
+        v.options = options;
+        v.rec = rec;
+        v
+    }
+
     /// The class of the original system.
     pub fn class(&self) -> &SystemClass {
         &self.original_class
@@ -536,7 +599,11 @@ impl Verifier {
     /// per race so `--timeout` bounds the race as a whole.
     pub(crate) fn base_budget(&self) -> ResourceBudget {
         let mut gov = ResourceBudget::unlimited();
-        if let Some(t) = self.options.timeout {
+        if let Some(at) = self.options.deadline_at {
+            // An admission-anchored absolute deadline wins over the
+            // relative timeout: the host already fixed the window.
+            gov = gov.with_deadline_at(at);
+        } else if let Some(t) = self.options.timeout {
             gov = gov.with_deadline(t);
         }
         if let Some(m) = self.options.memory_budget {
@@ -950,6 +1017,40 @@ mod tests {
         assert_eq!(v.run(EngineId::CacheDatalog).verdict, Verdict::Safe);
         // The concrete engine can never prove parameterized safety.
         assert_eq!(v.run(EngineId::BoundedConcrete).verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn admission_deadline_overrides_relative_timeout() {
+        // A host anchored the window at admission; an already-spent
+        // absolute deadline must interrupt even under a generous
+        // relative timeout.
+        let sys = handshake(false);
+        let opts = VerifierOptions {
+            timeout: Some(Duration::from_secs(3600)),
+            deadline_at: Some(Instant::now()),
+            ..Default::default()
+        };
+        let v = Verifier::new(&sys, opts).unwrap();
+        let r = v.run(EngineId::SimplifiedReach);
+        assert_eq!(r.verdict, Verdict::Interrupted(InterruptReason::Deadline));
+    }
+
+    #[test]
+    fn rescoped_clone_shares_preparation_but_not_options() {
+        let sys = handshake(false);
+        let v = Verifier::new(&sys, VerifierOptions::default()).unwrap();
+        let first = v.run(EngineId::SimplifiedReach);
+        assert_eq!(first.verdict, Verdict::Unsafe);
+        // The warm clone gets fresh options; its runs must not re-claim
+        // the plan phase the first run already took.
+        let warm = v.rescoped(VerifierOptions::default(), Recorder::disabled());
+        let again = warm.run(EngineId::SimplifiedReach);
+        assert_eq!(again.verdict, Verdict::Unsafe);
+        assert!(
+            !again.report.phases.iter().any(|(n, _)| n == "plan"),
+            "rescoped run re-claimed the plan phase: {:?}",
+            again.report.phases
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | [`RoundTrip`] | `pretty → parse_system` reproduces the system | parser/printer drift |
 //! | [`Monotonicity`] | verdicts persist under larger `max_states` / deeper unrolling | search soundness |
 //! | [`EvalAgree`] | indexed Datalog evaluator ≡ naive reference on `makeP` outputs | evaluator substrate |
+//! | [`ServeRoundTrip`] | every serve frame — mangled or not — gets one structured response; served verdicts match direct runs | §7i protocol totality |
 //!
 //! An oracle returns [`OracleOutcome::Skip`] when the system is outside
 //! its preconditions (undecidable class, truncated search, no target) —
@@ -74,6 +75,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(RoundTrip),
         Box::new(Monotonicity),
         Box::new(EvalAgree),
+        Box::new(ServeRoundTrip),
     ]
 }
 
@@ -552,6 +554,151 @@ impl Oracle for EvalAgree {
     }
 }
 
+// ---------------------------------------------------------------------
+// 7. Serve protocol totality and parity
+// ---------------------------------------------------------------------
+
+/// The serve protocol is *total*: every frame thrown at a daemon —
+/// well-formed, truncated, version-skewed, type-mangled, oversized, or
+/// plain garbage — must yield exactly one parseable structured response
+/// with a stable error code, never a hang, a crash, or a poisoned
+/// daemon; and after the whole barrage, a well-formed verify of the
+/// generated system must return the same verdict as a direct
+/// [`Verifier`] run.
+pub struct ServeRoundTrip;
+
+impl Oracle for ServeRoundTrip {
+    fn name(&self) -> &'static str {
+        "serve-roundtrip"
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        GenConfig::agreement()
+    }
+
+    fn cases_per_second(&self) -> u64 {
+        5
+    }
+
+    fn check(&self, sys: &ParamSystem) -> OracleOutcome {
+        use parra_obs::json::{self, Value};
+        use parra_serve::proto::MAX_FRAME_BYTES;
+        use parra_serve::{ServeConfig, Server};
+
+        let options = VerifierOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let server = Server::new(ServeConfig {
+            options: options.clone(),
+            ..Default::default()
+        });
+
+        // The well-formed frame: the pretty-printed system as an inline
+        // `program` request (with the same unrolling fallback as every
+        // other oracle's `verifier_for`).
+        let printed = pretty::system_to_string(sys);
+        let needs_unroll = matches!(
+            Verifier::new(sys, options.clone()),
+            Err(VerifierError::NeedsUnrolling)
+        );
+        let mut request = String::from(r#"{"proto":1,"id":"rt","type":"verify","program":"#);
+        json::write_escaped(&mut request, &printed);
+        if needs_unroll {
+            request.push_str(r#","unroll":2"#);
+        }
+        request.push('}');
+
+        // Mangled frames derived from the request. Each must produce one
+        // parseable error response carrying the expected stable code.
+        let mangled: Vec<(String, &str)> = vec![
+            // Truncated JSON: a proper prefix of an object never balances.
+            (request[..request.len() / 2].to_string(), "malformed"),
+            // A protocol version this daemon does not speak.
+            (
+                request.replacen(r#""proto":1"#, r#""proto":99"#, 1),
+                "unsupported-version",
+            ),
+            // An unknown request type.
+            (
+                request.replacen(r#""type":"verify""#, r#""type":"verify-fast""#, 1),
+                "unknown-type",
+            ),
+            // A verify with no source at all.
+            (
+                r#"{"proto":1,"id":"rt","type":"verify"}"#.to_string(),
+                "bad-field",
+            ),
+            // The raw program text is not JSON.
+            (printed.clone(), "malformed"),
+            // A frame past the size cap is rejected before parsing.
+            (
+                format!(
+                    r#"{{"proto":1,"type":"verify","litmus":"{}"}}"#,
+                    "x".repeat(MAX_FRAME_BYTES)
+                ),
+                "oversized",
+            ),
+        ];
+        for (frame, want) in &mangled {
+            let resp = match server.process_line(frame) {
+                Some(r) => r,
+                None => return OracleOutcome::Fail(format!("no response to a `{want}` frame")),
+            };
+            let v = match json::parse(&resp) {
+                Ok(v) => v,
+                Err(e) => {
+                    return OracleOutcome::Fail(format!(
+                        "`{want}` response is not valid JSON ({e}): {resp}"
+                    ))
+                }
+            };
+            if v.get("type").and_then(Value::as_str) != Some("error")
+                || v.get("code").and_then(Value::as_str) != Some(want)
+            {
+                return OracleOutcome::Fail(format!("expected an `{want}` error, got: {resp}"));
+            }
+        }
+
+        // The daemon must still answer the well-formed frame — and agree
+        // with a direct run of the same system.
+        let resp = match server.process_line(&request) {
+            Some(r) => r,
+            None => return OracleOutcome::Fail("no response to the well-formed frame".into()),
+        };
+        let v = match json::parse(&resp) {
+            Ok(v) => v,
+            Err(e) => {
+                return OracleOutcome::Fail(format!(
+                    "serve response is not valid JSON ({e}): {resp}"
+                ))
+            }
+        };
+        let direct = match verifier_for(sys, options) {
+            Ok(d) => d,
+            Err(skip) => {
+                // Outside the verifier's preconditions: serve must reject
+                // it with a structured error, never a hang or a verdict.
+                return if v.get("type").and_then(Value::as_str) == Some("error") {
+                    skip
+                } else {
+                    OracleOutcome::Fail(format!(
+                        "direct verifier rejects the system but serve answered: {resp}"
+                    ))
+                };
+            }
+        };
+        let want = direct.run(EngineId::SimplifiedReach).verdict.to_string();
+        match v.get("verdict").and_then(Value::as_str) {
+            Some(got) if got == want => OracleOutcome::Pass,
+            Some(got) => OracleOutcome::Fail(format!(
+                "served verdict {got} but the direct run says {want}"
+            )),
+            None => OracleOutcome::Fail(format!("no verdict in serve response: {resp}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,7 +735,8 @@ mod tests {
                 "thread-determinism",
                 "round-trip",
                 "monotonicity",
-                "eval-agree"
+                "eval-agree",
+                "serve-roundtrip"
             ]
         );
         for n in names {

@@ -10,7 +10,7 @@
 //! only in the JSON report's `duration_us`.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parra_limits::{InterruptReason, ResourceBudget};
 use parra_obs::json::ObjWriter;
@@ -52,9 +52,19 @@ pub struct FuzzConfig {
     pub budget: FuzzBudget,
     /// Save minimized failures into this directory as `.ra` files.
     pub corpus_dir: Option<PathBuf>,
-    /// Resource governor checked between cases. An exhausted budget stops
-    /// the run early with [`FuzzSummary::interrupted`] set; the cases that
-    /// did complete are still a deterministic prefix of the full run.
+    /// Wall-clock budget for one [`run`], anchored when the run is
+    /// *admitted* (enters [`run`]), not when this config is built. A
+    /// config may be constructed long before — and reused across —
+    /// multiple oracle runs (the CLI loops one config over every
+    /// `--oracle`; a daemon holds one for its lifetime), so an
+    /// `Instant`-anchored deadline here would silently shrink the window
+    /// of every run after the first.
+    pub deadline: Option<Duration>,
+    /// Resource governor checked between cases (cancellation, memory —
+    /// and any deadline the *caller* anchored itself). An exhausted
+    /// budget stops the run early with [`FuzzSummary::interrupted`] set;
+    /// the cases that did complete are still a deterministic prefix of
+    /// the full run.
     pub governor: ResourceBudget,
 }
 
@@ -64,6 +74,7 @@ impl Default for FuzzConfig {
             seed: 0,
             budget: FuzzBudget::Seconds(1),
             corpus_dir: None,
+            deadline: None,
             governor: ResourceBudget::unlimited(),
         }
     }
@@ -173,6 +184,12 @@ impl FuzzSummary {
 /// `fuzz/…` on `rec`; pass [`Recorder::disabled`] to opt out.
 pub fn run(oracle: &dyn Oracle, cfg: &FuzzConfig, rec: &Recorder) -> FuzzSummary {
     let start = Instant::now();
+    // The run's wall-clock window opens now, at admission — not when the
+    // config was built (see [`FuzzConfig::deadline`]).
+    let governor = match cfg.deadline {
+        Some(d) => cfg.governor.clone().with_deadline_at(start + d),
+        None => cfg.governor.clone(),
+    };
     let target = cfg.budget.cases(oracle);
     let gen = SystemGen::new(oracle.gen_config());
     let cases_ctr = rec.counter("fuzz/cases");
@@ -195,7 +212,7 @@ pub fn run(oracle: &dyn Oracle, cfg: &FuzzConfig, rec: &Recorder) -> FuzzSummary
     // the generator already decorrelates them), so a failure on case seed
     // `s` replays exactly with `--seed s --cases 1`.
     for i in 0..target {
-        if let Err(reason) = cfg.governor.check() {
+        if let Err(reason) = governor.check() {
             summary.interrupted = Some(reason);
             rec.counter(&format!("fuzz/interrupted_{reason}")).incr();
             break;
@@ -424,6 +441,43 @@ mod tests {
             "no case should start under a spent budget"
         );
         assert!(summary.to_json().contains("\"interrupted\":\"deadline\""));
+    }
+
+    #[test]
+    fn deadline_anchors_at_run_admission_not_config_build() {
+        // Regression: `--timeout` used to be baked into an
+        // `Instant`-anchored governor at flag-parse time and shared
+        // across every oracle run, so time spent *before* a run — other
+        // oracles, or a daemon idling — ate its budget. A config built
+        // long before the run must still grant the full window.
+        let cfg = FuzzConfig {
+            seed: 7,
+            budget: FuzzBudget::Cases(5),
+            deadline: Some(Duration::from_millis(60)),
+            ..Default::default()
+        };
+        // Simulate the gap between config construction and admission
+        // outliving the deadline itself.
+        std::thread::sleep(Duration::from_millis(90));
+        let summary = run(&RoundTrip, &cfg, &Recorder::disabled());
+        assert_eq!(
+            summary.interrupted, None,
+            "deadline must anchor at admission, not config build"
+        );
+        assert_eq!(summary.cases, 5);
+    }
+
+    #[test]
+    fn spent_admission_deadline_still_interrupts() {
+        let cfg = FuzzConfig {
+            seed: 0,
+            budget: FuzzBudget::Cases(1000),
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let summary = run(&RoundTrip, &cfg, &Recorder::disabled());
+        assert_eq!(summary.interrupted, Some(InterruptReason::Deadline));
+        assert_eq!(summary.cases, 0);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Admission control for long-lived hosts: bound *how much* work is in
+//! flight before any of it starts, so overload degrades to a structured
+//! rejection instead of queue bloat or an OOM kill.
+//!
+//! [`AdmissionGate`] is the front door of `parra serve`: every request
+//! asks for an [`AdmissionPermit`] before it touches a verifier. The gate
+//! rejects — without affecting any admitted work — when either
+//!
+//! * the number of admitted-but-unfinished requests has reached the
+//!   configured depth ([`RejectReason::QueueFull`]), or
+//! * the process-wide live heap (as reported by [`heap_in_use`], i.e.
+//!   only when the binary installed
+//!   [`TrackingAlloc`](crate::TrackingAlloc)) is already at the
+//!   configured watermark ([`RejectReason::MemoryPressure`]) — new work
+//!   would start in an envelope the in-flight work has consumed.
+//!
+//! Permits release their queue slot on drop, so a panicking request path
+//! cannot leak capacity.
+
+use crate::alloc::heap_in_use;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why the gate turned a request away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The in-flight depth reached the bound.
+    QueueFull {
+        /// Admitted-but-unfinished requests at rejection time.
+        depth: usize,
+        /// The configured bound.
+        max: usize,
+    },
+    /// Live heap is at or past the watermark.
+    MemoryPressure {
+        /// Live heap bytes at rejection time.
+        in_use: usize,
+        /// The configured watermark.
+        watermark: usize,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, max } => {
+                write!(f, "queue full: {depth} in flight (max {max})")
+            }
+            RejectReason::MemoryPressure { in_use, watermark } => {
+                write!(
+                    f,
+                    "memory pressure: {in_use} bytes live (watermark {watermark})"
+                )
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_flight: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A bounded-depth, memory-watermarked admission gate. Cloning is cheap
+/// and shares the gate (connection handlers each hold a clone).
+#[derive(Debug, Clone)]
+pub struct AdmissionGate {
+    max_in_flight: usize,
+    memory_watermark: Option<usize>,
+    state: Arc<GateState>,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max_in_flight` concurrent requests,
+    /// optionally refusing new work once live heap reaches
+    /// `memory_watermark` bytes.
+    pub fn new(max_in_flight: usize, memory_watermark: Option<usize>) -> AdmissionGate {
+        AdmissionGate {
+            max_in_flight: max_in_flight.max(1),
+            memory_watermark,
+            state: Arc::new(GateState::default()),
+        }
+    }
+
+    /// Tries to admit one request. On success the returned permit holds
+    /// a queue slot until dropped; on rejection nothing changes for
+    /// admitted work.
+    pub fn try_admit(&self) -> Result<AdmissionPermit, RejectReason> {
+        if let Some(watermark) = self.memory_watermark {
+            if let Some(in_use) = heap_in_use() {
+                if in_use >= watermark {
+                    self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(RejectReason::MemoryPressure { in_use, watermark });
+                }
+            }
+        }
+        // Optimistic increment with rollback: two racing admissions at
+        // depth max-1 cannot both slip under the bound.
+        let prev = self.state.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.max_in_flight {
+            self.state.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.state.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(RejectReason::QueueFull {
+                depth: prev,
+                max: self.max_in_flight,
+            });
+        }
+        self.state.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(AdmissionPermit {
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    /// Admitted-but-unfinished requests right now.
+    pub fn in_flight(&self) -> usize {
+        self.state.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.state.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Total requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.state.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The configured depth bound.
+    pub fn capacity(&self) -> usize {
+        self.max_in_flight
+    }
+}
+
+/// A held queue slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    state: Arc<GateState>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.state.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_bound_rejects_and_permit_drop_restores_capacity() {
+        let gate = AdmissionGate::new(2, None);
+        let p1 = gate.try_admit().expect("first");
+        let _p2 = gate.try_admit().expect("second");
+        assert_eq!(gate.in_flight(), 2);
+        let err = gate.try_admit().expect_err("third must be rejected");
+        assert_eq!(err, RejectReason::QueueFull { depth: 2, max: 2 });
+        assert_eq!(gate.rejected(), 1);
+        // Rejection did not disturb admitted work.
+        assert_eq!(gate.in_flight(), 2);
+        drop(p1);
+        assert_eq!(gate.in_flight(), 1);
+        let _p3 = gate.try_admit().expect("slot freed by drop");
+        assert_eq!(gate.admitted(), 3);
+    }
+
+    #[test]
+    fn racing_admissions_never_exceed_the_bound() {
+        let gate = AdmissionGate::new(4, None);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let gate = gate.clone();
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(_permit) = gate.try_admit() {
+                            peak.fetch_max(gate.in_flight(), Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Relaxed) <= 4);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_depth_is_clamped_to_one() {
+        let gate = AdmissionGate::new(0, None);
+        assert_eq!(gate.capacity(), 1);
+        let _p = gate.try_admit().expect("one slot");
+        assert!(gate.try_admit().is_err());
+    }
+}

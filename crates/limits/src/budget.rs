@@ -156,6 +156,19 @@ impl ResourceBudget {
         self
     }
 
+    /// Sets an absolute wall-clock deadline.
+    ///
+    /// Long-lived callers (the fuzz runner, `parra serve`) anchor a
+    /// `--timeout` at *request admission* rather than at flag-parse /
+    /// process-start time: capture `Instant::now()` when the work is
+    /// admitted and pass `admitted + timeout` here. Building the budget
+    /// early with [`with_deadline`](ResourceBudget::with_deadline) would
+    /// silently shrink the window for every request after the first.
+    pub fn with_deadline_at(mut self, at: Instant) -> ResourceBudget {
+        self.deadline = Some(at);
+        self
+    }
+
     /// Sets an approximate limit on live heap bytes.
     ///
     /// Enforced only when the process installed [`TrackingAlloc`]
@@ -305,6 +318,19 @@ mod tests {
     fn zero_deadline_trips_immediately() {
         let gov = ResourceBudget::unlimited().with_deadline(Duration::ZERO);
         assert_eq!(gov.check(), Err(InterruptReason::Deadline));
+    }
+
+    #[test]
+    fn absolute_deadline_anchors_where_told() {
+        // A deadline anchored in the past trips immediately; one anchored
+        // in the future passes — independent of when the budget value
+        // itself was constructed.
+        let base = Instant::now();
+        let spent = ResourceBudget::unlimited().with_deadline_at(base);
+        assert_eq!(spent.check(), Err(InterruptReason::Deadline));
+        let live = ResourceBudget::unlimited().with_deadline_at(base + Duration::from_secs(3600));
+        assert_eq!(live.check(), Ok(()));
+        assert!(!live.is_unlimited());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | "stop after 1 GiB" | [`ResourceBudget::with_memory_limit`] + [`TrackingAlloc`] |
 //! | "stop when I say so" | [`CancelToken`] |
 //! | what stopped us | [`InterruptReason`] |
+//! | "turn away the 9th request" | [`AdmissionGate`] |
 //!
 //! Engines hold a [`ResourceBudget`] and call [`ResourceBudget::check`]
 //! at **round granularity** — once per search wave, BFS round, or
@@ -37,8 +38,10 @@
 //! memory limits are (soundly) not enforced — a budget can only make an
 //! engine stop *earlier*, never change a completed verdict.
 
+pub mod admission;
 pub mod alloc;
 pub mod budget;
 
+pub use admission::{AdmissionGate, AdmissionPermit, RejectReason};
 pub use alloc::{heap_in_use, heap_peak, TrackingAlloc};
 pub use budget::{parse_byte_size, CancelToken, Headroom, InterruptReason, ResourceBudget};

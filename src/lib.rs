@@ -26,6 +26,7 @@
 //! | [`fuzz`] | differential fuzzing: system generator, cross-engine oracles, shrinker, corpus |
 //! | [`limits`] | resource governance: deadlines, memory budgets, cooperative cancellation |
 //! | [`campaign`] | checkpointed, sharded, resumable, diffable verification campaigns |
+//! | [`serve`] | long-lived verification service: JSON protocol, admission control, warm caches |
 //!
 //! # Quickstart
 //!
@@ -72,6 +73,7 @@ pub use parra_program as program;
 pub use parra_qbf as qbf;
 pub use parra_ra as ra;
 pub use parra_search as search;
+pub use parra_serve as serve;
 pub use parra_simplified as simplified;
 
 /// The most common imports in one place.

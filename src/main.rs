@@ -13,6 +13,9 @@
 //! parra fuzz     [--oracle NAME] [--seconds N | --cases N | --timeout SECS]
 //!                [--seed N] [--corpus DIR] [--minimize FILE] [--json]
 //! parra report   <file|dir ...> | --diff A B | --check-schema <file ...>
+//! parra serve    (--socket PATH | --stdio) [--max-queue N]
+//!                [--memory-watermark SIZE] [--events-out FILE]
+//! parra serve    --send REQUEST|- --socket PATH
 //! ```
 //!
 //! Input files use the `system { … }` syntax (see the README or
@@ -83,6 +86,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "fuzz" => fuzz(rest),
         "report" => report(rest),
         "campaign" => campaign(rest),
+        "serve" => serve(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -106,6 +110,11 @@ fn usage() -> String {
      parra campaign resume --store DIR [--threads N] [--events-out FILE]\n  \
      parra campaign status <store ...> [--merge-out DIR]\n  \
      parra campaign diff <baseline-store> <new-store> [--threshold PCT]\n  \
+     parra serve (--socket PATH | --stdio) [--engine E] [--all-engines] \
+     [--race] [--unroll N] [--timeout SECS] [--memory-budget SIZE] \
+     [--threads N] [--max-queue N] [--memory-watermark SIZE] \
+     [--events-out FILE]\n  \
+     parra serve --send REQUEST|- --socket PATH\n  \
      parra print <file.ra>\n  parra fuzz [--oracle NAME] [--seconds N | \
      --cases N | --timeout SECS] [--seed N] [--corpus DIR] [--minimize FILE] \
      [--json] [--events-out FILE] [--metrics-out FILE]\n  \
@@ -151,7 +160,17 @@ fn usage() -> String {
      — and prints a dashboard with per-engine phase breakdowns and \
      duration percentiles. --diff A B compares two report sets and exits \
      1 on verdict flips or phase-time regressions beyond --threshold PCT \
-     (default 25). --check-schema strictly validates event logs."
+     (default 25). --check-schema strictly validates event logs.\n\n\
+     serve runs a long-lived daemon speaking line-delimited JSON \
+     (protocol v1; one response line per request line) over a Unix \
+     socket or --stdio, with request types verify, batch, status, and \
+     shutdown. Prepared verifiers and Datalog query plans are cached \
+     across requests (warm requests skip parse/plan); per-request \
+     budgets anchor at admission; --max-queue bounds in-flight work and \
+     --memory-watermark refuses new work under heap pressure — both \
+     reject with a structured `overloaded` error that never touches \
+     admitted requests. --send REQUEST (or `-` to stream stdin) is the \
+     client mode: it prints the daemon's response lines."
         .to_owned()
 }
 
@@ -175,6 +194,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--store",
     "--shard",
     "--merge-out",
+    "--socket",
+    "--send",
+    "--max-queue",
+    "--memory-watermark",
 ];
 
 fn load(args: &[String]) -> Result<ParamSystem, String> {
@@ -670,6 +693,136 @@ fn print_system(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// The `parra serve` daemon (and its `--send` client mode). The request
+/// execution itself lives in `parra::serve`; this function only does
+/// flag parsing and transport (Unix socket or stdio).
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    use parra::serve::{ServeConfig, Server};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::Arc;
+
+    // Client mode: write request lines, print response lines.
+    if let Some(request) = flag_value(args, "--send") {
+        let path = flag_value(args, "--socket").ok_or("serve --send: --socket PATH is required")?;
+        let stream =
+            UnixStream::connect(&path).map_err(|e| format!("cannot connect to `{path}`: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let reader = BufReader::new(stream);
+        let requests: Vec<String> = if request == "-" {
+            std::io::stdin()
+                .lines()
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("stdin: {e}"))?
+        } else {
+            vec![request]
+        };
+        let sent = requests.len();
+        for line in &requests {
+            writeln!(writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        }
+        writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut responses = reader.lines();
+        for _ in 0..sent {
+            let line = responses
+                .next()
+                .ok_or("daemon closed the connection before answering")?
+                .map_err(|e| format!("receive: {e}"))?;
+            println!("{line}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Daemon mode.
+    let (timeout, memory_budget) = parse_limit_flags(args)?;
+    let unroll = flag_value(args, "--unroll")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--unroll: {e}")))
+        .transpose()?;
+    let threads = flag_value(args, "--threads")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--threads: {e}")))
+        .transpose()?;
+    let engines = engine_selection(args)?;
+    let race = args.iter().any(|a| a == "--race");
+    let all = args.iter().any(|a| a == "--all-engines");
+    let max_queue = flag_value(args, "--max-queue")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--max-queue: {e}")))
+        .transpose()?
+        .unwrap_or(64);
+    let watermark = flag_value(args, "--memory-watermark")
+        .map(|v| {
+            parse_byte_size(&v).ok_or_else(|| format!("--memory-watermark: invalid size `{v}`"))
+        })
+        .transpose()?;
+    let cfg = ServeConfig {
+        options: VerifierOptions {
+            unroll_dis: unroll,
+            threads: parra::search::Threads::resolve(threads).get(),
+            timeout,
+            memory_budget,
+            ..Default::default()
+        },
+        engine: selection_label(&engines, race, all),
+        max_in_flight: max_queue,
+        memory_watermark: watermark,
+    };
+    let mut server = Server::new(cfg);
+    if let Some(path) = flag_value(args, "--events-out") {
+        let file = std::fs::File::create(&path)
+            .map_err(|e| format!("--events-out: cannot create `{path}`: {e}"))?;
+        server = server.with_events_sink(Box::new(file));
+    }
+    let server = Arc::new(server);
+
+    if args.iter().any(|a| a == "--stdio") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        server
+            .handle_stream(stdin.lock(), stdout.lock())
+            .map_err(|e| format!("stdio: {e}"))?;
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let path = flag_value(args, "--socket").ok_or("serve: pass --socket PATH or --stdio")?;
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).map_err(|e| format!("cannot bind `{path}`: {e}"))?;
+    // Non-blocking accept so a `shutdown` request received on any
+    // connection stops the daemon promptly.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener: {e}"))?;
+    eprintln!("parra serve: listening on {path}");
+    loop {
+        if server.is_shutdown() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| format!("connection: {e}"))?;
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let reader = match stream.try_clone() {
+                        Ok(s) => BufReader::new(s),
+                        Err(_) => return,
+                    };
+                    // A vanished peer only ends this connection.
+                    let _ = server.handle_stream(reader, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&path);
+                return Err(format!("accept: {e}"));
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    Ok(ExitCode::SUCCESS)
+}
+
 fn fuzz(args: &[String]) -> Result<ExitCode, String> {
     use parra::fuzz::oracle::{all_oracles, oracle_by_name, Oracle, OracleOutcome};
     use parra::fuzz::runner::{self, FuzzBudget, FuzzConfig, MinimizeOutcome};
@@ -693,10 +846,6 @@ fn fuzz(args: &[String]) -> Result<ExitCode, String> {
         (None, Some(s), _) => FuzzBudget::Seconds(s),
         (None, None, Some(_)) => FuzzBudget::Cases(u64::MAX),
         (None, None, None) => FuzzBudget::Seconds(1),
-    };
-    let governor = match timeout {
-        Some(d) => ResourceBudget::unlimited().with_deadline(d),
-        None => ResourceBudget::unlimited(),
     };
     let corpus_dir = flag_value(args, "--corpus").map(std::path::PathBuf::from);
     let oracles: Vec<Box<dyn Oracle>> = match flag_value(args, "--oracle").as_deref() {
@@ -762,11 +911,16 @@ fn fuzz(args: &[String]) -> Result<ExitCode, String> {
     if (events_out.is_some() || metrics_out.is_some()) && !rec.is_enabled() {
         rec = Recorder::enabled(Level::Summary);
     }
+    // The deadline is handed to the runner unanchored: `runner::run`
+    // anchors it when the run is admitted, not at flag-parse time, so a
+    // long-lived caller looping over oracles gives each run the full
+    // window (each oracle below gets its own `--timeout`).
     let cfg = FuzzConfig {
         seed,
         budget,
         corpus_dir,
-        governor,
+        deadline: timeout,
+        governor: ResourceBudget::unlimited(),
     };
     let mut any_failure = false;
     for oracle in &oracles {
